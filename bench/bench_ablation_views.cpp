@@ -1,0 +1,89 @@
+// Ablation: how much each view component contributes to routing
+// (motivates the design choices of section 3.1).
+//
+// Configurations, on a clustered workload (sparse alpha = 5 with tight
+// in-bin jitter) and a uniform one:
+//   full        -- vn + cn + LRn (the paper's design)
+//   no-cn       -- close neighbours ignored by the greedy step
+//   no-lr       -- long links disabled (pure Delaunay greedy: O(sqrt N))
+//   dmin-ball   -- dmin = 1/sqrt(pi Nmax) instead of the paper's 1/(pi Nmax)
+//
+// Usage: bench_ablation_views [--full] [--csv] [--objects N] [--pairs M]
+//                             [--seed S]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool use_cn;
+  bool use_lr;
+  voronet::DminRule rule;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  flags.reject_unconsumed();
+
+  const std::size_t objects = scale.full ? 100'000 : 12'000;
+  const std::size_t pairs = scale.pairs;
+
+  std::vector<Variant> variants{
+      {"full", true, true, DminRule::kPaperText},
+      {"no-cn", false, true, DminRule::kPaperText},
+      {"no-lr", true, false, DminRule::kPaperText},
+      {"dmin-ball", true, true, DminRule::kBallExpectation},
+  };
+
+  auto clustered = workload::DistributionConfig::power_law(5.0);
+  clustered.jitter = 0.05;  // clusters 20x tighter than a value bin
+  const std::vector<workload::DistributionConfig> dists{
+      workload::DistributionConfig::uniform(), clustered};
+
+  stats::Table table({"workload", "variant", "objects", "mean hops",
+                      "vs full"});
+  for (const auto& dist : dists) {
+    double full_hops = 0.0;
+    for (const Variant& v : variants) {
+      Timer t;
+      OverlayConfig cfg;
+      cfg.n_max = objects;
+      cfg.seed = scale.seed;
+      cfg.use_close_neighbors = v.use_cn;
+      cfg.use_long_links = v.use_lr;
+      cfg.dmin_rule = v.rule;
+      Overlay overlay(cfg);
+      Rng rng(scale.seed ^ 0xab1a7e);
+      bench::grow_overlay(overlay, dist, objects, objects, rng,
+                          [](std::size_t) {});
+      Rng probe_rng(scale.seed + 1);
+      const double hops = bench::mean_route_hops(overlay, pairs, probe_rng);
+      if (v.name == "full") full_hops = hops;
+      table.add_row({dist.name(), v.name, stats::Table::cell(objects),
+                     stats::Table::cell(hops, 2),
+                     stats::Table::cell(full_hops > 0 ? hops / full_hops : 1.0,
+                                        2)});
+      std::cerr << "[ablation] " << dist.name() << " " << v.name << " ("
+                << t.seconds() << "s)\n";
+    }
+  }
+
+  std::cout << "Ablation: routing cost by view configuration\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_ablation_views: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,92 @@
+#include "bench_common.hpp"
+
+#include <atomic>
+
+#include "common/parallel.hpp"
+#include "stats/summary.hpp"
+
+namespace voronet::bench {
+
+Scale resolve_scale(const Flags& flags) {
+  Scale s{};
+  s.full = bench_full_scale(flags);
+  s.csv = flags.has("csv");
+  s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  if (s.full) {
+    s.objects = static_cast<std::size_t>(flags.get_int("objects", 300'000));
+    s.checkpoint =
+        static_cast<std::size_t>(flags.get_int("checkpoint", 10'000));
+    s.pairs = static_cast<std::size_t>(flags.get_int("pairs", 100'000));
+  } else {
+    s.objects = static_cast<std::size_t>(flags.get_int("objects", 60'000));
+    s.checkpoint =
+        static_cast<std::size_t>(flags.get_int("checkpoint", 10'000));
+    s.pairs = static_cast<std::size_t>(flags.get_int("pairs", 10'000));
+  }
+  return s;
+}
+
+ProbeStats probe_stats(const Overlay& overlay, std::size_t pairs, Rng& rng) {
+  // Pre-draw the couples sequentially so the measurement is deterministic
+  // regardless of the worker count.
+  struct Pair {
+    ObjectId from;
+    Vec2 target;
+  };
+  std::vector<Pair> couples;
+  couples.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const ObjectId from = overlay.random_object(rng);
+    ObjectId to = overlay.random_object(rng);
+    while (to == from && overlay.size() > 1) to = overlay.random_object(rng);
+    couples.push_back({from, overlay.position(to)});
+  }
+
+  std::atomic<std::uint64_t> total_hops{0};
+  std::atomic<std::uint64_t> dmin_stops{0};
+  parallel_for(0, couples.size(),
+               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 std::uint64_t local = 0;
+                 std::uint64_t local_stops = 0;
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   const RouteResult r =
+                       overlay.probe(couples[i].from, couples[i].target);
+                   local += r.hops;
+                   if (r.stopped_by_dmin) ++local_stops;
+                 }
+                 total_hops.fetch_add(local, std::memory_order_relaxed);
+                 dmin_stops.fetch_add(local_stops,
+                                      std::memory_order_relaxed);
+               });
+  ProbeStats stats;
+  stats.mean_hops = static_cast<double>(total_hops.load()) /
+                    static_cast<double>(couples.size());
+  stats.dmin_stop_fraction = static_cast<double>(dmin_stops.load()) /
+                             static_cast<double>(couples.size());
+  return stats;
+}
+
+double mean_route_hops(const Overlay& overlay, std::size_t pairs, Rng& rng) {
+  return probe_stats(overlay, pairs, rng).mean_hops;
+}
+
+std::vector<GrowthPoint> route_growth_series(
+    const workload::DistributionConfig& dist, const Scale& scale,
+    std::size_t long_links) {
+  OverlayConfig cfg;
+  cfg.n_max = scale.objects;
+  cfg.long_links = long_links;
+  cfg.seed = scale.seed;
+  Overlay overlay(cfg);
+  Rng rng(scale.seed ^ 0x5eedf00dULL);
+
+  std::vector<GrowthPoint> series;
+  grow_overlay(overlay, dist, scale.objects, scale.checkpoint, rng,
+               [&](std::size_t n) {
+                 series.push_back({n, mean_route_hops(overlay, scale.pairs,
+                                                      rng)});
+               });
+  return series;
+}
+
+}  // namespace voronet::bench

@@ -1,0 +1,78 @@
+// Shared machinery for the figure/table benchmark binaries.
+//
+// Every bench accepts:
+//   --full            run at the paper's exact scale (300k objects, 100k
+//                     route samples); otherwise a laptop-scale default
+//   --csv             print machine-readable CSV instead of tables
+//   --objects N       override the maximum overlay size
+//   --pairs M         override the number of sampled routes per checkpoint
+//   --seed S          change the experiment seed
+// plus bench-specific flags documented in each binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "voronet/overlay.hpp"
+#include "workload/distributions.hpp"
+
+namespace voronet::bench {
+
+/// Common scale parameters resolved from flags (paper scale under --full).
+struct Scale {
+  std::size_t objects;      ///< final overlay size
+  std::size_t checkpoint;   ///< measure every `checkpoint` insertions
+  std::size_t pairs;        ///< sampled routes per checkpoint
+  std::uint64_t seed;
+  bool csv;
+  bool full;
+};
+
+/// Paper scale: 300,000 objects, checkpoints every 10,000 adds, 100,000
+/// random couples per checkpoint (section 5).  Default scale keeps the
+/// same shape at ~1/5 size so the whole harness runs in minutes.
+Scale resolve_scale(const Flags& flags);
+
+/// Grow an overlay to `target` objects under the given distribution,
+/// invoking `checkpoint(n)` every `every` insertions (and at the end).
+/// Gateways are chosen uniformly at random, as in the paper's setup.
+template <typename Checkpoint>
+void grow_overlay(Overlay& overlay, const workload::DistributionConfig& dist,
+                  std::size_t target, std::size_t every, Rng& rng,
+                  Checkpoint&& checkpoint) {
+  workload::PointGenerator gen(dist);
+  while (overlay.size() < target) {
+    overlay.insert(gen.next(rng));
+    if (overlay.size() % every == 0 || overlay.size() == target) {
+      checkpoint(overlay.size());
+    }
+  }
+}
+
+/// Route measurement over random (source, target-object) couples.
+struct ProbeStats {
+  double mean_hops = 0.0;
+  /// Fraction of routes terminated by the dmin condition before reaching
+  /// the target's region (they finish with local fictive-object
+  /// resolution, whose cost greedy hop counts do not show).
+  double dmin_stop_fraction = 0.0;
+};
+ProbeStats probe_stats(const Overlay& overlay, std::size_t pairs, Rng& rng);
+
+/// Mean greedy route length over `pairs` random (source, target-object)
+/// couples, measured with read-only probes in parallel.
+double mean_route_hops(const Overlay& overlay, std::size_t pairs,
+                       Rng& rng);
+
+/// One growth series: mean hops at every checkpoint.
+struct GrowthPoint {
+  std::size_t objects;
+  double mean_hops;
+};
+std::vector<GrowthPoint> route_growth_series(
+    const workload::DistributionConfig& dist, const Scale& scale,
+    std::size_t long_links);
+
+}  // namespace voronet::bench

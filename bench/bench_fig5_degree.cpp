@@ -1,0 +1,93 @@
+// Figure 5: distribution of the Voronoi out-degree |vn(o)| for the uniform
+// and highly-sparse (alpha = 5) distributions.
+//
+// Paper setup: 300,000-object overlay; the histogram is expected to be
+// centred around 6 regardless of the distribution (planarity of the
+// Delaunay graph).  Prints one histogram per distribution plus the mean
+// and mode; --all adds the alpha = 1 and alpha = 2 workloads (the paper
+// reports them "equivalent" to the others).
+//
+// Usage: bench_fig5_degree [--full] [--csv] [--objects N] [--seed S] [--all]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  const bool all = flags.has("all");
+  flags.reject_unconsumed();
+
+  std::vector<workload::DistributionConfig> dists;
+  if (all) {
+    dists = workload::paper_distributions();
+  } else {
+    dists = {workload::DistributionConfig::uniform(),
+             workload::DistributionConfig::power_law(5.0)};
+  }
+
+  std::cerr << "[fig5] objects=" << scale.objects
+            << (scale.full ? " (paper scale)" : " (default scale)") << "\n";
+
+  std::vector<stats::IntHistogram> histograms;
+  for (const auto& dist : dists) {
+    Timer t;
+    OverlayConfig cfg;
+    cfg.n_max = scale.objects;
+    cfg.seed = scale.seed;
+    Overlay overlay(cfg);
+    Rng rng(scale.seed ^ 0xf16'5ULL);
+    bench::grow_overlay(overlay, dist, scale.objects, scale.objects, rng,
+                        [](std::size_t) {});
+    stats::IntHistogram h;
+    for (const ObjectId o : overlay.objects()) {
+      h.add(overlay.view(o).vn.size());
+    }
+    histograms.push_back(h);
+    std::cerr << "[fig5] " << dist.name() << ": mean=" << h.mean()
+              << " mode=" << h.mode() << " (" << t.seconds() << "s)\n";
+  }
+
+  std::size_t max_degree = 0;
+  for (const auto& h : histograms) {
+    max_degree = std::max(max_degree, h.max_value());
+  }
+
+  std::vector<std::string> header{"out-degree"};
+  for (const auto& dist : dists) header.push_back(dist.name());
+  stats::Table table(header);
+  for (std::size_t d = 0; d <= max_degree; ++d) {
+    std::vector<std::string> row{stats::Table::cell(d)};
+    for (const auto& h : histograms) row.push_back(stats::Table::cell(h.count(d)));
+    table.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"mean"};
+    for (const auto& h : histograms) {
+      row.push_back(stats::Table::cell(h.mean(), 3));
+    }
+    table.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"mode"};
+    for (const auto& h : histograms) {
+      row.push_back(stats::Table::cell(h.mode()));
+    }
+    table.add_row(row);
+  }
+
+  std::cout << "Figure 5: distribution of |vn(o)| (objects per out-degree)\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_fig5_degree: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,62 @@
+// Figure 6: mean greedy route length as a function of the overlay size,
+// for the four object distributions (uniform; sparse alpha = 1, 2, 5).
+//
+// Paper setup: 300,000-object overlay; mean over 100,000 random couples of
+// distinct objects, measured after every 10,000 additions.  Expected
+// result: poly-logarithmic growth, essentially independent of the data
+// distribution (the curves overlap).
+//
+// Usage: bench_fig6_routes [--full] [--csv] [--objects N] [--pairs M]
+//                          [--checkpoint C] [--seed S] [--long-links K]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  const auto long_links =
+      static_cast<std::size_t>(flags.get_int("long-links", 1));
+  flags.reject_unconsumed();
+
+  std::cerr << "[fig6] objects=" << scale.objects
+            << " checkpoint=" << scale.checkpoint << " pairs=" << scale.pairs
+            << " long_links=" << long_links
+            << (scale.full ? " (paper scale)" : " (default scale; --full for"
+                                                " the paper's 300k/100k)")
+            << "\n";
+
+  const auto dists = workload::paper_distributions();
+  std::vector<std::vector<bench::GrowthPoint>> series;
+  Timer timer;
+  for (const auto& dist : dists) {
+    Timer t;
+    series.push_back(bench::route_growth_series(dist, scale, long_links));
+    std::cerr << "[fig6] " << dist.name() << " done in " << t.seconds()
+              << "s\n";
+  }
+
+  stats::Table table({"objects", dists[0].name(), dists[1].name(),
+                      dists[2].name(), dists[3].name()});
+  for (std::size_t row = 0; row < series[0].size(); ++row) {
+    table.add_row({stats::Table::cell(series[0][row].objects),
+                   stats::Table::cell(series[0][row].mean_hops, 2),
+                   stats::Table::cell(series[1][row].mean_hops, 2),
+                   stats::Table::cell(series[2][row].mean_hops, 2),
+                   stats::Table::cell(series[3][row].mean_hops, 2)});
+  }
+  std::cout << "Figure 6: mean route length vs overlay size (hops)\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cerr << "[fig6] total " << timer.seconds() << "s\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_fig6_routes: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,80 @@
+// Figure 7: log(H) as a function of log(log(|O|)), for the four
+// distributions, plus the least-squares slope x of each line.
+//
+// The paper reads off x ~ 2 from this plot, establishing the O(log^2 N)
+// routing bound experimentally.  We print the transformed series and the
+// fitted slope / intercept / R^2 per distribution.
+//
+// Usage: bench_fig7_loglog [--full] [--csv] [--objects N] [--pairs M]
+//                          [--checkpoint C] [--seed S]
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/linefit.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  flags.reject_unconsumed();
+
+  std::cerr << "[fig7] objects=" << scale.objects
+            << " checkpoint=" << scale.checkpoint << " pairs=" << scale.pairs
+            << (scale.full ? " (paper scale)" : " (default scale)") << "\n";
+
+  const auto dists = workload::paper_distributions();
+  std::vector<std::vector<bench::GrowthPoint>> series;
+  for (const auto& dist : dists) {
+    Timer t;
+    series.push_back(bench::route_growth_series(dist, scale, 1));
+    std::cerr << "[fig7] " << dist.name() << " done in " << t.seconds()
+              << "s\n";
+  }
+
+  // Transformed series.
+  stats::Table table({"log(log(objects))", dists[0].name(), dists[1].name(),
+                      dists[2].name(), dists[3].name()});
+  for (std::size_t row = 0; row < series[0].size(); ++row) {
+    const double x =
+        std::log(std::log(static_cast<double>(series[0][row].objects)));
+    std::vector<std::string> cells{stats::Table::cell(x, 4)};
+    for (const auto& s : series) {
+      cells.push_back(stats::Table::cell(std::log(s[row].mean_hops), 4));
+    }
+    table.add_row(cells);
+  }
+  std::cout << "Figure 7: log(H) vs log(log(|O|))\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // Slopes: the paper's poly-log exponent estimate.
+  stats::Table fit_table({"distribution", "slope x", "intercept", "R^2"});
+  for (std::size_t d = 0; d < dists.size(); ++d) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto& pt : series[d]) {
+      xs.push_back(std::log(std::log(static_cast<double>(pt.objects))));
+      ys.push_back(std::log(pt.mean_hops));
+    }
+    const stats::LineFit fit = stats::fit_line(xs, ys);
+    fit_table.add_row({dists[d].name(), stats::Table::cell(fit.slope, 3),
+                       stats::Table::cell(fit.intercept, 3),
+                       stats::Table::cell(fit.r2, 4)});
+  }
+  std::cout << "\nFitted routing exponents (paper: x close to 2)\n";
+  if (scale.csv) {
+    fit_table.print_csv(std::cout);
+  } else {
+    fit_table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_fig7_loglog: " << e.what() << "\n";
+  return 1;
+}

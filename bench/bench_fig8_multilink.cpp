@@ -1,0 +1,67 @@
+// Figure 8: influence of the number of long-range links (1..10) on the
+// mean route length, for the uniform and sparse (alpha = 5) distributions.
+//
+// Paper finding: every additional long link improves routing, with the
+// largest gains up to ~6 links.
+//
+// Usage: bench_fig8_multilink [--full] [--csv] [--objects N] [--pairs M]
+//                             [--checkpoint C] [--seed S] [--max-links K]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  const auto max_links =
+      static_cast<std::size_t>(flags.get_int("max-links", scale.full ? 10 : 6));
+  flags.reject_unconsumed();
+
+  std::cerr << "[fig8] objects=" << scale.objects << " pairs=" << scale.pairs
+            << " links=1.." << max_links
+            << (scale.full ? " (paper scale)" : " (default scale)") << "\n";
+
+  const std::vector<workload::DistributionConfig> dists{
+      workload::DistributionConfig::uniform(),
+      workload::DistributionConfig::power_law(5.0)};
+
+  for (const auto& dist : dists) {
+    // One growth series per link count k.
+    std::vector<std::vector<bench::GrowthPoint>> per_k;
+    for (std::size_t k = 1; k <= max_links; ++k) {
+      Timer t;
+      per_k.push_back(bench::route_growth_series(dist, scale, k));
+      std::cerr << "[fig8] " << dist.name() << " k=" << k << " done in "
+                << t.seconds() << "s\n";
+    }
+
+    std::vector<std::string> header{"objects"};
+    for (std::size_t k = 1; k <= max_links; ++k) {
+      header.push_back("k=" + std::to_string(k));
+    }
+    stats::Table table(header);
+    for (std::size_t row = 0; row < per_k[0].size(); ++row) {
+      std::vector<std::string> cells{
+          stats::Table::cell(per_k[0][row].objects)};
+      for (const auto& s : per_k) {
+        cells.push_back(stats::Table::cell(s[row].mean_hops, 2));
+      }
+      table.add_row(cells);
+    }
+    std::cout << "Figure 8 (" << dist.name()
+              << "): mean route length vs long-link count\n";
+    if (scale.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_fig8_multilink: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,164 @@
+// Figure 2 substrate micro-benchmarks (google-benchmark): construction and
+// query costs of the tessellation kernel -- insertion, deletion, point
+// location, nearest-vertex, predicates, Voronoi cell extraction.
+//
+// These quantify the simulator substrate; the protocol-level numbers live
+// in the figure benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/morton.hpp"
+#include "geometry/predicates.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace {
+
+using voronet::Rng;
+using voronet::Vec2;
+using voronet::geo::DelaunayTriangulation;
+
+void BM_DelaunayInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(1);
+    DelaunayTriangulation dt;
+    state.ResumeTiming();
+    DelaunayTriangulation::VertexId hint = DelaunayTriangulation::kNoVertex;
+    for (std::size_t i = 0; i < n; ++i) {
+      hint = dt.insert({rng.uniform(), rng.uniform()}, hint).vertex;
+    }
+    benchmark::DoNotOptimize(dt.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DelaunayInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DelaunayBulkInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  for (auto _ : state) {
+    DelaunayTriangulation dt;
+    benchmark::DoNotOptimize(dt.bulk_insert(pts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DelaunayBulkInsert)->Arg(10000)->Arg(100000);
+
+void BM_DelaunayNearest(benchmark::State& state) {
+  Rng rng(2);
+  DelaunayTriangulation dt;
+  for (int i = 0; i < 100000; ++i) dt.insert({rng.uniform(), rng.uniform()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt.nearest({rng.uniform(), rng.uniform()}));
+  }
+}
+BENCHMARK(BM_DelaunayNearest);
+
+void BM_DelaunayInsertRemoveChurn(benchmark::State& state) {
+  Rng rng(3);
+  DelaunayTriangulation dt;
+  std::vector<DelaunayTriangulation::VertexId> live;
+  for (int i = 0; i < 20000; ++i) {
+    live.push_back(dt.insert({rng.uniform(), rng.uniform()}).vertex);
+  }
+  for (auto _ : state) {
+    const auto out = dt.insert({rng.uniform(), rng.uniform()});
+    if (out.created) live.push_back(out.vertex);
+    const std::size_t pick = rng.index(live.size());
+    dt.remove(live[pick]);
+    live[pick] = live.back();
+    live.pop_back();
+  }
+}
+BENCHMARK(BM_DelaunayInsertRemoveChurn);
+
+void BM_Orient2dFilterHit(benchmark::State& state) {
+  Rng rng(4);
+  const Vec2 a{rng.uniform(), rng.uniform()};
+  const Vec2 b{rng.uniform(), rng.uniform()};
+  const Vec2 c{rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voronet::geo::orient2d(a, b, c));
+  }
+}
+BENCHMARK(BM_Orient2dFilterHit);
+
+void BM_Orient2dExactFallback(benchmark::State& state) {
+  // Exactly collinear input defeats the floating-point filter every time.
+  const Vec2 a{0.5, 0.5};
+  const Vec2 b{12.0, 12.0};
+  const Vec2 c{4.0, 4.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voronet::geo::orient2d(a, b, c));
+  }
+}
+BENCHMARK(BM_Orient2dExactFallback);
+
+void BM_IncircleFilterHit(benchmark::State& state) {
+  const Vec2 a{0.1, 0.1};
+  const Vec2 b{0.9, 0.2};
+  const Vec2 c{0.5, 0.8};
+  const Vec2 d{0.4, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voronet::geo::incircle(a, b, c, d));
+  }
+}
+BENCHMARK(BM_IncircleFilterHit);
+
+void BM_IncircleExactFallback(benchmark::State& state) {
+  // Cocircular points (unit-square corners) force the exact path.
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 0.0};
+  const Vec2 c{1.0, 1.0};
+  const Vec2 d{0.0, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voronet::geo::incircle(a, b, c, d));
+  }
+}
+BENCHMARK(BM_IncircleExactFallback);
+
+void BM_VoronoiCell(benchmark::State& state) {
+  Rng rng(5);
+  DelaunayTriangulation dt;
+  std::vector<DelaunayTriangulation::VertexId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(dt.insert({rng.uniform(), rng.uniform()}).vertex);
+  }
+  const voronet::geo::Box unit{{0, 0}, {1, 1}};
+  for (auto _ : state) {
+    const auto cell =
+        voronet::geo::voronoi_cell(dt, ids[rng.index(ids.size())], unit);
+    benchmark::DoNotOptimize(cell.polygon.size());
+  }
+}
+BENCHMARK(BM_VoronoiCell);
+
+void BM_DistanceToRegion(benchmark::State& state) {
+  Rng rng(6);
+  DelaunayTriangulation dt;
+  std::vector<DelaunayTriangulation::VertexId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(dt.insert({rng.uniform(), rng.uniform()}).vertex);
+  }
+  for (auto _ : state) {
+    const Vec2 p{rng.uniform(), rng.uniform()};
+    benchmark::DoNotOptimize(voronet::geo::closest_point_in_region(
+        dt, ids[rng.index(ids.size())], p));
+  }
+}
+BENCHMARK(BM_DistanceToRegion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Background baseline (section 2.1 / Figure 1): greedy routing on
+// Kleinberg's grid, and the comparison that motivates VoroNet -- the
+// Voronoi overlay matches the grid's poly-log routing on uniform data
+// while also supporting arbitrary (skewed) object distributions, which the
+// grid model cannot represent at all.
+//
+// Usage: bench_kleinberg [--full] [--csv] [--pairs M] [--seed S]
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "kleinberg/grid.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  flags.reject_unconsumed();
+
+  const std::vector<std::size_t> sides =
+      scale.full ? std::vector<std::size_t>{100, 180, 320, 550}
+                 : std::vector<std::size_t>{70, 100, 140, 200};
+  const std::size_t pairs = scale.pairs;
+
+  stats::Table table({"nodes", "grid: mean hops", "grid: k=0 (lattice)",
+                      "voronet uniform: mean hops"});
+  for (const std::size_t side : sides) {
+    Timer t;
+    const std::size_t n = side * side;
+    Rng rng(scale.seed);
+
+    // Kleinberg grid with one long link (s = 2).
+    kleinberg::KleinbergGrid grid(
+        {.side = side, .long_links = 1, .exponent = 2.0, .seed = scale.seed});
+    double grid_hops = 0.0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const auto s =
+          static_cast<kleinberg::KleinbergGrid::NodeId>(rng.index(n));
+      const auto d =
+          static_cast<kleinberg::KleinbergGrid::NodeId>(rng.index(n));
+      grid_hops += static_cast<double>(grid.route(s, d).hops);
+    }
+    grid_hops /= static_cast<double>(pairs);
+
+    // Plain lattice (no long links): Theta(side) routing for contrast.
+    kleinberg::KleinbergGrid lattice(
+        {.side = side, .long_links = 0, .exponent = 2.0, .seed = scale.seed});
+    double lattice_hops = 0.0;
+    const std::size_t lattice_pairs = std::min<std::size_t>(pairs, 2000);
+    for (std::size_t i = 0; i < lattice_pairs; ++i) {
+      const auto s =
+          static_cast<kleinberg::KleinbergGrid::NodeId>(rng.index(n));
+      const auto d =
+          static_cast<kleinberg::KleinbergGrid::NodeId>(rng.index(n));
+      lattice_hops += static_cast<double>(lattice.route(s, d).hops);
+    }
+    lattice_hops /= static_cast<double>(lattice_pairs);
+
+    // VoroNet with the same number of objects, uniform placement.
+    OverlayConfig cfg;
+    cfg.n_max = n;
+    cfg.seed = scale.seed;
+    Overlay overlay(cfg);
+    Rng grow_rng(scale.seed ^ n);
+    bench::grow_overlay(overlay, workload::DistributionConfig::uniform(), n,
+                        n, grow_rng, [](std::size_t) {});
+    Rng probe_rng(scale.seed + 7);
+    const double voronet_hops =
+        bench::mean_route_hops(overlay, pairs, probe_rng);
+
+    table.add_row({stats::Table::cell(n), stats::Table::cell(grid_hops, 2),
+                   stats::Table::cell(lattice_hops, 2),
+                   stats::Table::cell(voronet_hops, 2)});
+    std::cerr << "[kleinberg] side=" << side << " (" << t.seconds()
+              << "s)\n";
+  }
+
+  std::cout << "Kleinberg grid baseline vs VoroNet (greedy routing, k=1)\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_kleinberg: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,101 @@
+// Lemma 2 validation: the Choose-LRT target density is dS / (K d^2) with
+// K = 2 pi ln(sqrt(2)/dmin).
+//
+// Monte-Carlo estimate per logarithmic radial shell, compared with the
+// closed-form probability; also reports the fraction of long links that
+// are shorter than the mean inter-object spacing under both dmin rules
+// (the paper's literal 1/(pi Nmax) and the ball-expectation variant; see
+// DESIGN.md on the discrepancy in the paper's section 4.1).
+//
+// Usage: bench_lrt_distribution [--csv] [--samples M] [--nmax N] [--seed S]
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+#include "voronet/lrt.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bool csv = flags.has("csv");
+  const auto samples =
+      static_cast<std::size_t>(flags.get_int("samples", 500'000));
+  const auto n_max = static_cast<std::size_t>(flags.get_int("nmax", 300'000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  (void)bench_full_scale(flags);  // accepted for harness uniformity
+  flags.reject_unconsumed();
+
+  Rng rng(seed);
+  const Vec2 from{0.5, 0.5};
+
+  stats::Table table({"dmin rule", "shell [r1, r2)", "observed", "Lemma 2",
+                      "rel err"});
+  for (const DminRule rule :
+       {DminRule::kPaperText, DminRule::kBallExpectation}) {
+    const double dmin = dmin_for(rule, n_max);
+    const std::string rule_name =
+        rule == DminRule::kPaperText ? "1/(pi*N)" : "1/sqrt(pi*N)";
+    constexpr int kShells = 8;
+    const double log_lo = std::log(dmin);
+    const double log_hi = std::log(std::numbers::sqrt2);
+    std::vector<std::size_t> counts(kShells, 0);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double r = dist(from, choose_long_range_target(from, dmin, rng));
+      const int shell = std::min(
+          kShells - 1,
+          std::max(0, static_cast<int>((std::log(r) - log_lo) /
+                                       (log_hi - log_lo) * kShells)));
+      ++counts[shell];
+    }
+    for (int s = 0; s < kShells; ++s) {
+      const double r1 = std::exp(log_lo + (log_hi - log_lo) * s / kShells);
+      const double r2 =
+          std::exp(log_lo + (log_hi - log_lo) * (s + 1) / kShells);
+      const double expected = radial_cdf(dmin, r1, r2);
+      const double observed =
+          static_cast<double>(counts[s]) / static_cast<double>(samples);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "[%.2e, %.2e)", r1, r2);
+      table.add_row({rule_name, buf, stats::Table::cell(observed, 4),
+                     stats::Table::cell(expected, 4),
+                     stats::Table::cell(
+                         expected > 0.0
+                             ? std::abs(observed - expected) / expected
+                             : 0.0,
+                         4)});
+    }
+  }
+
+  std::cout << "Lemma 2: Choose-LRT radial distribution vs closed form\n";
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // Share of links shorter than the mean spacing 1/sqrt(N): these links
+  // land (in expectation) inside the drawing object's own neighbourhood.
+  stats::Table spacing({"dmin rule", "dmin", "P(link < spacing)"});
+  for (const DminRule rule :
+       {DminRule::kPaperText, DminRule::kBallExpectation}) {
+    const double dmin = dmin_for(rule, n_max);
+    const double spacing_len = 1.0 / std::sqrt(static_cast<double>(n_max));
+    spacing.add_row(
+        {rule == DminRule::kPaperText ? "1/(pi*N)" : "1/sqrt(pi*N)",
+         stats::Table::cell(dmin, 9),
+         stats::Table::cell(radial_cdf(dmin, dmin, spacing_len), 4)});
+  }
+  std::cout << "\nShare of sub-spacing long links by dmin rule (N="
+            << n_max << ")\n";
+  if (csv) {
+    spacing.print_csv(std::cout);
+  } else {
+    spacing.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_lrt_distribution: " << e.what() << "\n";
+  return 1;
+}

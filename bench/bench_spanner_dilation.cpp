@@ -1,0 +1,60 @@
+// Section 7 perspective: the Delaunay triangulation is a t-spanner, the
+// property behind the proposed range-query mechanisms ("Delaunay
+// triangulation is known to be a t-spanner [8, 4]").
+//
+// Measures the observed graph dilation (shortest-path / Euclidean ratio)
+// over sampled pairs for each paper workload; all values must stay below
+// the Keil-Gutwin bound 2*pi/(3*cos(pi/6)) ~ 2.418.
+//
+// Usage: bench_spanner_dilation [--full] [--csv] [--objects N] [--pairs M]
+//                               [--seed S]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "geometry/spanner.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  flags.reject_unconsumed();
+
+  const std::size_t objects = scale.full ? 20'000 : 4'000;
+  const std::size_t pairs = scale.full ? 2'000 : 500;
+
+  stats::Table table({"distribution", "objects", "pairs", "mean dilation",
+                      "max dilation", "Keil-Gutwin bound"});
+  for (const auto& dist : workload::paper_distributions()) {
+    Timer t;
+    OverlayConfig cfg;
+    cfg.n_max = objects;
+    cfg.seed = scale.seed;
+    cfg.use_long_links = false;  // pure tessellation: faster to build
+    Overlay overlay(cfg);
+    Rng rng(scale.seed ^ 0x57a2);
+    bench::grow_overlay(overlay, dist, objects, objects, rng,
+                        [](std::size_t) {});
+    Rng pair_rng(scale.seed + 11);
+    const geo::DilationStats stats =
+        geo::sample_dilation(overlay.tessellation(), pairs, pair_rng);
+    table.add_row({dist.name(), stats::Table::cell(objects),
+                   stats::Table::cell(stats.pairs),
+                   stats::Table::cell(stats.mean_dilation, 4),
+                   stats::Table::cell(stats.max_dilation, 4), "2.418"});
+    std::cerr << "[spanner] " << dist.name() << " (" << t.seconds()
+              << "s)\n";
+  }
+
+  std::cout << "Delaunay t-spanner dilation (range-query perspective)\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_spanner_dilation: " << e.what() << "\n";
+  return 1;
+}

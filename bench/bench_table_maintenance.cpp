@@ -1,0 +1,103 @@
+// Section 4.2/4.3 claims table: maintenance costs of the overlay --
+//   * join: O(log^2 N) greedy forwards plus O(|vn|) local messages,
+//   * leave: O(|vn|) messages, no routing,
+//   * query: O(log^2 N) forwards plus O(1) fictive-object updates.
+//
+// We grow an overlay, run a churn phase, and report per-operation hop and
+// message statistics plus the per-kind message breakdown.
+//
+// Usage: bench_table_maintenance [--full] [--csv] [--objects N] [--seed S]
+//                                [--churn-ops C]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/table.hpp"
+#include "voronet/churn.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  const auto churn_ops = static_cast<std::size_t>(
+      flags.get_int("churn-ops", scale.full ? 30'000 : 5'000));
+  flags.reject_unconsumed();
+
+  stats::Table op_table({"distribution", "objects", "operation", "count",
+                         "hops mean", "hops max", "msgs mean", "msgs max"});
+  stats::Table msg_table({"distribution", "message kind", "count",
+                          "per operation"});
+
+  for (const auto& dist : {workload::DistributionConfig::uniform(),
+                           workload::DistributionConfig::power_law(5.0)}) {
+    Timer t;
+    OverlayConfig cfg;
+    cfg.n_max = scale.objects;
+    cfg.seed = scale.seed;
+    Overlay overlay(cfg);
+    Rng rng(scale.seed ^ 0xabcULL);
+    workload::PointGenerator gen(dist);
+    bench::grow_overlay(overlay, dist, scale.objects / 2, scale.objects, rng,
+                        [](std::size_t) {});
+    overlay.metrics().reset();
+
+    // Churn phase: equal join/leave rates around the half-size population,
+    // with queries interleaved.
+    ChurnConfig churn;
+    churn.join_rate = 1.0;
+    churn.leave_rate = 1.0;
+    churn.query_rate = 2.0;
+    churn.duration = static_cast<double>(churn_ops) / 4.0;
+    churn.seed = scale.seed;
+    const ChurnReport report = run_churn(overlay, gen, churn);
+    std::cerr << "[maintenance] " << dist.name() << ": " << report.joins
+              << " joins, " << report.leaves << " leaves, " << report.queries
+              << " queries (" << t.seconds() << "s)\n";
+
+    const auto& m = overlay.metrics();
+    std::size_t total_ops = 0;
+    for (const auto kind : {sim::OperationKind::kJoin,
+                            sim::OperationKind::kLeave,
+                            sim::OperationKind::kQuery}) {
+      const auto& hops = m.hops(kind);
+      const auto& msgs = m.operation_messages(kind);
+      total_ops += hops.count();
+      op_table.add_row({dist.name(), stats::Table::cell(overlay.size()),
+                        std::string(sim::operation_kind_name(kind)),
+                        stats::Table::cell(hops.count()),
+                        stats::Table::cell(hops.mean(), 2),
+                        stats::Table::cell(static_cast<std::size_t>(
+                            hops.count() ? hops.max() : 0.0)),
+                        stats::Table::cell(msgs.mean(), 1),
+                        stats::Table::cell(static_cast<std::size_t>(
+                            msgs.count() ? msgs.max() : 0.0))});
+    }
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(sim::MessageKind::kCount); ++k) {
+      const auto kind = static_cast<sim::MessageKind>(k);
+      msg_table.add_row(
+          {dist.name(), std::string(sim::message_kind_name(kind)),
+           stats::Table::cell(m.messages(kind)),
+           stats::Table::cell(static_cast<double>(m.messages(kind)) /
+                                  static_cast<double>(total_ops),
+                              2)});
+    }
+  }
+
+  std::cout << "Sections 4.2/4.3: per-operation maintenance costs\n";
+  if (scale.csv) {
+    op_table.print_csv(std::cout);
+  } else {
+    op_table.print(std::cout);
+  }
+  std::cout << "\nMessage breakdown by protocol kind\n";
+  if (scale.csv) {
+    msg_table.print_csv(std::cout);
+  } else {
+    msg_table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_table_maintenance: " << e.what() << "\n";
+  return 1;
+}

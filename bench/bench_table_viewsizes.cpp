@@ -1,0 +1,75 @@
+// Section 4.1 claims table: every per-object view component has O(1)
+// expected size --
+//   |vn(o)| ~ 6 (planarity), |cn(o)| = O(1) for dmin = 1/(pi Nmax),
+//   |BLRn(o)| small, total view size O(1).
+//
+// We grow overlays at several sizes per distribution and report the mean /
+// p99 / max of each component: the means must stay flat as N grows.
+//
+// Usage: bench_table_viewsizes [--full] [--csv] [--seed S]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(flags);
+  flags.reject_unconsumed();
+
+  const std::vector<std::size_t> sizes =
+      scale.full ? std::vector<std::size_t>{30'000, 100'000, 300'000}
+                 : std::vector<std::size_t>{5'000, 20'000, 60'000};
+
+  stats::Table table({"distribution", "objects", "vn mean", "vn max",
+                      "cn mean", "cn p99", "blr mean", "blr max",
+                      "view mean"});
+
+  for (const auto& dist : workload::paper_distributions()) {
+    for (const std::size_t n : sizes) {
+      Timer t;
+      OverlayConfig cfg;
+      cfg.n_max = n;
+      cfg.seed = scale.seed;
+      Overlay overlay(cfg);
+      Rng rng(scale.seed ^ n);
+      bench::grow_overlay(overlay, dist, n, n, rng, [](std::size_t) {});
+
+      stats::StreamingSummary vn;
+      stats::StreamingSummary blr;
+      stats::StreamingSummary total;
+      stats::OfflineSummary cn;
+      for (const ObjectId o : overlay.objects()) {
+        const NodeView& v = overlay.view(o);
+        vn.add(static_cast<double>(v.vn.size()));
+        cn.add(static_cast<double>(v.cn.size()));
+        blr.add(static_cast<double>(v.blr.size()));
+        total.add(static_cast<double>(v.degree()));
+      }
+      table.add_row({dist.name(), stats::Table::cell(n),
+                     stats::Table::cell(vn.mean(), 2),
+                     stats::Table::cell(static_cast<std::size_t>(vn.max())),
+                     stats::Table::cell(cn.mean(), 3),
+                     stats::Table::cell(cn.quantile(0.99), 1),
+                     stats::Table::cell(blr.mean(), 2),
+                     stats::Table::cell(static_cast<std::size_t>(blr.max())),
+                     stats::Table::cell(total.mean(), 2)});
+      std::cerr << "[viewsizes] " << dist.name() << " n=" << n << " ("
+                << t.seconds() << "s)\n";
+    }
+  }
+
+  std::cout << "Section 4.1: view component sizes (O(1) expected)\n";
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_table_viewsizes: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,58 @@
+// Lightweight contract checking used across the library.
+//
+// VORONET_EXPECT(cond, msg)  -- precondition / invariant check that stays on
+//                               in release builds; throws voronet::ContractError.
+// VORONET_DCHECK(cond)       -- debug-only check, compiled out in NDEBUG.
+//
+// The overlay protocol and the geometric kernel both rely on invariants
+// whose violation indicates a logic error, never a user error, so failing
+// fast with a descriptive exception is the correct policy (CG: I.6, E.12).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace voronet {
+
+/// Thrown when a library invariant or precondition is violated.
+class ContractError final : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const std::string& msg,
+                                          const std::source_location& loc) {
+  std::string full = std::string(kind) + " failed: (" + cond + ") at " +
+                     loc.file_name() + ":" + std::to_string(loc.line()) +
+                     " in " + loc.function_name();
+  if (!msg.empty()) full += " -- " + msg;
+  throw ContractError(full);
+}
+}  // namespace detail
+
+}  // namespace voronet
+
+#define VORONET_EXPECT(cond, msg)                                  \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::voronet::detail::contract_failure(                         \
+          "expectation", #cond, (msg), std::source_location::current()); \
+    }                                                              \
+  } while (false)
+
+#if defined(NDEBUG)
+#define VORONET_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define VORONET_DCHECK(cond)                                       \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::voronet::detail::contract_failure(                         \
+          "debug check", #cond, "", std::source_location::current()); \
+    }                                                              \
+  } while (false)
+#endif

@@ -1,0 +1,110 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace voronet {
+
+namespace {
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = {body.substr(eq + 1), false};
+      continue;
+    }
+    // "--name value" form: consume the next token unless it is a flag.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[body] = {argv[i + 1], false};
+      ++i;
+    } else {
+      values_[body] = {"", false};  // boolean presence flag
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  it->second.second = true;
+  return true;
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  return it->second.first;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  try {
+    return std::stoll(it->second.first);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second.first + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  try {
+    return std::stod(it->second.first);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second.first + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+std::vector<std::string> Flags::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : values_) {
+    if (!entry.second) out.push_back(name);
+  }
+  return out;
+}
+
+void Flags::reject_unconsumed() const {
+  const auto leftover = unconsumed();
+  if (leftover.empty()) return;
+  std::string msg = "unknown flag(s):";
+  for (const auto& name : leftover) msg += " --" + name;
+  throw std::invalid_argument(msg);
+}
+
+bool bench_full_scale(const Flags& flags) {
+  if (flags.has("full")) return true;
+  const char* env = std::getenv("VORONET_BENCH_FULL");
+  return env != nullptr && env[0] != '\0';
+}
+
+}  // namespace voronet

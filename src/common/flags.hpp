@@ -1,0 +1,51 @@
+// Tiny command-line flag parser shared by the benchmark and example
+// binaries.  Supports --name=value, --name value, and boolean --name.
+// Unknown flags are reported and abort startup so typos in sweep scripts
+// fail loudly instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace voronet {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class Flags {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names that were parsed but never queried; used to reject typos.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  /// Throws std::invalid_argument if any parsed flag was never queried.
+  void reject_unconsumed() const;
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Convenience used by bench binaries: true if --full was passed or the
+/// environment variable VORONET_BENCH_FULL is set to a non-empty value.
+bool bench_full_scale(const Flags& flags);
+
+}  // namespace voronet

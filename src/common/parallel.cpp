@@ -1,0 +1,65 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace voronet {
+
+namespace {
+std::atomic<std::size_t> g_workers{0};  // 0 = use hardware default
+
+std::size_t hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+}  // namespace
+
+std::size_t parallel_workers() {
+  const std::size_t configured = g_workers.load(std::memory_order_relaxed);
+  return configured == 0 ? hardware_workers() : configured;
+}
+
+void set_parallel_workers(std::size_t n) {
+  g_workers.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& body) {
+  VORONET_EXPECT(begin <= end, "parallel_for range must be ordered");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+
+  const std::size_t workers = std::min(parallel_workers(), n);
+  if (workers <= 1) {
+    body(begin, end, 0);
+    return;
+  }
+
+  // Static partition into near-equal chunks: measurement sweeps have
+  // uniform per-item cost, so work stealing would add overhead for nothing.
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::jthread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&body, lo, hi, w] { body(lo, hi, w); });
+  }
+  // jthread joins on destruction.
+}
+
+void parallel_for_each(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn) {
+  parallel_for(begin, end,
+               [&fn](std::size_t lo, std::size_t hi, std::size_t /*worker*/) {
+                 for (std::size_t i = lo; i < hi; ++i) fn(i);
+               });
+}
+
+}  // namespace voronet

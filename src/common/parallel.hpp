@@ -1,0 +1,36 @@
+// Minimal fork-join parallelism for read-only measurement sweeps.
+//
+// The overlay structures themselves are mutated sequentially (the protocol
+// is inherently ordered), but measurement passes -- routing 10^5 random
+// pairs over a frozen overlay, histogramming view sizes -- are
+// embarrassingly parallel.  parallel_for() splits an index range over a
+// lazily created pool of std::jthread workers; on single-core machines it
+// degrades to a plain loop with no thread overhead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace voronet {
+
+/// Number of worker threads parallel_for() will use (>= 1).
+std::size_t parallel_workers();
+
+/// Override the worker count (0 restores the hardware default).  Intended
+/// for tests and benchmarks that need deterministic scheduling.
+void set_parallel_workers(std::size_t n);
+
+/// Invoke body(begin..end) chunks across the worker pool and join.
+///
+/// body receives a half-open sub-range [chunk_begin, chunk_end) plus the
+/// worker index (0-based) so callers can keep per-worker accumulators and
+/// merge them afterwards without locking.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& body);
+
+/// Convenience: per-element variant; fn(index) is called for each index.
+void parallel_for_each(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace voronet

@@ -1,0 +1,968 @@
+#include "geometry/delaunay.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "geometry/morton.hpp"
+#include "geometry/predicates.hpp"
+
+namespace voronet::geo {
+
+namespace {
+
+/// Key for an undirected edge; vertex ids are shifted so the ghost (-1)
+/// maps to a valid non-negative key component.
+std::uint64_t edge_key(DelaunayTriangulation::VertexId a,
+                       DelaunayTriangulation::VertexId b) {
+  const auto ua = static_cast<std::uint32_t>(a + 2);
+  const auto ub = static_cast<std::uint32_t>(b + 2);
+  const std::uint32_t lo = ua < ub ? ua : ub;
+  const std::uint32_t hi = ua < ub ? ub : ua;
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Exact test: with p collinear with (u, v), is p strictly inside the open
+/// segment?  Sign-exact because the component products cannot cancel for
+/// parallel vectors (see DESIGN.md verification notes).
+bool inside_open_segment(Vec2 u, Vec2 v, Vec2 p) {
+  return dot(p - u, v - u) > 0.0 && dot(p - v, u - v) > 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Allocation helpers
+// ---------------------------------------------------------------------------
+
+DelaunayTriangulation::VertexId DelaunayTriangulation::new_vertex(Vec2 p) {
+  VertexId v;
+  if (!vfree_.empty()) {
+    v = vfree_.back();
+    vfree_.pop_back();
+    vpos_[v] = p;
+    vlive_[v] = 1;
+    vtri_[v] = kNoTriangle;
+  } else {
+    v = static_cast<VertexId>(vpos_.size());
+    vpos_.push_back(p);
+    vlive_.push_back(1);
+    vtri_.push_back(kNoTriangle);
+  }
+  ++live_vertices_;
+  return v;
+}
+
+void DelaunayTriangulation::free_vertex(VertexId v) {
+  VORONET_DCHECK(vlive_[v]);
+  vlive_[v] = 0;
+  vtri_[v] = kNoTriangle;
+  vfree_.push_back(v);
+  --live_vertices_;
+}
+
+DelaunayTriangulation::TriId DelaunayTriangulation::new_triangle(VertexId a,
+                                                                 VertexId b,
+                                                                 VertexId c) {
+  TriId t;
+  if (!tfree_.empty()) {
+    t = tfree_.back();
+    tfree_.pop_back();
+    tlive_[t] = 1;
+  } else {
+    t = static_cast<TriId>(tris_.size());
+    tris_.push_back({});
+    tlive_.push_back(1);
+    tri_mark_.push_back(0);
+  }
+  tris_[t].v = {a, b, c};
+  tris_[t].nbr = {kNoTriangle, kNoTriangle, kNoTriangle};
+  if (c != kGhostVertex) ++real_triangles_;
+  return t;
+}
+
+void DelaunayTriangulation::free_triangle(TriId t) {
+  VORONET_DCHECK(tlive_[t]);
+  if (!is_ghost(t)) --real_triangles_;
+  tlive_[t] = 0;
+  tfree_.push_back(t);
+}
+
+void DelaunayTriangulation::link(TriId t, int edge, TriId other) {
+  tris_[t].nbr[edge] = other;
+}
+
+int DelaunayTriangulation::vertex_index(TriId t, VertexId v) const {
+  const Triangle& tr = tris_[t];
+  for (int i = 0; i < 3; ++i) {
+    if (tr.v[i] == v) return i;
+  }
+  VORONET_EXPECT(false, "vertex not in triangle");
+  return -1;
+}
+
+int DelaunayTriangulation::edge_index(TriId t, VertexId a, VertexId b) const {
+  const Triangle& tr = tris_[t];
+  for (int i = 0; i < 3; ++i) {
+    const VertexId x = tr.v[(i + 1) % 3];
+    const VertexId y = tr.v[(i + 2) % 3];
+    if ((x == a && y == b) || (x == b && y == a)) return i;
+  }
+  VORONET_EXPECT(false, "edge not in triangle");
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Basic accessors
+// ---------------------------------------------------------------------------
+
+bool DelaunayTriangulation::is_live(VertexId v) const {
+  return v >= 0 && v < static_cast<VertexId>(vpos_.size()) && vlive_[v];
+}
+
+Vec2 DelaunayTriangulation::position(VertexId v) const {
+  VORONET_DCHECK(is_live(v));
+  return vpos_[v];
+}
+
+DelaunayTriangulation::TriId DelaunayTriangulation::incident_triangle(
+    VertexId v) const {
+  VORONET_DCHECK(is_live(v));
+  return vtri_[v];
+}
+
+const DelaunayTriangulation::Triangle& DelaunayTriangulation::triangle(
+    TriId t) const {
+  VORONET_DCHECK(triangle_live(t));
+  return tris_[t];
+}
+
+void DelaunayTriangulation::star(VertexId v, std::vector<TriId>& out) const {
+  out.clear();
+  VORONET_EXPECT(is_live(v), "star() of a dead vertex");
+  const TriId t0 = vtri_[v];
+  VORONET_EXPECT(t0 != kNoTriangle, "star() requires a triangulated vertex");
+  TriId t = t0;
+  do {
+    out.push_back(t);
+    const int j = vertex_index(t, v);
+    t = tris_[t].nbr[(j + 1) % 3];
+    VORONET_EXPECT(t != kNoTriangle, "broken star adjacency");
+    VORONET_EXPECT(out.size() <= tris_.size(), "star walk does not close");
+  } while (t != t0);
+}
+
+void DelaunayTriangulation::append_neighbors(VertexId v,
+                                             std::vector<VertexId>& out) const {
+  VORONET_EXPECT(is_live(v), "neighbors() of a dead vertex");
+  if (!has_triangles()) {
+    // Pending mode: path graph along the sorted collinear order.
+    for (std::size_t i = 0; i < pending_order_.size(); ++i) {
+      if (pending_order_[i] != v) continue;
+      if (i > 0) out.push_back(pending_order_[i - 1]);
+      if (i + 1 < pending_order_.size()) out.push_back(pending_order_[i + 1]);
+      return;
+    }
+    VORONET_EXPECT(false, "live vertex missing from pending order");
+  }
+  TriId t0 = vtri_[v];
+  TriId t = t0;
+  do {
+    const int j = vertex_index(t, v);
+    const VertexId a = tris_[t].v[(j + 1) % 3];
+    if (a != kGhostVertex) out.push_back(a);
+    t = tris_[t].nbr[(j + 1) % 3];
+  } while (t != t0);
+}
+
+std::vector<DelaunayTriangulation::VertexId> DelaunayTriangulation::neighbors(
+    VertexId v) const {
+  std::vector<VertexId> out;
+  append_neighbors(v, out);
+  return out;
+}
+
+std::size_t DelaunayTriangulation::degree(VertexId v) const {
+  thread_local std::vector<VertexId> buf;
+  buf.clear();
+  append_neighbors(v, buf);
+  return buf.size();
+}
+
+bool DelaunayTriangulation::on_hull(VertexId v) const {
+  VORONET_EXPECT(is_live(v), "on_hull() of a dead vertex");
+  if (!has_triangles()) return true;
+  TriId t0 = vtri_[v];
+  TriId t = t0;
+  do {
+    if (is_ghost(t)) return true;
+    const int j = vertex_index(t, v);
+    t = tris_[t].nbr[(j + 1) % 3];
+  } while (t != t0);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Point location
+// ---------------------------------------------------------------------------
+
+DelaunayTriangulation::Located DelaunayTriangulation::locate(
+    Vec2 p, VertexId hint) const {
+  walk_steps_ = 0;
+  TriId cur = kNoTriangle;
+  if (hint != kNoVertex && is_live(hint) && vtri_[hint] != kNoTriangle) {
+    cur = vtri_[hint];
+  }
+  if (cur == kNoTriangle || !tlive_[cur]) {
+    for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+      if (tlive_[t] && !is_ghost(t)) {
+        cur = t;
+        break;
+      }
+    }
+  }
+  VORONET_EXPECT(cur != kNoTriangle, "locate() on an empty triangulation");
+
+  TriId prev = kNoTriangle;
+  const std::size_t cap = 4 * tris_.size() + 64;
+  while (true) {
+    ++walk_steps_;
+    VORONET_EXPECT(walk_steps_ <= cap, "point-location walk did not terminate");
+    const Triangle& t = tris_[cur];
+
+    if (is_ghost(cur)) {
+      const VertexId vv = t.v[0];
+      const VertexId uu = t.v[1];
+      const Vec2 pv = vpos_[vv];
+      const Vec2 pu = vpos_[uu];
+      if (p == pv) return {cur, vv};
+      if (p == pu) return {cur, uu};
+      const int o = orient2d(pv, pu, p);
+      if (o > 0) return {cur, kNoVertex};  // strictly outside this hull edge
+      if (o < 0) {                         // strictly inside: step back in
+        prev = cur;
+        cur = t.nbr[2];
+        continue;
+      }
+      // Collinear with the hull edge u->v.
+      if (inside_open_segment(pu, pv, p)) return {cur, kNoVertex};
+      prev = cur;
+      // Beyond v: continue to the next ghost CCW; before u: previous ghost.
+      cur = dot(p - pu, pv - pu) > 0.0 ? t.nbr[1] : t.nbr[0];
+      continue;
+    }
+
+    for (int i = 0; i < 3; ++i) {
+      if (p == vpos_[t.v[i]]) return {cur, t.v[i]};
+    }
+    int exit = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (t.nbr[i] == prev) continue;
+      const Vec2 a = vpos_[t.v[(i + 1) % 3]];
+      const Vec2 b = vpos_[t.v[(i + 2) % 3]];
+      if (orient2d(a, b, p) < 0) {
+        exit = i;
+        break;
+      }
+    }
+    if (exit < 0) return {cur, kNoVertex};  // closed triangle contains p
+    prev = cur;
+    cur = t.nbr[exit];
+  }
+}
+
+bool DelaunayTriangulation::in_circumdisk(TriId t, Vec2 p) const {
+  const Triangle& tr = tris_[t];
+  if (is_ghost(t)) {
+    const Vec2 v = vpos_[tr.v[0]];
+    const Vec2 u = vpos_[tr.v[1]];
+    const int o = orient2d(v, u, p);
+    if (o != 0) return o > 0;
+    return inside_open_segment(u, v, p);
+  }
+  return incircle(vpos_[tr.v[0]], vpos_[tr.v[1]], vpos_[tr.v[2]], p) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+DelaunayTriangulation::InsertOutcome DelaunayTriangulation::insert(
+    Vec2 p, VertexId hint) {
+  affected_.clear();
+
+  if (!has_triangles()) {
+    // Pending mode: collect collinear points until a triangle is possible.
+    for (const VertexId v : pending_order_) {
+      if (vpos_[v] == p) return {v, false};
+    }
+    const VertexId nv = new_vertex(p);
+    const auto cmp = [this](VertexId a, VertexId b) {
+      return vpos_[a] < vpos_[b];
+    };
+    pending_order_.insert(
+        std::upper_bound(pending_order_.begin(), pending_order_.end(), nv, cmp),
+        nv);
+    // Neighbours along the path graph changed around nv.
+    const auto it = std::find(pending_order_.begin(), pending_order_.end(), nv);
+    const std::size_t idx = static_cast<std::size_t>(it - pending_order_.begin());
+    if (idx > 0) affected_.push_back(pending_order_[idx - 1]);
+    if (idx + 1 < pending_order_.size()) {
+      affected_.push_back(pending_order_[idx + 1]);
+    }
+    if (pending_order_.size() >= 3) build_initial_triangulation();
+    return {nv, true};
+  }
+
+  const Located loc = locate(p, hint);
+  if (loc.duplicate != kNoVertex) return {loc.duplicate, false};
+  const VertexId nv = new_vertex(p);
+  dig_cavity_and_fill(loc.tri, nv);
+  return {nv, true};
+}
+
+void DelaunayTriangulation::build_initial_triangulation() {
+  // Find the first non-collinear triple among the pending points.
+  VORONET_DCHECK(pending_order_.size() >= 3);
+  const VertexId a = pending_order_[0];
+  const VertexId b = pending_order_[1];
+  VertexId c = kNoVertex;
+  int orientation = 0;
+  for (std::size_t k = 2; k < pending_order_.size(); ++k) {
+    orientation = orient2d(vpos_[a], vpos_[b], vpos_[pending_order_[k]]);
+    if (orientation != 0) {
+      c = pending_order_[k];
+      break;
+    }
+  }
+  if (c == kNoVertex) return;  // still all collinear
+
+  std::vector<VertexId> rest;
+  rest.reserve(pending_order_.size() - 3);
+  for (const VertexId v : pending_order_) {
+    if (v != a && v != b && v != c) rest.push_back(v);
+  }
+  pending_order_.clear();
+
+  const VertexId x = a;
+  const VertexId y = orientation > 0 ? b : c;
+  const VertexId z = orientation > 0 ? c : b;
+  VORONET_DCHECK(orient2d(vpos_[x], vpos_[y], vpos_[z]) > 0);
+
+  const TriId t0 = new_triangle(x, y, z);
+  const TriId g0 = new_triangle(y, x, kGhostVertex);  // hull edge x->y
+  const TriId g1 = new_triangle(z, y, kGhostVertex);  // hull edge y->z
+  const TriId g2 = new_triangle(x, z, kGhostVertex);  // hull edge z->x
+  // Real triangle edges: edge opposite t0.v[i].
+  link(t0, 2, g0);  // edge (x, y)
+  link(t0, 0, g1);  // edge (y, z)
+  link(t0, 1, g2);  // edge (z, x)
+  link(g0, 2, t0);
+  link(g1, 2, t0);
+  link(g2, 2, t0);
+  // Ghost-to-ghost adjacency: ghost (v, u, g) meets the previous ghost
+  // (sharing u) across edge 0 and the next ghost (sharing v) across edge 1.
+  link(g0, 0, g2);  // g0 shares x with g2
+  link(g0, 1, g1);  // g0 shares y with g1
+  link(g1, 0, g0);
+  link(g1, 1, g2);
+  link(g2, 0, g1);
+  link(g2, 1, g0);
+  vtri_[x] = t0;
+  vtri_[y] = t0;
+  vtri_[z] = t0;
+
+  for (const VertexId v : rest) {
+    const Located loc = locate(vpos_[v], x);
+    VORONET_EXPECT(loc.duplicate == kNoVertex,
+                   "duplicate point while bootstrapping");
+    dig_cavity_and_fill(loc.tri, v);
+  }
+  // Every pre-existing vertex potentially changed neighbourhood.
+  affected_.clear();
+  for_each_vertex([this](VertexId v) { affected_.push_back(v); });
+}
+
+void DelaunayTriangulation::dig_cavity_and_fill(TriId seed, VertexId pv) {
+  const Vec2 p = vpos_[pv];
+
+  // --- Grow the cavity: connected triangles whose circumdisk contains p.
+  ++mark_epoch_;
+  const std::uint32_t epoch = mark_epoch_;
+  scratch_tris_.clear();
+  std::vector<TriId>& cavity = scratch_tris_;
+  std::vector<TriId> stack{seed};
+  tri_mark_[seed] = epoch;
+  while (!stack.empty()) {
+    const TriId t = stack.back();
+    stack.pop_back();
+    cavity.push_back(t);
+    for (int i = 0; i < 3; ++i) {
+      const TriId nb = tris_[t].nbr[i];
+      VORONET_DCHECK(nb != kNoTriangle);
+      if (tri_mark_[nb] != epoch && in_circumdisk(nb, p)) {
+        tri_mark_[nb] = epoch;
+        stack.push_back(nb);
+      }
+    }
+  }
+
+  // --- Boundary edges (directed, cavity on the left) and affected vertices.
+  struct BoundaryEdge {
+    VertexId a;
+    VertexId b;
+    TriId outside;
+  };
+  std::vector<BoundaryEdge> boundary;
+  boundary.reserve(cavity.size() + 2);
+  affected_.clear();
+  for (const TriId t : cavity) {
+    for (int i = 0; i < 3; ++i) {
+      if (tris_[t].v[i] != kGhostVertex) affected_.push_back(tris_[t].v[i]);
+      const TriId nb = tris_[t].nbr[i];
+      if (tri_mark_[nb] != epoch) {
+        boundary.push_back(
+            {tris_[t].v[(i + 1) % 3], tris_[t].v[(i + 2) % 3], nb});
+      }
+    }
+  }
+  std::sort(affected_.begin(), affected_.end());
+  affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                  affected_.end());
+
+  for (const TriId t : cavity) free_triangle(t);
+
+  // --- Fill: one new triangle per boundary edge, all sharing pv.
+  std::unordered_map<std::uint64_t, std::pair<TriId, int>> open_edges;
+  open_edges.reserve(boundary.size() * 2);
+  for (const BoundaryEdge& be : boundary) {
+    TriId nt;
+    if (be.a == kGhostVertex) {
+      nt = new_triangle(be.b, pv, kGhostVertex);  // new hull edge pv->b
+    } else if (be.b == kGhostVertex) {
+      nt = new_triangle(pv, be.a, kGhostVertex);  // new hull edge a->pv
+    } else {
+      VORONET_EXPECT(orient2d(vpos_[be.a], vpos_[be.b], p) > 0,
+                     "cavity boundary not star-shaped around new vertex");
+      nt = new_triangle(be.a, be.b, pv);
+    }
+    // Link across the boundary edge to the surviving outside triangle.
+    const int inner = edge_index(nt, be.a, be.b);
+    const int outer = edge_index(be.outside, be.a, be.b);
+    link(nt, inner, be.outside);
+    link(be.outside, outer, nt);
+    if (be.a != kGhostVertex) vtri_[be.a] = nt;
+    if (be.b != kGhostVertex) vtri_[be.b] = nt;
+    // The two edges incident to pv pair up with sibling new triangles.
+    for (const VertexId other : {be.a, be.b}) {
+      const std::uint64_t key = edge_key(pv, other);
+      const auto it = open_edges.find(key);
+      if (it == open_edges.end()) {
+        open_edges.emplace(key, std::make_pair(nt, edge_index(nt, pv, other)));
+      } else {
+        link(nt, edge_index(nt, pv, other), it->second.first);
+        link(it->second.first, it->second.second, nt);
+        open_edges.erase(it);
+      }
+    }
+    vtri_[pv] = nt;
+  }
+  VORONET_EXPECT(open_edges.empty(), "cavity boundary is not a closed cycle");
+}
+
+// ---------------------------------------------------------------------------
+// Removal
+// ---------------------------------------------------------------------------
+
+void DelaunayTriangulation::remove(VertexId v) {
+  VORONET_EXPECT(is_live(v), "remove() of a dead vertex");
+  affected_.clear();
+
+  if (!has_triangles()) {
+    const auto it = std::find(pending_order_.begin(), pending_order_.end(), v);
+    VORONET_DCHECK(it != pending_order_.end());
+    const std::size_t idx = static_cast<std::size_t>(it - pending_order_.begin());
+    if (idx > 0) affected_.push_back(pending_order_[idx - 1]);
+    if (idx + 1 < pending_order_.size()) {
+      affected_.push_back(pending_order_[idx + 1]);
+    }
+    pending_order_.erase(it);
+    free_vertex(v);
+    return;
+  }
+
+  if (live_vertices_ <= 3) {
+    free_vertex(v);
+    collapse_to_pending();
+    affected_.clear();
+    for_each_vertex([this](VertexId u) { affected_.push_back(u); });
+    return;
+  }
+
+  remove_triangulated(v);
+
+  if (real_triangles_ == 0) {
+    // The remaining points are collinear: fall back to pending mode.
+    collapse_to_pending();
+    affected_.clear();
+    for_each_vertex([this](VertexId u) { affected_.push_back(u); });
+  }
+}
+
+void DelaunayTriangulation::collapse_to_pending() {
+  tris_.clear();
+  tlive_.clear();
+  tfree_.clear();
+  tri_mark_.clear();
+  real_triangles_ = 0;
+  mark_epoch_ = 0;
+  for (VertexId u = 0; u < static_cast<VertexId>(vpos_.size()); ++u) {
+    if (vlive_[u]) vtri_[u] = kNoTriangle;
+  }
+  rebuild_pending_order();
+}
+
+void DelaunayTriangulation::rebuild_pending_order() {
+  pending_order_.clear();
+  for_each_vertex([this](VertexId u) { pending_order_.push_back(u); });
+  std::sort(pending_order_.begin(), pending_order_.end(),
+            [this](VertexId a, VertexId b) { return vpos_[a] < vpos_[b]; });
+}
+
+void DelaunayTriangulation::remove_triangulated(VertexId v) {
+  // --- Star and link cycle (CCW around v; g appears at most once).
+  std::vector<TriId> star_tris;
+  star(v, star_tris);
+  const std::size_t m = star_tris.size();
+  VORONET_EXPECT(m >= 3, "triangulated vertex with degree < 3");
+
+  std::vector<VertexId> link_cycle(m);
+  std::vector<TriId> outside(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const TriId t = star_tris[i];
+    const int j = vertex_index(t, v);
+    link_cycle[i] = tris_[t].v[(j + 1) % 3];
+    outside[i] = tris_[t].nbr[j];
+  }
+  // link edge i is (link_cycle[i], link_cycle[(i+1) % m]) with `outside[i]`
+  // across it.
+
+  for (const VertexId u : link_cycle) {
+    if (u != kGhostVertex) affected_.push_back(u);
+  }
+
+  // --- Rotate so a ghost (if any) sits at position 0.
+  const auto git = std::find(link_cycle.begin(), link_cycle.end(), kGhostVertex);
+  const bool hull_vertex = git != link_cycle.end();
+  if (hull_vertex) {
+    const std::size_t shift = static_cast<std::size_t>(git - link_cycle.begin());
+    std::rotate(link_cycle.begin(), link_cycle.begin() + shift,
+                link_cycle.end());
+    std::rotate(outside.begin(), outside.begin() + shift, outside.end());
+  }
+  const std::size_t chain_begin = hull_vertex ? 1 : 0;
+  const std::size_t chain_len = m - chain_begin;
+  VORONET_EXPECT(chain_len >= 2, "hull vertex with fewer than 2 real links");
+
+  // --- Free the star; v disappears.
+  for (const TriId t : star_tris) free_triangle(t);
+  free_vertex(v);
+
+  // --- Scratch Delaunay triangulation of the link vertices.
+  DelaunayTriangulation mini;
+  std::vector<VertexId> chain_global(chain_len);
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    chain_global[i] = link_cycle[chain_begin + i];
+    const auto out = mini.insert(vpos_[chain_global[i]]);
+    VORONET_EXPECT(out.created && out.vertex == static_cast<VertexId>(i),
+                   "scratch triangulation ids out of order");
+  }
+
+  // --- Flood-fill the mini triangles that cover the star polygon.
+  //
+  // Chain edges (mini ids i -> i+1, cyclic when v was interior) are edges
+  // of the mini triangulation; the hole lies to their left.  The fill is
+  // every real mini triangle reachable from a hole-side chain-adjacent
+  // triangle without crossing a chain edge (Devillers).
+  std::unordered_map<std::uint64_t, char> chain_edges;
+  const std::size_t n_chain_edges = hull_vertex ? chain_len - 1 : chain_len;
+  for (std::size_t i = 0; i < n_chain_edges; ++i) {
+    chain_edges.emplace(
+        edge_key(static_cast<VertexId>(i),
+                 static_cast<VertexId>((i + 1) % chain_len)),
+        1);
+  }
+
+  std::unordered_map<std::uint64_t, TriId> mini_directed;  // CCW edge -> tri
+  const auto directed_key = [](VertexId a, VertexId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a + 2))
+            << 32) |
+           static_cast<std::uint32_t>(b + 2);
+  };
+  for (TriId t = 0; t < static_cast<TriId>(mini.tris_.size()); ++t) {
+    if (!mini.tlive_[t] || mini.is_ghost(t)) continue;
+    const Triangle& tr = mini.tris_[t];
+    for (int i = 0; i < 3; ++i) {
+      mini_directed[directed_key(tr.v[i], tr.v[(i + 1) % 3])] = t;
+    }
+  }
+
+  std::vector<char> in_fill(mini.tris_.size(), 0);
+  std::vector<TriId> fill;
+  std::vector<TriId> stack;
+  for (std::size_t i = 0; i < n_chain_edges; ++i) {
+    const auto it = mini_directed.find(
+        directed_key(static_cast<VertexId>(i),
+                     static_cast<VertexId>((i + 1) % chain_len)));
+    if (it == mini_directed.end()) continue;  // hole side is a new hull edge
+    if (in_fill[it->second]) continue;
+    in_fill[it->second] = 1;
+    stack.push_back(it->second);
+    while (!stack.empty()) {
+      const TriId t = stack.back();
+      stack.pop_back();
+      fill.push_back(t);
+      const Triangle& tr = mini.tris_[t];
+      for (int e = 0; e < 3; ++e) {
+        const VertexId ea = tr.v[(e + 1) % 3];
+        const VertexId eb = tr.v[(e + 2) % 3];
+        if (chain_edges.count(edge_key(ea, eb))) continue;
+        const TriId nb = tr.nbr[e];
+        if (mini.is_ghost(nb)) continue;  // mini hull: new global hull edge
+        if (!in_fill[nb]) {
+          in_fill[nb] = 1;
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // --- Materialise the fill in the main structure.
+  std::vector<TriId> new_tris;
+  new_tris.reserve(fill.size() + chain_len);
+  const auto to_global = [&](VertexId mini_id) {
+    return mini_id == kGhostVertex ? kGhostVertex : chain_global[mini_id];
+  };
+  for (const TriId t : fill) {
+    const Triangle& tr = mini.tris_[t];
+    new_tris.push_back(new_triangle(to_global(tr.v[0]), to_global(tr.v[1]),
+                                    to_global(tr.v[2])));
+  }
+  // New ghosts: (a) fill-boundary edges that face the mini hull, and
+  // (b) chain edges with no real triangle on the hole side.
+  for (std::size_t k = 0; k < fill.size(); ++k) {
+    const Triangle& tr = mini.tris_[fill[k]];
+    for (int e = 0; e < 3; ++e) {
+      const VertexId ea = tr.v[(e + 1) % 3];
+      const VertexId eb = tr.v[(e + 2) % 3];
+      if (chain_edges.count(edge_key(ea, eb))) continue;
+      const TriId nb = tr.nbr[e];
+      if (mini.is_ghost(nb) || !in_fill[nb]) {
+        VORONET_EXPECT(mini.is_ghost(nb) && hull_vertex,
+                       "hole fill leaked across a non-chain edge");
+        // CCW edge (ea -> eb) of a fill triangle becomes hull edge ea->eb.
+        new_tris.push_back(new_triangle(to_global(eb), to_global(ea),
+                                        kGhostVertex));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_chain_edges; ++i) {
+    const auto it = mini_directed.find(
+        directed_key(static_cast<VertexId>(i),
+                     static_cast<VertexId>((i + 1) % chain_len)));
+    if (it != mini_directed.end()) continue;
+    VORONET_EXPECT(hull_vertex, "interior hole with an unfilled chain edge");
+    // Chain edge (i -> i+1) has the hole on its left but no real triangle:
+    // it becomes hull edge (i+1 -> i); ghost (i, i+1, g).
+    new_tris.push_back(new_triangle(chain_global[i], chain_global[i + 1],
+                                    kGhostVertex));
+  }
+
+  // --- Stitch: pair edges among new triangles, then attach the recorded
+  // outside triangles along the original link-cycle edges.
+  std::unordered_map<std::uint64_t, std::pair<TriId, int>> open_edges;
+  for (const TriId t : new_tris) {
+    const Triangle& tr = tris_[t];
+    for (int e = 0; e < 3; ++e) {
+      const VertexId ea = tr.v[(e + 1) % 3];
+      const VertexId eb = tr.v[(e + 2) % 3];
+      const std::uint64_t key = edge_key(ea, eb);
+      const auto it = open_edges.find(key);
+      if (it == open_edges.end()) {
+        open_edges.emplace(key, std::make_pair(t, e));
+      } else {
+        link(t, e, it->second.first);
+        link(it->second.first, it->second.second, t);
+        open_edges.erase(it);
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (tr.v[i] != kGhostVertex) vtri_[tr.v[i]] = t;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const VertexId a = link_cycle[i];
+    const VertexId b = link_cycle[(i + 1) % m];
+    const auto it = open_edges.find(edge_key(a, b));
+    VORONET_EXPECT(it != open_edges.end(),
+                   "link edge not covered by the hole fill");
+    const TriId inner = it->second.first;
+    const int inner_edge = it->second.second;
+    const TriId outer = outside[i];
+    link(inner, inner_edge, outer);
+    link(outer, edge_index(outer, a, b), inner);
+    open_edges.erase(it);
+  }
+  VORONET_EXPECT(open_edges.empty(), "hole fill has unmatched edges");
+
+  std::sort(affected_.begin(), affected_.end());
+  affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                  affected_.end());
+}
+
+// ---------------------------------------------------------------------------
+// Nearest vertex
+// ---------------------------------------------------------------------------
+
+DelaunayTriangulation::VertexId DelaunayTriangulation::nearest(
+    Vec2 p, VertexId hint) const {
+  VORONET_EXPECT(live_vertices_ > 0, "nearest() on an empty triangulation");
+  if (!has_triangles()) {
+    VertexId best = pending_order_.front();
+    double best_d = dist2(vpos_[best], p);
+    for (const VertexId u : pending_order_) {
+      const double d = dist2(vpos_[u], p);
+      if (d < best_d || (d == best_d && u < best)) {
+        best = u;
+        best_d = d;
+      }
+    }
+    return best;
+  }
+
+  const Located loc = locate(p, hint);
+  if (loc.duplicate != kNoVertex) return loc.duplicate;
+  VertexId cur = kNoVertex;
+  double cur_d = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const VertexId u = tris_[loc.tri].v[i];
+    if (u == kGhostVertex) continue;
+    const double d = dist2(vpos_[u], p);
+    if (cur == kNoVertex || d < cur_d || (d == cur_d && u < cur)) {
+      cur = u;
+      cur_d = d;
+    }
+  }
+  // Greedy descent over the Delaunay graph converges to the vertex whose
+  // Voronoi region contains p.
+  thread_local std::vector<VertexId> nbrs;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    nbrs.clear();
+    append_neighbors(cur, nbrs);
+    for (const VertexId u : nbrs) {
+      const double d = dist2(vpos_[u], p);
+      if (d < cur_d || (d == cur_d && u < cur)) {
+        cur = u;
+        cur_d = d;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<DelaunayTriangulation::VertexId>
+DelaunayTriangulation::bulk_insert(std::span<const Vec2> points) {
+  std::vector<VertexId> ids(points.size(), kNoVertex);
+  const std::vector<std::uint32_t> order = morton_order(points);
+  VertexId hint = kNoVertex;
+  for (const std::uint32_t idx : order) {
+    const InsertOutcome out = insert(points[idx], hint);
+    ids[idx] = out.vertex;
+    hint = out.vertex;
+  }
+  return ids;
+}
+
+void DelaunayTriangulation::hull(std::vector<VertexId>& out) const {
+  out.clear();
+  if (!has_triangles()) {
+    out = pending_order_;
+    return;
+  }
+  // Find any ghost, then follow the ghost cycle: ghost (v, u, g) has the
+  // next hull ghost (sharing v) across the edge opposite u, i.e. nbr[1].
+  TriId ghost = kNoTriangle;
+  for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+    if (tlive_[t] && is_ghost(t)) {
+      ghost = t;
+      break;
+    }
+  }
+  VORONET_EXPECT(ghost != kNoTriangle, "triangulation without ghosts");
+  const TriId first = ghost;
+  do {
+    // Ghost (v, u, g) covers hull edge u->v; emit u and step to the ghost
+    // of the next CCW hull edge v->w (the neighbour sharing v, nbr[1]).
+    out.push_back(tris_[ghost].v[1]);
+    ghost = tris_[ghost].nbr[1];
+    VORONET_EXPECT(is_ghost(ghost), "ghost cycle left the hull");
+    VORONET_EXPECT(out.size() <= live_vertices_, "ghost cycle corrupt");
+  } while (ghost != first);
+}
+
+void DelaunayTriangulation::k_nearest(Vec2 p, std::size_t k,
+                                      std::vector<VertexId>& out,
+                                      VertexId hint) const {
+  out.clear();
+  if (k == 0 || live_vertices_ == 0) return;
+
+  // Best-first expansion seeded at the region owner.
+  struct Candidate {
+    double d2;
+    VertexId v;
+    bool operator>(const Candidate& o) const {
+      return d2 > o.d2 || (d2 == o.d2 && v > o.v);
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      frontier;
+  // Visited marks: local set keyed by vertex id (k and the explored
+  // neighbourhood are small; a hash set keeps this thread-safe).
+  std::unordered_set<VertexId> seen;
+
+  const VertexId seed = nearest(p, hint);
+  frontier.push({dist2(vpos_[seed], p), seed});
+  seen.insert(seed);
+  thread_local std::vector<VertexId> nbrs;
+  while (!frontier.empty() && out.size() < k) {
+    const Candidate c = frontier.top();
+    frontier.pop();
+    out.push_back(c.v);
+    nbrs.clear();
+    append_neighbors(c.v, nbrs);
+    for (const VertexId u : nbrs) {
+      if (seen.insert(u).second) {
+        frontier.push({dist2(vpos_[u], p), u});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+void DelaunayTriangulation::validate(bool check_delaunay) const {
+  std::size_t live_count = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(vpos_.size()); ++v) {
+    if (vlive_[v]) ++live_count;
+  }
+  VORONET_EXPECT(live_count == live_vertices_, "live vertex count mismatch");
+
+  if (!has_triangles()) {
+    VORONET_EXPECT(pending_order_.size() == live_vertices_,
+                   "pending order incomplete");
+    for (std::size_t i = 1; i < pending_order_.size(); ++i) {
+      VORONET_EXPECT(
+          vpos_[pending_order_[i - 1]] < vpos_[pending_order_[i]],
+          "pending order not sorted / duplicate positions");
+      if (pending_order_.size() >= 3 && i >= 2) {
+        VORONET_EXPECT(orient2d(vpos_[pending_order_[0]],
+                                vpos_[pending_order_[1]],
+                                vpos_[pending_order_[i]]) == 0,
+                       "pending mode with non-collinear points");
+      }
+    }
+    return;
+  }
+
+  VORONET_EXPECT(pending_order_.empty(),
+                 "pending points while triangulated");
+  std::size_t real_count = 0;
+  std::size_t ghost_count = 0;
+  std::size_t directed_edges = 0;
+  for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+    if (!tlive_[t]) continue;
+    const Triangle& tr = tris_[t];
+    VORONET_EXPECT(tr.v[0] != tr.v[1] && tr.v[1] != tr.v[2] &&
+                       tr.v[0] != tr.v[2],
+                   "degenerate triangle vertices");
+    for (int i = 0; i < 3; ++i) {
+      VORONET_EXPECT(tr.v[i] == kGhostVertex || is_live(tr.v[i]),
+                     "triangle references dead vertex");
+      VORONET_EXPECT(i == 2 || tr.v[i] != kGhostVertex,
+                     "ghost vertex not normalised to index 2");
+      const TriId nb = tr.nbr[i];
+      VORONET_EXPECT(triangle_live(nb), "triangle neighbour dead or missing");
+      const VertexId ea = tr.v[(i + 1) % 3];
+      const VertexId eb = tr.v[(i + 2) % 3];
+      const int back = edge_index(nb, ea, eb);
+      VORONET_EXPECT(tris_[nb].nbr[back] == t, "adjacency not symmetric");
+      // Shared edge must be directed oppositely in the two triangles.
+      VORONET_EXPECT(tris_[nb].v[(back + 1) % 3] == eb &&
+                         tris_[nb].v[(back + 2) % 3] == ea,
+                     "shared edge has same direction in both triangles");
+      ++directed_edges;
+    }
+    if (is_ghost(t)) {
+      ++ghost_count;
+    } else {
+      ++real_count;
+      VORONET_EXPECT(
+          orient2d(vpos_[tr.v[0]], vpos_[tr.v[1]], vpos_[tr.v[2]]) > 0,
+          "real triangle not counter-clockwise");
+    }
+  }
+  VORONET_EXPECT(real_count == real_triangles_, "real triangle count drift");
+
+  // Euler characteristic on the sphere (ghost vertex included):
+  // V+1 - E + F = 2.
+  VORONET_EXPECT(directed_edges % 2 == 0, "odd directed edge count");
+  const std::size_t edges = directed_edges / 2;
+  VORONET_EXPECT(live_vertices_ + 1 - edges + (real_count + ghost_count) == 2,
+                 "Euler characteristic violated");
+
+  for (VertexId v = 0; v < static_cast<VertexId>(vpos_.size()); ++v) {
+    if (!vlive_[v]) continue;
+    VORONET_EXPECT(triangle_live(vtri_[v]), "vertex incident triangle dead");
+    const Triangle& tr = tris_[vtri_[v]];
+    VORONET_EXPECT(tr.v[0] == v || tr.v[1] == v || tr.v[2] == v,
+                   "vertex incident triangle does not contain it");
+  }
+
+  if (check_delaunay) {
+    for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+      if (!tlive_[t] || is_ghost(t)) continue;
+      const Triangle& tr = tris_[t];
+      for (int i = 0; i < 3; ++i) {
+        const TriId nb = tr.nbr[i];
+        if (is_ghost(nb)) continue;
+        const int back = edge_index(nb, tr.v[(i + 1) % 3], tr.v[(i + 2) % 3]);
+        const VertexId opp = tris_[nb].v[back];
+        VORONET_EXPECT(
+            incircle(vpos_[tr.v[0]], vpos_[tr.v[1]], vpos_[tr.v[2]],
+                     vpos_[opp]) <= 0,
+            "local Delaunay property violated");
+      }
+    }
+    // Hull convexity: for every ghost (v, u, g), every live vertex must be
+    // on or left of the hull edge u->v.
+    for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+      if (!tlive_[t] || !is_ghost(t)) continue;
+      const Vec2 hv = vpos_[tris_[t].v[0]];
+      const Vec2 hu = vpos_[tris_[t].v[1]];
+      for_each_vertex([&](VertexId w) {
+        VORONET_EXPECT(orient2d(hu, hv, vpos_[w]) >= 0,
+                       "vertex outside the stored convex hull");
+      });
+    }
+  }
+}
+
+}  // namespace voronet::geo

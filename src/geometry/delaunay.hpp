@@ -1,0 +1,249 @@
+// Incremental / decremental Delaunay triangulation of the plane.
+//
+// This is the tessellation substrate under VoroNet: the Voronoi neighbours
+// vn(o) of an overlay object are exactly its Delaunay neighbours here, and
+// the join / leave protocols map to vertex insertion and removal.
+//
+// Representation
+// --------------
+// Triangle soup with adjacency: each live triangle stores three vertex ids
+// in counter-clockwise order and the three neighbouring triangle ids
+// (nbr[i] lies across the edge opposite v[i]).  The convex-hull boundary is
+// closed with *ghost triangles* through a symbolic vertex-at-infinity
+// (kGhostVertex): the hull edge u->v (interior on its left) is covered by
+// the ghost triangle (v, u, g), normalised so the ghost vertex is always
+// stored at index 2.  Ghosts make insertion outside the hull, hull-vertex
+// deletion and hull walks uniform -- the structure is a triangulation of
+// the sphere and every edge has exactly two faces.
+//
+// Robustness
+// ----------
+// All topological decisions go through the exact predicates of
+// predicates.hpp, so degenerate inputs (collinear chains, cocircular
+// quadruples, points exactly on edges) produce topologically consistent
+// results -- the property the paper imports from Sugihara-Iri.  While the
+// live point set is empty, a single point, or entirely collinear, the
+// structure operates in a triangle-free "pending" mode (neighbourhood
+// degenerates to the path graph along the line) and re-triangulates
+// automatically as soon as a non-collinear point arrives.
+//
+// Algorithms
+// ----------
+// * insertion: visibility walk point location + Bowyer-Watson cavity
+//   retriangulation (expected O(1) update size for random points);
+// * deletion: Devillers-style -- triangulate the link of the removed
+//   vertex with a scratch Delaunay triangulation and graft the part that
+//   covers the star polygon back into the structure (handles hull
+//   vertices through the ghost machinery);
+// * nearest(p): walk to the triangle containing p, then greedy descent on
+//   the Delaunay graph, which provably reaches the vertex whose Voronoi
+//   region contains p.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace voronet::geo {
+
+class DelaunayTriangulation {
+ public:
+  using VertexId = std::int32_t;
+  using TriId = std::int32_t;
+
+  /// Symbolic vertex-at-infinity closing the hull (never a real object).
+  static constexpr VertexId kGhostVertex = -1;
+  static constexpr VertexId kNoVertex = -2;
+  static constexpr TriId kNoTriangle = -1;
+
+  struct Triangle {
+    std::array<VertexId, 3> v{kNoVertex, kNoVertex, kNoVertex};
+    std::array<TriId, 3> nbr{kNoTriangle, kNoTriangle, kNoTriangle};
+  };
+
+  struct InsertOutcome {
+    VertexId vertex = kNoVertex;
+    bool created = false;  ///< false when the position was already present
+  };
+
+  DelaunayTriangulation() = default;
+
+  /// Insert a point; `hint` (a live vertex near p) accelerates location.
+  /// Exact duplicates are not re-inserted: the existing vertex is returned
+  /// with created == false.
+  InsertOutcome insert(Vec2 p, VertexId hint = kNoVertex);
+
+  /// Offline bulk construction: inserts all points in Morton order with
+  /// chained hints (O(1) expected location per point).  Returns the vertex
+  /// id for each INPUT position (kNoVertex never occurs; duplicates map to
+  /// the surviving vertex).  Equivalent to, but much faster than, inserting
+  /// one by one in the given order.
+  std::vector<VertexId> bulk_insert(std::span<const Vec2> points);
+
+  /// Remove a live vertex; its star is re-triangulated in place.
+  void remove(VertexId v);
+
+  /// Vertex whose Voronoi region contains p (ties broken arbitrarily but
+  /// deterministically).  Requires a non-empty triangulation.
+  [[nodiscard]] VertexId nearest(Vec2 p, VertexId hint = kNoVertex) const;
+
+  /// Convex hull vertices in counter-clockwise order (walks the ghost
+  /// cycle).  In pending (collinear) mode returns the sorted chain.
+  void hull(std::vector<VertexId>& out) const;
+
+  /// The k live vertices closest to p, in increasing distance order
+  /// (fewer if the triangulation holds fewer).  Best-first expansion over
+  /// the Delaunay graph: the (j+1)-st nearest neighbour of a point is
+  /// always Delaunay-adjacent to one of the j nearest, so the expansion
+  /// never misses a result.  Thread-safe for concurrent readers.
+  void k_nearest(Vec2 p, std::size_t k, std::vector<VertexId>& out,
+                 VertexId hint = kNoVertex) const;
+
+  /// Append the live Delaunay neighbours of v (ghost excluded) to out.
+  void append_neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId v) const;
+  [[nodiscard]] std::size_t degree(VertexId v) const;
+
+  [[nodiscard]] bool is_live(VertexId v) const;
+  [[nodiscard]] Vec2 position(VertexId v) const;
+  [[nodiscard]] std::size_t size() const { return live_vertices_; }
+  [[nodiscard]] bool empty() const { return live_vertices_ == 0; }
+
+  /// True once at least one non-degenerate triangle exists (i.e. the live
+  /// points are not all collinear).
+  [[nodiscard]] bool has_triangles() const { return real_triangles_ > 0; }
+
+  /// True if v lies on the convex hull of the live point set.  In pending
+  /// (collinear) mode every vertex is reported as on the hull.
+  [[nodiscard]] bool on_hull(VertexId v) const;
+
+  /// Vertices other than the inserted/removed one whose Delaunay link
+  /// changed during the most recent insert() or remove().  The overlay uses
+  /// this to account for the view-update messages of the paper's
+  /// AddVoronoiRegion / RemoveVoronoiRegion.
+  [[nodiscard]] const std::vector<VertexId>& last_affected() const {
+    return affected_;
+  }
+
+  /// Triangles visited by the most recent point-location walk (locate or
+  /// nearest); exposed for message accounting in the simulator.  Meaningful
+  /// only between sequential operations: concurrent read-only queries share
+  /// the counter (atomically) and will interleave their counts.
+  [[nodiscard]] std::size_t last_walk_steps() const {
+    return walk_steps_.load(std::memory_order_relaxed);
+  }
+
+  /// Full structural audit; throws voronet::ContractError on violation.
+  /// check_delaunay additionally verifies the (exact) local empty-circle
+  /// property on every internal edge, which is O(T) exact incircle tests.
+  void validate(bool check_delaunay = true) const;
+
+  /// Invoke f(VertexId) for every live vertex.
+  template <typename F>
+  void for_each_vertex(F&& f) const {
+    for (VertexId v = 0; v < static_cast<VertexId>(vpos_.size()); ++v) {
+      if (vlive_[v]) f(v);
+    }
+  }
+
+  /// Invoke f(a, b) once per live undirected Delaunay edge (a < b, real).
+  template <typename F>
+  void for_each_edge(F&& f) const {
+    for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+      if (!tlive_[t]) continue;
+      const Triangle& tri = tris_[t];
+      for (int i = 0; i < 3; ++i) {
+        const VertexId a = tri.v[(i + 1) % 3];
+        const VertexId b = tri.v[(i + 2) % 3];
+        if (a == kGhostVertex || b == kGhostVertex) continue;
+        if (a < b) f(a, b);
+      }
+    }
+    if (!has_triangles()) {
+      // Pending mode: edges of the collinear path graph.
+      for (std::size_t i = 1; i < pending_order_.size(); ++i) {
+        const VertexId a = pending_order_[i - 1];
+        const VertexId b = pending_order_[i];
+        f(a < b ? a : b, a < b ? b : a);
+      }
+    }
+  }
+
+  /// Invoke f(a, b, c) once per live real triangle (CCW).
+  template <typename F>
+  void for_each_triangle(F&& f) const {
+    for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
+      if (tlive_[t] && !is_ghost(t)) {
+        f(tris_[t].v[0], tris_[t].v[1], tris_[t].v[2]);
+      }
+    }
+  }
+
+  // --- Low-level access used by the Voronoi module -------------------------
+
+  [[nodiscard]] TriId incident_triangle(VertexId v) const;
+  [[nodiscard]] const Triangle& triangle(TriId t) const;
+  [[nodiscard]] bool is_ghost(TriId t) const {
+    return tris_[t].v[2] == kGhostVertex;
+  }
+  [[nodiscard]] bool triangle_live(TriId t) const {
+    return t >= 0 && t < static_cast<TriId>(tris_.size()) && tlive_[t];
+  }
+
+  /// Triangles incident to v in counter-clockwise order (ghosts included;
+  /// for a hull vertex the two incident ghosts appear consecutively).
+  void star(VertexId v, std::vector<TriId>& out) const;
+
+ private:
+  struct Located {
+    TriId tri = kNoTriangle;
+    VertexId duplicate = kNoVertex;
+  };
+
+  VertexId new_vertex(Vec2 p);
+  void free_vertex(VertexId v);
+  TriId new_triangle(VertexId a, VertexId b, VertexId c);
+  void free_triangle(TriId t);
+  void link(TriId t, int edge, TriId other);
+  [[nodiscard]] int edge_index(TriId t, VertexId a, VertexId b) const;
+  [[nodiscard]] int vertex_index(TriId t, VertexId v) const;
+
+  [[nodiscard]] Located locate(Vec2 p, VertexId hint) const;
+  [[nodiscard]] bool in_circumdisk(TriId t, Vec2 p) const;
+  void dig_cavity_and_fill(TriId seed, VertexId pv);
+  void build_initial_triangulation();
+  void collapse_to_pending();
+  void rebuild_pending_order();
+
+  void remove_triangulated(VertexId v);
+
+  std::vector<Vec2> vpos_;
+  std::vector<char> vlive_;
+  std::vector<TriId> vtri_;  // one incident live triangle per live vertex
+  std::vector<VertexId> vfree_;
+
+  std::vector<Triangle> tris_;
+  std::vector<char> tlive_;
+  std::vector<TriId> tfree_;
+
+  std::size_t live_vertices_ = 0;
+  std::size_t real_triangles_ = 0;
+
+  // Pending (triangle-free) mode: live vertices sorted along the common
+  // line (lexicographically), empty once triangulated.
+  std::vector<VertexId> pending_order_;
+
+  std::vector<VertexId> affected_;
+  mutable std::atomic<std::size_t> walk_steps_{0};
+
+  // Scratch buffers reused across operations to avoid re-allocation.
+  mutable std::vector<TriId> scratch_tris_;
+  std::vector<std::uint32_t> tri_mark_;
+  std::uint32_t mark_epoch_ = 0;
+};
+
+}  // namespace voronet::geo

@@ -1,0 +1,128 @@
+#include "geometry/expansion.hpp"
+
+namespace voronet::geo {
+
+// fast_expansion_sum_zeroelim from Shewchuk's robust predicates paper,
+// adapted to return the zero-eliminated length.
+std::size_t expansion_sum(std::size_t elen, const double* e, std::size_t flen,
+                          const double* f, double* h) {
+  std::size_t eindex = 0;
+  std::size_t findex = 0;
+  std::size_t hindex = 0;
+
+  if (elen == 0) {
+    for (; findex < flen; ++findex) {
+      if (f[findex] != 0.0) h[hindex++] = f[findex];
+    }
+    return hindex;
+  }
+  if (flen == 0) {
+    for (; eindex < elen; ++eindex) {
+      if (e[eindex] != 0.0) h[hindex++] = e[eindex];
+    }
+    return hindex;
+  }
+
+  double q;
+  double enow = e[0];
+  double fnow = f[0];
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    ++eindex;
+  } else {
+    q = fnow;
+    ++findex;
+  }
+
+  double qnew;
+  double hh;
+  if (eindex < elen && findex < flen) {
+    enow = e[eindex];
+    fnow = f[findex];
+    if ((fnow > enow) == (fnow > -enow)) {
+      fast_two_sum(enow, q, qnew, hh);
+      ++eindex;
+    } else {
+      fast_two_sum(fnow, q, qnew, hh);
+      ++findex;
+    }
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+    while (eindex < elen && findex < flen) {
+      enow = e[eindex];
+      fnow = f[findex];
+      if ((fnow > enow) == (fnow > -enow)) {
+        two_sum(q, enow, qnew, hh);
+        ++eindex;
+      } else {
+        two_sum(q, fnow, qnew, hh);
+        ++findex;
+      }
+      q = qnew;
+      if (hh != 0.0) h[hindex++] = hh;
+    }
+  }
+  while (eindex < elen) {
+    two_sum(q, e[eindex++], qnew, hh);
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  while (findex < flen) {
+    two_sum(q, f[findex++], qnew, hh);
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if (q != 0.0 || hindex == 0) h[hindex++] = q;
+  return hindex;
+}
+
+// scale_expansion_zeroelim.
+std::size_t expansion_scale(std::size_t elen, const double* e, double b,
+                            double* h) {
+  if (elen == 0 || b == 0.0) return 0;
+
+  double bhi;
+  double blo;
+  split(b, bhi, blo);
+
+  std::size_t hindex = 0;
+  double q;
+  double hh;
+  two_product(e[0], b, q, hh);
+  if (hh != 0.0) h[hindex++] = hh;
+  for (std::size_t eindex = 1; eindex < elen; ++eindex) {
+    double product1;
+    double product0;
+    two_product(e[eindex], b, product1, product0);
+    double sum;
+    two_sum(q, product0, sum, hh);
+    if (hh != 0.0) h[hindex++] = hh;
+    fast_two_sum(product1, sum, q, hh);
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if (q != 0.0 || hindex == 0) h[hindex++] = q;
+  return hindex;
+}
+
+void expansion_negate(std::size_t elen, double* e) {
+  for (std::size_t i = 0; i < elen; ++i) e[i] = -e[i];
+}
+
+double expansion_estimate(std::size_t elen, const double* e) {
+  double q = 0.0;
+  for (std::size_t i = 0; i < elen; ++i) q += e[i];
+  return q;
+}
+
+int expansion_sign(std::size_t elen, const double* e) {
+  // Components are stored in increasing magnitude; after zero elimination
+  // the final component dominates the sum (non-overlapping property).
+  for (std::size_t i = elen; i > 0; --i) {
+    const double c = e[i - 1];
+    if (c > 0.0) return 1;
+    if (c < 0.0) return -1;
+  }
+  return 0;
+}
+
+}  // namespace voronet::geo

@@ -1,0 +1,205 @@
+// Multi-component floating-point expansions (Shewchuk, "Adaptive Precision
+// Floating-Point Arithmetic and Fast Robust Geometric Predicates", 1997).
+//
+// An expansion represents an exact real number as an unevaluated sum of
+// doubles, stored in order of increasing magnitude with non-overlapping
+// mantissas.  All operations below are EXACT provided the compiler performs
+// strict IEEE-754 double arithmetic (no FMA contraction, no -ffast-math);
+// the geometry library is compiled with -ffp-contract=off to guarantee this.
+//
+// This header is an internal building block of predicates.cpp; it is
+// exposed so the test suite can exercise the arithmetic directly.
+#pragma once
+
+#include <cstddef>
+
+namespace voronet::geo {
+
+// ---------------------------------------------------------------------------
+// Error-free transformations.
+// Each writes the rounded result to x and the exact roundoff to y, so that
+// a op b == x + y exactly.
+// ---------------------------------------------------------------------------
+
+/// Requires |a| >= |b| (or a == 0).
+inline void fast_two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bvirt = x - a;
+  y = b - bvirt;
+}
+
+inline void two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bvirt = x - a;
+  const double avirt = x - bvirt;
+  const double bround = b - bvirt;
+  const double around = a - avirt;
+  y = around + bround;
+}
+
+inline void two_diff(double a, double b, double& x, double& y) {
+  x = a - b;
+  const double bvirt = a - x;
+  const double avirt = x + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  y = around + bround;
+}
+
+/// Veltkamp split: a == hi + lo with both halves fitting 26-bit mantissas.
+inline void split(double a, double& hi, double& lo) {
+  constexpr double kSplitter = 134217729.0;  // 2^27 + 1
+  const double c = kSplitter * a;
+  const double abig = c - a;
+  hi = c - abig;
+  lo = a - hi;
+}
+
+/// Dekker product: a * b == x + y exactly.
+inline void two_product(double a, double b, double& x, double& y) {
+  x = a * b;
+  double ahi;
+  double alo;
+  double bhi;
+  double blo;
+  split(a, ahi, alo);
+  split(b, bhi, blo);
+  const double err1 = x - (ahi * bhi);
+  const double err2 = err1 - (alo * bhi);
+  const double err3 = err2 - (ahi * blo);
+  y = (alo * blo) - err3;
+}
+
+// ---------------------------------------------------------------------------
+// Expansion operations (arrays of doubles, increasing magnitude,
+// non-overlapping).  All functions eliminate zero components and return the
+// length of the output expansion; h must not alias e or f.
+// ---------------------------------------------------------------------------
+
+/// h = e + f.  |h| <= elen + flen.
+std::size_t expansion_sum(std::size_t elen, const double* e, std::size_t flen,
+                          const double* f, double* h);
+
+/// h = e * b for a single double b.  |h| <= 2 * elen.
+std::size_t expansion_scale(std::size_t elen, const double* e, double b,
+                            double* h);
+
+/// In-place negation.
+void expansion_negate(std::size_t elen, double* e);
+
+/// One-double approximation of the expansion's value (sum, low to high).
+double expansion_estimate(std::size_t elen, const double* e);
+
+/// Sign of the exact value: -1, 0, or +1.  The largest-magnitude component
+/// (last, after zero elimination) determines the sign.
+int expansion_sign(std::size_t elen, const double* e);
+
+/// Fixed-capacity expansion value for composing exact computations without
+/// manual buffer management.  Capacity bounds below are derived per call
+/// site; exceeding N is a contract violation (checked).
+template <std::size_t N>
+class Expansion {
+ public:
+  Expansion() = default;
+
+  /// Exact value of a single double.
+  explicit Expansion(double v) {
+    if (v != 0.0) {
+      comp_[0] = v;
+      len_ = 1;
+    }
+  }
+
+  /// Exact product of two doubles.
+  static Expansion product(double a, double b) {
+    Expansion r;
+    double x;
+    double y;
+    two_product(a, b, x, y);
+    r.len_ = 0;
+    if (y != 0.0) r.comp_[r.len_++] = y;
+    if (x != 0.0) r.comp_[r.len_++] = x;
+    return r;
+  }
+
+  /// Exact difference of two doubles.
+  static Expansion difference(double a, double b) {
+    Expansion r;
+    double x;
+    double y;
+    two_diff(a, b, x, y);
+    r.len_ = 0;
+    if (y != 0.0) r.comp_[r.len_++] = y;
+    if (x != 0.0) r.comp_[r.len_++] = x;
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] const double* data() const { return comp_; }
+  [[nodiscard]] double estimate() const {
+    return expansion_estimate(len_, comp_);
+  }
+  [[nodiscard]] int sign() const { return expansion_sign(len_, comp_); }
+
+  template <std::size_t M>
+  [[nodiscard]] auto operator+(const Expansion<M>& other) const {
+    Expansion<N + M> r;
+    r.set_length(
+        expansion_sum(len_, comp_, other.size(), other.data(), r.raw()));
+    return r;
+  }
+
+  template <std::size_t M>
+  [[nodiscard]] auto operator-(const Expansion<M>& other) const {
+    Expansion<M> neg = other;
+    neg.negate();
+    return *this + neg;
+  }
+
+  /// Exact product with a single double.
+  [[nodiscard]] Expansion<2 * N> scaled(double b) const {
+    Expansion<2 * N> r;
+    r.set_length(expansion_scale(len_, comp_, b, r.raw()));
+    return r;
+  }
+
+  /// Exact product of two expansions (distributes over components).
+  template <std::size_t M>
+  [[nodiscard]] auto operator*(const Expansion<M>& other) const {
+    // Each scaled partial has <= 2N components; summing M of them in
+    // sequence yields at most 2*N*M components.
+    Expansion<2 * N * M> acc;
+    for (std::size_t i = 0; i < other.size(); ++i) {
+      const auto partial = scaled(other.data()[i]);
+      Expansion<2 * N * M> next;
+      next.set_length(expansion_sum(acc.size(), acc.data(), partial.size(),
+                                    partial.data(), next.raw()));
+      acc = next;
+    }
+    return acc;
+  }
+
+  void negate() { expansion_negate(len_, comp_); }
+
+  // Internal plumbing for the free functions above.
+  double* raw() { return comp_; }
+  void set_length(std::size_t n);
+
+ private:
+  double comp_[N > 0 ? N : 1] = {};
+  std::size_t len_ = 0;
+};
+
+}  // namespace voronet::geo
+
+#include "common/expect.hpp"
+
+namespace voronet::geo {
+
+template <std::size_t N>
+void Expansion<N>::set_length(std::size_t n) {
+  VORONET_EXPECT(n <= N, "expansion capacity exceeded");
+  len_ = n;
+}
+
+}  // namespace voronet::geo

@@ -1,0 +1,43 @@
+#include "geometry/morton.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace voronet::geo {
+
+std::uint64_t morton_key(Vec2 p, Vec2 lo, Vec2 hi) {
+  const double wx = hi.x > lo.x ? hi.x - lo.x : 1.0;
+  const double wy = hi.y > lo.y ? hi.y - lo.y : 1.0;
+  constexpr double kScale = 2097151.0;  // 2^21 - 1 per axis
+  const double fx = std::clamp((p.x - lo.x) / wx, 0.0, 1.0);
+  const double fy = std::clamp((p.y - lo.y) / wy, 0.0, 1.0);
+  return morton_interleave(static_cast<std::uint32_t>(fx * kScale),
+                           static_cast<std::uint32_t>(fy * kScale));
+}
+
+std::vector<std::uint32_t> morton_order(std::span<const Vec2> points) {
+  std::vector<std::uint32_t> order(points.size());
+  if (points.empty()) return order;
+
+  Vec2 lo = points[0];
+  Vec2 hi = points[0];
+  for (const Vec2 p : points) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  std::vector<std::uint64_t> keys(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    keys[i] = morton_key(points[i], lo, hi);
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return keys[a] < keys[b] || (keys[a] == keys[b] && a < b);
+            });
+  return order;
+}
+
+}  // namespace voronet::geo

@@ -1,0 +1,203 @@
+#include "geometry/predicates.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "geometry/expansion.hpp"
+
+namespace voronet::geo {
+
+namespace {
+
+// Machine epsilon in Shewchuk's convention: 2^-53, the largest power of two
+// such that 1 + eps rounds to a value distinct from 1 under round-to-even.
+constexpr double kEpsilon = 0x1p-53;
+constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEpsilon) * kEpsilon;
+constexpr double kIccErrBoundA = (10.0 + 96.0 * kEpsilon) * kEpsilon;
+
+std::atomic<unsigned long long> g_orient_calls{0};
+std::atomic<unsigned long long> g_orient_exact{0};
+std::atomic<unsigned long long> g_incircle_calls{0};
+std::atomic<unsigned long long> g_incircle_exact{0};
+
+int sign_of(double v) { return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0); }
+
+/// Exact 2x2 cross term ux*vy - uy*vx as a <=4-component expansion.
+Expansion<4> cross_expansion(Vec2 u, Vec2 v) {
+  return Expansion<2>::product(u.x, v.y) - Expansion<2>::product(u.y, v.x);
+}
+
+int orient2d_exact(Vec2 a, Vec2 b, Vec2 c) {
+  // orient = (a x b) + (c x a)' + (b x c) with the symmetric decomposition
+  //   (ax*by - ay*bx) + (ay*cx - ax*cy) + (bx*cy - by*cx).
+  const auto t1 = cross_expansion(a, b);
+  const auto t2 = Expansion<2>::product(a.y, c.x) -
+                  Expansion<2>::product(a.x, c.y);
+  const auto t3 = cross_expansion(b, c);
+  return ((t1 + t2) + t3).sign();
+}
+
+/// Exact squared magnitude ux^2 + uy^2 as a <=4-component expansion.
+Expansion<4> lift_expansion(Vec2 u) {
+  return Expansion<2>::product(u.x, u.x) + Expansion<2>::product(u.y, u.y);
+}
+
+int incircle_exact(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  // 4x4 determinant with rows (x, y, x^2+y^2, 1); expanding along the ones
+  // column:  det = -M(b,c,d) + M(a,c,d) - M(a,b,d) + M(a,b,c)
+  // where M(u,v,w) = lift(u)*(v x w) - lift(v)*(u x w) + lift(w)*(u x v).
+  const auto ab = cross_expansion(a, b);
+  const auto ac = cross_expansion(a, c);
+  const auto ad = cross_expansion(a, d);
+  const auto bc = cross_expansion(b, c);
+  const auto bd = cross_expansion(b, d);
+  const auto cd = cross_expansion(c, d);
+
+  const auto alift = lift_expansion(a);
+  const auto blift = lift_expansion(b);
+  const auto clift = lift_expansion(c);
+  const auto dlift = lift_expansion(d);
+
+  // M(u,v,w) built from precomputed crosses.
+  const auto m_bcd = (blift * cd - clift * bd) + dlift * bc;
+  const auto m_acd = (alift * cd - clift * ad) + dlift * ac;
+  const auto m_abd = (alift * bd - blift * ad) + dlift * ab;
+  const auto m_abc = (alift * bc - blift * ac) + clift * ab;
+
+  const auto det = (m_acd - m_bcd) + (m_abc - m_abd);
+  return det.sign();
+}
+
+}  // namespace
+
+int orient2d(Vec2 a, Vec2 b, Vec2 c) {
+  g_orient_calls.fetch_add(1, std::memory_order_relaxed);
+
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return sign_of(det);
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return sign_of(det);
+    detsum = -detleft - detright;
+  } else {
+    return sign_of(det);
+  }
+
+  const double errbound = kCcwErrBoundA * detsum;
+  if (det > errbound || -det > errbound) return sign_of(det);
+
+  g_orient_exact.fetch_add(1, std::memory_order_relaxed);
+  return orient2d_exact(a, b, c);
+}
+
+int incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  g_incircle_calls.fetch_add(1, std::memory_order_relaxed);
+
+  const double adx = a.x - d.x;
+  const double bdx = b.x - d.x;
+  const double cdx = c.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdy = b.y - d.y;
+  const double cdy = c.y - d.y;
+
+  const double bdxcdy = bdx * cdy;
+  const double cdxbdy = cdx * bdy;
+  const double alift = adx * adx + ady * ady;
+
+  const double cdxady = cdx * ady;
+  const double adxcdy = adx * cdy;
+  const double blift = bdx * bdx + bdy * bdy;
+
+  const double adxbdy = adx * bdy;
+  const double bdxady = bdx * ady;
+  const double clift = cdx * cdx + cdy * cdy;
+
+  const double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+                     clift * (adxbdy - bdxady);
+
+  const double permanent = (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * alift +
+                           (std::fabs(cdxady) + std::fabs(adxcdy)) * blift +
+                           (std::fabs(adxbdy) + std::fabs(bdxady)) * clift;
+  const double errbound = kIccErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return sign_of(det);
+
+  g_incircle_exact.fetch_add(1, std::memory_order_relaxed);
+  return incircle_exact(a, b, c, d);
+}
+
+double orient2d_estimate(Vec2 a, Vec2 b, Vec2 c) {
+  return (a.x - c.x) * (b.y - c.y) - (a.y - c.y) * (b.x - c.x);
+}
+
+Vec2 circumcenter(Vec2 a, Vec2 b, Vec2 c) {
+  // Translate so a is the origin: solves the 2x2 linear system for the
+  // center; relative error is fine for Voronoi geometry.
+  const double bx = b.x - a.x;
+  const double by = b.y - a.y;
+  const double cx = c.x - a.x;
+  const double cy = c.y - a.y;
+  const double bl = bx * bx + by * by;
+  const double cl = cx * cx + cy * cy;
+  const double d = 2.0 * (bx * cy - by * cx);
+  const double ux = (cy * bl - by * cl) / d;
+  const double uy = (bx * cl - cx * bl) / d;
+  return {a.x + ux, a.y + uy};
+}
+
+Vec2 closest_point_on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  const Vec2 ab = b - a;
+  const double len2 = norm2(ab);
+  if (len2 == 0.0) return a;
+  double t = dot(p - a, ab) / len2;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return a + t * ab;
+}
+
+double dist2_to_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return dist2(p, closest_point_on_segment(a, b, p));
+}
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  if (orient2d(a, b, p) != 0) return false;
+  // Collinear: check the bounding box of the segment.
+  const double lox = a.x < b.x ? a.x : b.x;
+  const double hix = a.x < b.x ? b.x : a.x;
+  const double loy = a.y < b.y ? a.y : b.y;
+  const double hiy = a.y < b.y ? b.y : a.y;
+  return p.x >= lox && p.x <= hix && p.y >= loy && p.y <= hiy;
+}
+
+bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const int o1 = orient2d(a, b, c);
+  const int o2 = orient2d(a, b, d);
+  const int o3 = orient2d(c, d, a);
+  const int o4 = orient2d(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a, b, c)) return true;
+  if (o2 == 0 && on_segment(a, b, d)) return true;
+  if (o3 == 0 && on_segment(c, d, a)) return true;
+  if (o4 == 0 && on_segment(c, d, b)) return true;
+  return false;
+}
+
+PredicateStats predicate_stats() {
+  return {g_orient_calls.load(std::memory_order_relaxed),
+          g_orient_exact.load(std::memory_order_relaxed),
+          g_incircle_calls.load(std::memory_order_relaxed),
+          g_incircle_exact.load(std::memory_order_relaxed)};
+}
+
+void reset_predicate_stats() {
+  g_orient_calls.store(0, std::memory_order_relaxed);
+  g_orient_exact.store(0, std::memory_order_relaxed);
+  g_incircle_calls.store(0, std::memory_order_relaxed);
+  g_incircle_exact.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace voronet::geo

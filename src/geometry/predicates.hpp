@@ -1,0 +1,63 @@
+// Robust geometric predicates.
+//
+// orient2d and incircle are evaluated with a fast floating-point filter
+// (Shewchuk's stage-A error bounds); when the filter cannot certify the
+// sign, the computation falls back to exact expansion arithmetic, so the
+// returned sign is always correct -- including for collinear and cocircular
+// inputs.  This is the property the paper leans on when citing Sugihara-Iri
+// "resilience to calculation degeneracy": the overlay never builds a
+// topologically inconsistent tessellation, whatever the object positions.
+#pragma once
+
+#include "geometry/vec2.hpp"
+
+namespace voronet::geo {
+
+/// Sign of the area of triangle (a, b, c):
+///   > 0  -- counter-clockwise (c strictly left of directed line a->b)
+///   = 0  -- collinear
+///   < 0  -- clockwise.
+/// Exact.
+int orient2d(Vec2 a, Vec2 b, Vec2 c);
+
+/// Sign of the incircle determinant for CCW triangle (a, b, c):
+///   > 0  -- d strictly inside the circumcircle
+///   = 0  -- d exactly on the circumcircle (cocircular)
+///   < 0  -- d strictly outside.
+/// The caller must pass (a, b, c) in counter-clockwise order.  Exact.
+int incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// Approximate (non-robust) signed doubled area; suitable only for
+/// magnitude estimates, never for topological decisions.
+double orient2d_estimate(Vec2 a, Vec2 b, Vec2 c);
+
+/// Circumcenter of triangle (a, b, c), computed in double precision.
+/// Used for Voronoi geometry (cell vertices), which tolerates rounding;
+/// the triangle must not be degenerate.
+Vec2 circumcenter(Vec2 a, Vec2 b, Vec2 c);
+
+/// Closest point to p on segment [a, b].
+Vec2 closest_point_on_segment(Vec2 a, Vec2 b, Vec2 p);
+
+/// Squared distance from p to segment [a, b].
+double dist2_to_segment(Vec2 a, Vec2 b, Vec2 p);
+
+/// True if segments [a,b] and [c,d] share at least one point (closed
+/// segments, exact orientation tests; collinear overlaps count).
+bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// True if p lies on the closed segment [a, b] (exact).
+bool on_segment(Vec2 a, Vec2 b, Vec2 p);
+
+/// Number of exact-fallback evaluations since process start; lets the
+/// benchmarks report how often the floating-point filter fails.
+struct PredicateStats {
+  unsigned long long orient_calls = 0;
+  unsigned long long orient_exact = 0;
+  unsigned long long incircle_calls = 0;
+  unsigned long long incircle_exact = 0;
+};
+PredicateStats predicate_stats();
+void reset_predicate_stats();
+
+}  // namespace voronet::geo

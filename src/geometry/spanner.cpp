@@ -1,0 +1,78 @@
+#include "geometry/spanner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace voronet::geo {
+
+double graph_distance(const DelaunayTriangulation& dt,
+                      DelaunayTriangulation::VertexId a,
+                      DelaunayTriangulation::VertexId b) {
+  using VertexId = DelaunayTriangulation::VertexId;
+  VORONET_EXPECT(dt.is_live(a) && dt.is_live(b),
+                 "graph_distance requires live vertices");
+  if (a == b) return 0.0;
+
+  struct Item {
+    double d;
+    VertexId v;
+    bool operator>(const Item& o) const { return d > o.d; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  std::unordered_map<VertexId, double> best;
+  heap.push({0.0, a});
+  best[a] = 0.0;
+  std::vector<VertexId> nbrs;
+  while (!heap.empty()) {
+    const Item cur = heap.top();
+    heap.pop();
+    if (cur.v == b) return cur.d;
+    const auto it = best.find(cur.v);
+    if (it != best.end() && cur.d > it->second) continue;  // stale entry
+    nbrs.clear();
+    dt.append_neighbors(cur.v, nbrs);
+    for (const VertexId u : nbrs) {
+      const double nd = cur.d + dist(dt.position(cur.v), dt.position(u));
+      const auto bit = best.find(u);
+      if (bit == best.end() || nd < bit->second) {
+        best[u] = nd;
+        heap.push({nd, u});
+      }
+    }
+  }
+  VORONET_EXPECT(false, "Delaunay graph is connected; path must exist");
+  return std::numeric_limits<double>::infinity();
+}
+
+DilationStats sample_dilation(const DelaunayTriangulation& dt,
+                              std::size_t pairs, Rng& rng) {
+  VORONET_EXPECT(dt.size() >= 2, "dilation needs at least two vertices");
+  using VertexId = DelaunayTriangulation::VertexId;
+  std::vector<VertexId> ids;
+  ids.reserve(dt.size());
+  dt.for_each_vertex([&](VertexId v) { ids.push_back(v); });
+
+  DilationStats stats;
+  double total = 0.0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const VertexId a = ids[rng.index(ids.size())];
+    VertexId b = ids[rng.index(ids.size())];
+    while (b == a) b = ids[rng.index(ids.size())];
+    const double euclid = dist(dt.position(a), dt.position(b));
+    const double path = graph_distance(dt, a, b);
+    const double dilation = path / euclid;
+    stats.max_dilation = std::max(stats.max_dilation, dilation);
+    total += dilation;
+    ++stats.pairs;
+  }
+  stats.mean_dilation = stats.pairs ? total / static_cast<double>(stats.pairs)
+                                    : 0.0;
+  return stats;
+}
+
+}  // namespace voronet::geo

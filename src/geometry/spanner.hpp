@@ -1,0 +1,34 @@
+// Graph-dilation (spanner) analysis of the Delaunay triangulation.
+//
+// The paper's range-query perspective (section 7) rests on the Delaunay
+// triangulation being a t-spanner: for every pair of sites, the shortest
+// path through triangulation edges is at most t times the Euclidean
+// distance (the best known bound is t < 1.998; the classical Keil-Gutwin
+// bound is 2*pi/(3*cos(pi/6)) ~ 2.42).  These helpers measure the
+// dilation so the property can be tested and reported.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "geometry/delaunay.hpp"
+
+namespace voronet::geo {
+
+/// Length of the shortest path between a and b through Delaunay edges
+/// (Dijkstra with Euclidean edge weights).  Requires both vertices live.
+double graph_distance(const DelaunayTriangulation& dt,
+                      DelaunayTriangulation::VertexId a,
+                      DelaunayTriangulation::VertexId b);
+
+struct DilationStats {
+  double max_dilation = 0.0;   ///< worst observed path/Euclid ratio
+  double mean_dilation = 0.0;
+  std::size_t pairs = 0;
+};
+
+/// Sample `pairs` random vertex pairs and report the observed dilation.
+DilationStats sample_dilation(const DelaunayTriangulation& dt,
+                              std::size_t pairs, Rng& rng);
+
+}  // namespace voronet::geo

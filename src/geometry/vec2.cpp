@@ -1,0 +1,11 @@
+#include "geometry/vec2.hpp"
+
+#include <ostream>
+
+namespace voronet {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace voronet

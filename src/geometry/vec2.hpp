@@ -1,0 +1,60 @@
+// 2-D point/vector type used throughout the library.
+//
+// VoroNet places application objects in the unit square [0,1]^2 (the paper's
+// two-attribute space), but all geometric routines accept arbitrary
+// coordinates: long-range targets may legitimately fall outside the square
+// (paper, section 4.3.2).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace voronet {
+
+/// Cartesian point / displacement in the attribute plane.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) {
+    return {s * v.x, s * v.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 v, double s) { return s * v; }
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+  friend constexpr auto operator<=>(Vec2 a, Vec2 b) = default;
+};
+
+/// Dot product.
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the 2-D cross product (signed parallelogram area).
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean distance (preferred for comparisons: no sqrt, no
+/// rounding beyond the subtractions).
+constexpr double dist2(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double dist(Vec2 a, Vec2 b) { return std::sqrt(dist2(a, b)); }
+
+/// Squared length.
+constexpr double norm2(Vec2 v) { return v.x * v.x + v.y * v.y; }
+
+/// Length.
+inline double norm(Vec2 v) { return std::sqrt(norm2(v)); }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace voronet

@@ -1,0 +1,165 @@
+#include "geometry/voronoi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "geometry/predicates.hpp"
+
+namespace voronet::geo {
+
+namespace {
+
+/// Clip a convex CCW polygon by the halfplane f(q) <= 0 where
+/// f(q) = dot(q - origin, normal) (Sutherland-Hodgman, one plane).
+/// Sets `touched` when at least one vertex was cut away.
+void clip_halfplane(std::vector<Vec2>& poly, Vec2 origin, Vec2 normal,
+                    bool& touched) {
+  if (poly.empty()) return;
+  thread_local std::vector<Vec2> out;
+  out.clear();
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[(i + 1) % n];
+    const double fa = dot(a - origin, normal);
+    const double fb = dot(b - origin, normal);
+    if (fa <= 0.0) {
+      out.push_back(a);
+      if (fb > 0.0) {
+        const double t = fa / (fa - fb);
+        out.push_back(a + t * (b - a));
+        touched = true;
+      }
+    } else {
+      touched = true;
+      if (fb <= 0.0) {
+        const double t = fa / (fa - fb);
+        out.push_back(a + t * (b - a));
+      }
+    }
+  }
+  poly = out;
+}
+
+/// Clip the box polygon by the perpendicular bisectors towards every
+/// Delaunay neighbour of `site` (the bisectors of non-neighbours are
+/// redundant by Voronoi/Delaunay duality).  Writes the cell into `poly`.
+void clip_cell_into(const DelaunayTriangulation& dt,
+                    DelaunayTriangulation::VertexId site, const Box& box,
+                    std::vector<Vec2>& poly) {
+  poly.clear();
+  poly.push_back({box.lo.x, box.lo.y});
+  poly.push_back({box.hi.x, box.lo.y});
+  poly.push_back({box.hi.x, box.hi.y});
+  poly.push_back({box.lo.x, box.hi.y});
+
+  const Vec2 s = dt.position(site);
+  thread_local std::vector<DelaunayTriangulation::VertexId> nbrs;
+  nbrs.clear();
+  dt.append_neighbors(site, nbrs);
+  for (const auto n : nbrs) {
+    const Vec2 q = dt.position(n);
+    const Vec2 mid = 0.5 * (s + q);
+    // Halfplane closer to s than to n: dot(x - mid, q - s) <= 0.
+    bool touched = false;
+    clip_halfplane(poly, mid, q - s, touched);
+    (void)touched;
+  }
+}
+
+VoronoiCell cell_by_clipping(const DelaunayTriangulation& dt,
+                             DelaunayTriangulation::VertexId site,
+                             const Box& box) {
+  VoronoiCell cell;
+  cell.site = site;
+  clip_cell_into(dt, site, box, cell.polygon);
+  // Determine whether the box actually bounds the cell: if any polygon
+  // vertex lies on the box boundary the cell was (potentially) unbounded.
+  for (const Vec2 v : cell.polygon) {
+    if (v.x <= box.lo.x || v.x >= box.hi.x || v.y <= box.lo.y ||
+        v.y >= box.hi.y) {
+      cell.clipped = true;
+      break;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+void Box::expand_to(Vec2 p, double margin) {
+  lo.x = std::min(lo.x, p.x - margin);
+  lo.y = std::min(lo.y, p.y - margin);
+  hi.x = std::max(hi.x, p.x + margin);
+  hi.y = std::max(hi.y, p.y + margin);
+}
+
+VoronoiCell voronoi_cell(const DelaunayTriangulation& dt,
+                         DelaunayTriangulation::VertexId site,
+                         const Box& box) {
+  VORONET_EXPECT(dt.is_live(site), "voronoi_cell of a dead vertex");
+  return cell_by_clipping(dt, site, box);
+}
+
+std::vector<VoronoiCell> voronoi_diagram(const DelaunayTriangulation& dt,
+                                         const Box& box) {
+  std::vector<VoronoiCell> cells;
+  cells.reserve(dt.size());
+  dt.for_each_vertex([&](DelaunayTriangulation::VertexId v) {
+    cells.push_back(cell_by_clipping(dt, v, box));
+  });
+  return cells;
+}
+
+Vec2 closest_point_in_region(const DelaunayTriangulation& dt,
+                             DelaunayTriangulation::VertexId site, Vec2 p) {
+  VORONET_EXPECT(dt.is_live(site), "closest_point_in_region: dead site");
+  const Vec2 s = dt.position(site);
+
+  // Fast path: p already inside the region (strictly closer to the site
+  // than to every Delaunay neighbour).
+  thread_local std::vector<DelaunayTriangulation::VertexId> nbrs;
+  nbrs.clear();
+  dt.append_neighbors(site, nbrs);
+  bool inside = true;
+  for (const auto n : nbrs) {
+    const Vec2 q = dt.position(n);
+    if (dot(p - 0.5 * (s + q), q - s) > 0.0) {
+      inside = false;
+      break;
+    }
+  }
+  if (inside) return p;
+
+  // The closest region point z satisfies d(z, p) <= d(s, p), so a clip box
+  // containing the ball B(p, r) with r slightly above d(s, p) cannot cut
+  // it off, and no artificial box edge can be closer to p than z.
+  const double r = dist(s, p) * 1.0001 + 1e-12;
+  const Box box{{p.x - r, p.y - r}, {p.x + r, p.y + r}};
+  thread_local std::vector<Vec2> poly;
+  clip_cell_into(dt, site, box, poly);
+  VORONET_EXPECT(!poly.empty(), "clipped Voronoi cell vanished");
+
+  Vec2 best = s;
+  double best_d = dist2(s, p);
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[(i + 1) % n];
+    const Vec2 cand = closest_point_on_segment(a, b, p);
+    const double d = dist2(cand, p);
+    if (d < best_d) {
+      best = cand;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+double dist2_to_region(const DelaunayTriangulation& dt,
+                       DelaunayTriangulation::VertexId site, Vec2 p) {
+  return dist2(p, closest_point_in_region(dt, site, p));
+}
+
+}  // namespace voronet::geo

@@ -1,0 +1,145 @@
+#include "kleinberg/grid.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace voronet::kleinberg {
+
+KleinbergGrid::KleinbergGrid(const GridConfig& config)
+    : side_(config.side), exponent_(config.exponent) {
+  VORONET_EXPECT(side_ >= 2, "grid side must be at least 2");
+  Rng rng(config.seed);
+  long_.resize(size());
+  for (NodeId u = 0; u < size(); ++u) {
+    long_[u].reserve(config.long_links);
+    for (std::size_t k = 0; k < config.long_links; ++k) {
+      long_[u].push_back(sample_long_contact(u, rng));
+    }
+  }
+}
+
+KleinbergGrid::NodeId KleinbergGrid::node_at(std::size_t row,
+                                             std::size_t col) const {
+  VORONET_DCHECK(row < side_ && col < side_);
+  return static_cast<NodeId>(row * side_ + col);
+}
+
+std::size_t KleinbergGrid::distance(NodeId a, NodeId b) const {
+  const auto dr = static_cast<long long>(row_of(a)) -
+                  static_cast<long long>(row_of(b));
+  const auto dc = static_cast<long long>(col_of(a)) -
+                  static_cast<long long>(col_of(b));
+  return static_cast<std::size_t>((dr < 0 ? -dr : dr) +
+                                  (dc < 0 ? -dc : dc));
+}
+
+KleinbergGrid::NodeId KleinbergGrid::sample_long_contact(NodeId u,
+                                                         Rng& rng) const {
+  // Sample a ring radius r with P(r) ~ (#lattice points at L1 distance r)
+  // * r^-s = 4r * r^-s, then a uniform point on the ring, rejecting
+  // positions outside the lattice.  This is the standard simulation of
+  // Kleinberg's distribution conditioned on the finite grid.
+  const std::size_t max_r = 2 * (side_ - 1);
+  // Ring weights are cheap; build the CDF once per grid via static cache
+  // keyed on (side, exponent) would be premature -- the constructor builds
+  // them n^2 * k times otherwise, so precompute lazily here instead.
+  thread_local std::vector<double> cdf;
+  thread_local std::size_t cdf_side = 0;
+  thread_local double cdf_exp = 0.0;
+  if (cdf_side != side_ || cdf_exp != exponent_) {
+    cdf.assign(max_r + 1, 0.0);
+    double acc = 0.0;
+    for (std::size_t r = 1; r <= max_r; ++r) {
+      acc += 4.0 * static_cast<double>(r) *
+             std::pow(static_cast<double>(r), -exponent_);
+      cdf[r] = acc;
+    }
+    for (std::size_t r = 1; r <= max_r; ++r) cdf[r] /= acc;
+    cdf_side = side_;
+    cdf_exp = exponent_;
+  }
+
+  const auto ur = static_cast<long long>(row_of(u));
+  const auto uc = static_cast<long long>(col_of(u));
+  while (true) {
+    // Inverse-CDF sample of the radius.
+    const double x = rng.uniform();
+    std::size_t lo = 1;
+    std::size_t hi = max_r;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const auto r = static_cast<long long>(lo);
+    // Uniform point on the L1 ring of radius r: 4r positions.
+    const auto idx = static_cast<long long>(rng.below(4 * lo));
+    long long dr;
+    long long dc;
+    const long long leg = idx % r;
+    switch (idx / r) {
+      case 0:
+        dr = -r + leg;
+        dc = leg;
+        break;  // north -> east
+      case 1:
+        dr = leg;
+        dc = r - leg;
+        break;  // east -> south
+      case 2:
+        dr = r - leg;
+        dc = -leg;
+        break;  // south -> west
+      default:
+        dr = -leg;
+        dc = -r + leg;
+        break;  // west -> north
+    }
+    const long long vr = ur + dr;
+    const long long vc = uc + dc;
+    if (vr < 0 || vc < 0 || vr >= static_cast<long long>(side_) ||
+        vc >= static_cast<long long>(side_)) {
+      continue;  // fell off the lattice; resample
+    }
+    const NodeId v = node_at(static_cast<std::size_t>(vr),
+                             static_cast<std::size_t>(vc));
+    if (v != u) return v;
+  }
+}
+
+KleinbergGrid::RouteResult KleinbergGrid::route(NodeId s, NodeId t) const {
+  RouteResult res;
+  NodeId cur = s;
+  while (cur != t) {
+    const std::size_t cur_d = distance(cur, t);
+    NodeId best = cur;
+    std::size_t best_d = cur_d;
+
+    const auto consider = [&](NodeId v) {
+      const std::size_t d = distance(v, t);
+      if (d < best_d || (d == best_d && v < best)) {
+        best = v;
+        best_d = d;
+      }
+    };
+    const std::size_t r = row_of(cur);
+    const std::size_t c = col_of(cur);
+    if (r > 0) consider(node_at(r - 1, c));
+    if (r + 1 < side_) consider(node_at(r + 1, c));
+    if (c > 0) consider(node_at(r, c - 1));
+    if (c + 1 < side_) consider(node_at(r, c + 1));
+    for (const NodeId v : long_[cur]) consider(v);
+
+    VORONET_EXPECT(best_d < cur_d, "greedy lattice step made no progress");
+    cur = best;
+    ++res.hops;
+  }
+  res.arrived = true;
+  return res;
+}
+
+}  // namespace voronet::kleinberg

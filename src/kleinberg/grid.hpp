@@ -1,0 +1,65 @@
+// Kleinberg's small-world grid (background model of the paper, section 2.1
+// and Figure 1), used as the comparison baseline for VoroNet's routing.
+//
+// The model: an n x n lattice where every node is connected to its four
+// lattice neighbours and to k long-range contacts, each drawn with
+// probability proportional to d^(-s) in lattice (Manhattan) distance d.
+// With s = 2 greedy routing finds paths of O(log^2 n) steps [Kleinberg
+// 2000]; VoroNet generalises exactly this construction to arbitrary point
+// sets via the Voronoi tessellation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace voronet::kleinberg {
+
+struct GridConfig {
+  std::size_t side = 32;        ///< lattice is side x side
+  std::size_t long_links = 1;   ///< k long-range contacts per node
+  double exponent = 2.0;        ///< s in P(v) ~ d(u,v)^-s
+  std::uint64_t seed = 1;
+};
+
+class KleinbergGrid {
+ public:
+  using NodeId = std::uint32_t;
+
+  explicit KleinbergGrid(const GridConfig& config);
+
+  [[nodiscard]] std::size_t size() const { return side_ * side_; }
+  [[nodiscard]] std::size_t side() const { return side_; }
+
+  [[nodiscard]] NodeId node_at(std::size_t row, std::size_t col) const;
+  [[nodiscard]] std::size_t row_of(NodeId v) const { return v / side_; }
+  [[nodiscard]] std::size_t col_of(NodeId v) const { return v % side_; }
+
+  /// Manhattan (lattice) distance.
+  [[nodiscard]] std::size_t distance(NodeId a, NodeId b) const;
+
+  /// The long-range contacts of v (k of them, possibly repeated).
+  [[nodiscard]] const std::vector<NodeId>& long_contacts(NodeId v) const {
+    return long_[v];
+  }
+
+  struct RouteResult {
+    std::size_t hops = 0;
+    bool arrived = false;
+  };
+
+  /// Greedy routing from s to t using lattice + long contacts; each step
+  /// moves to the neighbour closest to t in lattice distance.  Always
+  /// terminates (the lattice neighbours guarantee strict progress).
+  [[nodiscard]] RouteResult route(NodeId s, NodeId t) const;
+
+ private:
+  [[nodiscard]] NodeId sample_long_contact(NodeId u, Rng& rng) const;
+
+  std::size_t side_;
+  double exponent_;
+  std::vector<std::vector<NodeId>> long_;
+};
+
+}  // namespace voronet::kleinberg

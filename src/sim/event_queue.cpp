@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace voronet::sim {
+
+void EventQueue::schedule(double delay, Handler fn) {
+  VORONET_EXPECT(delay >= 0.0, "cannot schedule into the past");
+  heap_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the handler must be moved out
+  // before pop, so copy the bookkeeping fields first.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventQueue::run_to_idle(std::size_t max_events) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    VORONET_EXPECT(n < max_events, "event budget exhausted (protocol loop?)");
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace voronet::sim

@@ -1,0 +1,119 @@
+// Message and operation accounting for the overlay simulation.
+//
+// Message kinds mirror the paper's protocol messages (section 4), so the
+// maintenance-cost tables can be reported per algorithm:
+//   * routing forwards (the Spawn chain of Algorithm 5),
+//   * AddVoronoiRegion / RemoveVoronoiRegion local updates,
+//   * close-neighbour declarations (Lemma 1 gathering),
+//   * back-long-range transfers and long-link (re)bindings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "stats/summary.hpp"
+
+namespace voronet::sim {
+
+enum class MessageKind : std::uint8_t {
+  kRouteForward,      ///< greedy Spawn hop (AddObject/SearchLongLink/Query)
+  kVoronoiUpdate,     ///< region/link updates after a tessellation change
+  kCloseNeighbor,     ///< cn() gathering and declarations
+  kBlrTransfer,       ///< back-long-range responsibility hand-over
+  kLongLinkBind,      ///< LRn(x) establishment / re-delegation notice
+  kLeaveNotify,       ///< departure notifications to cn/vn
+  kQueryAnswer,       ///< AnswerQuery back to the requester
+  kCount
+};
+
+[[nodiscard]] constexpr std::string_view message_kind_name(MessageKind k) {
+  switch (k) {
+    case MessageKind::kRouteForward:
+      return "route_forward";
+    case MessageKind::kVoronoiUpdate:
+      return "voronoi_update";
+    case MessageKind::kCloseNeighbor:
+      return "close_neighbor";
+    case MessageKind::kBlrTransfer:
+      return "blr_transfer";
+    case MessageKind::kLongLinkBind:
+      return "long_link_bind";
+    case MessageKind::kLeaveNotify:
+      return "leave_notify";
+    case MessageKind::kQueryAnswer:
+      return "query_answer";
+    case MessageKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+enum class OperationKind : std::uint8_t {
+  kJoin,
+  kLeave,
+  kQuery,
+  kCount
+};
+
+[[nodiscard]] constexpr std::string_view operation_kind_name(
+    OperationKind k) {
+  switch (k) {
+    case OperationKind::kJoin:
+      return "join";
+    case OperationKind::kLeave:
+      return "leave";
+    case OperationKind::kQuery:
+      return "query";
+    case OperationKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+class Metrics {
+ public:
+  void count_message(MessageKind kind, std::size_t n = 1) {
+    messages_[static_cast<std::size_t>(kind)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t messages(MessageKind kind) const {
+    return messages_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total_messages() const {
+    std::uint64_t sum = 0;
+    for (const auto m : messages_) sum += m;
+    return sum;
+  }
+
+  /// Record one finished operation with its greedy hop count and the total
+  /// messages it generated.
+  void record_operation(OperationKind kind, std::size_t hops,
+                        std::size_t op_messages) {
+    const auto i = static_cast<std::size_t>(kind);
+    hops_[i].add(static_cast<double>(hops));
+    op_messages_[i].add(static_cast<double>(op_messages));
+  }
+
+  [[nodiscard]] const stats::StreamingSummary& hops(OperationKind kind) const {
+    return hops_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const stats::StreamingSummary& operation_messages(
+      OperationKind kind) const {
+    return op_messages_[static_cast<std::size_t>(kind)];
+  }
+
+  void reset() { *this = Metrics{}; }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
+      messages_{};
+  std::array<stats::StreamingSummary,
+             static_cast<std::size_t>(OperationKind::kCount)>
+      hops_{};
+  std::array<stats::StreamingSummary,
+             static_cast<std::size_t>(OperationKind::kCount)>
+      op_messages_{};
+};
+
+}  // namespace voronet::sim

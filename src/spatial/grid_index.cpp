@@ -1,0 +1,136 @@
+#include "spatial/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace voronet::spatial {
+
+GridIndex::GridIndex(geo::Box bounds, std::size_t expected_points)
+    : bounds_(bounds) {
+  VORONET_EXPECT(bounds.lo.x < bounds.hi.x && bounds.lo.y < bounds.hi.y,
+                 "GridIndex requires a non-degenerate bounding box");
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<std::size_t>(
+          expected_points, 1)))));
+  cols_ = std::max<std::size_t>(side, 1);
+  rows_ = cols_;
+  cell_w_ = (bounds_.hi.x - bounds_.lo.x) / static_cast<double>(cols_);
+  cell_h_ = (bounds_.hi.y - bounds_.lo.y) / static_cast<double>(rows_);
+  cells_.resize(cols_ * rows_);
+}
+
+std::size_t GridIndex::clamp_col(double x) const {
+  const double f = (x - bounds_.lo.x) / cell_w_;
+  if (f <= 0.0) return 0;
+  const auto c = static_cast<std::size_t>(f);
+  return c >= cols_ ? cols_ - 1 : c;
+}
+
+std::size_t GridIndex::clamp_row(double y) const {
+  const double f = (y - bounds_.lo.y) / cell_h_;
+  if (f <= 0.0) return 0;
+  const auto r = static_cast<std::size_t>(f);
+  return r >= rows_ ? rows_ - 1 : r;
+}
+
+std::size_t GridIndex::cell_of(Vec2 p) const {
+  return clamp_row(p.y) * cols_ + clamp_col(p.x);
+}
+
+void GridIndex::insert(Id id, Vec2 p) {
+  cells_[cell_of(p)].push_back({id, p});
+  ++count_;
+}
+
+void GridIndex::remove(Id id, Vec2 p) {
+  auto& cell = cells_[cell_of(p)];
+  const auto it = std::find_if(cell.begin(), cell.end(),
+                               [&](const Entry& e) { return e.id == id; });
+  VORONET_EXPECT(it != cell.end(), "GridIndex::remove of an absent id");
+  *it = cell.back();
+  cell.pop_back();
+  --count_;
+}
+
+GridIndex::Id GridIndex::nearest(Vec2 p) const {
+  VORONET_EXPECT(count_ > 0, "GridIndex::nearest on an empty index");
+  const std::size_t pc = clamp_col(p.x);
+  const std::size_t pr = clamp_row(p.y);
+
+  Id best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  const std::size_t max_ring = std::max(cols_, rows_);
+  for (std::size_t ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate is known, stop as soon as the closest possible point
+    // in the next unexplored ring cannot beat it.
+    if (found) {
+      const double ring_dist =
+          (static_cast<double>(ring) - 1.0) *
+          std::min(cell_w_, cell_h_);
+      if (ring_dist > 0.0 && ring_dist * ring_dist > best_d) break;
+    }
+    const auto lo_c = pc >= ring ? pc - ring : 0;
+    const auto hi_c = std::min(cols_ - 1, pc + ring);
+    const auto lo_r = pr >= ring ? pr - ring : 0;
+    const auto hi_r = std::min(rows_ - 1, pr + ring);
+    for (std::size_t r = lo_r; r <= hi_r; ++r) {
+      for (std::size_t c = lo_c; c <= hi_c; ++c) {
+        // Visit only the ring's border cells (interior seen earlier).
+        const bool border = r == lo_r || r == hi_r || c == lo_c || c == hi_c;
+        if (ring > 0 && !border) continue;
+        for (const Entry& e : cells_[r * cols_ + c]) {
+          const double d = dist2(e.p, p);
+          if (d < best_d || (d == best_d && found && e.id < best)) {
+            best = e.id;
+            best_d = d;
+            found = true;
+          }
+        }
+      }
+    }
+    if (ring > 0 && lo_c == 0 && lo_r == 0 && hi_c == cols_ - 1 &&
+        hi_r == rows_ - 1 && found) {
+      break;  // the whole grid has been scanned
+    }
+  }
+  VORONET_EXPECT(found, "GridIndex::nearest found nothing");
+  return best;
+}
+
+void GridIndex::range(Vec2 center, double radius,
+                      std::vector<Id>& out) const {
+  VORONET_EXPECT(radius >= 0.0, "negative range radius");
+  const double r2 = radius * radius;
+  const std::size_t lo_c = clamp_col(center.x - radius);
+  const std::size_t hi_c = clamp_col(center.x + radius);
+  const std::size_t lo_r = clamp_row(center.y - radius);
+  const std::size_t hi_r = clamp_row(center.y + radius);
+  for (std::size_t r = lo_r; r <= hi_r; ++r) {
+    for (std::size_t c = lo_c; c <= hi_c; ++c) {
+      for (const Entry& e : cells_[r * cols_ + c]) {
+        if (dist2(e.p, center) <= r2) out.push_back(e.id);
+      }
+    }
+  }
+}
+
+void GridIndex::in_box(const geo::Box& box, std::vector<Id>& out) const {
+  const std::size_t lo_c = clamp_col(box.lo.x);
+  const std::size_t hi_c = clamp_col(box.hi.x);
+  const std::size_t lo_r = clamp_row(box.lo.y);
+  const std::size_t hi_r = clamp_row(box.hi.y);
+  for (std::size_t r = lo_r; r <= hi_r; ++r) {
+    for (std::size_t c = lo_c; c <= hi_c; ++c) {
+      for (const Entry& e : cells_[r * cols_ + c]) {
+        if (box.contains(e.p)) out.push_back(e.id);
+      }
+    }
+  }
+}
+
+}  // namespace voronet::spatial

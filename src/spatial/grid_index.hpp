@@ -1,0 +1,60 @@
+// Uniform-grid spatial index.
+//
+// Serves as the brute-force oracle for the test suite (exact nearest and
+// range queries to validate the Delaunay nearest-vertex walk and the
+// close-neighbour sets of the overlay) and as the reference implementation
+// the close-neighbour maintenance is checked against (paper, Lemma 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace voronet::spatial {
+
+class GridIndex {
+ public:
+  using Id = std::uint32_t;
+
+  /// `bounds` should cover the expected point positions (points outside are
+  /// clamped into the border cells, which stays correct but slower);
+  /// `expected_points` sizes the grid for ~1-2 points per cell.
+  GridIndex(geo::Box bounds, std::size_t expected_points);
+
+  void insert(Id id, Vec2 p);
+  void remove(Id id, Vec2 p);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Exact nearest point (ties broken towards the smaller id).
+  [[nodiscard]] Id nearest(Vec2 p) const;
+
+  /// All ids with dist(p, center) <= radius, appended to out (unsorted).
+  void range(Vec2 center, double radius, std::vector<Id>& out) const;
+
+  /// All ids inside the closed box, appended to out (unsorted).
+  void in_box(const geo::Box& box, std::vector<Id>& out) const;
+
+ private:
+  struct Entry {
+    Id id;
+    Vec2 p;
+  };
+
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const;
+  [[nodiscard]] std::size_t clamp_col(double x) const;
+  [[nodiscard]] std::size_t clamp_row(double y) const;
+
+  geo::Box bounds_;
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  std::vector<std::vector<Entry>> cells_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace voronet::spatial

@@ -1,0 +1,106 @@
+// Histograms for the degree-distribution figures (Fig. 5) and view-size
+// tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace voronet::stats {
+
+/// Histogram over small non-negative integers (e.g. vertex out-degree).
+class IntHistogram {
+ public:
+  void add(std::size_t value) {
+    if (value >= counts_.size()) counts_.resize(value + 1, 0);
+    ++counts_[value];
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t count(std::size_t value) const {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t max_value() const {
+    return counts_.empty() ? 0 : counts_.size() - 1;
+  }
+
+  [[nodiscard]] double mean() const {
+    if (total_ == 0) return 0.0;
+    double s = 0.0;
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+      s += static_cast<double>(v) * static_cast<double>(counts_[v]);
+    }
+    return s / static_cast<double>(total_);
+  }
+
+  /// The most frequent value (smallest on ties).
+  [[nodiscard]] std::size_t mode() const {
+    std::size_t best = 0;
+    for (std::size_t v = 1; v < counts_.size(); ++v) {
+      if (counts_[v] > counts_[best]) best = v;
+    }
+    return best;
+  }
+
+  void merge(const IntHistogram& other) {
+    if (other.counts_.size() > counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t v = 0; v < other.counts_.size(); ++v) {
+      counts_[v] += other.counts_[v];
+    }
+    total_ += other.total_;
+  }
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Fixed-width histogram over a double interval [lo, hi).
+class BinnedHistogram {
+ public:
+  BinnedHistogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    VORONET_EXPECT(hi > lo && bins > 0, "invalid histogram parameters");
+  }
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto bin = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[bin < counts_.size() ? bin : counts_.size() - 1];
+  }
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] double bin_low(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace voronet::stats

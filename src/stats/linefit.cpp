@@ -1,0 +1,40 @@
+#include "stats/linefit.hpp"
+
+#include "common/expect.hpp"
+
+namespace voronet::stats {
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  VORONET_EXPECT(xs.size() == ys.size(), "fit_line size mismatch");
+  VORONET_EXPECT(xs.size() >= 2, "fit_line needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  VORONET_EXPECT(sxx > 0.0, "fit_line with constant x values");
+
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace voronet::stats

@@ -1,0 +1,22 @@
+// Ordinary least-squares line fit.
+//
+// Figure 7 of the paper establishes the O(log^x N) routing exponent by
+// fitting log(H) against log(log(N)) and reading the slope x; this is the
+// fit used by bench_fig7_loglog.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace voronet::stats {
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Fit y = intercept + slope * x; requires xs.size() == ys.size() >= 2.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace voronet::stats

@@ -1,0 +1,99 @@
+// Streaming and offline summary statistics for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace voronet::stats {
+
+/// Welford streaming accumulator: count / mean / variance / min / max in
+/// O(1) memory, numerically stable.
+class StreamingSummary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const StreamingSummary& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains samples for quantile queries.
+class OfflineSummary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (const double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Quantile q in [0, 1] by nearest-rank on the sorted samples.
+  [[nodiscard]] double quantile(double q) {
+    VORONET_EXPECT(!samples_.empty(), "quantile of an empty summary");
+    VORONET_EXPECT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[idx];
+  }
+
+  [[nodiscard]] double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace voronet::stats

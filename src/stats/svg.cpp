@@ -1,0 +1,54 @@
+#include "stats/svg.hpp"
+
+#include <sstream>
+
+namespace voronet::stats {
+
+void SvgWriter::add_point(Vec2 p, double radius, const std::string& color) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << tx(p.x) << "\" cy=\"" << ty(p.y) << "\" r=\""
+     << radius << "\" fill=\"" << color << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::add_line(Vec2 a, Vec2 b, double width,
+                         const std::string& color) {
+  std::ostringstream os;
+  os << "<line x1=\"" << tx(a.x) << "\" y1=\"" << ty(a.y) << "\" x2=\""
+     << tx(b.x) << "\" y2=\"" << ty(b.y) << "\" stroke=\"" << color
+     << "\" stroke-width=\"" << width << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::add_polygon(const std::vector<Vec2>& poly,
+                            const std::string& stroke, const std::string& fill,
+                            double width) {
+  if (poly.empty()) return;
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (const Vec2 p : poly) os << tx(p.x) << ',' << ty(p.y) << ' ';
+  os << "\" stroke=\"" << stroke << "\" fill=\"" << fill
+     << "\" stroke-width=\"" << width << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::add_text(Vec2 p, const std::string& text, double size) {
+  std::ostringstream os;
+  os << "<text x=\"" << tx(p.x) << "\" y=\"" << ty(p.y) << "\" font-size=\""
+     << size << "\">" << text << "</text>";
+  body_.push_back(os.str());
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixels_
+      << "\" height=\"" << pixels_ << "\" viewBox=\"0 0 " << pixels_ << ' '
+      << pixels_ << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& el : body_) out << el << '\n';
+  out << "</svg>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace voronet::stats

@@ -1,0 +1,38 @@
+// Minimal SVG writer used by the examples to render overlays, Voronoi
+// diagrams and routing paths.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace voronet::stats {
+
+/// Renders geometry in the unit square to an SVG file (y flipped so that
+/// (0,0) appears bottom-left, matching the paper's figures).
+class SvgWriter {
+ public:
+  explicit SvgWriter(double pixels = 800.0) : pixels_(pixels) {}
+
+  void add_point(Vec2 p, double radius = 2.0,
+                 const std::string& color = "black");
+  void add_line(Vec2 a, Vec2 b, double width = 0.6,
+                const std::string& color = "gray");
+  void add_polygon(const std::vector<Vec2>& poly, const std::string& stroke,
+                   const std::string& fill = "none", double width = 0.8);
+  void add_text(Vec2 p, const std::string& text, double size = 10.0);
+
+  /// Write the SVG document; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] double tx(double x) const { return x * pixels_; }
+  [[nodiscard]] double ty(double y) const { return (1.0 - y) * pixels_; }
+
+  double pixels_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace voronet::stats

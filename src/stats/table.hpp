@@ -1,0 +1,39 @@
+// Column-aligned text tables and CSV output for the benchmark binaries.
+//
+// Every figure/table bench prints the same data twice on request: a
+// human-readable table (default) and machine-readable CSV (--csv), so the
+// paper's plots can be regenerated with any plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace voronet::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatting.
+  static std::string cell(double value, int precision = 3);
+  static std::string cell(std::size_t value);
+  static std::string cell(long long value);
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated values (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace voronet::stats

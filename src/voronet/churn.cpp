@@ -1,0 +1,64 @@
+#include "voronet/churn.hpp"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace voronet {
+
+namespace {
+
+/// Exponential inter-arrival time for a Poisson process of the given rate.
+double exp_delay(double rate, Rng& rng) {
+  return -std::log(rng.uniform(1e-12, 1.0)) / rate;
+}
+
+}  // namespace
+
+ChurnReport run_churn(Overlay& overlay, workload::PointGenerator& points,
+                      const ChurnConfig& config) {
+  VORONET_EXPECT(config.duration > 0.0, "churn duration must be positive");
+  ChurnReport report;
+  sim::EventQueue queue;
+  Rng rng(config.seed);
+
+  // Each event class is a Poisson process that re-arms itself after every
+  // firing until the horizon; the event queue interleaves the classes in
+  // timestamp order.  `arm` outlives all scheduled events (run_to_idle is
+  // called in this scope), so capturing it by reference is safe.
+  std::function<void(double, std::function<void()>)> arm =
+      [&](double rate, std::function<void()> action) {
+        if (rate <= 0.0) return;
+        const double delay = exp_delay(rate, rng);
+        if (queue.now() + delay > config.duration) return;
+        queue.schedule(delay, [&arm, rate, action = std::move(action)] {
+          action();
+          arm(rate, action);
+        });
+      };
+
+  arm(config.join_rate, [&] {
+    overlay.insert(points.next(rng));
+    ++report.joins;
+  });
+  arm(config.leave_rate, [&] {
+    if (overlay.size() <= config.min_population) return;
+    overlay.remove(overlay.random_object(rng));
+    ++report.leaves;
+  });
+  arm(config.query_rate, [&] {
+    if (overlay.size() < 2) return;
+    const ObjectId from = overlay.random_object(rng);
+    overlay.query(from, {rng.uniform(), rng.uniform()});
+    ++report.queries;
+  });
+
+  report.events_processed = queue.run_to_idle();
+  report.simulated_time = queue.now();
+  report.final_population = overlay.size();
+  return report;
+}
+
+}  // namespace voronet

@@ -1,0 +1,53 @@
+// Overlay configuration (paper, sections 3 and 4).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace voronet {
+
+/// How dmin -- the close-neighbourhood radius -- derives from Nmax.
+///
+/// The paper's prose defines dmin = 1/(pi * Nmax) (section 4.1) yet argues
+/// the expected close-neighbour count via pi * dmin^2 * Nmax = 1, which
+/// actually requires dmin = 1/sqrt(pi * Nmax).  Both give poly-log routing;
+/// they differ in how aggressively the close-neighbour sets kick in for
+/// clustered data.  We default to the paper's literal formula and expose
+/// the ball-expectation variant for the ablation bench (see DESIGN.md and
+/// EXPERIMENTS.md).
+enum class DminRule : std::uint8_t {
+  kPaperText,        ///< dmin = 1 / (pi * Nmax)
+  kBallExpectation,  ///< dmin = 1 / sqrt(pi * Nmax)
+};
+
+/// Compute dmin for a given rule and capacity.
+double dmin_for(DminRule rule, std::size_t n_max);
+
+struct OverlayConfig {
+  /// Maximum number of objects the overlay is provisioned for; routing is
+  /// O(log^2 Nmax) and dmin derives from it (paper, section 3).
+  std::size_t n_max = 300'000;
+
+  /// Long-range links per object (k); the paper evaluates 1..10 (Fig. 8).
+  std::size_t long_links = 1;
+
+  /// Seed for every stochastic choice made by the overlay (long-range
+  /// targets, gateway selection).
+  std::uint64_t seed = 1;
+
+  DminRule dmin_rule = DminRule::kPaperText;
+
+  /// If positive, overrides the dmin computed from dmin_rule / n_max.
+  double dmin_override = 0.0;
+
+  /// Ablation switches: disable pieces of the view to measure their
+  /// contribution (used by bench_ablation_views; both default on).
+  bool use_close_neighbors = true;
+  bool use_long_links = true;
+
+  [[nodiscard]] double dmin() const {
+    return dmin_override > 0.0 ? dmin_override : dmin_for(dmin_rule, n_max);
+  }
+};
+
+}  // namespace voronet

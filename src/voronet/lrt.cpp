@@ -1,0 +1,48 @@
+#include "voronet/lrt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.hpp"
+#include "voronet/config.hpp"
+
+namespace voronet {
+
+double dmin_for(DminRule rule, std::size_t n_max) {
+  VORONET_EXPECT(n_max >= 1, "n_max must be positive");
+  const double n = static_cast<double>(n_max);
+  switch (rule) {
+    case DminRule::kPaperText:
+      return 1.0 / (std::numbers::pi * n);
+    case DminRule::kBallExpectation:
+      return 1.0 / std::sqrt(std::numbers::pi * n);
+  }
+  VORONET_EXPECT(false, "unknown dmin rule");
+  return 0.0;
+}
+
+Vec2 choose_long_range_target(Vec2 from, double dmin, Rng& rng) {
+  VORONET_EXPECT(dmin > 0.0 && dmin < std::numbers::sqrt2,
+                 "dmin must lie in (0, sqrt(2))");
+  const double a = rng.uniform(std::log(dmin), std::log(std::numbers::sqrt2));
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double radius = std::exp(a);
+  return from + Vec2{radius * std::cos(theta), radius * std::sin(theta)};
+}
+
+double lemma2_normalisation(double dmin) {
+  return 2.0 * std::numbers::pi * std::log(std::numbers::sqrt2 / dmin);
+}
+
+double radial_cdf(double dmin, double r1, double r2) {
+  VORONET_EXPECT(r1 <= r2, "radial_cdf requires r1 <= r2");
+  const double lo = std::clamp(r1, dmin, std::numbers::sqrt2);
+  const double hi = std::clamp(r2, dmin, std::numbers::sqrt2);
+  if (hi <= lo) return 0.0;
+  // a = ln r is uniform on [ln dmin, ln sqrt(2)].
+  return (std::log(hi) - std::log(lo)) /
+         (std::log(std::numbers::sqrt2) - std::log(dmin));
+}
+
+}  // namespace voronet

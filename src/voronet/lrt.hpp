@@ -1,0 +1,26 @@
+// Choose-LRT (paper, Algorithm 3): draw the long-range target of an
+// object.  The radial density is proportional to 1/d (log-uniform radius
+// between dmin and sqrt(2)), which combined with the uniform angle yields
+// the 2-D area density dS / (K d^2) of Lemma 2 -- the Kleinberg harmonic
+// distribution generalised to continuous space.
+#pragma once
+
+#include "common/rng.hpp"
+#include "geometry/vec2.hpp"
+
+namespace voronet {
+
+/// One long-range target for an object at `from`.  The target may fall
+/// outside the unit square (the link will still bind to the closest
+/// object, per section 4.3.2).
+Vec2 choose_long_range_target(Vec2 from, double dmin, Rng& rng);
+
+/// Normalisation constant K of Lemma 2 for the given dmin:
+/// K = 2 pi ln(sqrt(2)/dmin).
+double lemma2_normalisation(double dmin);
+
+/// Closed-form probability that the target lands within distance [r1, r2]
+/// of the source (for the Monte-Carlo validation of Lemma 2).
+double radial_cdf(double dmin, double r1, double r2);
+
+}  // namespace voronet

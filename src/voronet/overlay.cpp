@@ -1,0 +1,754 @@
+#include "voronet/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/expect.hpp"
+#include "geometry/voronoi.hpp"
+#include "voronet/lrt.hpp"
+
+namespace voronet {
+
+namespace {
+
+using sim::MessageKind;
+using sim::OperationKind;
+
+void insert_sorted(std::vector<ObjectId>& v, ObjectId o) {
+  const auto it = std::lower_bound(v.begin(), v.end(), o);
+  if (it == v.end() || *it != o) v.insert(it, o);
+}
+
+void erase_sorted(std::vector<ObjectId>& v, ObjectId o) {
+  const auto it = std::lower_bound(v.begin(), v.end(), o);
+  VORONET_EXPECT(it != v.end() && *it == o,
+                 "view entry to erase is not present");
+  v.erase(it);
+}
+
+bool erase_sorted_if_present(std::vector<ObjectId>& v, ObjectId o) {
+  const auto it = std::lower_bound(v.begin(), v.end(), o);
+  if (it == v.end() || *it != o) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+Overlay::Overlay(const OverlayConfig& config)
+    : config_(config),
+      dmin_(config.dmin()),
+      oracle_({{-0.125, -0.125}, {1.125, 1.125}},
+              std::max<std::size_t>(config.n_max, 64)),
+      rng_(config.seed) {
+  VORONET_EXPECT(config_.n_max >= 1, "n_max must be positive");
+  VORONET_EXPECT(dmin_ > 0.0 && dmin_ < 1.0, "dmin out of range");
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+bool Overlay::contains(ObjectId o) const {
+  return o >= 0 && o < static_cast<ObjectId>(nodes_.size()) &&
+         nodes_[o].live;
+}
+
+const NodeView& Overlay::view(ObjectId o) const {
+  return node_checked(o).view;
+}
+
+Vec2 Overlay::position(ObjectId o) const {
+  return node_checked(o).view.position;
+}
+
+ObjectId Overlay::random_object(Rng& rng) const {
+  VORONET_EXPECT(!live_ids_.empty(), "random_object on an empty overlay");
+  return live_ids_[rng.index(live_ids_.size())];
+}
+
+Overlay::Node& Overlay::node(ObjectId o) {
+  VORONET_DCHECK(contains(o));
+  return nodes_[o];
+}
+
+const Overlay::Node& Overlay::node_checked(ObjectId o) const {
+  VORONET_EXPECT(contains(o), "unknown object id");
+  return nodes_[o];
+}
+
+void Overlay::ensure_slot(ObjectId o) {
+  if (o >= static_cast<ObjectId>(nodes_.size())) {
+    nodes_.resize(static_cast<std::size_t>(o) + 1);
+  }
+}
+
+Vec2 Overlay::distance_to_region(ObjectId o, Vec2 p) const {
+  return geo::closest_point_in_region(dt_, o, p);
+}
+
+// ---------------------------------------------------------------------------
+// Routing (Algorithm 5 framework)
+// ---------------------------------------------------------------------------
+
+ObjectId Overlay::greedy_neighbor(ObjectId at, Vec2 target) const {
+  const NodeView& v = node_checked(at).view;
+  ObjectId best = kNoObject;
+  double best_d = std::numeric_limits<double>::infinity();
+  const auto consider = [&](ObjectId o) {
+    // Dangling entries (crashed peers) are skipped: the greedy step only
+    // forwards to peers that would answer.
+    if (o == kNoObject || o == at || !contains(o)) return;
+    const double d = dist2(nodes_[o].view.position, target);
+    if (d < best_d || (d == best_d && o < best)) {
+      best = o;
+      best_d = d;
+    }
+  };
+  for (const ObjectId o : v.vn) consider(o);
+  if (config_.use_close_neighbors) {
+    for (const ObjectId o : v.cn) consider(o);
+  }
+  if (config_.use_long_links) {
+    for (const LongLink& l : v.lr) consider(l.neighbor);
+  }
+  return best;
+}
+
+Overlay::RouteOutcome Overlay::route_to(ObjectId start, Vec2 target,
+                                        bool count,
+                                        std::vector<ObjectId>* path) const {
+  VORONET_EXPECT(contains(start), "routing from an unknown object");
+  ObjectId cur = start;
+  std::size_t hops = 0;
+  const std::size_t cap = live_ids_.size() + 64;
+  if (path != nullptr) {
+    path->clear();
+    path->push_back(cur);
+  }
+  while (true) {
+    const Vec2 cur_pos = nodes_[cur].view.position;
+    const double d_target_cur = dist(target, cur_pos);
+    // Cheap lower bound on d(DistanceToRegion(target), target): the
+    // distance past any single bisector of cur's region already bounds the
+    // distance to the whole region from below, which is enough to decide
+    // "keep forwarding" without building the cell polygon (the exact value
+    // is only needed near the terminal).  region_lb == 0 iff the target
+    // lies inside cur's region.
+    double region_lb = 0.0;
+    for (const ObjectId nb : nodes_[cur].view.vn) {
+      const Vec2 nb_pos = nodes_[nb].view.position;
+      const Vec2 u = nb_pos - cur_pos;
+      const double beyond = dot(target - 0.5 * (cur_pos + nb_pos), u);
+      if (beyond > 0.0) {
+        const double d = beyond / norm(u);
+        if (d > region_lb) region_lb = d;
+      }
+    }
+    if (d_target_cur <= dmin_) {
+      // dmin stop condition: the close neighbourhood resolves the rest.
+      // Report it as such only when the target is outside cur's region
+      // (otherwise this is an ordinary arrival).
+      return {cur, hops, region_lb > 0.0};
+    }
+    if (!(region_lb > d_target_cur / 3.0)) {
+      // Inconclusive: evaluate the exact stop condition of the paper.
+      const Vec2 z = distance_to_region(cur, target);
+      const double d_z_target = dist(z, target);
+      if (!(d_z_target > d_target_cur / 3.0)) {
+        return {cur, hops, false};
+      }
+    }
+    const ObjectId next = greedy_neighbor(cur, target);
+    VORONET_EXPECT(next != kNoObject, "greedy step found no neighbour");
+    // Greedy progress is guaranteed: if the stop condition fails, the
+    // current object does not own the target's region, so some Voronoi
+    // neighbour is strictly closer (Bose-Morin).
+    VORONET_EXPECT(
+        dist2(nodes_[next].view.position, target) < d_target_cur * d_target_cur,
+        "greedy step made no progress");
+    cur = next;
+    ++hops;
+    if (path != nullptr) path->push_back(cur);
+    if (count) metrics_.count_message(MessageKind::kRouteForward);
+    VORONET_EXPECT(hops <= cap, "routing did not terminate");
+  }
+}
+
+RouteResult Overlay::probe_path(ObjectId from, Vec2 target,
+                                std::vector<ObjectId>& path) const {
+  const RouteOutcome rt = route_to(from, target, /*count=*/false, &path);
+  const ObjectId owner = dt_.nearest(target, rt.terminal);
+  return {owner, rt.hops, rt.stopped_by_dmin};
+}
+
+RouteResult Overlay::probe(ObjectId from, Vec2 target) const {
+  const RouteOutcome rt = route_to(from, target, /*count=*/false);
+  const ObjectId owner = dt_.nearest(target, rt.terminal);
+  return {owner, rt.hops, rt.stopped_by_dmin};
+}
+
+std::vector<ObjectId> Overlay::k_nearest(ObjectId from, Vec2 p,
+                                         std::size_t k) const {
+  const RouteOutcome rt = route_to(from, p, /*count=*/false);
+  std::vector<ObjectId> out;
+  dt_.k_nearest(p, k, out, rt.terminal);
+  return out;
+}
+
+RouteResult Overlay::query(ObjectId from, Vec2 target) {
+  const std::uint64_t msgs_before = metrics_.total_messages();
+  const RouteOutcome rt = route_to(from, target, /*count=*/true);
+  const ObjectId owner = resolve_owner_with_fictives(rt.terminal, target);
+  metrics_.count_message(MessageKind::kQueryAnswer);
+  metrics_.record_operation(OperationKind::kQuery, rt.hops,
+                            metrics_.total_messages() - msgs_before);
+  return {owner, rt.hops, rt.stopped_by_dmin};
+}
+
+// ---------------------------------------------------------------------------
+// Fictive-object resolution (Algorithms 2 and 4)
+// ---------------------------------------------------------------------------
+
+ObjectId Overlay::resolve_owner_with_fictives(ObjectId terminal,
+                                              Vec2 target) {
+  std::vector<ObjectId> affected;
+  const auto absorb_affected = [&] {
+    for (const ObjectId a : dt_.last_affected()) affected.push_back(a);
+    metrics_.count_message(MessageKind::kVoronoiUpdate,
+                           dt_.last_affected().size());
+  };
+
+  // Fictive object z = DistanceToRegion(target) inside the terminal's
+  // region (Lemma 4 guarantees the subsequent insertion of the target is
+  // local to z).
+  const Vec2 z = distance_to_region(terminal, target);
+  ObjectId zid = kNoObject;
+  if (z != target) {
+    const auto out = dt_.insert(z, terminal);
+    if (out.created) {
+      zid = out.vertex;
+      absorb_affected();
+    }
+  }
+
+  ObjectId owner = kNoObject;
+  const auto out_t = dt_.insert(target, zid != kNoObject ? zid : terminal);
+  if (!out_t.created) {
+    // The target position is an existing vertex.  If it is the fictive z
+    // (z == target was excluded, so this means a live object sits there),
+    // that object owns its own position.
+    owner = out_t.vertex;
+    VORONET_EXPECT(owner != zid, "fictive vertex aliased the target");
+  } else {
+    const ObjectId tid = out_t.vertex;
+    absorb_affected();
+    // Remove the helper z first: with z still present the nearest real
+    // object need not be a Delaunay neighbour of the target vertex (the
+    // fictive can shadow it).  Algorithm 4 removes z before selecting the
+    // owner; we follow it for Algorithm 2 as well (see DESIGN.md).
+    if (zid != kNoObject) {
+      dt_.remove(zid);
+      zid = kNoObject;
+      absorb_affected();
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (const ObjectId y : dt_.neighbors(tid)) {
+      if (!contains(y)) continue;  // skip anything fictive
+      const double d = dist2(nodes_[y].view.position, target);
+      if (d < best || (d == best && y < owner)) {
+        owner = y;
+        best = d;
+      }
+    }
+    dt_.remove(tid);
+    absorb_affected();
+  }
+  if (zid != kNoObject) {
+    dt_.remove(zid);
+    absorb_affected();
+  }
+
+  refresh_views(affected, /*count=*/false);
+  VORONET_EXPECT(owner != kNoObject, "owner resolution failed");
+  VORONET_DCHECK(owner == dt_.nearest(target, owner));
+  return owner;
+}
+
+// ---------------------------------------------------------------------------
+// Join (Algorithms 1 and 2)
+// ---------------------------------------------------------------------------
+
+ObjectId Overlay::insert(Vec2 p) {
+  if (live_ids_.empty()) {
+    const std::uint64_t msgs_before = metrics_.total_messages();
+    const auto out = dt_.insert(p);
+    VORONET_EXPECT(out.created, "bootstrap insertion failed");
+    const ObjectId x = out.vertex;
+    ensure_slot(x);
+    nodes_[x] = Node{};
+    nodes_[x].live = true;
+    nodes_[x].view.position = p;
+    live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
+                                           static_cast<std::size_t>(x) + 1));
+    live_pos_[x] = static_cast<std::uint32_t>(live_ids_.size());
+    live_ids_.push_back(x);
+    oracle_.insert(static_cast<std::uint32_t>(x), p);
+    establish_long_links(x);
+    metrics_.record_operation(OperationKind::kJoin, 0,
+                              metrics_.total_messages() - msgs_before);
+    return x;
+  }
+  return insert(p, random_object(rng_));
+}
+
+ObjectId Overlay::insert(Vec2 p, ObjectId gateway) {
+  VORONET_EXPECT(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0,
+                 "object attributes must lie in the unit square");
+  const std::uint64_t msgs_before = metrics_.total_messages();
+
+  // Greedy route towards the new position (AddObject's Spawn chain).
+  const RouteOutcome rt = route_to(gateway, p, /*count=*/true);
+
+  std::vector<ObjectId> affected;
+  const auto absorb_affected = [&] {
+    for (const ObjectId a : dt_.last_affected()) affected.push_back(a);
+    metrics_.count_message(MessageKind::kVoronoiUpdate,
+                           dt_.last_affected().size());
+  };
+
+  // Fictive object z (skipped when the terminal already owns p's region).
+  const Vec2 z = distance_to_region(rt.terminal, p);
+  ObjectId zid = kNoObject;
+  if (z != p) {
+    const auto out = dt_.insert(z, rt.terminal);
+    if (out.created) {
+      zid = out.vertex;
+      absorb_affected();
+    }
+  }
+
+  const auto out_p = dt_.insert(p, zid != kNoObject ? zid : rt.terminal);
+  if (!out_p.created) {
+    // An object already sits at p: undo the fictive and return it
+    // (positions are identifiers in an object network).
+    if (zid != kNoObject) {
+      dt_.remove(zid);
+      absorb_affected();
+    }
+    refresh_views(affected, /*count=*/false);
+    return out_p.vertex;
+  }
+  absorb_affected();
+  const ObjectId x = out_p.vertex;
+
+  if (zid != kNoObject) {
+    dt_.remove(zid);
+    absorb_affected();
+  }
+
+  // Claim the slot and register the object.
+  ensure_slot(x);
+  nodes_[x] = Node{};
+  nodes_[x].live = true;
+  nodes_[x].view.position = p;
+  live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
+                                         static_cast<std::size_t>(x) + 1));
+  live_pos_[x] = static_cast<std::uint32_t>(live_ids_.size());
+  live_ids_.push_back(x);
+  oracle_.insert(static_cast<std::uint32_t>(x), p);
+
+  refresh_views(affected, /*count=*/false);
+  materialize_object(x);
+  establish_long_links(x);
+
+  metrics_.record_operation(OperationKind::kJoin, rt.hops,
+                            metrics_.total_messages() - msgs_before);
+  return x;
+}
+
+void Overlay::materialize_object(ObjectId x) {
+  Node& nx = nodes_[x];
+  nx.view.vn = dt_.neighbors(x);
+  std::sort(nx.view.vn.begin(), nx.view.vn.end());
+
+  // Close neighbours (Lemma 1): candidates are the Voronoi neighbours and
+  // their vn/cn members; each neighbour answers one gathering request.
+  const double dmin2 = dmin_ * dmin_;
+  std::vector<ObjectId> candidates;
+  for (const ObjectId y : nx.view.vn) {
+    metrics_.count_message(MessageKind::kCloseNeighbor);
+    candidates.push_back(y);
+    const NodeView& vy = nodes_[y].view;
+    candidates.insert(candidates.end(), vy.vn.begin(), vy.vn.end());
+    candidates.insert(candidates.end(), vy.cn.begin(), vy.cn.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const ObjectId c : candidates) {
+    if (c == x || !contains(c)) continue;
+    if (dist2(nodes_[c].view.position, nx.view.position) <= dmin2) {
+      insert_sorted(nx.view.cn, c);
+      insert_sorted(nodes_[c].view.cn, x);  // symmetric declaration
+      metrics_.count_message(MessageKind::kCloseNeighbor);
+    }
+  }
+
+  // Back-long-range takeover: x now owns the region around its position;
+  // neighbours hand over every entry whose target is closer to x.
+  for (const ObjectId y : nx.view.vn) {
+    auto& yblr = nodes_[y].view.blr;
+    for (std::size_t i = 0; i < yblr.size();) {
+      const BackLink& e = yblr[i];
+      if (dist2(nx.view.position, e.target) <
+          dist2(nodes_[y].view.position, e.target)) {
+        nodes_[e.origin].view.lr[e.link_index].neighbor = x;
+        nx.view.blr.push_back(e);
+        yblr[i] = yblr.back();
+        yblr.pop_back();
+        metrics_.count_message(MessageKind::kBlrTransfer);
+        metrics_.count_message(MessageKind::kLongLinkBind);
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void Overlay::establish_long_links(ObjectId x) {
+  if (!config_.use_long_links) return;
+  for (std::uint32_t j = 0; j < config_.long_links; ++j) {
+    const Vec2 target =
+        choose_long_range_target(nodes_[x].view.position, dmin_, rng_);
+    // SearchLongLink: greedy route from x, then fictive resolution.
+    const RouteOutcome rt = route_to(x, target, /*count=*/true);
+    const ObjectId owner = resolve_owner_with_fictives(rt.terminal, target);
+    nodes_[x].view.lr.push_back({target, owner});
+    // The back entry is kept even when the target currently falls in x's
+    // own region: a later join may take the region over, and the entry is
+    // what lets the takeover re-bind the link.
+    nodes_[owner].view.blr.push_back({x, j, target});
+    metrics_.count_message(MessageKind::kLongLinkBind);
+  }
+}
+
+void Overlay::refresh_views(const std::vector<ObjectId>& affected,
+                            bool count) {
+  thread_local std::vector<ObjectId> uniq;
+  uniq = affected;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  for (const ObjectId o : uniq) {
+    if (!contains(o)) continue;  // fictive or already-departed vertex
+    Node& n = nodes_[o];
+    n.view.vn = dt_.neighbors(o);
+    std::sort(n.view.vn.begin(), n.view.vn.end());
+    if (count) metrics_.count_message(MessageKind::kVoronoiUpdate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leave (RemoveVoronoiRegion and delegation, section 4.2.2)
+// ---------------------------------------------------------------------------
+
+void Overlay::remove(ObjectId o) {
+  VORONET_EXPECT(contains(o), "removing an unknown object");
+  const std::uint64_t msgs_before = metrics_.total_messages();
+  Node& n = nodes_[o];
+
+  // Notify close neighbours of the departure (symmetric sets).
+  for (const ObjectId c : n.view.cn) {
+    erase_sorted(nodes_[c].view.cn, o);
+    metrics_.count_message(MessageKind::kLeaveNotify);
+  }
+  n.view.cn.clear();
+
+  // Retract o's own long links from their targets' back-lists.  Links
+  // bound to o itself live in o's own blr and die with it (skipped in the
+  // delegation below).
+  for (std::uint32_t j = 0; j < n.view.lr.size(); ++j) {
+    const ObjectId w = n.view.lr[j].neighbor;
+    if (w == o || w == kNoObject) continue;
+    auto& wblr = nodes_[w].view.blr;
+    const auto it = std::find_if(wblr.begin(), wblr.end(),
+                                 [&](const BackLink& e) {
+                                   return e.origin == o && e.link_index == j;
+                                 });
+    VORONET_EXPECT(it != wblr.end(), "dangling long link on departure");
+    *it = wblr.back();
+    wblr.pop_back();
+    metrics_.count_message(MessageKind::kLeaveNotify);
+  }
+
+  // Entries to delegate, and the neighbour set that receives them.
+  const std::vector<BackLink> entries = std::move(n.view.blr);
+  const std::vector<ObjectId> old_vn = n.view.vn;
+  const Vec2 old_pos = n.view.position;
+
+  // Geometric removal + view refresh of the former neighbours.
+  oracle_.remove(static_cast<std::uint32_t>(o), old_pos);
+  n.live = false;
+  const std::uint32_t idx = live_pos_[o];
+  live_pos_[live_ids_.back()] = idx;
+  live_ids_[idx] = live_ids_.back();
+  live_ids_.pop_back();
+
+  dt_.remove(o);
+  metrics_.count_message(MessageKind::kVoronoiUpdate,
+                         dt_.last_affected().size());
+  refresh_views(dt_.last_affected(), /*count=*/false);
+
+  // Delegate each back entry to the Voronoi neighbour now owning its
+  // target (the paper's rule: the vn member closest to the target).
+  for (const BackLink& e : entries) {
+    if (e.origin == o) continue;  // o's own self-bound links die with it
+    VORONET_EXPECT(contains(e.origin), "back link from a dead origin");
+    ObjectId heir = kNoObject;
+    double best = std::numeric_limits<double>::infinity();
+    for (const ObjectId y : old_vn) {
+      if (!contains(y)) continue;
+      const double d = dist2(nodes_[y].view.position, e.target);
+      if (d < best || (d == best && y < heir)) {
+        heir = y;
+        best = d;
+      }
+    }
+    VORONET_EXPECT(heir != kNoObject, "no heir for a delegated long link");
+    VORONET_DCHECK(heir == dt_.nearest(e.target, heir));
+    nodes_[heir].view.blr.push_back(e);
+    nodes_[e.origin].view.lr[e.link_index].neighbor = heir;
+    metrics_.count_message(MessageKind::kBlrTransfer);
+    metrics_.count_message(MessageKind::kLongLinkBind);
+  }
+
+  metrics_.record_operation(OperationKind::kLeave, 0,
+                            metrics_.total_messages() - msgs_before);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection and repair
+// ---------------------------------------------------------------------------
+
+void Overlay::crash(ObjectId o) {
+  VORONET_EXPECT(contains(o), "crashing an unknown object");
+  Node& n = nodes_[o];
+
+  // The object's own state disappears silently: no cn notifications, no
+  // back-long-range delegation, no lr retraction.  Everything referencing
+  // it elsewhere now dangles.
+  n.view = NodeView{};
+  n.live = false;
+  oracle_.remove(static_cast<std::uint32_t>(o), dt_.position(o));
+  const std::uint32_t idx = live_pos_[o];
+  live_pos_[live_ids_.back()] = idx;
+  live_ids_[idx] = live_ids_.back();
+  live_ids_.pop_back();
+
+  // Neighbours detect the failure and heal their local cells (the one
+  // repair that cannot wait: the tessellation must stay a tessellation).
+  dt_.remove(o);
+  metrics_.count_message(MessageKind::kVoronoiUpdate,
+                         dt_.last_affected().size());
+  refresh_views(dt_.last_affected(), /*count=*/false);
+}
+
+std::size_t Overlay::repair_dangling() {
+  std::size_t repaired = 0;
+  // Snapshot the id list: re-binding long links inserts fictive objects,
+  // which must not invalidate the iteration.
+  const std::vector<ObjectId> ids = live_ids_;
+  for (const ObjectId o : ids) {
+    if (!contains(o)) continue;
+    Node& n = nodes_[o];
+
+    // Drop dead close neighbours (failure detection on first contact).
+    auto& cn = n.view.cn;
+    const std::size_t before = cn.size();
+    cn.erase(std::remove_if(cn.begin(), cn.end(),
+                            [&](ObjectId c) { return !contains(c); }),
+             cn.end());
+    repaired += before - cn.size();
+    if (before != cn.size()) {
+      metrics_.count_message(MessageKind::kLeaveNotify, before - cn.size());
+    }
+
+    // Purge back entries whose origin crashed (their forward links died
+    // with the origin).
+    auto& blr = n.view.blr;
+    const std::size_t blr_before = blr.size();
+    blr.erase(std::remove_if(blr.begin(), blr.end(),
+                             [&](const BackLink& e) {
+                               return !contains(e.origin);
+                             }),
+              blr.end());
+    repaired += blr_before - blr.size();
+    if (blr_before != blr.size()) {
+      metrics_.count_message(MessageKind::kLeaveNotify,
+                             blr_before - blr.size());
+    }
+
+    // Re-bind long links whose holder crashed: same target point, new
+    // owner found with the ordinary SearchLongLink machinery.
+    for (std::uint32_t j = 0; j < n.view.lr.size(); ++j) {
+      const ObjectId holder = n.view.lr[j].neighbor;
+      if (holder != kNoObject && contains(holder)) continue;
+      const Vec2 target = n.view.lr[j].target;
+      const RouteOutcome rt = route_to(o, target, /*count=*/true);
+      const ObjectId owner = resolve_owner_with_fictives(rt.terminal, target);
+      nodes_[o].view.lr[j].neighbor = owner;
+      nodes_[owner].view.blr.push_back({o, j, target});
+      metrics_.count_message(MessageKind::kLongLinkBind);
+      ++repaired;
+    }
+  }
+  return repaired;
+}
+
+// ---------------------------------------------------------------------------
+// Capacity adaptation (paper, section 7)
+// ---------------------------------------------------------------------------
+
+void Overlay::rebalance_capacity(std::size_t new_n_max,
+                                 std::size_t dense_threshold) {
+  VORONET_EXPECT(new_n_max >= config_.n_max,
+                 "capacity can only grow (shrinking would require re-"
+                 "gathering close neighbourhoods)");
+  const double new_dmin =
+      config_.dmin_override > 0.0 ? config_.dmin_override
+                                  : dmin_for(config_.dmin_rule, new_n_max);
+  VORONET_EXPECT(new_dmin <= dmin_, "dmin must shrink as capacity grows");
+
+  // Which objects redraw their long links: all of them (simple scheme) or
+  // only those whose close neighbourhood got too dense (refined scheme).
+  std::vector<ObjectId> redraw;
+  for (const ObjectId o : live_ids_) {
+    if (dense_threshold == 0 ||
+        nodes_[o].view.cn.size() > dense_threshold) {
+      redraw.push_back(o);
+    }
+  }
+
+  // Shrink every close neighbourhood to the new radius (symmetric drops).
+  config_.n_max = new_n_max;
+  dmin_ = new_dmin;
+  const double dmin2 = dmin_ * dmin_;
+  for (const ObjectId o : live_ids_) {
+    Node& n = nodes_[o];
+    auto& cn = n.view.cn;
+    for (std::size_t i = 0; i < cn.size();) {
+      const ObjectId c = cn[i];
+      if (dist2(nodes_[c].view.position, n.view.position) > dmin2) {
+        // Symmetric drop: remove both directions when first encountered
+        // (the peer's entry is already gone if the pair was handled from
+        // the other side).
+        if (erase_sorted_if_present(nodes_[c].view.cn, o)) {
+          metrics_.count_message(MessageKind::kCloseNeighbor);
+        }
+        cn.erase(cn.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Redraw long links against the new Choose-LRT bounds.
+  for (const ObjectId o : redraw) {
+    if (!contains(o)) continue;
+    Node& n = nodes_[o];
+    for (std::uint32_t j = 0; j < n.view.lr.size(); ++j) {
+      const ObjectId holder = n.view.lr[j].neighbor;
+      if (holder == kNoObject || !contains(holder)) continue;
+      auto& hblr = nodes_[holder].view.blr;
+      const auto it = std::find_if(hblr.begin(), hblr.end(),
+                                   [&](const BackLink& e) {
+                                     return e.origin == o &&
+                                            e.link_index == j;
+                                   });
+      VORONET_EXPECT(it != hblr.end(), "missing back entry on rebalance");
+      *it = hblr.back();
+      hblr.pop_back();
+      metrics_.count_message(MessageKind::kBlrTransfer);
+    }
+    n.view.lr.clear();
+    establish_long_links(o);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant audit
+// ---------------------------------------------------------------------------
+
+void Overlay::check_invariants(bool check_delaunay) const {
+  dt_.validate(check_delaunay);
+  VORONET_EXPECT(dt_.size() == live_ids_.size(),
+                 "tessellation / object count mismatch");
+
+  const double dmin2 = dmin_ * dmin_;
+  std::vector<spatial::GridIndex::Id> ball;
+  for (const ObjectId o : live_ids_) {
+    const Node& n = nodes_[o];
+    VORONET_EXPECT(n.live, "live list contains a dead node");
+
+    // vn caches must equal the tessellation's adjacency.
+    auto expected_vn = dt_.neighbors(o);
+    std::sort(expected_vn.begin(), expected_vn.end());
+    VORONET_EXPECT(n.view.vn == expected_vn,
+                   "vn cache diverges from the tessellation");
+
+    // cn must equal the oracle's dmin-ball (minus the object itself).
+    ball.clear();
+    oracle_.range(n.view.position, dmin_, ball);
+    std::vector<ObjectId> expected_cn;
+    for (const auto id : ball) {
+      const auto other = static_cast<ObjectId>(id);
+      if (other == o) continue;
+      if (dist2(nodes_[other].view.position, n.view.position) <= dmin2) {
+        expected_cn.push_back(other);
+      }
+    }
+    std::sort(expected_cn.begin(), expected_cn.end());
+    VORONET_EXPECT(n.view.cn == expected_cn,
+                   "cn set diverges from the dmin ball (Lemma 1)");
+
+    // cn symmetry.
+    for (const ObjectId c : n.view.cn) {
+      const auto& peer = node_checked(c).view.cn;
+      VORONET_EXPECT(std::binary_search(peer.begin(), peer.end(), o),
+                     "cn link not symmetric");
+    }
+
+    // Long links: bound to the current owner of their target.
+    if (config_.use_long_links) {
+      VORONET_EXPECT(n.view.lr.size() == config_.long_links,
+                     "wrong number of long links");
+    }
+    for (std::size_t j = 0; j < n.view.lr.size(); ++j) {
+      const LongLink& l = n.view.lr[j];
+      VORONET_EXPECT(contains(l.neighbor), "long link to a dead object");
+      const ObjectId true_owner = dt_.nearest(l.target, l.neighbor);
+      VORONET_EXPECT(l.neighbor == true_owner,
+                     "long link not bound to the target's region owner");
+      const auto& blr = nodes_[l.neighbor].view.blr;
+      const bool backed = std::any_of(
+          blr.begin(), blr.end(), [&](const BackLink& e) {
+            return e.origin == o && e.link_index == j;
+          });
+      VORONET_EXPECT(backed, "long link without back entry");
+    }
+
+    // Back entries must be the exact inverse of the long links.
+    for (const BackLink& e : n.view.blr) {
+      VORONET_EXPECT(contains(e.origin), "back link from dead origin");
+      const auto& lr = nodes_[e.origin].view.lr;
+      VORONET_EXPECT(e.link_index < lr.size(), "back link index out of range");
+      VORONET_EXPECT(lr[e.link_index].neighbor == o,
+                     "back link does not match the forward link");
+      VORONET_EXPECT(lr[e.link_index].target == e.target,
+                     "back link target drifted");
+    }
+  }
+}
+
+}  // namespace voronet

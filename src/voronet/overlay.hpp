@@ -1,0 +1,249 @@
+// The VoroNet overlay (the paper's primary contribution).
+//
+// Objects live in the unit square; each object's view holds
+//   * vn(o)   -- its Voronoi (Delaunay) neighbours,
+//   * cn(o)   -- every object within dmin (routing termination in clusters),
+//   * LRn(o)  -- k long-range links drawn by Choose-LRT, each pointing to
+//                the object whose region contains the target point,
+//   * BLRn(o) -- reverse entries for long links targetting o's region
+//                (used only for maintenance, never for routing).
+//
+// The overlay is a sequential discrete simulation of the distributed
+// protocol: every join / leave / query runs the paper's algorithms
+// (greedy Route framework, fictive-object insertion, local tessellation
+// updates, back-long-range delegation) and accounts each exchanged
+// message in sim::Metrics.  Routing decisions consume only the view of
+// the current object -- the global tessellation object serves as the
+// geometric ground truth that the per-object Sugihara-Iri updates of a
+// real deployment would reconstruct, and check_invariants() asserts the
+// two agree after every operation (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/vec2.hpp"
+#include "sim/metrics.hpp"
+#include "spatial/grid_index.hpp"
+#include "voronet/config.hpp"
+
+namespace voronet {
+
+using ObjectId = geo::DelaunayTriangulation::VertexId;
+inline constexpr ObjectId kNoObject = geo::DelaunayTriangulation::kNoVertex;
+
+/// One long-range link: the immutable target point drawn by Choose-LRT and
+/// the object currently responsible for the region containing it.
+struct LongLink {
+  Vec2 target;
+  ObjectId neighbor = kNoObject;
+};
+
+/// A back-long-range entry: `origin`'s link number `link_index` targets a
+/// point inside this object's region.
+struct BackLink {
+  ObjectId origin = kNoObject;
+  std::uint32_t link_index = 0;
+  Vec2 target;
+};
+
+/// The view an object maintains (paper, section 3.1).
+struct NodeView {
+  Vec2 position;
+  std::vector<ObjectId> vn;    ///< Voronoi neighbours (sorted)
+  std::vector<ObjectId> cn;    ///< close neighbours within dmin (sorted)
+  std::vector<LongLink> lr;    ///< k long-range links
+  std::vector<BackLink> blr;   ///< reverse long-range entries
+
+  /// Total view size (the quantity the paper proves O(1) expected).
+  [[nodiscard]] std::size_t degree() const {
+    return vn.size() + cn.size() + lr.size() + blr.size();
+  }
+};
+
+/// Result of a routed operation.
+struct RouteResult {
+  ObjectId owner = kNoObject;  ///< object whose region contains the target
+  std::size_t hops = 0;        ///< greedy forwards (Lemma 5's step count)
+  bool stopped_by_dmin = false;///< terminated through the dmin condition
+};
+
+class Overlay {
+ public:
+  explicit Overlay(const OverlayConfig& config);
+
+  // Non-copyable (owns the tessellation substrate).
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  /// Join a new object at position p, routing from a uniformly random
+  /// existing object (or bootstrapping if the overlay is empty).  If an
+  /// object already sits exactly at p, its id is returned and nothing is
+  /// inserted (positions identify objects).
+  ObjectId insert(Vec2 p);
+
+  /// Join routing from a specific gateway object (paper's AddObject(x)
+  /// starting at a known object s).
+  ObjectId insert(Vec2 p, ObjectId gateway);
+
+  /// Leave: runs RemoveVoronoiRegion plus close-neighbour notification and
+  /// back-long-range delegation.
+  void remove(ObjectId o);
+
+  // --- Failure injection ---------------------------------------------------
+
+  /// Fail-stop crash: the object vanishes WITHOUT executing the departure
+  /// protocol.  Its tessellation region is healed immediately (the
+  /// simulator stand-in for the neighbours' local cell repair on failure
+  /// detection), but close-neighbour entries and long links pointing at
+  /// the dead object are left dangling.  Routing skips dangling entries;
+  /// run repair_dangling() to restore the full invariants.
+  void crash(ObjectId o);
+
+  /// Lazy failure-detection sweep: drops dead close-neighbour entries and
+  /// re-runs SearchLongLink for every long link whose holder crashed (the
+  /// target point is kept, per the paper's "link points to the object
+  /// responsible for the region containing this point").  Returns the
+  /// number of repaired references.  All messages are accounted.
+  std::size_t repair_dangling();
+
+  // --- Capacity adaptation (paper, section 7, second perspective) -----------
+
+  /// Re-provision for a larger maximum object count.  dmin shrinks to the
+  /// new capacity's value; close-neighbour sets are re-filtered (dropping
+  /// now-out-of-radius links) and long links are redrawn against the new
+  /// Choose-LRT bounds.  With `dense_threshold` == 0 every object redraws
+  /// (the paper's simple scheme -- the "bootstrap storm"); otherwise only
+  /// objects whose close neighbourhood exceeded the threshold redraw (the
+  /// paper's refined scheme).  Requires new_n_max >= the current capacity.
+  void rebalance_capacity(std::size_t new_n_max,
+                          std::size_t dense_threshold = 0);
+
+  /// Full query protocol (Algorithm 4): greedy route + fictive-object
+  /// resolution at the terminal; counts all messages.
+  RouteResult query(ObjectId from, Vec2 target);
+
+  /// Measurement-only greedy route: identical hop semantics to query(),
+  /// but read-only (no fictive objects, no message accounting) and safe to
+  /// call concurrently from measurement threads.
+  [[nodiscard]] RouteResult probe(ObjectId from, Vec2 target) const;
+
+  /// probe() that also records the forwarding path (path.front() == from;
+  /// path.back() == the routing terminal, which may differ from the owner
+  /// when a stop condition fires early).
+  RouteResult probe_path(ObjectId from, Vec2 target,
+                         std::vector<ObjectId>& path) const;
+
+  /// The greedy step: the member of vn + cn + LRn closest to the target
+  /// (paper's Greedyneighbour).  Exposed for tests and benches.
+  [[nodiscard]] ObjectId greedy_neighbor(ObjectId at, Vec2 target) const;
+
+  /// The k objects closest to p, in increasing distance order: greedy
+  /// route to the owner of p, then best-first expansion over Voronoi
+  /// neighbourhoods (each expansion step is one overlay message in a real
+  /// deployment).  Read-only and thread-safe, like probe().
+  [[nodiscard]] std::vector<ObjectId> k_nearest(ObjectId from, Vec2 p,
+                                                std::size_t k) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return live_ids_.size(); }
+  [[nodiscard]] bool contains(ObjectId o) const;
+  [[nodiscard]] const NodeView& view(ObjectId o) const;
+  [[nodiscard]] Vec2 position(ObjectId o) const;
+  [[nodiscard]] const std::vector<ObjectId>& objects() const {
+    return live_ids_;
+  }
+  [[nodiscard]] ObjectId random_object(Rng& rng) const;
+  [[nodiscard]] double dmin() const { return dmin_; }
+  [[nodiscard]] const OverlayConfig& config() const { return config_; }
+
+  /// Ground-truth tessellation (for tests, examples and rendering).
+  [[nodiscard]] const geo::DelaunayTriangulation& tessellation() const {
+    return dt_;
+  }
+
+  [[nodiscard]] sim::Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const sim::Metrics& metrics() const { return metrics_; }
+
+  /// Exhaustive cross-check of every view against the tessellation and the
+  /// brute-force spatial oracle; throws ContractError on any violation.
+  /// O(n * degree) plus an exact-Delaunay audit -- test-suite usage.
+  void check_invariants(bool check_delaunay = true) const;
+
+  // --- Snapshots -------------------------------------------------------------
+
+  /// Serialise the overlay structure (configuration, object positions,
+  /// long-range targets) to a text stream.  Coordinates are written as
+  /// hex-floats, so a round trip is bit-exact.  The RNG stream is NOT
+  /// part of a snapshot: a reloaded overlay has identical structure and
+  /// routing behaviour but draws fresh randomness for future joins.
+  void save(std::ostream& os) const;
+
+  /// Rebuild an overlay from a snapshot.  Views (vn, cn, long-link
+  /// bindings, back links) are reconstructed from the geometry; object
+  /// ids are freshly assigned (snapshots carry positions, which identify
+  /// objects in VoroNet).  Throws std::runtime_error on malformed input.
+  static std::unique_ptr<Overlay> load(std::istream& is);
+
+ private:
+  struct Node {
+    bool live = false;
+    NodeView view;
+  };
+
+  struct RouteOutcome {
+    ObjectId terminal = kNoObject;
+    std::size_t hops = 0;
+    bool stopped_by_dmin = false;
+  };
+
+  /// The shared Route framework (Algorithm 5): greedy-forward until the
+  /// 1/3-progress or dmin stop condition holds.  `count` enables message
+  /// accounting (probe() passes false); `path`, when non-null, receives
+  /// every visited object including the start.
+  RouteOutcome route_to(ObjectId start, Vec2 target, bool count,
+                        std::vector<ObjectId>* path = nullptr) const;
+
+  /// Region owner of `target` resolved the paper's way: temporarily insert
+  /// a fictive object at the terminal's closest region point and at the
+  /// target, read the answer off the tessellation, then remove both.
+  ObjectId resolve_owner_with_fictives(ObjectId terminal, Vec2 target);
+
+  /// Insert the real object x (geometry + every view maintenance step of
+  /// AddVoronoiRegion): vn refresh, cn gathering (Lemma 1), BLR takeover.
+  void materialize_object(ObjectId x);
+
+  /// Draw and bind the k long links of x (Algorithm 2).
+  void establish_long_links(ObjectId x);
+
+  /// Recompute the vn cache of every (live) id in `affected`, counting one
+  /// update message each.
+  void refresh_views(const std::vector<ObjectId>& affected, bool count);
+
+  [[nodiscard]] Node& node(ObjectId o);
+  [[nodiscard]] const Node& node_checked(ObjectId o) const;
+  void ensure_slot(ObjectId o);
+
+  /// DistanceToRegion of the paper, on the current tessellation.
+  [[nodiscard]] Vec2 distance_to_region(ObjectId o, Vec2 p) const;
+
+  OverlayConfig config_;
+  double dmin_;
+  geo::DelaunayTriangulation dt_;
+  std::vector<Node> nodes_;          // indexed by ObjectId (dt vertex id)
+  std::vector<ObjectId> live_ids_;   // dense list for random sampling
+  std::vector<std::uint32_t> live_pos_;  // id -> index into live_ids_
+  spatial::GridIndex oracle_;        // brute-force dmin-ball oracle
+  mutable Rng rng_;
+  // Observational state: route_to() is const (probe() shares it) but the
+  // accounting variant mutates the counters.
+  mutable sim::Metrics metrics_;
+};
+
+}  // namespace voronet

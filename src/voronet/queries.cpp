@@ -1,0 +1,117 @@
+#include "voronet/queries.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "geometry/predicates.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace voronet {
+
+namespace {
+
+/// Squared distance from an object's region to a point, through the
+/// overlay's ground-truth tessellation.
+double region_dist2(const Overlay& overlay, ObjectId o, Vec2 p) {
+  return geo::dist2_to_region(overlay.tessellation(), o, p);
+}
+
+/// Squared distance from an object's Voronoi region to segment [a, b].
+/// The distance from p(t) = a + t(b-a) to a convex set is convex in t, so
+/// ternary search converges to the global minimum.
+double region_dist2_to_segment(const Overlay& overlay, ObjectId o, Vec2 a,
+                               Vec2 b) {
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    const double d1 = region_dist2(overlay, o, a + m1 * (b - a));
+    const double d2 = region_dist2(overlay, o, a + m2 * (b - a));
+    if (d1 < d2) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+    if (d1 == 0.0 || d2 == 0.0) return 0.0;
+  }
+  return region_dist2(overlay, o, a + 0.5 * (lo + hi) * (b - a));
+}
+
+}  // namespace
+
+RegionQueryResult range_query(const Overlay& overlay, ObjectId from, Vec2 a,
+                              Vec2 b, double tolerance) {
+  VORONET_EXPECT(tolerance >= 0.0, "negative range tolerance");
+  RegionQueryResult res;
+
+  // Reach the owner of endpoint a with the ordinary greedy protocol.
+  const RouteResult entry = overlay.probe(from, a);
+  res.route_hops = entry.hops;
+
+  // Flood the "stadium" (segment inflated by the tolerance): forward
+  // across exactly those Voronoi neighbours whose region comes within the
+  // tolerance of the segment.  The stadium is convex, so the cells meeting
+  // it form a connected patch of the Voronoi adjacency and the flood
+  // reaches them all.  With tolerance 0 this degenerates to the paper's
+  // sketch -- forwarding along the cells the segment crosses.
+  const double tol2 = tolerance * tolerance;
+  std::unordered_set<ObjectId> visited{entry.owner};
+  std::vector<ObjectId> stack{entry.owner};
+  while (!stack.empty()) {
+    const ObjectId cur = stack.back();
+    stack.pop_back();
+    res.owners.push_back(cur);
+    if (geo::dist2_to_segment(a, b, overlay.position(cur)) <= tol2) {
+      res.matches.push_back(cur);
+    }
+    for (const ObjectId nb : overlay.view(cur).vn) {
+      if (visited.count(nb)) continue;
+      if (region_dist2_to_segment(overlay, nb, a, b) <= tol2) {
+        visited.insert(nb);
+        stack.push_back(nb);
+        ++res.forward_messages;
+      }
+    }
+  }
+  std::sort(res.matches.begin(), res.matches.end());
+  return res;
+}
+
+RegionQueryResult radius_query(const Overlay& overlay, ObjectId from,
+                               Vec2 center, double radius) {
+  VORONET_EXPECT(radius >= 0.0, "negative query radius");
+  RegionQueryResult res;
+
+  const RouteResult entry = overlay.probe(from, center);
+  res.route_hops = entry.hops;
+
+  // Flood the Voronoi adjacency, but only across objects whose region
+  // intersects the disk: this visits exactly the cells overlapping the
+  // query (the set of such cells is connected since cells are convex and
+  // the disk is convex).
+  const double r2 = radius * radius;
+  std::unordered_set<ObjectId> visited{entry.owner};
+  std::vector<ObjectId> stack{entry.owner};
+  while (!stack.empty()) {
+    const ObjectId cur = stack.back();
+    stack.pop_back();
+    res.owners.push_back(cur);
+    if (dist2(overlay.position(cur), center) <= r2) {
+      res.matches.push_back(cur);
+    }
+    for (const ObjectId nb : overlay.view(cur).vn) {
+      if (visited.count(nb)) continue;
+      if (region_dist2(overlay, nb, center) <= r2) {
+        visited.insert(nb);
+        stack.push_back(nb);
+        ++res.forward_messages;
+      }
+    }
+  }
+  std::sort(res.matches.begin(), res.matches.end());
+  return res;
+}
+
+}  // namespace voronet

@@ -1,0 +1,49 @@
+// Rich query mechanisms over the overlay (paper, section 7 perspectives).
+//
+// The paper motivates VoroNet with attribute-space searches that
+// hash-based DHTs cannot support.  Two are sketched in the conclusion and
+// implemented here on top of the public overlay API:
+//
+//  * range_query: a 1-attribute range query is a segment in the unit
+//    square; the query is greedy-routed to the owner of one endpoint and
+//    then forwarded cell-to-cell along the segment, collecting every
+//    object whose Voronoi region the segment crosses.
+//
+//  * radius_query: all objects within a disk; the query is routed to the
+//    owner of the centre and then flooded across exactly those Voronoi
+//    neighbours whose regions intersect the disk.
+//
+// Both use only the per-object views plus cell geometry, i.e. the same
+// information a distributed deployment has, and report the number of
+// forwarding messages used.
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "voronet/overlay.hpp"
+
+namespace voronet {
+
+struct RegionQueryResult {
+  /// Objects owning the queried region of space, in visit order.
+  std::vector<ObjectId> owners;
+  /// Objects matching the query predicate (subset of owners for segment
+  /// queries; objects inside the disk for radius queries).
+  std::vector<ObjectId> matches;
+  std::size_t route_hops = 0;      ///< greedy hops to reach the region
+  std::size_t forward_messages = 0;///< cell-to-cell forwards afterwards
+};
+
+/// All objects whose Voronoi region intersects segment [a, b]; `matches`
+/// lists those lying within `tolerance` of the segment (a "range" hit on
+/// the queried attribute interval).
+RegionQueryResult range_query(const Overlay& overlay, ObjectId from, Vec2 a,
+                              Vec2 b, double tolerance);
+
+/// All objects within distance `radius` of `center` (`matches`), found by
+/// flooding the cells that intersect the disk (`owners`).
+RegionQueryResult radius_query(const Overlay& overlay, ObjectId from,
+                               Vec2 center, double radius);
+
+}  // namespace voronet

@@ -1,0 +1,173 @@
+// Overlay snapshots: text serialisation with bit-exact coordinates.
+//
+// Format (line-oriented, hex-float coordinates):
+//   voronet-snapshot 1
+//   n_max <N> long_links <K> dmin <hexfloat> seed <S>
+//   flags <use_cn> <use_lr>
+//   objects <count>
+//   <x> <y> <t0.x> <t0.y> ... <t(K-1).x> <t(K-1).y>     (one object per line)
+//
+// Only positions and long-range targets are persisted: every other view
+// component (vn, cn, link bindings, back links) is a pure function of the
+// geometry and is reconstructed on load.
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/expect.hpp"
+#include "voronet/overlay.hpp"
+
+namespace voronet {
+
+namespace {
+
+constexpr const char* kMagic = "voronet-snapshot";
+constexpr int kVersion = 1;
+
+void fail(const std::string& what) {
+  throw std::runtime_error("overlay snapshot: " + what);
+}
+
+double read_double(std::istream& is, const char* what) {
+  // operator>> cannot parse hex-floats (LWG 2381); go through strtod.
+  std::string token;
+  if (!(is >> token)) fail(std::string("bad ") + what);
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    fail(std::string("bad ") + what + " value '" + token + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void Overlay::save(std::ostream& os) const {
+  // With long links disabled no targets are stored per object, so the
+  // persisted link count must be 0 for the loader's per-line arity.
+  const std::size_t stored_links =
+      config_.use_long_links ? config_.long_links : 0;
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "n_max " << config_.n_max << " long_links " << stored_links
+     << " dmin " << std::hexfloat << dmin_ << std::defaultfloat << " seed "
+     << config_.seed << '\n';
+  os << "flags " << (config_.use_close_neighbors ? 1 : 0) << ' '
+     << (config_.use_long_links ? 1 : 0) << '\n';
+  os << "objects " << live_ids_.size() << '\n';
+  os << std::hexfloat;
+  for (const ObjectId o : live_ids_) {
+    const NodeView& v = nodes_[o].view;
+    os << v.position.x << ' ' << v.position.y;
+    for (const LongLink& l : v.lr) {
+      os << ' ' << l.target.x << ' ' << l.target.y;
+    }
+    os << '\n';
+  }
+  os << std::defaultfloat;
+  VORONET_EXPECT(static_cast<bool>(os), "snapshot write failed");
+}
+
+std::unique_ptr<Overlay> Overlay::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) fail("bad header");
+  if (version != kVersion) fail("unsupported version");
+
+  OverlayConfig cfg;
+  std::string key;
+  if (!(is >> key) || key != "n_max") fail("missing n_max");
+  if (!(is >> cfg.n_max)) fail("bad n_max");
+  if (!(is >> key) || key != "long_links") fail("missing long_links");
+  if (!(is >> cfg.long_links)) fail("bad long_links");
+  if (!(is >> key) || key != "dmin") fail("missing dmin");
+  cfg.dmin_override = read_double(is, "dmin");
+  if (!(is >> key) || key != "seed") fail("missing seed");
+  if (!(is >> cfg.seed)) fail("bad seed");
+  if (!(is >> key) || key != "flags") fail("missing flags");
+  int use_cn = 1;
+  int use_lr = 1;
+  if (!(is >> use_cn >> use_lr)) fail("bad flags");
+  cfg.use_close_neighbors = use_cn != 0;
+  cfg.use_long_links = use_lr != 0;
+  if (!(is >> key) || key != "objects") fail("missing objects");
+  std::size_t count = 0;
+  if (!(is >> count)) fail("bad object count");
+
+  auto overlay = std::unique_ptr<Overlay>(new Overlay(cfg));
+
+  // Pass 1: geometry.  Insert straight into the tessellation (no protocol
+  // replay needed -- the snapshot already is the converged structure).
+  struct Pending {
+    ObjectId id;
+    std::vector<Vec2> targets;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(count);
+  geo::DelaunayTriangulation::VertexId hint =
+      geo::DelaunayTriangulation::kNoVertex;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = read_double(is, "x");
+    const double y = read_double(is, "y");
+    const auto out = overlay->dt_.insert({x, y}, hint);
+    if (!out.created) fail("duplicate object position");
+    hint = out.vertex;
+    const ObjectId id = out.vertex;
+    overlay->ensure_slot(id);
+    overlay->nodes_[id] = Node{};
+    overlay->nodes_[id].live = true;
+    overlay->nodes_[id].view.position = {x, y};
+    overlay->live_pos_.resize(
+        std::max<std::size_t>(overlay->live_pos_.size(),
+                              static_cast<std::size_t>(id) + 1));
+    overlay->live_pos_[id] =
+        static_cast<std::uint32_t>(overlay->live_ids_.size());
+    overlay->live_ids_.push_back(id);
+    overlay->oracle_.insert(static_cast<std::uint32_t>(id), {x, y});
+
+    Pending p;
+    p.id = id;
+    p.targets.reserve(cfg.long_links);
+    for (std::size_t j = 0; j < cfg.long_links; ++j) {
+      const double tx = read_double(is, "target x");
+      const double ty = read_double(is, "target y");
+      p.targets.push_back({tx, ty});
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // Pass 2: views.  vn from the tessellation; cn from the dmin balls; the
+  // long links re-bind to the current region owners; blr is the inverse.
+  const double dmin2 = overlay->dmin_ * overlay->dmin_;
+  std::vector<spatial::GridIndex::Id> ball;
+  for (const Pending& p : pending) {
+    NodeView& v = overlay->nodes_[p.id].view;
+    v.vn = overlay->dt_.neighbors(p.id);
+    std::sort(v.vn.begin(), v.vn.end());
+    ball.clear();
+    overlay->oracle_.range(v.position, overlay->dmin_, ball);
+    for (const auto raw : ball) {
+      const auto other = static_cast<ObjectId>(raw);
+      if (other == p.id) continue;
+      if (dist2(overlay->nodes_[other].view.position, v.position) <= dmin2) {
+        v.cn.push_back(other);
+      }
+    }
+    std::sort(v.cn.begin(), v.cn.end());
+  }
+  for (const Pending& p : pending) {
+    NodeView& v = overlay->nodes_[p.id].view;
+    for (std::uint32_t j = 0; j < p.targets.size(); ++j) {
+      const Vec2 target = p.targets[j];
+      const ObjectId owner = overlay->dt_.nearest(target, p.id);
+      v.lr.push_back({target, owner});
+      overlay->nodes_[owner].view.blr.push_back({p.id, j, target});
+    }
+  }
+  return overlay;
+}
+
+}  // namespace voronet

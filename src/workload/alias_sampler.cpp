@@ -1,0 +1,51 @@
+#include "workload/alias_sampler.hpp"
+
+#include "common/expect.hpp"
+
+namespace voronet::workload {
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  VORONET_EXPECT(!weights.empty(), "AliasSampler needs weights");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    VORONET_EXPECT(w >= 0.0, "AliasSampler weights must be non-negative");
+    total += w;
+  }
+  VORONET_EXPECT(total > 0.0, "AliasSampler needs a positive total weight");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; buckets with p < 1 borrow from buckets with p > 1.
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are (numerically) exactly 1.
+  for (const std::size_t i : small) prob_[i] = 1.0;
+  for (const std::size_t i : large) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t bucket = rng.index(prob_.size());
+  return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace voronet::workload

@@ -1,0 +1,36 @@
+// Walker alias method: O(1) sampling from an arbitrary discrete
+// distribution after O(n) preprocessing.  Used to draw power-law
+// ("sparse") attribute values for the paper's skewed workloads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace voronet::workload {
+
+class AliasSampler {
+ public:
+  /// Build from (unnormalised) non-negative weights; at least one must be
+  /// positive.
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Draw an index with probability proportional to its weight.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// Exact probability of index i under the built distribution.
+  [[nodiscard]] double probability(std::size_t i) const {
+    return normalized_[i];
+  }
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;   // fallback index per bucket
+  std::vector<double> normalized_;   // normalised input weights
+};
+
+}  // namespace voronet::workload

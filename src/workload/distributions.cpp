@@ -1,0 +1,143 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+
+namespace voronet::workload {
+
+std::string DistributionConfig::name() const {
+  switch (kind) {
+    case Kind::kUniform:
+      return "uniform";
+    case Kind::kPowerLaw: {
+      // Match the paper's labels: "sparse (alpha = k)".
+      const int a = static_cast<int>(alpha);
+      if (static_cast<double>(a) == alpha) {
+        return "sparse(alpha=" + std::to_string(a) + ")";
+      }
+      return "sparse(alpha=" + std::to_string(alpha) + ")";
+    }
+    case Kind::kClusters:
+      return "clusters(" + std::to_string(clusters) + ")";
+  }
+  return "unknown";
+}
+
+DistributionConfig DistributionConfig::uniform() { return {}; }
+
+DistributionConfig DistributionConfig::power_law(double alpha) {
+  DistributionConfig c;
+  c.kind = Kind::kPowerLaw;
+  c.alpha = alpha;
+  return c;
+}
+
+DistributionConfig DistributionConfig::cluster_mix(std::size_t n,
+                                                   double sigma) {
+  DistributionConfig c;
+  c.kind = Kind::kClusters;
+  c.clusters = n;
+  c.cluster_sigma = sigma;
+  return c;
+}
+
+PointGenerator::PointGenerator(const DistributionConfig& config)
+    : config_(config) {
+  Rng layout_rng(config.seed);
+  if (config_.kind == Kind::kPowerLaw) {
+    VORONET_EXPECT(config_.alpha > 0.0, "power-law alpha must be positive");
+    VORONET_EXPECT(config_.values_per_axis >= 2,
+                   "power-law needs at least two attribute values");
+    const std::size_t v = config_.values_per_axis;
+    std::vector<double> weights(v);
+    for (std::size_t i = 0; i < v; ++i) {
+      weights[i] = std::pow(static_cast<double>(i + 1), -config_.alpha);
+    }
+    for (int axis = 0; axis < 2; ++axis) {
+      // Random rank-to-position assignment: popular values land anywhere.
+      std::vector<double> positions(v);
+      for (std::size_t i = 0; i < v; ++i) {
+        positions[i] =
+            (static_cast<double>(i) + 0.5) / static_cast<double>(v);
+      }
+      for (std::size_t i = v - 1; i > 0; --i) {
+        std::swap(positions[i], positions[layout_rng.index(i + 1)]);
+      }
+      axis_samplers_.emplace_back(weights);
+      axis_positions_.push_back(std::move(positions));
+    }
+  } else if (config_.kind == Kind::kClusters) {
+    VORONET_EXPECT(config_.clusters > 0, "cluster count must be positive");
+    cluster_centers_.reserve(config_.clusters);
+    for (std::size_t i = 0; i < config_.clusters; ++i) {
+      cluster_centers_.push_back(
+          {layout_rng.uniform(), layout_rng.uniform()});
+    }
+  }
+}
+
+double PointGenerator::axis_value(Rng& rng, const AliasSampler& sampler,
+                                  const std::vector<double>& positions) {
+  const std::size_t rank = sampler.sample(rng);
+  // positions[] holds bin centres; spread within the bin by `jitter`
+  // (fraction of the bin width, 1.0 = the whole bin).
+  const double bin_width = 1.0 / static_cast<double>(config_.values_per_axis);
+  const double x = positions[rank] +
+                   bin_width * config_.jitter * (rng.uniform() - 0.5);
+  return std::clamp(x, 0.0, 1.0);
+}
+
+Vec2 PointGenerator::next(Rng& rng) {
+  switch (config_.kind) {
+    case Kind::kUniform:
+      return {rng.uniform(), rng.uniform()};
+    case Kind::kPowerLaw:
+      return {axis_value(rng, axis_samplers_[0], axis_positions_[0]),
+              axis_value(rng, axis_samplers_[1], axis_positions_[1])};
+    case Kind::kClusters: {
+      const Vec2 c = cluster_centers_[rng.index(cluster_centers_.size())];
+      // Box-Muller normal jitter around the cluster centre.
+      const double u1 = rng.uniform(1e-12, 1.0);
+      const double u2 = rng.uniform();
+      const double r = config_.cluster_sigma * std::sqrt(-2.0 * std::log(u1));
+      const double theta = 2.0 * 3.14159265358979323846 * u2;
+      return {std::clamp(c.x + r * std::cos(theta), 0.0, 1.0),
+              std::clamp(c.y + r * std::sin(theta), 0.0, 1.0)};
+    }
+  }
+  VORONET_EXPECT(false, "unreachable distribution kind");
+  return {};
+}
+
+std::vector<Vec2> PointGenerator::generate(std::size_t n, Rng& rng) {
+  struct VecHash {
+    std::size_t operator()(const Vec2& p) const {
+      std::size_t hx = std::hash<double>{}(p.x);
+      std::size_t hy = std::hash<double>{}(p.y);
+      return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+    }
+  };
+  std::unordered_set<Vec2, VecHash> seen;
+  seen.reserve(n * 2);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  std::size_t attempts = 0;
+  while (out.size() < n) {
+    VORONET_EXPECT(++attempts <= 100 * n + 1000,
+                   "could not generate enough distinct positions");
+    const Vec2 p = next(rng);
+    if (seen.insert(p).second) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<DistributionConfig> paper_distributions() {
+  return {DistributionConfig::uniform(), DistributionConfig::power_law(1.0),
+          DistributionConfig::power_law(2.0),
+          DistributionConfig::power_law(5.0)};
+}
+
+}  // namespace voronet::workload

@@ -1,0 +1,85 @@
+// Object-attribute workloads from the paper's evaluation (section 5).
+//
+// The paper populates the unit square with 300,000 objects under
+//   (i)  a uniform distribution, and
+//   (ii) "sparse" power-law distributions where the frequency of the i-th
+//        most popular attribute value is proportional to 1/i^alpha, for
+//        alpha in {1, 2, 5}.
+//
+// A power-law axis is modelled as a finite set of discrete attribute
+// values (values_per_axis evenly spaced bins); which bin gets which
+// popularity rank is a seeded random permutation so popular values are not
+// spatially adjacent.  Objects sharing a value are spread uniformly inside
+// the value's bin (jitter = 1.0 spans the full bin width): a Voronoi
+// tessellation of coincident sites is undefined, and the paper's own
+// evaluation must spread them likewise -- its Figure 6 shows alpha = 5
+// routing costs overlapping the uniform ones, which is only possible when
+// the popular-value clusters are wider than dmin (otherwise almost every
+// route terminates through the dmin stop condition after ~0 hops).  The
+// resulting workload is exactly the paper's regime: popular values form
+// dense clusters thousands of times denser than uniform, and the
+// close-neighbour sets absorb the density spikes.  Set jitter << 1 to
+// study tighter clusters (the ablation bench does).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/vec2.hpp"
+#include "workload/alias_sampler.hpp"
+
+namespace voronet::workload {
+
+enum class Kind {
+  kUniform,
+  kPowerLaw,  ///< per-axis Zipf over discrete values ("sparse" in the paper)
+  kClusters,  ///< Gaussian cluster mixture (stress workload, not in paper)
+};
+
+struct DistributionConfig {
+  Kind kind = Kind::kUniform;
+  double alpha = 1.0;                ///< power-law exponent (kPowerLaw)
+  std::size_t values_per_axis = 1024;///< discrete values per axis (kPowerLaw)
+  double jitter = 1.0;               ///< in-bin spread, fraction of bin width
+  std::size_t clusters = 16;         ///< cluster count (kClusters)
+  double cluster_sigma = 0.01;       ///< cluster std-dev (kClusters)
+  std::uint64_t seed = 42;           ///< layout seed (rank permutation etc.)
+
+  [[nodiscard]] std::string name() const;
+
+  static DistributionConfig uniform();
+  static DistributionConfig power_law(double alpha);
+  static DistributionConfig cluster_mix(std::size_t n, double sigma);
+};
+
+/// Draws points in the unit square according to a DistributionConfig.
+class PointGenerator {
+ public:
+  explicit PointGenerator(const DistributionConfig& config);
+
+  /// Next point (always inside [0,1] x [0,1]).
+  [[nodiscard]] Vec2 next(Rng& rng);
+
+  /// Generate n points, guaranteeing pairwise-distinct positions (the
+  /// overlay and the tessellation require distinct sites).
+  [[nodiscard]] std::vector<Vec2> generate(std::size_t n, Rng& rng);
+
+  [[nodiscard]] const DistributionConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double axis_value(Rng& rng, const AliasSampler& sampler,
+                                  const std::vector<double>& positions);
+
+  DistributionConfig config_;
+  // kPowerLaw state (one independent layout per axis).
+  std::vector<AliasSampler> axis_samplers_;
+  std::vector<std::vector<double>> axis_positions_;
+  // kClusters state.
+  std::vector<Vec2> cluster_centers_;
+};
+
+/// The four workloads of the paper's evaluation, in presentation order.
+std::vector<DistributionConfig> paper_distributions();
+
+}  // namespace voronet::workload

@@ -1,0 +1,96 @@
+// Tests for the event-driven churn driver.
+#include "voronet/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace voronet {
+namespace {
+
+TEST(Churn, RunsAndKeepsInvariants) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 1;
+  Overlay overlay(cfg);
+  Rng rng(1);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 50; ++i) overlay.insert(gen.next(rng));
+
+  ChurnConfig churn;
+  churn.join_rate = 2.0;
+  churn.leave_rate = 1.0;
+  churn.query_rate = 3.0;
+  churn.duration = 50.0;
+  churn.seed = 1;
+  const ChurnReport report = run_churn(overlay, gen, churn);
+
+  EXPECT_GT(report.joins, 0u);
+  EXPECT_GT(report.leaves, 0u);
+  EXPECT_GT(report.queries, 0u);
+  EXPECT_EQ(report.final_population, overlay.size());
+  EXPECT_LE(report.simulated_time, churn.duration);
+  EXPECT_EQ(report.events_processed,
+            report.joins + report.leaves + report.queries);
+  overlay.check_invariants();
+}
+
+TEST(Churn, PopulationFloorIsRespected) {
+  OverlayConfig cfg;
+  cfg.n_max = 512;
+  cfg.seed = 2;
+  Overlay overlay(cfg);
+  Rng rng(2);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 12; ++i) overlay.insert(gen.next(rng));
+
+  ChurnConfig churn;
+  churn.join_rate = 0.0;  // leaves only
+  churn.leave_rate = 5.0;
+  churn.query_rate = 0.0;
+  churn.duration = 100.0;
+  churn.min_population = 8;
+  churn.seed = 2;
+  run_churn(overlay, gen, churn);
+  EXPECT_EQ(overlay.size(), 8u);
+  overlay.check_invariants();
+}
+
+TEST(Churn, GrowthOnlyMatchesJoins) {
+  OverlayConfig cfg;
+  cfg.n_max = 512;
+  cfg.seed = 3;
+  Overlay overlay(cfg);
+  Rng rng(3);
+  workload::PointGenerator gen(workload::DistributionConfig::power_law(2.0));
+  overlay.insert(gen.next(rng));
+
+  ChurnConfig churn;
+  churn.join_rate = 3.0;
+  churn.leave_rate = 0.0;
+  churn.query_rate = 0.0;
+  churn.duration = 30.0;
+  churn.seed = 3;
+  const ChurnReport report = run_churn(overlay, gen, churn);
+  EXPECT_EQ(overlay.size(), 1 + report.joins);
+  overlay.check_invariants();
+}
+
+TEST(Churn, DeterministicForSeed) {
+  const auto run_once = [] {
+    OverlayConfig cfg;
+    cfg.n_max = 512;
+    cfg.seed = 4;
+    Overlay overlay(cfg);
+    Rng rng(4);
+    workload::PointGenerator gen(workload::DistributionConfig::uniform());
+    for (int i = 0; i < 20; ++i) overlay.insert(gen.next(rng));
+    ChurnConfig churn;
+    churn.duration = 25.0;
+    churn.seed = 4;
+    const ChurnReport r = run_churn(overlay, gen, churn);
+    return std::tuple{r.joins, r.leaves, r.queries, overlay.size()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace voronet

@@ -1,0 +1,195 @@
+// Tests for the common utilities: contracts, RNG, CLI flags, parallel_for.
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/flags.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace voronet {
+namespace {
+
+TEST(Expect, ThrowsWithContext) {
+  try {
+    VORONET_EXPECT(false, "sample message");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sample message"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Rng c(43);
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs |= (a2() != c());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndSpread) {
+  Rng rng(2);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng(3);
+  std::array<int, 7> counts{};
+  constexpr int kN = 140000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 7.0, 0.01);
+  }
+  EXPECT_THROW(rng.below(0), ContractError);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(4);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(4);
+  (void)parent2.fork();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (child() != parent());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",       "positional", "--alpha=2.5", "--name",
+                        "test",       "--count",    "42",          "--enable"};
+  const Flags flags(8, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(flags.get_string("name", ""), "test");
+  EXPECT_TRUE(flags.get_bool("enable", false));
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Flags, SpaceFormConsumesNextToken) {
+  // "--flag value" binds the following non-flag token to the flag; use
+  // "--flag=value" when a positional must follow.
+  const char* argv[] = {"prog", "--enable", "oops"};
+  const Flags flags(3, argv);
+  EXPECT_EQ(flags.get_string("enable", ""), "oops");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags flags(1, argv);
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  const Flags flags(3, argv);
+  EXPECT_THROW((void)flags.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  const Flags flags(5, argv);
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(Flags, UnconsumedDetection) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const Flags flags(3, argv);
+  (void)flags.get_int("used", 0);
+  const auto leftover = flags.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+  EXPECT_THROW(flags.reject_unconsumed(), std::invalid_argument);
+}
+
+TEST(Parallel, CoversTheRangeExactlyOnce) {
+  set_parallel_workers(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_each(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  set_parallel_workers(0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, WorkerIndicesAreDistinct) {
+  set_parallel_workers(3);
+  std::set<std::size_t> seen_workers;
+  std::mutex mu;
+  parallel_for(0, 300,
+               [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+                 (void)lo;
+                 (void)hi;
+                 const std::lock_guard<std::mutex> lock(mu);
+                 seen_workers.insert(worker);
+               });
+  set_parallel_workers(0);
+  EXPECT_LE(seen_workers.size(), 3u);
+  EXPECT_GE(seen_workers.size(), 1u);
+}
+
+TEST(Parallel, EmptyRangeIsANoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SingleWorkerRunsInline) {
+  set_parallel_workers(1);
+  int calls = 0;
+  parallel_for(0, 10, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+    ++calls;
+  });
+  set_parallel_workers(0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  // Busy loop long enough to register.
+  volatile double x = 0.0;
+  for (int i = 0; i < 2000000; ++i) x = x + 1e-9;
+  EXPECT_GT(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before);
+}
+
+}  // namespace
+}  // namespace voronet

@@ -1,0 +1,125 @@
+// Torture fuzzing for the tessellation kernel: adversarial point patterns
+// (lattices, collinear rows, cocircular rings, microscopic clusters,
+// on-edge insertions) under interleaved insert/delete churn, with the full
+// structural audit after every phase.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/predicates.hpp"
+
+namespace voronet::geo {
+namespace {
+
+using VertexId = DelaunayTriangulation::VertexId;
+
+class GeometryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeometryFuzz, MixedAdversarialPatterns) {
+  DelaunayTriangulation dt;
+  Rng rng(GetParam());
+  std::vector<VertexId> live;
+
+  const auto insert = [&](Vec2 p) {
+    const auto out = dt.insert(p);
+    if (out.created) live.push_back(out.vertex);
+  };
+  const auto remove_random = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count && !live.empty(); ++i) {
+      const std::size_t pick = rng.index(live.size());
+      dt.remove(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  };
+
+  // Phase 1: exact lattice (maximal cocircularity).
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      insert({i * 0.125, j * 0.125});
+    }
+  }
+  dt.validate();
+
+  // Phase 2: collinear rows crossing the lattice.
+  for (int i = 0; i < 9; ++i) insert({i * 0.1, 0.4375});
+  for (int i = 0; i < 9; ++i) insert({0.4375, i * 0.1});
+  dt.validate();
+
+  // Phase 3: microscopic cluster (double-precision-adjacent points).
+  const Vec2 c{0.333333333333, 0.666666666666};
+  for (int i = 0; i < 12; ++i) {
+    insert({c.x + i * 0x1p-48, c.y + (i % 3) * 0x1p-48});
+  }
+  dt.validate();
+
+  // Phase 4: exact midpoints of existing collinear edges (on-edge
+  // insertions).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  dt.for_each_edge([&](VertexId a, VertexId b) { edges.emplace_back(a, b); });
+  int on_edge = 0;
+  for (const auto& [a, b] : edges) {
+    const Vec2 pa = dt.position(a);
+    const Vec2 pb = dt.position(b);
+    const Vec2 mid{(pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0};
+    if (orient2d(pa, pb, mid) == 0) {
+      insert(mid);
+      if (++on_edge == 10) break;
+    }
+  }
+  EXPECT_GT(on_edge, 0) << "lattice must provide exact on-edge midpoints";
+  dt.validate();
+
+  // Phase 5: deletion storm, then rebuild pressure.
+  remove_random(live.size() / 2);
+  dt.validate();
+  for (int i = 0; i < 40; ++i) insert({rng.uniform(), rng.uniform()});
+  remove_random(live.size() / 3);
+  dt.validate();
+
+  // Phase 6: drain almost everything (exercises the pending-mode
+  // collapse), then regrow.
+  remove_random(live.size() > 2 ? live.size() - 2 : 0);
+  dt.validate();
+  for (int i = 0; i < 30; ++i) insert({rng.uniform(), rng.uniform()});
+  dt.validate();
+  EXPECT_EQ(dt.size(), live.size());
+}
+
+TEST_P(GeometryFuzz, CocircularRingChurn) {
+  // Points on an exact circle (radius-5 Pythagorean points scaled):
+  // (3,4), (4,3), (5,0), ... all at distance 5 from the origin.
+  DelaunayTriangulation dt;
+  Rng rng(GetParam() ^ 0x1234ull);
+  const std::vector<Vec2> ring{{3, 4},  {4, 3},  {5, 0},  {4, -3},
+                               {3, -4}, {0, -5}, {-3, -4}, {-4, -3},
+                               {-5, 0}, {-4, 3}, {-3, 4},  {0, 5}};
+  std::vector<VertexId> ids;
+  for (const Vec2 p : ring) ids.push_back(dt.insert(p).vertex);
+  dt.validate();
+
+  // Insert the centre (equidistant from every ring point), delete it,
+  // repeat with churn on ring vertices.
+  for (int round = 0; round < 6; ++round) {
+    const auto center = dt.insert({0, 0});
+    dt.validate();
+    dt.remove(center.vertex);
+    dt.validate();
+    const std::size_t pick = rng.index(ids.size());
+    const Vec2 pos = dt.position(ids[pick]);
+    dt.remove(ids[pick]);
+    dt.validate();
+    ids[pick] = dt.insert(pos).vertex;
+    dt.validate();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace voronet::geo

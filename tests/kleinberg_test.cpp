@@ -1,0 +1,103 @@
+// Tests for the Kleinberg grid baseline (paper, section 2.1 / Figure 1).
+#include "kleinberg/grid.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace voronet::kleinberg {
+namespace {
+
+TEST(KleinbergGrid, ConstructionAndCoordinates) {
+  KleinbergGrid g({.side = 8, .long_links = 1, .exponent = 2.0, .seed = 1});
+  EXPECT_EQ(g.size(), 64u);
+  const auto v = g.node_at(3, 5);
+  EXPECT_EQ(g.row_of(v), 3u);
+  EXPECT_EQ(g.col_of(v), 5u);
+  EXPECT_EQ(g.distance(g.node_at(0, 0), g.node_at(3, 5)), 8u);
+}
+
+TEST(KleinbergGrid, LongContactsAreNeverSelf) {
+  KleinbergGrid g({.side = 16, .long_links = 2, .exponent = 2.0, .seed = 2});
+  for (KleinbergGrid::NodeId u = 0; u < g.size(); ++u) {
+    ASSERT_EQ(g.long_contacts(u).size(), 2u);
+    for (const auto v : g.long_contacts(u)) {
+      EXPECT_NE(v, u);
+      EXPECT_LT(v, g.size());
+    }
+  }
+}
+
+TEST(KleinbergGrid, HarmonicBiasTowardsShortLinks) {
+  // With s = 2, P(distance <= 4) should far exceed the uniform share.
+  KleinbergGrid g({.side = 64, .long_links = 1, .exponent = 2.0, .seed = 3});
+  std::size_t close = 0;
+  for (KleinbergGrid::NodeId u = 0; u < g.size(); ++u) {
+    if (g.distance(u, g.long_contacts(u)[0]) <= 4) ++close;
+  }
+  const double frac = static_cast<double>(close) / static_cast<double>(g.size());
+  // Under a uniform choice, d<=4 would cover ~40/4096 ~ 1% of nodes.
+  EXPECT_GT(frac, 0.15);
+}
+
+TEST(KleinbergGrid, GreedyRoutingAlwaysArrives) {
+  KleinbergGrid g({.side = 32, .long_links = 1, .exponent = 2.0, .seed = 4});
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<KleinbergGrid::NodeId>(rng.index(g.size()));
+    const auto t = static_cast<KleinbergGrid::NodeId>(rng.index(g.size()));
+    const auto res = g.route(s, t);
+    EXPECT_TRUE(res.arrived);
+    // Greedy on the lattice never exceeds the Manhattan distance without
+    // long links; long links only shorten paths.
+    EXPECT_LE(res.hops, g.distance(s, t) + 1);
+  }
+}
+
+TEST(KleinbergGrid, LongLinksShortenRoutes) {
+  const auto mean_hops = [](std::size_t k, std::uint64_t seed) {
+    KleinbergGrid g({.side = 48, .long_links = k, .exponent = 2.0,
+                     .seed = seed});
+    Rng rng(seed);
+    double total = 0;
+    for (int i = 0; i < 400; ++i) {
+      const auto s = static_cast<KleinbergGrid::NodeId>(rng.index(g.size()));
+      const auto t = static_cast<KleinbergGrid::NodeId>(rng.index(g.size()));
+      total += static_cast<double>(g.route(s, t).hops);
+    }
+    return total / 400.0;
+  };
+  EXPECT_LT(mean_hops(1, 5), 0.6 * mean_hops(0, 5) + 1.0);
+  EXPECT_LT(mean_hops(4, 6), mean_hops(1, 6));
+}
+
+TEST(KleinbergGrid, ZeroLongLinksIsPlainLattice) {
+  KleinbergGrid g({.side = 16, .long_links = 0, .exponent = 2.0, .seed = 7});
+  const auto s = g.node_at(0, 0);
+  const auto t = g.node_at(15, 15);
+  const auto res = g.route(s, t);
+  EXPECT_EQ(res.hops, 30u);  // exactly the Manhattan distance
+}
+
+TEST(KleinbergGrid, PolylogScalingSanity) {
+  // Mean hops with s=2 must grow far slower than sqrt(n): compare 24x24
+  // against 96x96 (16x more nodes): the ratio should be well under 4x.
+  const auto mean_hops = [](std::size_t side) {
+    KleinbergGrid g({.side = side, .long_links = 1, .exponent = 2.0,
+                     .seed = 8});
+    Rng rng(8);
+    double total = 0;
+    for (int i = 0; i < 300; ++i) {
+      const auto s = static_cast<KleinbergGrid::NodeId>(rng.index(g.size()));
+      const auto t = static_cast<KleinbergGrid::NodeId>(rng.index(g.size()));
+      total += static_cast<double>(g.route(s, t).hops);
+    }
+    return total / 300.0;
+  };
+  EXPECT_LT(mean_hops(96), 3.0 * mean_hops(24));
+}
+
+}  // namespace
+}  // namespace voronet::kleinberg

@@ -1,0 +1,123 @@
+// Tests for k-nearest-neighbour search over the tessellation and the
+// Delaunay t-spanner property (the geometric fact behind the paper's
+// range-query perspective, section 7).
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/spanner.hpp"
+
+namespace voronet::geo {
+namespace {
+
+using VertexId = DelaunayTriangulation::VertexId;
+
+class KnnRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnnRandomized, MatchesBruteForceOrder) {
+  DelaunayTriangulation dt;
+  Rng rng(GetParam());
+  std::vector<VertexId> ids;
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 300; ++i) {
+    const Vec2 p{rng.uniform(), rng.uniform()};
+    const auto out = dt.insert(p);
+    if (out.created) {
+      ids.push_back(out.vertex);
+      pts.push_back(p);
+    }
+  }
+  std::vector<VertexId> got;
+  for (int q = 0; q < 100; ++q) {
+    const Vec2 p{rng.uniform(-0.1, 1.1), rng.uniform(-0.1, 1.1)};
+    const std::size_t k = 1 + rng.index(12);
+    dt.k_nearest(p, k, got);
+    ASSERT_EQ(got.size(), std::min(k, ids.size()));
+
+    // Brute force: sort all vertices by distance (ties by id).
+    std::vector<VertexId> want = ids;
+    std::sort(want.begin(), want.end(), [&](VertexId a, VertexId b) {
+      const double da = dist2(dt.position(a), p);
+      const double db = dist2(dt.position(b), p);
+      return da < db || (da == db && a < b);
+    });
+    want.resize(got.size());
+    EXPECT_EQ(got, want) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnRandomized,
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull));
+
+TEST(Knn, KLargerThanPopulation) {
+  DelaunayTriangulation dt;
+  dt.insert({0.1, 0.1});
+  dt.insert({0.9, 0.1});
+  dt.insert({0.5, 0.9});
+  std::vector<VertexId> got;
+  dt.k_nearest({0.5, 0.5}, 10, got);
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(Knn, PendingModeWorks) {
+  DelaunayTriangulation dt;
+  dt.insert({0.1, 0.1});
+  dt.insert({0.5, 0.5});
+  std::vector<VertexId> got;
+  dt.k_nearest({0.0, 0.0}, 2, got);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(dt.position(got[0]), (Vec2{0.1, 0.1}));
+}
+
+TEST(Knn, ZeroKGivesNothing) {
+  DelaunayTriangulation dt;
+  dt.insert({0.1, 0.1});
+  std::vector<VertexId> got{99};
+  dt.k_nearest({0.5, 0.5}, 0, got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Spanner, GraphDistanceBasics) {
+  DelaunayTriangulation dt;
+  const auto a = dt.insert({0.0, 0.0}).vertex;
+  const auto b = dt.insert({1.0, 0.0}).vertex;
+  const auto c = dt.insert({0.5, 0.8}).vertex;
+  EXPECT_DOUBLE_EQ(graph_distance(dt, a, a), 0.0);
+  // a-b is a Delaunay edge of the triangle: direct distance.
+  EXPECT_DOUBLE_EQ(graph_distance(dt, a, b), 1.0);
+  EXPECT_GT(graph_distance(dt, a, c), 0.9);
+}
+
+TEST(Spanner, DelaunayDilationIsBounded) {
+  // Keil-Gutwin: the Delaunay triangulation is a t-spanner with
+  // t = 2*pi/(3*cos(pi/6)) ~ 2.418; no sampled pair may exceed it.
+  DelaunayTriangulation dt;
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) dt.insert({rng.uniform(), rng.uniform()});
+  Rng pair_rng(6);
+  const DilationStats stats = sample_dilation(dt, 400, pair_rng);
+  EXPECT_EQ(stats.pairs, 400u);
+  EXPECT_GE(stats.max_dilation, 1.0);
+  EXPECT_LT(stats.max_dilation, 2.419);
+  EXPECT_LT(stats.mean_dilation, 1.3)
+      << "typical Delaunay dilation is well below the worst case";
+}
+
+TEST(Spanner, DilationOnSkewedPoints) {
+  // Clustered points stress the spanner bound locally.
+  DelaunayTriangulation dt;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double cx = (i % 3) * 0.45 + 0.05;
+    dt.insert({cx + 0.01 * rng.uniform(), 0.5 + 0.01 * rng.uniform()});
+  }
+  Rng pair_rng(8);
+  const DilationStats stats = sample_dilation(dt, 300, pair_rng);
+  EXPECT_LT(stats.max_dilation, 2.419);
+}
+
+}  // namespace
+}  // namespace voronet::geo

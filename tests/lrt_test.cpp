@@ -1,0 +1,130 @@
+// Monte-Carlo validation of Choose-LRT against Lemma 2's distribution.
+#include "voronet/lrt.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "voronet/config.hpp"
+
+namespace voronet {
+namespace {
+
+TEST(ChooseLrt, RadiusWithinBounds) {
+  Rng rng(1);
+  const double dmin = 1e-4;
+  const Vec2 from{0.5, 0.5};
+  for (int i = 0; i < 10000; ++i) {
+    const Vec2 t = choose_long_range_target(from, dmin, rng);
+    const double r = dist(from, t);
+    EXPECT_GE(r, dmin * (1.0 - 1e-12));
+    EXPECT_LE(r, std::numbers::sqrt2 * (1.0 + 1e-12));
+  }
+}
+
+TEST(ChooseLrt, TargetsMayLeaveTheUnitSquare) {
+  Rng rng(2);
+  const double dmin = 1e-4;
+  int outside = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 t = choose_long_range_target({0.02, 0.02}, dmin, rng);
+    if (t.x < 0.0 || t.y < 0.0 || t.x > 1.0 || t.y > 1.0) ++outside;
+  }
+  // A corner object sends a large share of its targets outside (the paper
+  // explicitly allows this, binding to the closest object instead).
+  EXPECT_GT(outside, 500);
+}
+
+TEST(ChooseLrt, LogUniformRadiusMatchesClosedForm) {
+  // Split [dmin, sqrt(2)] into logarithmic shells and compare the observed
+  // shell frequencies with radial_cdf (Lemma 2's radial law).
+  Rng rng(3);
+  const double dmin = 1e-5;
+  const Vec2 from{0.5, 0.5};
+  constexpr int kShells = 10;
+  constexpr int kSamples = 200000;
+  const double log_lo = std::log(dmin);
+  const double log_hi = std::log(std::numbers::sqrt2);
+  std::array<int, kShells> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    const double r = dist(from, choose_long_range_target(from, dmin, rng));
+    const double frac = (std::log(r) - log_lo) / (log_hi - log_lo);
+    const int shell = std::min(kShells - 1,
+                               std::max(0, static_cast<int>(frac * kShells)));
+    ++counts[shell];
+  }
+  for (int s = 0; s < kShells; ++s) {
+    const double r1 = std::exp(log_lo + (log_hi - log_lo) * s / kShells);
+    const double r2 =
+        std::exp(log_lo + (log_hi - log_lo) * (s + 1) / kShells);
+    const double expected = radial_cdf(dmin, r1, r2);
+    const double observed =
+        static_cast<double>(counts[s]) / static_cast<double>(kSamples);
+    // Each shell should hold ~10%; allow +-1.5 percentage points (>> 5
+    // sigma for this sample size).
+    EXPECT_NEAR(observed, expected, 0.015) << "shell " << s;
+  }
+}
+
+TEST(ChooseLrt, AnglesAreUniform) {
+  Rng rng(4);
+  const double dmin = 1e-4;
+  const Vec2 from{0.5, 0.5};
+  constexpr int kSectors = 8;
+  constexpr int kSamples = 80000;
+  std::array<int, kSectors> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    const Vec2 t = choose_long_range_target(from, dmin, rng);
+    const double angle = std::atan2(t.y - from.y, t.x - from.x);
+    const double frac = (angle + std::numbers::pi) / (2 * std::numbers::pi);
+    const int sector = std::min(kSectors - 1,
+                                static_cast<int>(frac * kSectors));
+    ++counts[sector];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kSamples, 1.0 / kSectors, 0.01);
+  }
+}
+
+TEST(ChooseLrt, Lemma2DensityInAnnulusSector) {
+  // Direct check of Lemma 2: P(target in surface dS at distance d) =
+  // dS / (K d^2).  Take a thin annulus sector and compare.
+  Rng rng(5);
+  const double dmin = 1e-5;
+  const Vec2 from{0.5, 0.5};
+  const double r1 = 0.1;
+  const double r2 = 0.11;
+  const double theta1 = 0.3;
+  const double theta2 = 0.7;
+  constexpr int kSamples = 400000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const Vec2 t = choose_long_range_target(from, dmin, rng);
+    const double r = dist(from, t);
+    if (r < r1 || r >= r2) continue;
+    const double angle = std::atan2(t.y - from.y, t.x - from.x);
+    if (angle >= theta1 && angle < theta2) ++hits;
+  }
+  // Integral of dS/(K d^2) over the sector: (theta2-theta1)/K * ln(r2/r1).
+  const double expected = (theta2 - theta1) / lemma2_normalisation(dmin) *
+                          std::log(r2 / r1);
+  const double observed = static_cast<double>(hits) / kSamples;
+  EXPECT_NEAR(observed, expected, expected * 0.15);
+}
+
+TEST(RadialCdf, FullRangeIsOne) {
+  EXPECT_NEAR(radial_cdf(1e-5, 1e-5, std::numbers::sqrt2), 1.0, 1e-12);
+  EXPECT_EQ(radial_cdf(1e-5, 0.0, 1e-5), 0.0);
+}
+
+TEST(DminFor, Monotonicity) {
+  EXPECT_LT(dmin_for(DminRule::kPaperText, 1000),
+            dmin_for(DminRule::kPaperText, 100));
+  EXPECT_LT(dmin_for(DminRule::kPaperText, 10000),
+            dmin_for(DminRule::kBallExpectation, 10000));
+}
+
+}  // namespace
+}  // namespace voronet

@@ -1,0 +1,132 @@
+// Tests for Morton ordering and bulk Delaunay construction.
+#include "geometry/morton.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "geometry/delaunay.hpp"
+
+namespace voronet::geo {
+namespace {
+
+TEST(Morton, InterleaveBasics) {
+  EXPECT_EQ(morton_interleave(0, 0), 0u);
+  EXPECT_EQ(morton_interleave(1, 0), 1u);
+  EXPECT_EQ(morton_interleave(0, 1), 2u);
+  EXPECT_EQ(morton_interleave(1, 1), 3u);
+  EXPECT_EQ(morton_interleave(2, 0), 4u);
+  EXPECT_EQ(morton_interleave(0xffffffff, 0),
+            0x5555555555555555ULL);
+}
+
+TEST(Morton, KeyOrdersQuadrants) {
+  const Vec2 lo{0, 0};
+  const Vec2 hi{1, 1};
+  // Z-order visits quadrants: bottom-left, bottom-right, top-left,
+  // top-right.
+  const auto bl = morton_key({0.1, 0.1}, lo, hi);
+  const auto br = morton_key({0.9, 0.1}, lo, hi);
+  const auto tl = morton_key({0.1, 0.9}, lo, hi);
+  const auto tr = morton_key({0.9, 0.9}, lo, hi);
+  EXPECT_LT(bl, br);
+  EXPECT_LT(br, tl);
+  EXPECT_LT(tl, tr);
+}
+
+TEST(Morton, OrderIsAPermutation) {
+  Rng rng(1);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({rng.uniform(), rng.uniform()});
+  const auto order = morton_order(pts);
+  ASSERT_EQ(order.size(), pts.size());
+  std::set<std::uint32_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(Morton, LocalityOfConsecutiveElements) {
+  // Consecutive points in Morton order must be far closer on average than
+  // consecutive points in random order.
+  Rng rng(2);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back({rng.uniform(), rng.uniform()});
+  const auto order = morton_order(pts);
+  double morton_gap = 0.0;
+  double random_gap = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    morton_gap += dist(pts[order[i - 1]], pts[order[i]]);
+    random_gap += dist(pts[i - 1], pts[i]);
+  }
+  EXPECT_LT(morton_gap, 0.25 * random_gap);
+}
+
+TEST(BulkInsert, SameStructureAsSequential) {
+  Rng rng(3);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 400; ++i) pts.push_back({rng.uniform(), rng.uniform()});
+
+  DelaunayTriangulation bulk;
+  const auto ids = bulk.bulk_insert(pts);
+  ASSERT_EQ(ids.size(), pts.size());
+  bulk.validate();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(bulk.position(ids[i]), pts[i]);
+  }
+
+  DelaunayTriangulation seq;
+  std::vector<DelaunayTriangulation::VertexId> seq_ids;
+  for (const Vec2 p : pts) seq_ids.push_back(seq.insert(p).vertex);
+
+  // Same point set in general position: unique Delaunay triangulation.
+  std::set<std::pair<Vec2, Vec2>> bulk_edges;
+  bulk.for_each_edge([&](auto a, auto b) {
+    Vec2 pa = bulk.position(a);
+    Vec2 pb = bulk.position(b);
+    if (pb < pa) std::swap(pa, pb);
+    bulk_edges.emplace(pa, pb);
+  });
+  std::set<std::pair<Vec2, Vec2>> seq_edges;
+  seq.for_each_edge([&](auto a, auto b) {
+    Vec2 pa = seq.position(a);
+    Vec2 pb = seq.position(b);
+    if (pb < pa) std::swap(pa, pb);
+    seq_edges.emplace(pa, pb);
+  });
+  EXPECT_EQ(bulk_edges, seq_edges);
+}
+
+TEST(BulkInsert, HandlesDuplicatesAndDegenerate) {
+  std::vector<Vec2> pts{{0.5, 0.5}, {0.5, 0.5}, {0.2, 0.2}, {0.8, 0.8},
+                        {0.2, 0.2}};
+  DelaunayTriangulation dt;
+  const auto ids = dt.bulk_insert(pts);
+  EXPECT_EQ(dt.size(), 3u);  // collinear set stays pending
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[2], ids[4]);
+  dt.validate();
+}
+
+TEST(BulkInsert, FasterThanRandomOrderAtScale) {
+  Rng rng(4);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 30000; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  Timer bulk_timer;
+  DelaunayTriangulation bulk;
+  bulk.bulk_insert(pts);
+  const double bulk_s = bulk_timer.seconds();
+
+  Timer seq_timer;
+  DelaunayTriangulation seq;
+  for (const Vec2 p : pts) seq.insert(p);  // no hints: random-order walks
+  const double seq_s = seq_timer.seconds();
+
+  EXPECT_LT(bulk_s, seq_s)
+      << "Morton-ordered construction should beat hint-less insertion";
+}
+
+}  // namespace
+}  // namespace voronet::geo

@@ -1,0 +1,215 @@
+// Unit and property tests for the robust predicates, including the
+// adversarial near-degenerate inputs that defeat naive double arithmetic.
+#include "geometry/predicates.hpp"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace voronet::geo {
+namespace {
+
+TEST(Orient2d, BasicOrientations) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0);  // CCW
+  EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0);  // CW
+  EXPECT_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(Orient2d, ExactlyCollinearNonTrivial) {
+  // Points on the line y = x/3 using representable coordinates.
+  const Vec2 a{3.0, 1.0};
+  const Vec2 b{6.0, 2.0};
+  const Vec2 c{9.0, 3.0};
+  EXPECT_EQ(orient2d(a, b, c), 0);
+}
+
+TEST(Orient2d, TinyPerturbationsAreDetected) {
+  // c sits on segment (a, b); nudging one coordinate by one ulp must flip
+  // the result away from zero in the correct direction.
+  const Vec2 a{0.5, 0.5};
+  const Vec2 b{12.0, 12.0};
+  const Vec2 c{4.0, 4.0};
+  ASSERT_EQ(orient2d(a, b, c), 0);
+  const Vec2 c_up{4.0, std::nextafter(4.0, 5.0)};
+  const Vec2 c_dn{4.0, std::nextafter(4.0, 3.0)};
+  EXPECT_EQ(orient2d(a, b, c_up), 1);
+  EXPECT_EQ(orient2d(a, b, c_dn), -1);
+}
+
+TEST(Orient2d, ShewchukAdversarialGrid) {
+  // The classic robustness demo: evaluate orient2d over a tiny grid of
+  // points near a degenerate configuration; the exact predicate must be
+  // sign-consistent with the long-double evaluation whenever the latter is
+  // itself reliable (values far from the rounding noise floor).
+  const double base = 0.5;
+  int disagreements = 0;
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      const Vec2 a{base + i * 0x1p-53, base + j * 0x1p-53};
+      const Vec2 b{12.0, 12.0};
+      const Vec2 c{24.0, 24.0};
+      const int s = orient2d(a, b, c);
+      const long double det =
+          (static_cast<long double>(a.x) - c.x) * (b.y - c.y) -
+          (static_cast<long double>(a.y) - c.y) * (b.x - c.x);
+      // On the diagonal (i == j) the configuration is exactly collinear.
+      if (i == j) {
+        EXPECT_EQ(s, 0) << i << "," << j;
+      } else if (std::abs(static_cast<double>(det)) > 1e-30) {
+        const int ref = det > 0 ? 1 : -1;
+        if (s != ref) ++disagreements;
+      }
+    }
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+TEST(Orient2d, TranslationInvarianceOfSign) {
+  std::mt19937_64 gen(11);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Vec2 a{dist(gen), dist(gen)};
+    const Vec2 b{dist(gen), dist(gen)};
+    const Vec2 c{dist(gen), dist(gen)};
+    const int s = orient2d(a, b, c);
+    // Cyclic permutation preserves orientation; swap negates it.
+    EXPECT_EQ(orient2d(b, c, a), s);
+    EXPECT_EQ(orient2d(c, a, b), s);
+    EXPECT_EQ(orient2d(b, a, c), -s);
+  }
+}
+
+TEST(Incircle, BasicInOut) {
+  // Unit circle through (1,0), (0,1), (-1,0): CCW order.
+  const Vec2 a{1, 0};
+  const Vec2 b{0, 1};
+  const Vec2 c{-1, 0};
+  EXPECT_GT(incircle(a, b, c, {0.0, 0.0}), 0);   // centre: inside
+  EXPECT_LT(incircle(a, b, c, {2.0, 0.0}), 0);   // far: outside
+  EXPECT_EQ(incircle(a, b, c, {0.0, -1.0}), 0);  // on the circle
+}
+
+TEST(Incircle, CocircularGridPoints) {
+  // Four corners of a square are cocircular: the incircle determinant of
+  // any three with the fourth must be exactly zero.
+  const Vec2 p00{0, 0};
+  const Vec2 p10{1, 0};
+  const Vec2 p11{1, 1};
+  const Vec2 p01{0, 1};
+  EXPECT_EQ(incircle(p00, p10, p11, p01), 0);
+  EXPECT_EQ(incircle(p10, p11, p01, p00), 0);
+}
+
+TEST(Incircle, OneUlpResolution) {
+  const Vec2 a{1, 0};
+  const Vec2 b{0, 1};
+  const Vec2 c{-1, 0};
+  const Vec2 just_in{0.0, std::nextafter(-1.0, 0.0)};
+  const Vec2 just_out{0.0, std::nextafter(-1.0, -2.0)};
+  EXPECT_GT(incircle(a, b, c, just_in), 0);
+  EXPECT_LT(incircle(a, b, c, just_out), 0);
+}
+
+TEST(Incircle, SymmetryUnderCyclicPermutation) {
+  std::mt19937_64 gen(13);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int iter = 0; iter < 300; ++iter) {
+    Vec2 a{dist(gen), dist(gen)};
+    Vec2 b{dist(gen), dist(gen)};
+    Vec2 c{dist(gen), dist(gen)};
+    const Vec2 d{dist(gen), dist(gen)};
+    if (orient2d(a, b, c) < 0) std::swap(b, c);
+    if (orient2d(a, b, c) == 0) continue;
+    const int s = incircle(a, b, c, d);
+    EXPECT_EQ(incircle(b, c, a, d), s);
+    EXPECT_EQ(incircle(c, a, b, d), s);
+  }
+}
+
+TEST(Incircle, MatchesNaiveWhenWellConditioned) {
+  std::mt19937_64 gen(17);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int iter = 0; iter < 500; ++iter) {
+    Vec2 a{dist(gen), dist(gen)};
+    Vec2 b{dist(gen), dist(gen)};
+    Vec2 c{dist(gen), dist(gen)};
+    const Vec2 d{dist(gen), dist(gen)};
+    if (orient2d(a, b, c) <= 0) std::swap(b, c);
+    if (orient2d(a, b, c) <= 0) continue;
+    const long double adx = a.x - d.x;
+    const long double ady = a.y - d.y;
+    const long double bdx = b.x - d.x;
+    const long double bdy = b.y - d.y;
+    const long double cdx = c.x - d.x;
+    const long double cdy = c.y - d.y;
+    const long double det =
+        (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy) +
+        (bdx * bdx + bdy * bdy) * (cdx * ady - adx * cdy) +
+        (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady);
+    if (std::abs(static_cast<double>(det)) > 1e-25) {
+      EXPECT_EQ(incircle(a, b, c, d), det > 0 ? 1 : -1);
+    }
+  }
+}
+
+TEST(Circumcenter, EquidistantFromVertices) {
+  const Vec2 a{0.1, 0.2};
+  const Vec2 b{0.9, 0.3};
+  const Vec2 c{0.4, 0.8};
+  const Vec2 cc = circumcenter(a, b, c);
+  const double da = dist(cc, a);
+  EXPECT_NEAR(da, dist(cc, b), 1e-12);
+  EXPECT_NEAR(da, dist(cc, c), 1e-12);
+}
+
+TEST(SegmentOps, ClosestPointClamps) {
+  const Vec2 a{0, 0};
+  const Vec2 b{1, 0};
+  EXPECT_EQ(closest_point_on_segment(a, b, {0.5, 1.0}), (Vec2{0.5, 0.0}));
+  EXPECT_EQ(closest_point_on_segment(a, b, {-1.0, 1.0}), a);
+  EXPECT_EQ(closest_point_on_segment(a, b, {2.0, -1.0}), b);
+}
+
+TEST(SegmentOps, DegenerateSegmentIsAPoint) {
+  const Vec2 a{0.3, 0.4};
+  EXPECT_EQ(closest_point_on_segment(a, a, {1.0, 1.0}), a);
+}
+
+TEST(SegmentOps, IntersectionCases) {
+  // Proper crossing.
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {0, 1}, {1, 0}));
+  // Disjoint.
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Shared endpoint.
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 0}, {1, 0}, {2, 5}));
+  // Collinear overlapping.
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+  // T-junction (endpoint interior to the other segment).
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+}
+
+TEST(SegmentOps, OnSegment) {
+  EXPECT_TRUE(on_segment({0, 0}, {2, 2}, {1, 1}));
+  EXPECT_TRUE(on_segment({0, 0}, {2, 2}, {0, 0}));
+  EXPECT_FALSE(on_segment({0, 0}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(on_segment({0, 0}, {2, 2}, {1.0, 1.5}));
+}
+
+TEST(PredicateStats, ExactFallbackIsCounted) {
+  reset_predicate_stats();
+  // Well-conditioned: filter succeeds.
+  orient2d({0, 0}, {1, 0}, {0, 1});
+  auto s = predicate_stats();
+  EXPECT_EQ(s.orient_calls, 1u);
+  EXPECT_EQ(s.orient_exact, 0u);
+  // Exactly degenerate: must fall through to exact arithmetic.
+  orient2d({0.5, 0.5}, {12.0, 12.0}, {4.0, 4.0});
+  s = predicate_stats();
+  EXPECT_EQ(s.orient_exact, 1u);
+}
+
+}  // namespace
+}  // namespace voronet::geo

@@ -1,0 +1,159 @@
+// Tests for the range (segment) and radius query mechanisms built on the
+// overlay (paper, section 7 perspectives).
+#include "voronet/queries.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/predicates.hpp"
+#include "workload/distributions.hpp"
+
+namespace voronet {
+namespace {
+
+TEST(RadiusQuery, MatchesBruteForce) {
+  OverlayConfig cfg;
+  cfg.n_max = 4096;
+  cfg.seed = 21;
+  Overlay overlay(cfg);
+  Rng rng(21);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 400; ++i) overlay.insert(gen.next(rng));
+
+  for (int q = 0; q < 40; ++q) {
+    const Vec2 center{rng.uniform(), rng.uniform()};
+    const double radius = rng.uniform(0.01, 0.2);
+    const auto res =
+        radius_query(overlay, overlay.random_object(rng), center, radius);
+
+    std::vector<ObjectId> expected;
+    for (const ObjectId o : overlay.objects()) {
+      if (dist2(overlay.position(o), center) <= radius * radius) {
+        expected.push_back(o);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(res.matches, expected)
+        << "center=(" << center.x << "," << center.y << ") r=" << radius;
+    // The flood visits at least the matching cells.
+    EXPECT_GE(res.owners.size(), res.matches.size());
+  }
+}
+
+TEST(RadiusQuery, ZeroRadiusFindsOwnerOnly) {
+  OverlayConfig cfg;
+  cfg.n_max = 1024;
+  cfg.seed = 22;
+  Overlay overlay(cfg);
+  Rng rng(22);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 100; ++i) overlay.insert(gen.next(rng));
+  const Vec2 center{0.4, 0.6};
+  const auto res =
+      radius_query(overlay, overlay.random_object(rng), center, 0.0);
+  EXPECT_EQ(res.owners.size(), 1u);
+  EXPECT_EQ(res.owners.front(), overlay.tessellation().nearest(center));
+}
+
+TEST(RangeQuery, VisitsEveryCellTheSegmentCrosses) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 23;
+  Overlay overlay(cfg);
+  Rng rng(23);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 300; ++i) overlay.insert(gen.next(rng));
+
+  for (int q = 0; q < 25; ++q) {
+    const Vec2 a{rng.uniform(), rng.uniform()};
+    const Vec2 b{rng.uniform(), rng.uniform()};
+    const auto res =
+        range_query(overlay, overlay.random_object(rng), a, b, 0.0);
+    const std::set<ObjectId> owners(res.owners.begin(), res.owners.end());
+
+    // Dense sampling of the segment: every sampled point's owner must have
+    // been visited (samples strictly between Voronoi vertices, so the
+    // measure-zero grazing cases do not fire).
+    for (int s = 0; s <= 200; ++s) {
+      const double t = s / 200.0;
+      const Vec2 p = a + t * (b - a);
+      const ObjectId owner = overlay.tessellation().nearest(p);
+      EXPECT_TRUE(owners.count(owner))
+          << "segment sample at t=" << t << " owned by unvisited object";
+    }
+  }
+}
+
+TEST(RangeQuery, ToleranceSelectsNearbyObjects) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 24;
+  Overlay overlay(cfg);
+  Rng rng(24);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 300; ++i) overlay.insert(gen.next(rng));
+
+  const Vec2 a{0.1, 0.5};
+  const Vec2 b{0.9, 0.5};
+  const double tol = 0.05;
+  const auto res = range_query(overlay, overlay.random_object(rng), a, b, tol);
+  // The stadium flood must find exactly the objects within the tolerance
+  // strip (brute-force comparison).
+  std::vector<ObjectId> expected;
+  for (const ObjectId o : overlay.objects()) {
+    if (geo::dist2_to_segment(a, b, overlay.position(o)) <= tol * tol) {
+      expected.push_back(o);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(res.matches, expected);
+  const std::set<ObjectId> owners(res.owners.begin(), res.owners.end());
+  for (const ObjectId o : res.matches) EXPECT_TRUE(owners.count(o));
+  EXPECT_FALSE(res.matches.empty());
+}
+
+TEST(RangeQuery, DegenerateSegmentEqualsRadiusQuery) {
+  // A zero-length segment with tolerance r floods the same disk as a
+  // radius query of radius r.
+  OverlayConfig cfg;
+  cfg.n_max = 1024;
+  cfg.seed = 25;
+  Overlay overlay(cfg);
+  Rng rng(25);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 100; ++i) overlay.insert(gen.next(rng));
+  const Vec2 p{0.3, 0.3};
+  const ObjectId from = overlay.random_object(rng);
+  const auto seg = range_query(overlay, from, p, p, 0.2);
+  const auto disk = radius_query(overlay, from, p, 0.2);
+  EXPECT_EQ(seg.matches, disk.matches);
+  // With zero tolerance it collapses to the single owning cell.
+  const auto point = range_query(overlay, from, p, p, 0.0);
+  EXPECT_EQ(point.owners.size(), 1u);
+  EXPECT_EQ(point.owners.front(), overlay.tessellation().nearest(p));
+}
+
+TEST(RangeQuery, SkewedDataStillCovered) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 26;
+  Overlay overlay(cfg);
+  Rng rng(26);
+  workload::PointGenerator gen(workload::DistributionConfig::power_law(2.0));
+  for (int i = 0; i < 300; ++i) overlay.insert(gen.next(rng));
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 1.0};
+  const auto res = range_query(overlay, overlay.random_object(rng), a, b, 0.0);
+  const std::set<ObjectId> owners(res.owners.begin(), res.owners.end());
+  for (int s = 0; s <= 100; ++s) {
+    const double t = s / 100.0;
+    const ObjectId owner = overlay.tessellation().nearest(a + t * (b - a));
+    EXPECT_TRUE(owners.count(owner));
+  }
+}
+
+}  // namespace
+}  // namespace voronet

@@ -1,0 +1,219 @@
+// Failure injection (fail-stop crashes + repair) and capacity adaptation
+// (the paper's section 7 perspective) tests.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "voronet/overlay.hpp"
+#include "workload/distributions.hpp"
+
+namespace voronet {
+namespace {
+
+void grow(Overlay& overlay, std::size_t n, Rng& rng,
+          workload::PointGenerator& gen) {
+  while (overlay.size() < n) overlay.insert(gen.next(rng));
+}
+
+TEST(Crash, RoutingSurvivesDanglingReferences) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 1;
+  Overlay overlay(cfg);
+  Rng rng(1);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  grow(overlay, 300, rng, gen);
+
+  // Crash 20% of the objects without any departure protocol.
+  std::vector<ObjectId> victims;
+  for (const ObjectId o : overlay.objects()) {
+    if (rng.chance(0.2)) victims.push_back(o);
+  }
+  for (const ObjectId o : victims) overlay.crash(o);
+  EXPECT_EQ(overlay.size(), 300u - victims.size());
+
+  // Even with dangling cn/lr entries, greedy routing still reaches every
+  // surviving object (the greedy step skips dead references and the vn
+  // layer is healed at crash time).
+  const std::vector<ObjectId> survivors = overlay.objects();
+  for (int q = 0; q < 200; ++q) {
+    const ObjectId from = survivors[rng.index(survivors.size())];
+    const ObjectId to = survivors[rng.index(survivors.size())];
+    EXPECT_EQ(overlay.probe(from, overlay.position(to)).owner, to);
+  }
+}
+
+TEST(Crash, RepairRestoresAllInvariants) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 2;
+  Overlay overlay(cfg);
+  Rng rng(2);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  grow(overlay, 250, rng, gen);
+  overlay.check_invariants();
+
+  std::vector<ObjectId> victims;
+  for (const ObjectId o : overlay.objects()) {
+    if (rng.chance(0.25)) victims.push_back(o);
+  }
+  for (const ObjectId o : victims) overlay.crash(o);
+
+  const std::size_t repaired = overlay.repair_dangling();
+  EXPECT_GT(repaired, 0u);
+  overlay.check_invariants();  // fully consistent again
+
+  // A second sweep finds nothing left to fix.
+  EXPECT_EQ(overlay.repair_dangling(), 0u);
+}
+
+TEST(Crash, MassCrashThenChurnRecovers) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 3;
+  Overlay overlay(cfg);
+  Rng rng(3);
+  workload::PointGenerator gen(workload::DistributionConfig::power_law(2.0));
+  grow(overlay, 200, rng, gen);
+
+  // Crash half the overlay, repair, keep operating.
+  std::vector<ObjectId> all = overlay.objects();
+  for (std::size_t i = 0; i < all.size() / 2; ++i) overlay.crash(all[i]);
+  overlay.repair_dangling();
+  overlay.check_invariants();
+  grow(overlay, 250, rng, gen);
+  overlay.check_invariants();
+}
+
+TEST(Crash, CrashedLongLinkHolderIsRebound) {
+  OverlayConfig cfg;
+  cfg.n_max = 1024;
+  cfg.seed = 4;
+  Overlay overlay(cfg);
+  Rng rng(4);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  grow(overlay, 150, rng, gen);
+
+  // Find an object whose long link points at a different object; crash
+  // the holder and verify the link re-binds to the new region owner.
+  ObjectId origin = kNoObject;
+  ObjectId holder = kNoObject;
+  for (const ObjectId o : overlay.objects()) {
+    const auto& lr = overlay.view(o).lr;
+    if (!lr.empty() && lr[0].neighbor != o) {
+      origin = o;
+      holder = lr[0].neighbor;
+      break;
+    }
+  }
+  ASSERT_NE(origin, kNoObject);
+  const Vec2 target = overlay.view(origin).lr[0].target;
+  overlay.crash(holder);
+  overlay.repair_dangling();
+  const LongLink& rebound = overlay.view(origin).lr[0];
+  EXPECT_EQ(rebound.target, target) << "target point must be preserved";
+  EXPECT_TRUE(overlay.contains(rebound.neighbor));
+  EXPECT_EQ(rebound.neighbor,
+            overlay.tessellation().nearest(target, rebound.neighbor));
+  overlay.check_invariants();
+}
+
+TEST(Rebalance, FullRedrawKeepsInvariants) {
+  OverlayConfig cfg;
+  cfg.n_max = 256;  // deliberately under-provisioned
+  cfg.seed = 5;
+  Overlay overlay(cfg);
+  Rng rng(5);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  grow(overlay, 256, rng, gen);
+  overlay.check_invariants();
+  const double old_dmin = overlay.dmin();
+
+  overlay.rebalance_capacity(4096);
+  EXPECT_LT(overlay.dmin(), old_dmin);
+  EXPECT_EQ(overlay.config().n_max, 4096u);
+  overlay.check_invariants();
+
+  // Growth beyond the old capacity now works under the new provisioning.
+  grow(overlay, 500, rng, gen);
+  overlay.check_invariants();
+}
+
+TEST(Rebalance, RefinedSchemeOnlyTouchesDenseObjects) {
+  OverlayConfig cfg;
+  cfg.n_max = 512;
+  cfg.seed = 6;
+  Overlay overlay(cfg);
+  Rng rng(6);
+  // Clustered data: some close neighbourhoods get dense.
+  auto dist = workload::DistributionConfig::power_law(5.0);
+  dist.jitter = 0.02;
+  workload::PointGenerator gen(dist);
+  grow(overlay, 400, rng, gen);
+  overlay.check_invariants();
+
+  // Record long-link targets of objects with small cn sets: the refined
+  // scheme must not touch them.
+  std::vector<std::pair<ObjectId, Vec2>> untouched;
+  for (const ObjectId o : overlay.objects()) {
+    if (overlay.view(o).cn.size() <= 3) {
+      untouched.push_back({o, overlay.view(o).lr[0].target});
+    }
+  }
+  ASSERT_FALSE(untouched.empty());
+
+  overlay.rebalance_capacity(8192, /*dense_threshold=*/3);
+  overlay.check_invariants();
+  for (const auto& [o, target] : untouched) {
+    EXPECT_EQ(overlay.view(o).lr[0].target, target)
+        << "sparse-neighbourhood object redrew its long link";
+  }
+}
+
+TEST(Rebalance, ShrinkingCapacityIsRejected) {
+  OverlayConfig cfg;
+  cfg.n_max = 1024;
+  cfg.seed = 7;
+  Overlay overlay(cfg);
+  overlay.insert({0.5, 0.5});
+  EXPECT_THROW(overlay.rebalance_capacity(512), ContractError);
+}
+
+TEST(Rebalance, RoutingImprovesForUnderProvisionedOverlay) {
+  // An overlay provisioned for 64 objects but holding 4000 has dmin far
+  // too large: many routes terminate through the dmin condition early and
+  // must fall back to local resolution.  Re-provisioning tightens dmin
+  // and restores genuine greedy routing.
+  OverlayConfig cfg;
+  cfg.n_max = 64;
+  cfg.seed = 8;
+  Overlay overlay(cfg);
+  Rng rng(8);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  grow(overlay, 4000, rng, gen);
+
+  std::size_t dmin_stops_before = 0;
+  for (int q = 0; q < 300; ++q) {
+    const ObjectId from = overlay.random_object(rng);
+    const ObjectId to = overlay.random_object(rng);
+    if (overlay.probe(from, overlay.position(to)).stopped_by_dmin) {
+      ++dmin_stops_before;
+    }
+  }
+  overlay.rebalance_capacity(8192);
+  overlay.check_invariants();
+  std::size_t dmin_stops_after = 0;
+  for (int q = 0; q < 300; ++q) {
+    const ObjectId from = overlay.random_object(rng);
+    const ObjectId to = overlay.random_object(rng);
+    if (overlay.probe(from, overlay.position(to)).stopped_by_dmin) {
+      ++dmin_stops_after;
+    }
+  }
+  EXPECT_LT(dmin_stops_after, dmin_stops_before);
+}
+
+}  // namespace
+}  // namespace voronet

@@ -1,0 +1,108 @@
+// Tests for the discrete-event engine and the metrics registry.
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace voronet::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_to_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesResolveFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_to_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  const std::size_t processed = q.run_to_idle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(processed, 5u);
+  EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RelativeDelaysAccumulate) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(2.0, [&] {
+    q.schedule(3.0, [&] { seen = q.now(); });
+  });
+  q.run_to_idle();
+  EXPECT_EQ(seen, 5.0);
+}
+
+TEST(EventQueue, NegativeDelayRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), ContractError);
+}
+
+TEST(EventQueue, EventBudgetStopsRunaway) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule(1.0, forever); };
+  q.schedule(0.0, forever);
+  EXPECT_THROW(q.run_to_idle(1000), ContractError);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenIdle) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(Metrics, MessageCounting) {
+  Metrics m;
+  m.count_message(MessageKind::kRouteForward);
+  m.count_message(MessageKind::kRouteForward, 4);
+  m.count_message(MessageKind::kVoronoiUpdate, 2);
+  EXPECT_EQ(m.messages(MessageKind::kRouteForward), 5u);
+  EXPECT_EQ(m.messages(MessageKind::kVoronoiUpdate), 2u);
+  EXPECT_EQ(m.total_messages(), 7u);
+}
+
+TEST(Metrics, OperationRecords) {
+  Metrics m;
+  m.record_operation(OperationKind::kJoin, 10, 40);
+  m.record_operation(OperationKind::kJoin, 20, 60);
+  EXPECT_EQ(m.hops(OperationKind::kJoin).count(), 2u);
+  EXPECT_DOUBLE_EQ(m.hops(OperationKind::kJoin).mean(), 15.0);
+  EXPECT_DOUBLE_EQ(m.operation_messages(OperationKind::kJoin).mean(), 50.0);
+  m.reset();
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_EQ(m.hops(OperationKind::kJoin).count(), 0u);
+}
+
+TEST(Metrics, KindNames) {
+  EXPECT_EQ(message_kind_name(MessageKind::kRouteForward), "route_forward");
+  EXPECT_EQ(message_kind_name(MessageKind::kQueryAnswer), "query_answer");
+  EXPECT_EQ(operation_kind_name(OperationKind::kLeave), "leave");
+}
+
+}  // namespace
+}  // namespace voronet::sim

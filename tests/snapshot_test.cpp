@@ -1,0 +1,148 @@
+// Snapshot save/load round-trip tests.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "voronet/overlay.hpp"
+#include "workload/distributions.hpp"
+
+namespace voronet {
+namespace {
+
+TEST(Snapshot, RoundTripPreservesStructure) {
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.long_links = 2;
+  cfg.seed = 1;
+  Overlay overlay(cfg);
+  Rng rng(1);
+  workload::PointGenerator gen(workload::DistributionConfig::power_law(2.0));
+  for (int i = 0; i < 300; ++i) overlay.insert(gen.next(rng));
+  overlay.check_invariants();
+
+  std::stringstream buffer;
+  overlay.save(buffer);
+  const auto loaded = Overlay::load(buffer);
+  ASSERT_NE(loaded, nullptr);
+
+  EXPECT_EQ(loaded->size(), overlay.size());
+  EXPECT_EQ(loaded->config().n_max, overlay.config().n_max);
+  EXPECT_EQ(loaded->config().long_links, overlay.config().long_links);
+  EXPECT_DOUBLE_EQ(loaded->dmin(), overlay.dmin());
+  loaded->check_invariants();
+
+  // Same positions -> same tessellation -> identical edge structure.
+  std::size_t edges_a = 0;
+  std::size_t edges_b = 0;
+  overlay.tessellation().for_each_edge(
+      [&](ObjectId, ObjectId) { ++edges_a; });
+  loaded->tessellation().for_each_edge(
+      [&](ObjectId, ObjectId) { ++edges_b; });
+  EXPECT_EQ(edges_a, edges_b);
+}
+
+TEST(Snapshot, RoutingBehaviourIsIdentical) {
+  OverlayConfig cfg;
+  cfg.n_max = 1024;
+  cfg.seed = 2;
+  Overlay overlay(cfg);
+  Rng rng(2);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 200; ++i) overlay.insert(gen.next(rng));
+
+  std::stringstream buffer;
+  overlay.save(buffer);
+  const auto loaded = Overlay::load(buffer);
+
+  // Probes must agree hop-for-hop: the views are position-identified, so
+  // compare via positions rather than ids.
+  Rng probe_rng(3);
+  for (int q = 0; q < 100; ++q) {
+    const ObjectId from_a = overlay.random_object(probe_rng);
+    const Vec2 from_pos = overlay.position(from_a);
+    const Vec2 target{probe_rng.uniform(), probe_rng.uniform()};
+    const ObjectId from_b = loaded->tessellation().nearest(from_pos);
+    ASSERT_EQ(loaded->position(from_b), from_pos);
+    const RouteResult ra = overlay.probe(from_a, target);
+    const RouteResult rb = loaded->probe(from_b, target);
+    EXPECT_EQ(ra.hops, rb.hops);
+    EXPECT_EQ(overlay.position(ra.owner), loaded->position(rb.owner));
+  }
+}
+
+TEST(Snapshot, LoadedOverlayKeepsOperating) {
+  OverlayConfig cfg;
+  cfg.n_max = 1024;
+  cfg.seed = 4;
+  Overlay overlay(cfg);
+  Rng rng(4);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 150; ++i) overlay.insert(gen.next(rng));
+
+  std::stringstream buffer;
+  overlay.save(buffer);
+  const auto loaded = Overlay::load(buffer);
+
+  // Joins, leaves and queries proceed normally on the restored overlay.
+  for (int i = 0; i < 50; ++i) loaded->insert(gen.next(rng));
+  for (int i = 0; i < 20; ++i) {
+    loaded->remove(loaded->random_object(rng));
+  }
+  loaded->query(loaded->random_object(rng), {0.5, 0.5});
+  loaded->check_invariants();
+  EXPECT_EQ(loaded->size(), 180u);
+}
+
+TEST(Snapshot, MalformedInputIsRejected) {
+  {
+    std::stringstream buffer("not-a-snapshot 1\n");
+    EXPECT_THROW(Overlay::load(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer("voronet-snapshot 99\n");
+    EXPECT_THROW(Overlay::load(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer(
+        "voronet-snapshot 1\nn_max 100 long_links 1 dmin 0x1p-10 seed 1\n"
+        "flags 1 1\nobjects 2\n0x1p-1 0x1p-1 0x1p-2 0x1p-2\n");
+    // Truncated: second object missing.
+    EXPECT_THROW(Overlay::load(buffer), std::runtime_error);
+  }
+}
+
+TEST(Snapshot, LongLinkAblationRoundTrips) {
+  OverlayConfig cfg;
+  cfg.n_max = 512;
+  cfg.use_long_links = false;  // objects carry no long-link targets
+  cfg.seed = 6;
+  Overlay overlay(cfg);
+  Rng rng(6);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 60; ++i) overlay.insert(gen.next(rng));
+
+  std::stringstream buffer;
+  overlay.save(buffer);
+  const auto loaded = Overlay::load(buffer);
+  EXPECT_EQ(loaded->size(), 60u);
+  loaded->check_invariants();
+  for (const ObjectId o : loaded->objects()) {
+    EXPECT_TRUE(loaded->view(o).lr.empty());
+  }
+}
+
+TEST(Snapshot, EmptyOverlayRoundTrips) {
+  OverlayConfig cfg;
+  cfg.n_max = 64;
+  Overlay overlay(cfg);
+  std::stringstream buffer;
+  overlay.save(buffer);
+  const auto loaded = Overlay::load(buffer);
+  EXPECT_EQ(loaded->size(), 0u);
+  loaded->insert({0.5, 0.5});
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+}  // namespace
+}  // namespace voronet

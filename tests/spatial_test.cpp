@@ -1,0 +1,130 @@
+// Tests for the uniform-grid spatial oracle.
+#include "spatial/grid_index.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace voronet::spatial {
+namespace {
+
+TEST(GridIndex, NearestMatchesLinearScan) {
+  Rng rng(1);
+  GridIndex index({{0, 0}, {1, 1}}, 512);
+  std::vector<Vec2> pts;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    const Vec2 p{rng.uniform(), rng.uniform()};
+    pts.push_back(p);
+    index.insert(i, p);
+  }
+  for (int q = 0; q < 1000; ++q) {
+    const Vec2 p{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)};
+    std::uint32_t want = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      const double d = dist2(pts[i], p);
+      if (d < best) {
+        best = d;
+        want = i;
+      }
+    }
+    EXPECT_EQ(index.nearest(p), want);
+  }
+}
+
+TEST(GridIndex, RangeMatchesLinearScan) {
+  Rng rng(2);
+  GridIndex index({{0, 0}, {1, 1}}, 256);
+  std::vector<Vec2> pts;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const Vec2 p{rng.uniform(), rng.uniform()};
+    pts.push_back(p);
+    index.insert(i, p);
+  }
+  std::vector<GridIndex::Id> got;
+  for (int q = 0; q < 200; ++q) {
+    const Vec2 c{rng.uniform(), rng.uniform()};
+    const double r = rng.uniform(0.0, 0.3);
+    got.clear();
+    index.range(c, r, got);
+    std::sort(got.begin(), got.end());
+    std::vector<GridIndex::Id> want;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (dist2(pts[i], c) <= r * r) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(GridIndex, InBoxMatchesLinearScan) {
+  Rng rng(3);
+  GridIndex index({{0, 0}, {1, 1}}, 128);
+  std::vector<Vec2> pts;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    const Vec2 p{rng.uniform(), rng.uniform()};
+    pts.push_back(p);
+    index.insert(i, p);
+  }
+  std::vector<GridIndex::Id> got;
+  for (int q = 0; q < 100; ++q) {
+    geo::Box box{{rng.uniform(), rng.uniform()}, {0, 0}};
+    box.hi = {box.lo.x + rng.uniform(0, 0.4), box.lo.y + rng.uniform(0, 0.4)};
+    got.clear();
+    index.in_box(box, got);
+    std::sort(got.begin(), got.end());
+    std::vector<GridIndex::Id> want;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (box.contains(pts[i])) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(GridIndex, RemoveAndReinsert) {
+  GridIndex index({{0, 0}, {1, 1}}, 16);
+  index.insert(1, {0.25, 0.25});
+  index.insert(2, {0.75, 0.75});
+  EXPECT_EQ(index.nearest({0.2, 0.2}), 1u);
+  index.remove(1, {0.25, 0.25});
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.nearest({0.2, 0.2}), 2u);
+  index.insert(3, {0.1, 0.1});
+  EXPECT_EQ(index.nearest({0.2, 0.2}), 3u);
+}
+
+TEST(GridIndex, PointsOutsideBoundsAreClamped) {
+  GridIndex index({{0, 0}, {1, 1}}, 16);
+  index.insert(1, {-0.5, -0.5});
+  index.insert(2, {1.5, 1.5});
+  EXPECT_EQ(index.nearest({-1.0, -1.0}), 1u);
+  EXPECT_EQ(index.nearest({2.0, 2.0}), 2u);
+  std::vector<GridIndex::Id> got;
+  index.range({-0.5, -0.5}, 0.1, got);
+  EXPECT_EQ(got, std::vector<GridIndex::Id>{1});
+}
+
+TEST(GridIndex, RemoveMissingThrows) {
+  GridIndex index({{0, 0}, {1, 1}}, 16);
+  index.insert(1, {0.5, 0.5});
+  EXPECT_THROW(index.remove(2, {0.5, 0.5}), ContractError);
+}
+
+TEST(GridIndex, NearestOnEmptyThrows) {
+  GridIndex index({{0, 0}, {1, 1}}, 16);
+  EXPECT_THROW((void)index.nearest({0.5, 0.5}), ContractError);
+}
+
+TEST(GridIndex, TieBreaksTowardSmallerId) {
+  GridIndex index({{0, 0}, {1, 1}}, 16);
+  index.insert(7, {0.25, 0.5});
+  index.insert(3, {0.75, 0.5});
+  // Exactly equidistant query.
+  EXPECT_EQ(index.nearest({0.5, 0.5}), 3u);
+}
+
+}  // namespace
+}  // namespace voronet::spatial

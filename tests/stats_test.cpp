@@ -1,0 +1,168 @@
+// Tests for the statistics toolkit used by the benchmark harness.
+#include "stats/histogram.hpp"
+#include "stats/linefit.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+#include <array>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace voronet::stats {
+namespace {
+
+TEST(StreamingSummary, KnownMoments) {
+  StreamingSummary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingSummary, MergeEqualsSingleStream) {
+  StreamingSummary a;
+  StreamingSummary b;
+  StreamingSummary whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingSummary, MergeWithEmpty) {
+  StreamingSummary a;
+  a.add(1.0);
+  StreamingSummary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(OfflineSummary, Quantiles) {
+  OfflineSummary s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  // Nearest-rank convention: the true median 50.5 is not a sample.
+  EXPECT_NEAR(s.median(), 50.5, 0.6);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(IntHistogram, CountsAndMoments) {
+  IntHistogram h;
+  for (const std::size_t v : {3u, 3u, 3u, 5u, 6u, 6u}) h.add(v);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(3), 3u);
+  EXPECT_EQ(h.count(4), 0u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_EQ(h.mode(), 3u);
+  EXPECT_NEAR(h.mean(), 26.0 / 6.0, 1e-12);
+  EXPECT_EQ(h.max_value(), 6u);
+}
+
+TEST(IntHistogram, Merge) {
+  IntHistogram a;
+  IntHistogram b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.count(9), 1u);
+}
+
+TEST(BinnedHistogram, BinningAndOverflow) {
+  BinnedHistogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.99);
+  h.add(5.0);
+  h.add(9.999);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+}
+
+TEST(LineFit, ExactLine) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> ys{3.0, 5.0, 7.0, 9.0};
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LineFit, NoisyLineStillCloses) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + 2.0 + ((i % 2) ? 0.1 : -0.1));
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LineFit, RejectsDegenerateInput) {
+  const std::array<double, 1> one{1.0};
+  EXPECT_THROW(fit_line(one, one), ContractError);
+  const std::array<double, 3> xs{2.0, 2.0, 2.0};
+  const std::array<double, 3> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(xs, ys), ContractError);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"n", "hops"});
+  t.add_row({"10", "3.5"});
+  t.add_row({"100000", "42.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("100000"), std::string::npos);
+  EXPECT_NE(out.find("42.25"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Table, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+  EXPECT_EQ(Table::cell(static_cast<long long>(-7)), "-7");
+}
+
+}  // namespace
+}  // namespace voronet::stats

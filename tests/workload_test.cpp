@@ -1,0 +1,157 @@
+// Tests for the workload generators (paper, section 5 distributions).
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/alias_sampler.hpp"
+
+namespace voronet::workload {
+namespace {
+
+TEST(AliasSampler, MatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 4.0, 8.0};
+  AliasSampler sampler(weights);
+  Rng rng(1);
+  std::array<int, 4> counts{};
+  constexpr int kSamples = 150000;
+  for (int i = 0; i < kSamples; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 15.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, expected, 0.01)
+        << "bucket " << i;
+    EXPECT_DOUBLE_EQ(sampler.probability(i), expected);
+  }
+}
+
+TEST(AliasSampler, SingleBucket) {
+  const std::vector<double> weights{3.0};
+  AliasSampler sampler(weights);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightBucketNeverDrawn) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  AliasSampler sampler(weights);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(AliasSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), ContractError);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}), ContractError);
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -1.0}), ContractError);
+}
+
+TEST(Distributions, UniformCoversTheSquare) {
+  PointGenerator gen(DistributionConfig::uniform());
+  Rng rng(4);
+  double minx = 1.0;
+  double maxx = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 p = gen.next(rng);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+  }
+  EXPECT_LT(minx, 0.02);
+  EXPECT_GT(maxx, 0.98);
+}
+
+TEST(Distributions, PowerLawConcentratesMass) {
+  // With alpha = 5 the most popular attribute value draws the dominant
+  // share: the biggest x-cluster should hold > 80% of objects (the Zipf
+  // normalisation sum_{i} i^-5 ~ 1.0369, so rank 1 has ~96%).
+  DistributionConfig cfg = DistributionConfig::power_law(5.0);
+  PointGenerator gen(cfg);
+  Rng rng(5);
+  std::map<long, int> x_cluster;  // bucket by rounded value grid
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Vec2 p = gen.next(rng);
+    ++x_cluster[std::lround(p.x * static_cast<double>(cfg.values_per_axis) -
+                            0.5)];
+  }
+  int top = 0;
+  for (const auto& [bucket, count] : x_cluster) top = std::max(top, count);
+  EXPECT_GT(top, static_cast<int>(0.8 * kSamples));
+}
+
+TEST(Distributions, PowerLawAlphaOrdersConcentration) {
+  const auto top_share = [](double alpha) {
+    DistributionConfig cfg = DistributionConfig::power_law(alpha);
+    PointGenerator gen(cfg);
+    Rng rng(6);
+    std::map<long, int> cluster;
+    for (int i = 0; i < 20000; ++i) {
+      const Vec2 p = gen.next(rng);
+      ++cluster[std::lround(p.x * static_cast<double>(cfg.values_per_axis) -
+                            0.5)];
+    }
+    int top = 0;
+    for (const auto& [b, c] : cluster) top = std::max(top, c);
+    return static_cast<double>(top) / 20000.0;
+  };
+  const double s1 = top_share(1.0);
+  const double s2 = top_share(2.0);
+  const double s5 = top_share(5.0);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s5);
+}
+
+TEST(Distributions, JitterKeepsPositionsDistinct) {
+  DistributionConfig cfg = DistributionConfig::power_law(5.0);
+  PointGenerator gen(cfg);
+  Rng rng(7);
+  const auto points = gen.generate(5000, rng);
+  std::set<std::pair<double, double>> seen;
+  for (const Vec2 p : points) {
+    EXPECT_TRUE(seen.emplace(p.x, p.y).second) << "duplicate position";
+  }
+}
+
+TEST(Distributions, GenerateIsDeterministicPerSeed) {
+  DistributionConfig cfg = DistributionConfig::power_law(2.0);
+  PointGenerator g1(cfg);
+  PointGenerator g2(cfg);
+  Rng r1(8);
+  Rng r2(8);
+  const auto a = g1.generate(100, r1);
+  const auto b = g2.generate(100, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Distributions, ClusterMixStaysNearCenters) {
+  DistributionConfig cfg = DistributionConfig::cluster_mix(4, 0.005);
+  PointGenerator gen(cfg);
+  Rng rng(9);
+  // Collect points; at least 4 tight groups should emerge (intra-cluster
+  // spread ~ 3 sigma = 1.5e-2).
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back(gen.next(rng));
+  // Every point lies in the square.
+  for (const Vec2 p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+  }
+}
+
+TEST(Distributions, PaperSetMatchesEvaluationSection) {
+  const auto set = paper_distributions();
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0].name(), "uniform");
+  EXPECT_EQ(set[1].name(), "sparse(alpha=1)");
+  EXPECT_EQ(set[2].name(), "sparse(alpha=2)");
+  EXPECT_EQ(set[3].name(), "sparse(alpha=5)");
+}
+
+}  // namespace
+}  // namespace voronet::workload
