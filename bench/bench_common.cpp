@@ -1,7 +1,14 @@
 #include "bench_common.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
+#include "common/expect.hpp"
 #include "common/parallel.hpp"
 #include "stats/summary.hpp"
 
@@ -11,6 +18,7 @@ Scale resolve_scale(const Flags& flags) {
   Scale s{};
   s.full = bench_full_scale(flags);
   s.csv = flags.has("csv");
+  s.json_path = flags.get_string("json", "");
   s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   if (s.full) {
     s.objects = static_cast<std::size_t>(flags.get_int("objects", 300'000));
@@ -29,11 +37,7 @@ Scale resolve_scale(const Flags& flags) {
 ProbeStats probe_stats(const Overlay& overlay, std::size_t pairs, Rng& rng) {
   // Pre-draw the couples sequentially so the measurement is deterministic
   // regardless of the worker count.
-  struct Pair {
-    ObjectId from;
-    Vec2 target;
-  };
-  std::vector<Pair> couples;
+  std::vector<ProbeQuery> couples;
   couples.reserve(pairs);
   for (std::size_t i = 0; i < pairs; ++i) {
     const ObjectId from = overlay.random_object(rng);
@@ -41,18 +45,23 @@ ProbeStats probe_stats(const Overlay& overlay, std::size_t pairs, Rng& rng) {
     while (to == from && overlay.size() > 1) to = overlay.random_object(rng);
     couples.push_back({from, overlay.position(to)});
   }
+  std::vector<RouteResult> results(couples.size());
 
+  // Each worker runs a software-pipelined probe batch over its chunk; the
+  // two levels of parallelism (lanes per core, chunks across cores)
+  // compose.
   std::atomic<std::uint64_t> total_hops{0};
   std::atomic<std::uint64_t> dmin_stops{0};
   parallel_for(0, couples.size(),
                [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 overlay.probe_batch(
+                     std::span(couples).subspan(lo, hi - lo),
+                     std::span(results).subspan(lo, hi - lo));
                  std::uint64_t local = 0;
                  std::uint64_t local_stops = 0;
                  for (std::size_t i = lo; i < hi; ++i) {
-                   const RouteResult r =
-                       overlay.probe(couples[i].from, couples[i].target);
-                   local += r.hops;
-                   if (r.stopped_by_dmin) ++local_stops;
+                   local += results[i].hops;
+                   if (results[i].stopped_by_dmin) ++local_stops;
                  }
                  total_hops.fetch_add(local, std::memory_order_relaxed);
                  dmin_stops.fetch_add(local_stops,
@@ -68,6 +77,175 @@ ProbeStats probe_stats(const Overlay& overlay, std::size_t pairs, Rng& rng) {
 
 double mean_route_hops(const Overlay& overlay, std::size_t pairs, Rng& rng) {
   return probe_stats(overlay, pairs, rng).mean_hops;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters must be \u-escaped for valid JSON.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string render_double(double v) {
+  // Round-trip precision; JSON has no inf/nan, map them to null.
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Json Json::object() { return Json{}; }
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = render_double(v);
+  return j;
+}
+
+Json Json::integer(unsigned long long v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::to_string(v);
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.scalar_ = std::move(v);
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.scalar_ = v ? "true" : "false";
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  VORONET_EXPECT(kind_ == Kind::kObject, "set() on a non-object Json value");
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  VORONET_EXPECT(kind_ == Kind::kArray, "push() on a non-array Json value");
+  children_.emplace_back(std::string{}, std::move(value));
+  return *this;
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNumber:
+    case Kind::kBool:
+      os << scalar_;
+      break;
+    case Kind::kString:
+      write_escaped(os, scalar_);
+      break;
+    case Kind::kObject: {
+      if (children_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        os << inner;
+        write_escaped(os, children_[i].first);
+        os << ": ";
+        children_[i].second.write(os, indent + 1);
+        os << (i + 1 < children_.size() ? ",\n" : "\n");
+      }
+      os << pad << '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (children_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        os << inner;
+        children_[i].second.write(os, indent + 1);
+        os << (i + 1 < children_.size() ? ",\n" : "\n");
+      }
+      os << pad << ']';
+      break;
+    }
+  }
+}
+
+std::string Json::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+Json table_json(const stats::Table& table) {
+  const auto cell_value = [](const std::string& cell) {
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), v);
+    if (ec == std::errc{} && ptr == cell.data() + cell.size()) {
+      return Json::number(v);
+    }
+    return Json::string(cell);
+  };
+  Json header = Json::array();
+  for (const auto& h : table.header()) header.push(Json::string(h));
+  Json rows = Json::array();
+  for (const auto& row : table.row_data()) {
+    Json jrow = Json::array();
+    for (const auto& cell : row) jrow.push(cell_value(cell));
+    rows.push(std::move(jrow));
+  }
+  return Json::object().set("header", std::move(header))
+      .set("rows", std::move(rows));
+}
+
+void write_json_file(const std::string& path, const Json& doc) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open --json path: " + path);
+  doc.write(os);
+  os << '\n';
+  if (!os) throw std::runtime_error("failed writing --json path: " + path);
 }
 
 std::vector<GrowthPoint> route_growth_series(

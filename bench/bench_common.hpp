@@ -4,6 +4,7 @@
 //   --full            run at the paper's exact scale (300k objects, 100k
 //                     route samples); otherwise a laptop-scale default
 //   --csv             print machine-readable CSV instead of tables
+//   --json PATH       additionally write the results as a JSON document
 //   --objects N       override the maximum overlay size
 //   --pairs M         override the number of sampled routes per checkpoint
 //   --seed S          change the experiment seed
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "stats/table.hpp"
 #include "voronet/overlay.hpp"
 #include "workload/distributions.hpp"
 
@@ -28,7 +30,49 @@ struct Scale {
   std::uint64_t seed;
   bool csv;
   bool full;
+  std::string json_path;    ///< empty unless --json PATH was given
 };
+
+// ---------------------------------------------------------------------------
+// Minimal ordered JSON document builder.
+//
+// The figure benches and bench_hotpath share --json <path>: every bench
+// writes one JSON object so sweep scripts and the perf-trend tracker can
+// consume results without scraping tables.  Numbers are emitted with
+// round-trip precision.
+// ---------------------------------------------------------------------------
+class Json {
+ public:
+  static Json object();
+  static Json array();
+  static Json number(double v);
+  static Json integer(unsigned long long v);
+  static Json string(std::string v);
+  static Json boolean(bool v);
+
+  /// Object member (insertion order preserved); returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Array element; returns *this for chaining.
+  Json& push(Json value);
+
+  void write(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kString, kBool };
+  Kind kind_ = Kind::kObject;
+  std::string scalar_;  // rendered representation for leaf kinds
+  std::vector<std::pair<std::string, Json>> children_;
+};
+
+/// Render a stats::Table as {"header": [...], "rows": [[...], ...]}; cells
+/// that parse as numbers are emitted as numbers, the rest as strings.
+Json table_json(const stats::Table& table);
+
+/// Write `doc` to `path` (pretty-printed); throws std::runtime_error on
+/// I/O failure.  No-op when path is empty, so benches can call it
+/// unconditionally with scale.json_path.
+void write_json_file(const std::string& path, const Json& doc);
 
 /// Paper scale: 300,000 objects, checkpoints every 10,000 adds, 100,000
 /// random couples per checkpoint (section 5).  Default scale keeps the

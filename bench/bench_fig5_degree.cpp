@@ -86,6 +86,14 @@ int main(int argc, char** argv) try {
   } else {
     table.print(std::cout);
   }
+  if (!scale.json_path.empty()) {
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", bench::Json::string("fig5_degree"))
+        .set("objects", bench::Json::integer(scale.objects))
+        .set("seed", bench::Json::integer(scale.seed))
+        .set("table", bench::table_json(table));
+    bench::write_json_file(scale.json_path, doc);
+  }
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_fig5_degree: " << e.what() << "\n";

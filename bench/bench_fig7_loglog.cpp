@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "stats/linefit.hpp"
 #include "stats/table.hpp"
@@ -25,14 +26,16 @@ int main(int argc, char** argv) try {
             << " checkpoint=" << scale.checkpoint << " pairs=" << scale.pairs
             << (scale.full ? " (paper scale)" : " (default scale)") << "\n";
 
+  // Independent experiments: grow the four overlays concurrently (see
+  // bench_fig6_routes.cpp); results are deterministic.
   const auto dists = workload::paper_distributions();
-  std::vector<std::vector<bench::GrowthPoint>> series;
-  for (const auto& dist : dists) {
+  std::vector<std::vector<bench::GrowthPoint>> series(dists.size());
+  parallel_for_each(0, dists.size(), [&](std::size_t d) {
     Timer t;
-    series.push_back(bench::route_growth_series(dist, scale, 1));
-    std::cerr << "[fig7] " << dist.name() << " done in " << t.seconds()
+    series[d] = bench::route_growth_series(dists[d], scale, 1);
+    std::cerr << "[fig7] " << dists[d].name() << " done in " << t.seconds()
               << "s\n";
-  }
+  });
 
   // Transformed series.
   stats::Table table({"log(log(objects))", dists[0].name(), dists[1].name(),
@@ -72,6 +75,16 @@ int main(int argc, char** argv) try {
     fit_table.print_csv(std::cout);
   } else {
     fit_table.print(std::cout);
+  }
+  if (!scale.json_path.empty()) {
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", bench::Json::string("fig7_loglog"))
+        .set("objects", bench::Json::integer(scale.objects))
+        .set("pairs", bench::Json::integer(scale.pairs))
+        .set("seed", bench::Json::integer(scale.seed))
+        .set("table", bench::table_json(table))
+        .set("fits", bench::table_json(fit_table));
+    bench::write_json_file(scale.json_path, doc);
   }
   return 0;
 } catch (const std::exception& e) {

@@ -28,6 +28,13 @@ int main(int argc, char** argv) try {
       workload::DistributionConfig::uniform(),
       workload::DistributionConfig::power_law(5.0)};
 
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", bench::Json::string("fig8_multilink"))
+      .set("objects", bench::Json::integer(scale.objects))
+      .set("pairs", bench::Json::integer(scale.pairs))
+      .set("max_links", bench::Json::integer(max_links))
+      .set("seed", bench::Json::integer(scale.seed));
+
   for (const auto& dist : dists) {
     // One growth series per link count k.
     std::vector<std::vector<bench::GrowthPoint>> per_k;
@@ -59,7 +66,9 @@ int main(int argc, char** argv) try {
       table.print(std::cout);
     }
     std::cout << "\n";
+    doc.set(dist.name(), bench::table_json(table));
   }
+  bench::write_json_file(scale.json_path, doc);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_fig8_multilink: " << e.what() << "\n";

@@ -78,7 +78,10 @@ DelaunayTriangulation::TriId DelaunayTriangulation::new_triangle(VertexId a,
     tri_mark_.push_back(0);
   }
   tris_[t].v = {a, b, c};
-  tris_[t].nbr = {kNoTriangle, kNoTriangle, kNoTriangle};
+  // nbr is deliberately left stale: every creation site links all three
+  // edges before the structure is observable (the cavity fill and the
+  // hole fill both assert their open-edge sets close), and validate()
+  // audits full adjacency.
   if (c != kGhostVertex) ++real_triangles_;
   return t;
 }
@@ -210,10 +213,21 @@ bool DelaunayTriangulation::on_hull(VertexId v) const {
 
 DelaunayTriangulation::Located DelaunayTriangulation::locate(
     Vec2 p, VertexId hint) const {
-  walk_steps_ = 0;
   TriId cur = kNoTriangle;
   if (hint != kNoVertex && is_live(hint) && vtri_[hint] != kNoTriangle) {
     cur = vtri_[hint];
+  }
+  const bool hinted = cur != kNoTriangle && tlive_[cur];
+  if (!hinted) {
+    // No usable hint: resume where the previous unhinted walk ended (bulk
+    // loads and overlay joins are spatially local, so this is usually
+    // adjacent to the destination).  A stale or dead id falls through to
+    // the scan.
+    const TriId last = last_tri_.load(std::memory_order_relaxed);
+    if (last != kNoTriangle && last < static_cast<TriId>(tris_.size()) &&
+        tlive_[last]) {
+      cur = last;
+    }
   }
   if (cur == kNoTriangle || !tlive_[cur]) {
     for (TriId t = 0; t < static_cast<TriId>(tris_.size()); ++t) {
@@ -225,51 +239,70 @@ DelaunayTriangulation::Located DelaunayTriangulation::locate(
   }
   VORONET_EXPECT(cur != kNoTriangle, "locate() on an empty triangulation");
 
+  // The walk itself only needs orientation tests: a duplicate position is
+  // detected once on arrival (p coinciding with a vertex can only stop the
+  // walk in a triangle incident to that vertex), not re-checked per step.
+  // Only unhinted walks publish their endpoint: hinted callers have their
+  // own locality, and skipping the store keeps parallel hinted probes from
+  // bouncing the cache line.
   TriId prev = kNoTriangle;
+  std::size_t steps = 0;
   const std::size_t cap = 4 * tris_.size() + 64;
+  const auto finish = [&](TriId t, VertexId dup) {
+    walk_steps_.store(steps, std::memory_order_relaxed);
+    if (!hinted) last_tri_.store(t, std::memory_order_relaxed);
+    return Located{t, dup};
+  };
+
   while (true) {
-    ++walk_steps_;
-    VORONET_EXPECT(walk_steps_ <= cap, "point-location walk did not terminate");
+    ++steps;
+    VORONET_EXPECT(steps <= cap, "point-location walk did not terminate");
     const Triangle& t = tris_[cur];
 
-    if (is_ghost(cur)) {
+    if (t.v[2] == kGhostVertex) {
       const VertexId vv = t.v[0];
       const VertexId uu = t.v[1];
       const Vec2 pv = vpos_[vv];
       const Vec2 pu = vpos_[uu];
-      if (p == pv) return {cur, vv};
-      if (p == pu) return {cur, uu};
+      if (p == pv) return finish(cur, vv);
+      if (p == pu) return finish(cur, uu);
       const int o = orient2d(pv, pu, p);
-      if (o > 0) return {cur, kNoVertex};  // strictly outside this hull edge
-      if (o < 0) {                         // strictly inside: step back in
+      if (o > 0) return finish(cur, kNoVertex);  // strictly outside this edge
+      if (o < 0) {                               // strictly inside: step in
         prev = cur;
         cur = t.nbr[2];
         continue;
       }
       // Collinear with the hull edge u->v.
-      if (inside_open_segment(pu, pv, p)) return {cur, kNoVertex};
+      if (inside_open_segment(pu, pv, p)) return finish(cur, kNoVertex);
       prev = cur;
       // Beyond v: continue to the next ghost CCW; before u: previous ghost.
       cur = dot(p - pu, pv - pu) > 0.0 ? t.nbr[1] : t.nbr[0];
       continue;
     }
 
-    for (int i = 0; i < 3; ++i) {
-      if (p == vpos_[t.v[i]]) return {cur, t.v[i]};
+    const Vec2 p0 = vpos_[t.v[0]];
+    const Vec2 p1 = vpos_[t.v[1]];
+    const Vec2 p2 = vpos_[t.v[2]];
+    // Edge i is opposite vertex i; the entry edge (shared with prev) is
+    // already known to not separate p and is skipped.
+    TriId next = kNoTriangle;
+    if (t.nbr[0] != prev && orient2d(p1, p2, p) < 0) {
+      next = t.nbr[0];
+    } else if (t.nbr[1] != prev && orient2d(p2, p0, p) < 0) {
+      next = t.nbr[1];
+    } else if (t.nbr[2] != prev && orient2d(p0, p1, p) < 0) {
+      next = t.nbr[2];
     }
-    int exit = -1;
-    for (int i = 0; i < 3; ++i) {
-      if (t.nbr[i] == prev) continue;
-      const Vec2 a = vpos_[t.v[(i + 1) % 3]];
-      const Vec2 b = vpos_[t.v[(i + 2) % 3]];
-      if (orient2d(a, b, p) < 0) {
-        exit = i;
-        break;
-      }
+    if (next == kNoTriangle) {
+      // Closed triangle contains p; surface an exact duplicate if any.
+      if (p == p0) return finish(cur, t.v[0]);
+      if (p == p1) return finish(cur, t.v[1]);
+      if (p == p2) return finish(cur, t.v[2]);
+      return finish(cur, kNoVertex);
     }
-    if (exit < 0) return {cur, kNoVertex};  // closed triangle contains p
     prev = cur;
-    cur = t.nbr[exit];
+    cur = next;
   }
 }
 
@@ -320,6 +353,8 @@ DelaunayTriangulation::InsertOutcome DelaunayTriangulation::insert(
   if (loc.duplicate != kNoVertex) return {loc.duplicate, false};
   const VertexId nv = new_vertex(p);
   dig_cavity_and_fill(loc.tri, nv);
+  // Chain locality for the next unhinted operation.
+  last_tri_.store(vtri_[nv], std::memory_order_relaxed);
   return {nv, true};
 }
 
@@ -388,43 +423,41 @@ void DelaunayTriangulation::build_initial_triangulation() {
 void DelaunayTriangulation::dig_cavity_and_fill(TriId seed, VertexId pv) {
   const Vec2 p = vpos_[pv];
 
-  // --- Grow the cavity: connected triangles whose circumdisk contains p.
+  // --- Grow the cavity (connected triangles whose circumdisk contains p)
+  // and record its directed boundary in the same pass: each directed edge
+  // (t, i) is examined exactly once, and circumdisk membership is
+  // path-independent, so a neighbour that fails the test here can never
+  // join the cavity later.
   ++mark_epoch_;
   const std::uint32_t epoch = mark_epoch_;
   scratch_tris_.clear();
   std::vector<TriId>& cavity = scratch_tris_;
-  std::vector<TriId> stack{seed};
+  scratch_stack_.clear();
+  std::vector<TriId>& stack = scratch_stack_;
+  std::vector<BoundaryEdge>& boundary = scratch_boundary_;
+  boundary.clear();
+  affected_.clear();
+  stack.push_back(seed);
   tri_mark_[seed] = epoch;
   while (!stack.empty()) {
     const TriId t = stack.back();
     stack.pop_back();
     cavity.push_back(t);
-    for (int i = 0; i < 3; ++i) {
-      const TriId nb = tris_[t].nbr[i];
-      VORONET_DCHECK(nb != kNoTriangle);
-      if (tri_mark_[nb] != epoch && in_circumdisk(nb, p)) {
-        tri_mark_[nb] = epoch;
-        stack.push_back(nb);
+    const Triangle& tr = tris_[t];
+    if (track_affected_) {
+      for (int i = 0; i < 3; ++i) {
+        if (tr.v[i] != kGhostVertex) affected_.push_back(tr.v[i]);
       }
     }
-  }
-
-  // --- Boundary edges (directed, cavity on the left) and affected vertices.
-  struct BoundaryEdge {
-    VertexId a;
-    VertexId b;
-    TriId outside;
-  };
-  std::vector<BoundaryEdge> boundary;
-  boundary.reserve(cavity.size() + 2);
-  affected_.clear();
-  for (const TriId t : cavity) {
     for (int i = 0; i < 3; ++i) {
-      if (tris_[t].v[i] != kGhostVertex) affected_.push_back(tris_[t].v[i]);
-      const TriId nb = tris_[t].nbr[i];
-      if (tri_mark_[nb] != epoch) {
-        boundary.push_back(
-            {tris_[t].v[(i + 1) % 3], tris_[t].v[(i + 2) % 3], nb});
+      const TriId nb = tr.nbr[i];
+      VORONET_DCHECK(nb != kNoTriangle);
+      if (tri_mark_[nb] == epoch) continue;
+      if (in_circumdisk(nb, p)) {
+        tri_mark_[nb] = epoch;
+        stack.push_back(nb);
+      } else {
+        boundary.push_back({tr.v[(i + 1) % 3], tr.v[(i + 2) % 3], nb});
       }
     }
   }
@@ -434,39 +467,61 @@ void DelaunayTriangulation::dig_cavity_and_fill(TriId seed, VertexId pv) {
 
   for (const TriId t : cavity) free_triangle(t);
 
-  // --- Fill: one new triangle per boundary edge, all sharing pv.
-  std::unordered_map<std::uint64_t, std::pair<TriId, int>> open_edges;
-  open_edges.reserve(boundary.size() * 2);
+  // --- Fill: one new triangle per boundary edge, all sharing pv.  Every
+  // open edge is incident to pv, so the other endpoint identifies it; the
+  // boundary cycle is small (expected O(1)), making a linear scan far
+  // cheaper than a hash map.
+  auto& open_edges = scratch_open_;
+  open_edges.clear();
+  const auto stitch_pv_edge = [&](VertexId other, TriId nt, int eidx) {
+    for (std::size_t k = 0; k < open_edges.size(); ++k) {
+      if (open_edges[k].first != other) continue;
+      link(nt, eidx, open_edges[k].second.first);
+      link(open_edges[k].second.first, open_edges[k].second.second, nt);
+      open_edges[k] = open_edges.back();
+      open_edges.pop_back();
+      return;
+    }
+    open_edges.emplace_back(other, std::make_pair(nt, eidx));
+  };
   for (const BoundaryEdge& be : boundary) {
+    // The layout of each new triangle is fixed by construction, so every
+    // edge index inside it is a constant -- no edge_index() search needed
+    // except in the pre-existing outside triangle.
     TriId nt;
+    int inner;   // edge (be.a, be.b) in nt
+    int epv_a;   // edge (pv, be.a) in nt
+    int epv_b;   // edge (pv, be.b) in nt
     if (be.a == kGhostVertex) {
       nt = new_triangle(be.b, pv, kGhostVertex);  // new hull edge pv->b
+      inner = 1;
+      epv_a = 0;
+      epv_b = 2;
     } else if (be.b == kGhostVertex) {
       nt = new_triangle(pv, be.a, kGhostVertex);  // new hull edge a->pv
+      inner = 0;
+      epv_a = 2;
+      epv_b = 1;
     } else {
-      VORONET_EXPECT(orient2d(vpos_[be.a], vpos_[be.b], p) > 0,
-                     "cavity boundary not star-shaped around new vertex");
+      // Star-shapedness of the cavity boundary is a theorem under exact
+      // predicates (the cavity is the set of triangles whose circumdisk
+      // contains p); debug builds still verify it, and validate() audits
+      // the full structure in the test suite.
+      VORONET_DCHECK(orient2d(vpos_[be.a], vpos_[be.b], p) > 0);
       nt = new_triangle(be.a, be.b, pv);
+      inner = 2;
+      epv_a = 1;
+      epv_b = 0;
     }
     // Link across the boundary edge to the surviving outside triangle.
-    const int inner = edge_index(nt, be.a, be.b);
     const int outer = edge_index(be.outside, be.a, be.b);
     link(nt, inner, be.outside);
     link(be.outside, outer, nt);
     if (be.a != kGhostVertex) vtri_[be.a] = nt;
     if (be.b != kGhostVertex) vtri_[be.b] = nt;
     // The two edges incident to pv pair up with sibling new triangles.
-    for (const VertexId other : {be.a, be.b}) {
-      const std::uint64_t key = edge_key(pv, other);
-      const auto it = open_edges.find(key);
-      if (it == open_edges.end()) {
-        open_edges.emplace(key, std::make_pair(nt, edge_index(nt, pv, other)));
-      } else {
-        link(nt, edge_index(nt, pv, other), it->second.first);
-        link(it->second.first, it->second.second, nt);
-        open_edges.erase(it);
-      }
-    }
+    stitch_pv_edge(be.a, nt, epv_a);
+    stitch_pv_edge(be.b, nt, epv_b);
     vtri_[pv] = nt;
   }
   VORONET_EXPECT(open_edges.empty(), "cavity boundary is not a closed cycle");
@@ -518,6 +573,7 @@ void DelaunayTriangulation::collapse_to_pending() {
   tri_mark_.clear();
   real_triangles_ = 0;
   mark_epoch_ = 0;
+  last_tri_.store(kNoTriangle, std::memory_order_relaxed);
   for (VertexId u = 0; u < static_cast<VertexId>(vpos_.size()); ++u) {
     if (vlive_[u]) vtri_[u] = kNoTriangle;
   }
@@ -756,21 +812,30 @@ DelaunayTriangulation::VertexId DelaunayTriangulation::nearest(
     }
   }
   // Greedy descent over the Delaunay graph converges to the vertex whose
-  // Voronoi region contains p.
-  thread_local std::vector<VertexId> nbrs;
-  bool improved = true;
-  while (improved) {
-    improved = false;
-    nbrs.clear();
-    append_neighbors(cur, nbrs);
-    for (const VertexId u : nbrs) {
-      const double d = dist2(vpos_[u], p);
-      if (d < cur_d || (d == cur_d && u < cur)) {
-        cur = u;
-        cur_d = d;
-        improved = true;
+  // Voronoi region contains p.  The star is walked in place -- no
+  // neighbour list is materialised.  Ties move towards the smaller id, so
+  // the descent cannot cycle (distance never increases; on equal distance
+  // the id strictly decreases) and the fixpoint is deterministic.
+  while (true) {
+    const TriId t0 = vtri_[cur];
+    TriId t = t0;
+    VertexId best = cur;
+    double best_d = cur_d;
+    do {
+      const int j = vertex_index(t, cur);
+      const VertexId a = tris_[t].v[(j + 1) % 3];
+      if (a != kGhostVertex) {
+        const double d = dist2(vpos_[a], p);
+        if (d < best_d || (d == best_d && a < best)) {
+          best = a;
+          best_d = d;
+        }
       }
-    }
+      t = tris_[t].nbr[(j + 1) % 3];
+    } while (t != t0);
+    if (best == cur) break;
+    cur = best;
+    cur_d = best_d;
   }
   return cur;
 }
@@ -779,12 +844,29 @@ std::vector<DelaunayTriangulation::VertexId>
 DelaunayTriangulation::bulk_insert(std::span<const Vec2> points) {
   std::vector<VertexId> ids(points.size(), kNoVertex);
   const std::vector<std::uint32_t> order = morton_order(points);
+  // Pre-size the arenas: n vertices produce ~2n real triangles plus hull
+  // ghosts, and transiently dead cavity triangles on the free list.
+  vpos_.reserve(vpos_.size() + points.size());
+  vlive_.reserve(vlive_.size() + points.size());
+  vtri_.reserve(vtri_.size() + points.size());
+  const std::size_t tri_estimate = tris_.size() + 2 * points.size() + 64;
+  tris_.reserve(tri_estimate);
+  tlive_.reserve(tri_estimate);
+  tri_mark_.reserve(tri_estimate);
+  track_affected_ = false;
   VertexId hint = kNoVertex;
-  for (const std::uint32_t idx : order) {
-    const InsertOutcome out = insert(points[idx], hint);
-    ids[idx] = out.vertex;
-    hint = out.vertex;
+  try {
+    for (const std::uint32_t idx : order) {
+      const InsertOutcome out = insert(points[idx], hint);
+      ids[idx] = out.vertex;
+      hint = out.vertex;
+    }
+  } catch (...) {
+    track_affected_ = true;
+    throw;
   }
+  track_affected_ = true;
+  affected_.clear();
   return ids;
 }
 

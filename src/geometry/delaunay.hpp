@@ -81,7 +81,8 @@ class DelaunayTriangulation {
   /// chained hints (O(1) expected location per point).  Returns the vertex
   /// id for each INPUT position (kNoVertex never occurs; duplicates map to
   /// the surviving vertex).  Equivalent to, but much faster than, inserting
-  /// one by one in the given order.
+  /// one by one in the given order.  last_affected() is empty afterwards
+  /// (per-insert change tracking is suspended during the bulk load).
   std::vector<VertexId> bulk_insert(std::span<const Vec2> points);
 
   /// Remove a live vertex; its star is re-triangulated in place.
@@ -204,6 +205,14 @@ class DelaunayTriangulation {
     VertexId duplicate = kNoVertex;
   };
 
+  /// Directed cavity-boundary edge (cavity on the left) recorded while
+  /// digging; `outside` is the surviving triangle across it.
+  struct BoundaryEdge {
+    VertexId a;
+    VertexId b;
+    TriId outside;
+  };
+
   VertexId new_vertex(Vec2 p);
   void free_vertex(VertexId v);
   TriId new_triangle(VertexId a, VertexId b, VertexId c);
@@ -238,10 +247,27 @@ class DelaunayTriangulation {
   std::vector<VertexId> pending_order_;
 
   std::vector<VertexId> affected_;
+  // Cleared by bulk_insert(): nobody reads per-insert affected sets during
+  // an offline build, and maintaining them (collect + sort + unique per
+  // insert) is a measurable fraction of construction time.
+  bool track_affected_ = true;
   mutable std::atomic<std::size_t> walk_steps_{0};
+
+  // Last triangle reached by an unhinted locate / produced by an insert:
+  // the walk start when the caller has no better hint.  Sequential bulk
+  // loads and overlay joins exhibit strong locality, so this turns the
+  // former O(T) live-triangle scan into an adjacent start.  Stale values
+  // are fine (liveness is checked; a recycled id is still a valid start).
+  mutable std::atomic<TriId> last_tri_{kNoTriangle};
 
   // Scratch buffers reused across operations to avoid re-allocation.
   mutable std::vector<TriId> scratch_tris_;
+  std::vector<TriId> scratch_stack_;
+  std::vector<BoundaryEdge> scratch_boundary_;
+  // Open pv-incident edges while stitching a cavity: (other vertex, (tri,
+  // edge index)).  Small (cavity boundary size), so linear scan beats a
+  // hash map by a wide margin.
+  std::vector<std::pair<VertexId, std::pair<TriId, int>>> scratch_open_;
   std::vector<std::uint32_t> tri_mark_;
   std::uint32_t mark_epoch_ = 0;
 };

@@ -46,6 +46,17 @@ inline void two_diff(double a, double b, double& x, double& y) {
   y = around + bround;
 }
 
+/// Roundoff of a - b given the already-computed x = fl(a - b), so that
+/// a - b == x + tail exactly.  The tail is what the adaptive predicate
+/// stages feed forward when the translated coordinates were inexact.
+inline double two_diff_tail(double a, double b, double x) {
+  const double bvirt = a - x;
+  const double avirt = x + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  return around + bround;
+}
+
 /// Veltkamp split: a == hi + lo with both halves fitting 26-bit mantissas.
 inline void split(double a, double& hi, double& lo) {
   constexpr double kSplitter = 134217729.0;  // 2^27 + 1

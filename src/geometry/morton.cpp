@@ -28,8 +28,45 @@ std::vector<std::uint32_t> morton_order(std::span<const Vec2> points) {
     hi.x = std::max(hi.x, p.x);
     hi.y = std::max(hi.y, p.y);
   }
-  std::vector<std::uint64_t> keys(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
+  // Pack (key, index) into one word when the index fits the 22 low bits
+  // the 42-bit key leaves free, and LSD radix sort the packed words: for
+  // bulk-load sizes this is several times faster than a comparison sort
+  // through an indirection, and the index bits double as the tie-break.
+  constexpr std::size_t kIndexBits = 22;
+  const std::size_t n = points.size();
+  if (n < (std::size_t{1} << kIndexBits)) {
+    std::vector<std::uint64_t> packed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      packed[i] = (morton_key(points[i], lo, hi) << kIndexBits) | i;
+    }
+    constexpr int kDigitBits = 11;  // 6 passes cover all 64 bits
+    constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+    std::vector<std::uint64_t> tmp(n);
+    std::vector<std::uint32_t> count(kBuckets);
+    for (int shift = 0; shift < 64; shift += kDigitBits) {
+      std::fill(count.begin(), count.end(), 0);
+      const std::uint64_t mask = (shift + kDigitBits >= 64)
+                                     ? ~std::uint64_t{0} >> shift
+                                     : kBuckets - 1;
+      for (const std::uint64_t v : packed) ++count[(v >> shift) & mask];
+      std::uint32_t sum = 0;
+      for (auto& c : count) {
+        const std::uint32_t c0 = c;
+        c = sum;
+        sum += c0;
+      }
+      for (const std::uint64_t v : packed) tmp[count[(v >> shift) & mask]++] = v;
+      packed.swap(tmp);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = static_cast<std::uint32_t>(packed[i] &
+                                            ((std::uint64_t{1} << kIndexBits) - 1));
+    }
+    return order;
+  }
+
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
     keys[i] = morton_key(points[i], lo, hi);
     order[i] = static_cast<std::uint32_t>(i);
   }

@@ -12,13 +12,46 @@ namespace {
 // Machine epsilon in Shewchuk's convention: 2^-53, the largest power of two
 // such that 1 + eps rounds to a value distinct from 1 under round-to-even.
 constexpr double kEpsilon = 0x1p-53;
+constexpr double kResultErrBound = (3.0 + 8.0 * kEpsilon) * kEpsilon;
 constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEpsilon) * kEpsilon;
+constexpr double kCcwErrBoundB = (2.0 + 12.0 * kEpsilon) * kEpsilon;
+constexpr double kCcwErrBoundC = (9.0 + 64.0 * kEpsilon) * kEpsilon * kEpsilon;
 constexpr double kIccErrBoundA = (10.0 + 96.0 * kEpsilon) * kEpsilon;
+constexpr double kIccErrBoundB = (4.0 + 48.0 * kEpsilon) * kEpsilon;
+constexpr double kIccErrBoundC = (44.0 + 576.0 * kEpsilon) * kEpsilon * kEpsilon;
 
-std::atomic<unsigned long long> g_orient_calls{0};
-std::atomic<unsigned long long> g_orient_exact{0};
-std::atomic<unsigned long long> g_incircle_calls{0};
-std::atomic<unsigned long long> g_incircle_exact{0};
+// ---------------------------------------------------------------------------
+// Counters.  The predicates are the innermost hot path of the whole system
+// (tens of millions of calls per bulk build), so increments must not cost a
+// locked RMW: each thread tallies into plain thread-local integers, flushed
+// into the global atomics when the thread exits.  parallel_for joins its
+// workers before any stats read, so predicate_stats() on the coordinating
+// thread sees every finished worker's counts.
+// ---------------------------------------------------------------------------
+
+enum CounterIndex {
+  kOrientCalls,
+  kOrientAdapt,
+  kOrientExact,
+  kIncircleCalls,
+  kIncircleAdapt,
+  kIncircleExact,
+  kCounterCount,
+};
+
+std::atomic<unsigned long long> g_flushed[kCounterCount];
+
+struct LocalStats {
+  unsigned long long v[kCounterCount] = {};
+  ~LocalStats() {
+    for (int i = 0; i < kCounterCount; ++i) {
+      if (v[i] != 0) g_flushed[i].fetch_add(v[i], std::memory_order_relaxed);
+    }
+  }
+};
+thread_local LocalStats t_stats;
+
+inline void bump(CounterIndex i) { ++t_stats.v[i]; }
 
 int sign_of(double v) { return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0); }
 
@@ -68,10 +101,115 @@ int incircle_exact(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
   return det.sign();
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive stages (Shewchuk's B and C).  Each stage refines the previous
+// one's value using quantities already computed, so near-degenerate inputs
+// are decided for a small constant extra cost; only configurations that
+// are degenerate (or within one tail-product of it) reach the full exact
+// expansion.
+// ---------------------------------------------------------------------------
+
+int orient2d_adapt(Vec2 a, Vec2 b, Vec2 c, double detsum) {
+  const double acx = a.x - c.x;
+  const double bcx = b.x - c.x;
+  const double acy = a.y - c.y;
+  const double bcy = b.y - c.y;
+
+  // Stage B: exact expansion of the determinant of the *rounded*
+  // translations.  Certifiable unless the translation roundoff matters.
+  const auto det_b = Expansion<2>::product(acx, bcy) -
+                     Expansion<2>::product(acy, bcx);
+  double det = det_b.estimate();
+  double errbound = kCcwErrBoundB * detsum;
+  if (det >= errbound || -det >= errbound) return sign_of(det);
+
+  const double acxtail = two_diff_tail(a.x, c.x, acx);
+  const double bcxtail = two_diff_tail(b.x, c.x, bcx);
+  const double acytail = two_diff_tail(a.y, c.y, acy);
+  const double bcytail = two_diff_tail(b.y, c.y, bcy);
+  if (acxtail == 0.0 && acytail == 0.0 && bcxtail == 0.0 && bcytail == 0.0) {
+    // The translations were exact, so det_b is the exact determinant.
+    return det_b.sign();
+  }
+
+  // Stage C: first-order tail correction of the stage-B estimate.
+  errbound = kCcwErrBoundC * detsum + kResultErrBound * std::fabs(det);
+  det += (acx * bcytail + bcy * acxtail) - (acy * bcxtail + bcx * acytail);
+  if (det >= errbound || -det >= errbound) return sign_of(det);
+
+  // Stage D: exact.  (acx + acxtail)(bcy + bcytail) - (acy + acytail)
+  // (bcx + bcxtail) expanded into the four exact partial products.
+  bump(kOrientExact);
+  const auto d1 = Expansion<2>::product(acxtail, bcy) -
+                  Expansion<2>::product(acytail, bcx);
+  const auto d2 = Expansion<2>::product(acx, bcytail) -
+                  Expansion<2>::product(acy, bcxtail);
+  const auto d3 = Expansion<2>::product(acxtail, bcytail) -
+                  Expansion<2>::product(acytail, bcxtail);
+  return (((det_b + d1) + d2) + d3).sign();
+}
+
+int incircle_adapt(Vec2 a, Vec2 b, Vec2 c, Vec2 d, double permanent) {
+  const double adx = a.x - d.x;
+  const double bdx = b.x - d.x;
+  const double cdx = c.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdy = b.y - d.y;
+  const double cdy = c.y - d.y;
+
+  // Stage B: exact expansion of the determinant of the rounded
+  // translations, grouped as alift*(b x c) + blift*(c x a) + clift*(a x b).
+  const auto bc = Expansion<2>::product(bdx, cdy) -
+                  Expansion<2>::product(cdx, bdy);
+  const auto ca = Expansion<2>::product(cdx, ady) -
+                  Expansion<2>::product(adx, cdy);
+  const auto ab = Expansion<2>::product(adx, bdy) -
+                  Expansion<2>::product(bdx, ady);
+  const auto adet = bc.scaled(adx).scaled(adx) + bc.scaled(ady).scaled(ady);
+  const auto bdet = ca.scaled(bdx).scaled(bdx) + ca.scaled(bdy).scaled(bdy);
+  const auto cdet = ab.scaled(cdx).scaled(cdx) + ab.scaled(cdy).scaled(cdy);
+  const auto det_b = (adet + bdet) + cdet;
+  double det = det_b.estimate();
+  double errbound = kIccErrBoundB * permanent;
+  if (det >= errbound || -det >= errbound) return sign_of(det);
+
+  const double adxtail = two_diff_tail(a.x, d.x, adx);
+  const double adytail = two_diff_tail(a.y, d.y, ady);
+  const double bdxtail = two_diff_tail(b.x, d.x, bdx);
+  const double bdytail = two_diff_tail(b.y, d.y, bdy);
+  const double cdxtail = two_diff_tail(c.x, d.x, cdx);
+  const double cdytail = two_diff_tail(c.y, d.y, cdy);
+  if (adxtail == 0.0 && adytail == 0.0 && bdxtail == 0.0 &&
+      bdytail == 0.0 && cdxtail == 0.0 && cdytail == 0.0) {
+    // Exact translations: det_b is the exact incircle determinant.
+    return det_b.sign();
+  }
+
+  // Stage C: first-order tail correction.
+  errbound = kIccErrBoundC * permanent + kResultErrBound * std::fabs(det);
+  det += ((adx * adx + ady * ady) *
+              ((bdx * cdytail + cdy * bdxtail) -
+               (bdy * cdxtail + cdx * bdytail)) +
+          2.0 * (adx * adxtail + ady * adytail) * (bdx * cdy - bdy * cdx)) +
+         ((bdx * bdx + bdy * bdy) *
+              ((cdx * adytail + ady * cdxtail) -
+               (cdy * adxtail + adx * cdytail)) +
+          2.0 * (bdx * bdxtail + bdy * bdytail) * (cdx * ady - cdy * adx)) +
+         ((cdx * cdx + cdy * cdy) *
+              ((adx * bdytail + bdy * adxtail) -
+               (ady * bdxtail + bdx * adytail)) +
+          2.0 * (cdx * cdxtail + cdy * cdytail) * (adx * bdy - ady * bdx));
+  if (det >= errbound || -det >= errbound) return sign_of(det);
+
+  // Stage D: full exact evaluation from the original coordinates.
+  bump(kIncircleExact);
+  return incircle_exact(a, b, c, d);
+}
+
 }  // namespace
 
 int orient2d(Vec2 a, Vec2 b, Vec2 c) {
-  g_orient_calls.fetch_add(1, std::memory_order_relaxed);
+  bump(kOrientCalls);
 
   const double detleft = (a.x - c.x) * (b.y - c.y);
   const double detright = (a.y - c.y) * (b.x - c.x);
@@ -91,12 +229,12 @@ int orient2d(Vec2 a, Vec2 b, Vec2 c) {
   const double errbound = kCcwErrBoundA * detsum;
   if (det > errbound || -det > errbound) return sign_of(det);
 
-  g_orient_exact.fetch_add(1, std::memory_order_relaxed);
-  return orient2d_exact(a, b, c);
+  bump(kOrientAdapt);
+  return orient2d_adapt(a, b, c, detsum);
 }
 
 int incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
-  g_incircle_calls.fetch_add(1, std::memory_order_relaxed);
+  bump(kIncircleCalls);
 
   const double adx = a.x - d.x;
   const double bdx = b.x - d.x;
@@ -126,8 +264,8 @@ int incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
   const double errbound = kIccErrBoundA * permanent;
   if (det > errbound || -det > errbound) return sign_of(det);
 
-  g_incircle_exact.fetch_add(1, std::memory_order_relaxed);
-  return incircle_exact(a, b, c, d);
+  bump(kIncircleAdapt);
+  return incircle_adapt(a, b, c, d, permanent);
 }
 
 double orient2d_estimate(Vec2 a, Vec2 b, Vec2 c) {
@@ -187,17 +325,18 @@ bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
 }
 
 PredicateStats predicate_stats() {
-  return {g_orient_calls.load(std::memory_order_relaxed),
-          g_orient_exact.load(std::memory_order_relaxed),
-          g_incircle_calls.load(std::memory_order_relaxed),
-          g_incircle_exact.load(std::memory_order_relaxed)};
+  const auto total = [](CounterIndex i) {
+    return g_flushed[i].load(std::memory_order_relaxed) + t_stats.v[i];
+  };
+  return {total(kOrientCalls),   total(kOrientAdapt),   total(kOrientExact),
+          total(kIncircleCalls), total(kIncircleAdapt), total(kIncircleExact)};
 }
 
 void reset_predicate_stats() {
-  g_orient_calls.store(0, std::memory_order_relaxed);
-  g_orient_exact.store(0, std::memory_order_relaxed);
-  g_incircle_calls.store(0, std::memory_order_relaxed);
-  g_incircle_exact.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < kCounterCount; ++i) {
+    g_flushed[i].store(0, std::memory_order_relaxed);
+    t_stats.v[i] = 0;
+  }
 }
 
 }  // namespace voronet::geo

@@ -1,12 +1,18 @@
 // Robust geometric predicates.
 //
-// orient2d and incircle are evaluated with a fast floating-point filter
-// (Shewchuk's stage-A error bounds); when the filter cannot certify the
-// sign, the computation falls back to exact expansion arithmetic, so the
-// returned sign is always correct -- including for collinear and cocircular
-// inputs.  This is the property the paper leans on when citing Sugihara-Iri
-// "resilience to calculation degeneracy": the overlay never builds a
-// topologically inconsistent tessellation, whatever the object positions.
+// orient2d and incircle are evaluated adaptively (Shewchuk 1997): a fast
+// floating-point filter (stage A) resolves almost every call; when it
+// cannot certify the sign, successively sharper partial-expansion stages
+// (B, then C) re-use what is already computed and almost always decide
+// near-degenerate inputs; only truly degenerate configurations fall all
+// the way to full exact expansion arithmetic.  The returned sign is always
+// correct -- including for collinear and cocircular inputs.  This is the
+// property the paper leans on when citing Sugihara-Iri "resilience to
+// calculation degeneracy": the overlay never builds a topologically
+// inconsistent tessellation, whatever the object positions.
+//
+// See DESIGN.md ("Hot paths / predicates") for the stage layout and the
+// counters the benches assert on.
 #pragma once
 
 #include "geometry/vec2.hpp"
@@ -49,12 +55,22 @@ bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
 /// True if p lies on the closed segment [a, b] (exact).
 bool on_segment(Vec2 a, Vec2 b, Vec2 p);
 
-/// Number of exact-fallback evaluations since process start; lets the
-/// benchmarks report how often the floating-point filter fails.
+/// Evaluation counters since process start (or the last reset): total
+/// calls, adaptive escalations (the stage-A filter failed; stages B/C
+/// ran), and full exact-expansion fallbacks (stages B and C failed too).
+/// The benchmarks assert the exact rate stays negligible on real
+/// workloads -- that is the whole point of the adaptive stages.
+///
+/// Counting is exact across threads that have finished (per-thread tallies
+/// are aggregated on thread exit); reads and resets are meant to happen on
+/// the coordinating thread between parallel phases, where every worker has
+/// already joined.
 struct PredicateStats {
   unsigned long long orient_calls = 0;
+  unsigned long long orient_adapt = 0;
   unsigned long long orient_exact = 0;
   unsigned long long incircle_calls = 0;
+  unsigned long long incircle_adapt = 0;
   unsigned long long incircle_exact = 0;
 };
 PredicateStats predicate_stats();

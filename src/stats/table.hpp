@@ -31,6 +31,14 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Raw access for alternative serialisers (e.g. the benches' --json).
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -34,6 +34,17 @@ bool erase_sorted_if_present(std::vector<ObjectId>& v, ObjectId o) {
   return true;
 }
 
+/// The single construction formula for a cached routing edge; shared by
+/// rebuild_vn_geom and the invariant audit so the two can be compared
+/// bit-for-bit.
+VnEdge make_vn_edge(Vec2 self, Vec2 nb, ObjectId id) {
+  return {nb, 1.0 / norm(nb - self), id};
+}
+
+bool vn_edge_equal(const VnEdge& a, const VnEdge& b) {
+  return a.pos == b.pos && a.inv_len == b.inv_len && a.id == b.id;
+}
+
 }  // namespace
 
 Overlay::Overlay(const OverlayConfig& config)
@@ -81,6 +92,13 @@ const Overlay::Node& Overlay::node_checked(ObjectId o) const {
 void Overlay::ensure_slot(ObjectId o) {
   if (o >= static_cast<ObjectId>(nodes_.size())) {
     nodes_.resize(static_cast<std::size_t>(o) + 1);
+    // Dead or never-registered slots carry NaN positions so the routing
+    // hot loop can skip them without reading the Node (NaN distances lose
+    // every comparison).
+    pos_.resize(static_cast<std::size_t>(o) + 1,
+                {std::numeric_limits<double>::quiet_NaN(),
+                 std::numeric_limits<double>::quiet_NaN()});
+    edge_slots_.resize(static_cast<std::size_t>(o) + 1);
   }
 }
 
@@ -92,21 +110,35 @@ Vec2 Overlay::distance_to_region(ObjectId o, Vec2 p) const {
 // Routing (Algorithm 5 framework)
 // ---------------------------------------------------------------------------
 
+// NOTE: route_hop() fuses this same candidate scan with the stop-condition
+// bound and must keep identical selection semantics (tie-break to smaller
+// id, dangling peers skipped); routing_property_test walks routes through
+// this function and compares them with probe_path, locking the two
+// implementations together.
 ObjectId Overlay::greedy_neighbor(ObjectId at, Vec2 target) const {
   const NodeView& v = node_checked(at).view;
   ObjectId best = kNoObject;
   double best_d = std::numeric_limits<double>::infinity();
+  // Voronoi neighbours never dangle (their views are refreshed in the same
+  // step that repairs the tessellation), so the cached positions can be
+  // used without liveness checks.
+  for (const VnEdge& e : v.vn_geom) {
+    const double d = dist2(e.pos, target);
+    if (d < best_d || (d == best_d && (best == kNoObject || e.id < best))) {
+      best = e.id;
+      best_d = d;
+    }
+  }
   const auto consider = [&](ObjectId o) {
     // Dangling entries (crashed peers) are skipped: the greedy step only
     // forwards to peers that would answer.
     if (o == kNoObject || o == at || !contains(o)) return;
     const double d = dist2(nodes_[o].view.position, target);
-    if (d < best_d || (d == best_d && o < best)) {
+    if (d < best_d || (d == best_d && (best == kNoObject || o < best))) {
       best = o;
       best_d = d;
     }
   };
-  for (const ObjectId o : v.vn) consider(o);
   if (config_.use_close_neighbors) {
     for (const ObjectId o : v.cn) consider(o);
   }
@@ -116,6 +148,131 @@ ObjectId Overlay::greedy_neighbor(ObjectId at, Vec2 target) const {
   return best;
 }
 
+Overlay::HopOutcome Overlay::route_hop(ObjectId cur, Vec2 target,
+                                       double dmin2) const {
+  {
+    const NodeView& v = nodes_[cur].view;
+    const double d2_target_cur = dist2(target, v.position);
+
+    // Start the loads for the scattered greedy candidates (close
+    // neighbours, long-link holders) while the arithmetic-only vn scan
+    // runs; each is a potential cache miss the scan can hide.  The first
+    // long link comes from the edge slot, so the common single-link case
+    // never touches the view's lr vector.
+    const EdgeSlot& slot = edge_slots_[cur];
+    const bool lr_in_slot = config_.long_links <= 1;
+    if (config_.use_long_links) {
+      if (lr_in_slot) {
+        if (slot.lr0 >= 0) __builtin_prefetch(&pos_[slot.lr0]);
+      } else {
+        for (const LongLink& l : v.lr) {
+          if (l.neighbor >= 0) __builtin_prefetch(&pos_[l.neighbor]);
+        }
+      }
+    }
+    if (config_.use_close_neighbors) {
+      for (const ObjectId o : v.cn) {
+        if (o >= 0) __builtin_prefetch(&pos_[o]);
+      }
+    }
+
+    // One fused pass over the Voronoi neighbourhood computes both halves
+    // of the hop: the greedy candidate (closest neighbour to the target)
+    // and a lower bound on d(target, cur's region).  The cached VnEdge
+    // data makes each entry a handful of flops -- no neighbour-node
+    // dereference, no square root (comparisons stay squared).  With
+    // u = pos - cur and tv = target - cur, the signed overshoot past the
+    // bisector is dot(target - mid, u) = dot(tv, u) - |u|^2 / 2.
+    //
+    // region_lb2 is the squared distance past the most violated bisector;
+    // distance-to-region is at least that, and it is 0 iff the target lies
+    // inside cur's region.
+    const VnEdge* edges = slot.e;
+    std::size_t edge_count = slot.count;
+    if (edge_count > kInlineVnEdges) {
+      edges = v.vn_geom.data();
+      edge_count = v.vn_geom.size();
+    }
+    const Vec2 tv = target - v.position;
+    double region_lb2 = 0.0;
+    ObjectId best = kNoObject;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < edge_count; ++i) {
+      const VnEdge& e = edges[i];
+      const double d = dist2(e.pos, target);
+      if (d < best_d || (d == best_d && (best == kNoObject || e.id < best))) {
+        best = e.id;
+        best_d = d;
+      }
+      const Vec2 u = e.pos - v.position;
+      const double beyond = dot(tv, u) - 0.5 * dot(u, u);
+      if (beyond > 0.0) {
+        const double lb = beyond * e.inv_len;
+        if (lb * lb > region_lb2) region_lb2 = lb * lb;
+      }
+    }
+    // The next hop is usually the best Voronoi neighbour: start pulling
+    // its node and edge slot in while the stop conditions are evaluated
+    // (the slot address needs no pointer chase).
+    if (best != kNoObject) {
+      __builtin_prefetch(&nodes_[best]);
+      const char* next_slot = reinterpret_cast<const char*>(&edge_slots_[best]);
+      __builtin_prefetch(next_slot);
+      __builtin_prefetch(next_slot + 64);
+      __builtin_prefetch(next_slot + 128);
+      __builtin_prefetch(next_slot + 192);
+    }
+
+    if (d2_target_cur <= dmin2) {
+      // dmin stop condition: the close neighbourhood resolves the rest.
+      // Report it as such only when the target is outside cur's region
+      // (otherwise this is an ordinary arrival).
+      return {kNoObject, true, region_lb2 > 0.0};
+    }
+    if (!(9.0 * region_lb2 > d2_target_cur)) {
+      // The cheap bound cannot certify d(region, target) > d/3: evaluate
+      // the exact stop condition of the paper.
+      const Vec2 z = distance_to_region(cur, target);
+      if (!(9.0 * dist2(z, target) > d2_target_cur)) {
+        return {kNoObject, true, false};
+      }
+    }
+
+    // Close neighbours and long links only matter for the greedy step, and
+    // only once the stop conditions have failed.
+    if (config_.use_close_neighbors || config_.use_long_links) {
+      const auto consider = [&](ObjectId o) {
+        if (o < 0 || o == cur) return;  // kNoObject or self
+        // Dangling entries (crashed peers) carry NaN positions: every
+        // comparison below is false, so they are skipped -- the greedy
+        // step only forwards to peers that would answer.
+        const double d = dist2(pos_[o], target);
+        if (d < best_d || (d == best_d && (best == kNoObject || o < best))) {
+          best = o;
+          best_d = d;
+        }
+      };
+      if (config_.use_close_neighbors) {
+        for (const ObjectId o : v.cn) consider(o);
+      }
+      if (config_.use_long_links) {
+        if (lr_in_slot) {
+          consider(slot.lr0);
+        } else {
+          for (const LongLink& l : v.lr) consider(l.neighbor);
+        }
+      }
+    }
+
+    VORONET_EXPECT(best != kNoObject, "greedy step found no neighbour");
+    // Greedy progress is guaranteed: if the stop condition fails, the
+    // current object does not own the target's region, so some Voronoi
+    // neighbour is strictly closer (Bose-Morin).
+    VORONET_EXPECT(best_d < d2_target_cur, "greedy step made no progress");
+    return {best, false, false};
+  }
+}
+
 Overlay::RouteOutcome Overlay::route_to(ObjectId start, Vec2 target,
                                         bool count,
                                         std::vector<ObjectId>* path) const {
@@ -123,56 +280,80 @@ Overlay::RouteOutcome Overlay::route_to(ObjectId start, Vec2 target,
   ObjectId cur = start;
   std::size_t hops = 0;
   const std::size_t cap = live_ids_.size() + 64;
+  const double dmin2 = dmin_ * dmin_;
   if (path != nullptr) {
     path->clear();
     path->push_back(cur);
   }
   while (true) {
-    const Vec2 cur_pos = nodes_[cur].view.position;
-    const double d_target_cur = dist(target, cur_pos);
-    // Cheap lower bound on d(DistanceToRegion(target), target): the
-    // distance past any single bisector of cur's region already bounds the
-    // distance to the whole region from below, which is enough to decide
-    // "keep forwarding" without building the cell polygon (the exact value
-    // is only needed near the terminal).  region_lb == 0 iff the target
-    // lies inside cur's region.
-    double region_lb = 0.0;
-    for (const ObjectId nb : nodes_[cur].view.vn) {
-      const Vec2 nb_pos = nodes_[nb].view.position;
-      const Vec2 u = nb_pos - cur_pos;
-      const double beyond = dot(target - 0.5 * (cur_pos + nb_pos), u);
-      if (beyond > 0.0) {
-        const double d = beyond / norm(u);
-        if (d > region_lb) region_lb = d;
-      }
-    }
-    if (d_target_cur <= dmin_) {
-      // dmin stop condition: the close neighbourhood resolves the rest.
-      // Report it as such only when the target is outside cur's region
-      // (otherwise this is an ordinary arrival).
-      return {cur, hops, region_lb > 0.0};
-    }
-    if (!(region_lb > d_target_cur / 3.0)) {
-      // Inconclusive: evaluate the exact stop condition of the paper.
-      const Vec2 z = distance_to_region(cur, target);
-      const double d_z_target = dist(z, target);
-      if (!(d_z_target > d_target_cur / 3.0)) {
-        return {cur, hops, false};
-      }
-    }
-    const ObjectId next = greedy_neighbor(cur, target);
-    VORONET_EXPECT(next != kNoObject, "greedy step found no neighbour");
-    // Greedy progress is guaranteed: if the stop condition fails, the
-    // current object does not own the target's region, so some Voronoi
-    // neighbour is strictly closer (Bose-Morin).
-    VORONET_EXPECT(
-        dist2(nodes_[next].view.position, target) < d_target_cur * d_target_cur,
-        "greedy step made no progress");
-    cur = next;
+    const HopOutcome h = route_hop(cur, target, dmin2);
+    if (h.stop) return {cur, hops, h.stopped_by_dmin};
+    cur = h.next;
     ++hops;
     if (path != nullptr) path->push_back(cur);
     if (count) metrics_.count_message(MessageKind::kRouteForward);
     VORONET_EXPECT(hops <= cap, "routing did not terminate");
+  }
+}
+
+void Overlay::probe_batch(std::span<const ProbeQuery> queries,
+                          std::span<RouteResult> out) const {
+  VORONET_EXPECT(out.size() == queries.size(),
+                 "probe_batch output span size mismatch");
+  const double dmin2 = dmin_ * dmin_;
+  const std::size_t cap = live_ids_.size() + 64;
+
+  // Software pipelining: a dozen independent routes advance round-robin,
+  // so each lane's next-hop cache misses resolve while the other lanes
+  // compute.  Single-lane routing serialises one miss chain per hop; the
+  // rotation keeps many chains in flight on one core.
+  struct Lane {
+    std::size_t qi = 0;
+    ObjectId cur = kNoObject;
+    std::size_t hops = 0;
+    bool active = false;
+  };
+  constexpr std::size_t kLanes = 16;
+  Lane lanes[kLanes];
+  std::size_t next_q = 0;
+  std::size_t active = 0;
+
+  const auto feed = [&](Lane& lane) {
+    if (next_q >= queries.size()) {
+      lane.active = false;
+      return false;
+    }
+    const ProbeQuery& q = queries[next_q];
+    VORONET_EXPECT(contains(q.from), "routing from an unknown object");
+    lane = {next_q, q.from, 0, true};
+    ++next_q;
+    __builtin_prefetch(&nodes_[q.from]);
+    const char* s = reinterpret_cast<const char*>(&edge_slots_[q.from]);
+    __builtin_prefetch(s);
+    __builtin_prefetch(s + 64);
+    __builtin_prefetch(s + 128);
+    __builtin_prefetch(s + 192);
+    return true;
+  };
+  for (auto& lane : lanes) {
+    if (feed(lane)) ++active;
+  }
+
+  while (active > 0) {
+    for (auto& lane : lanes) {
+      if (!lane.active) continue;
+      const Vec2 target = queries[lane.qi].target;
+      const HopOutcome h = route_hop(lane.cur, target, dmin2);
+      if (!h.stop) {
+        lane.cur = h.next;
+        ++lane.hops;
+        VORONET_EXPECT(lane.hops <= cap, "routing did not terminate");
+        continue;
+      }
+      const ObjectId owner = dt_.nearest(target, lane.cur);
+      out[lane.qi] = {owner, lane.hops, h.stopped_by_dmin};
+      if (!feed(lane)) --active;
+    }
   }
 }
 
@@ -290,6 +471,7 @@ ObjectId Overlay::insert(Vec2 p) {
     nodes_[x] = Node{};
     nodes_[x].live = true;
     nodes_[x].view.position = p;
+    pos_[x] = p;
     live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
                                            static_cast<std::size_t>(x) + 1));
     live_pos_[x] = static_cast<std::uint32_t>(live_ids_.size());
@@ -353,6 +535,7 @@ ObjectId Overlay::insert(Vec2 p, ObjectId gateway) {
   nodes_[x] = Node{};
   nodes_[x].live = true;
   nodes_[x].view.position = p;
+  pos_[x] = p;
   live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
                                          static_cast<std::size_t>(x) + 1));
   live_pos_[x] = static_cast<std::uint32_t>(live_ids_.size());
@@ -368,10 +551,31 @@ ObjectId Overlay::insert(Vec2 p, ObjectId gateway) {
   return x;
 }
 
+void Overlay::bind_long_link(ObjectId origin, std::uint32_t link_index,
+                             ObjectId neighbor) {
+  nodes_[origin].view.lr[link_index].neighbor = neighbor;
+  if (link_index == 0) edge_slots_[origin].lr0 = neighbor;
+}
+
+void Overlay::rebuild_vn_geom(ObjectId o) {
+  NodeView& view = nodes_[o].view;
+  view.vn_geom.clear();
+  view.vn_geom.reserve(view.vn.size());
+  for (const ObjectId nb : view.vn) {
+    view.vn_geom.push_back(make_vn_edge(view.position, pos_[nb], nb));
+  }
+  EdgeSlot& slot = edge_slots_[o];
+  slot.count = static_cast<std::uint32_t>(view.vn_geom.size());
+  const std::size_t n = std::min<std::size_t>(slot.count, kInlineVnEdges);
+  for (std::size_t i = 0; i < n; ++i) slot.e[i] = view.vn_geom[i];
+}
+
 void Overlay::materialize_object(ObjectId x) {
   Node& nx = nodes_[x];
-  nx.view.vn = dt_.neighbors(x);
+  nx.view.vn.clear();
+  dt_.append_neighbors(x, nx.view.vn);
   std::sort(nx.view.vn.begin(), nx.view.vn.end());
+  rebuild_vn_geom(x);
 
   // Close neighbours (Lemma 1): candidates are the Voronoi neighbours and
   // their vn/cn members; each neighbour answers one gathering request.
@@ -404,7 +608,7 @@ void Overlay::materialize_object(ObjectId x) {
       const BackLink& e = yblr[i];
       if (dist2(nx.view.position, e.target) <
           dist2(nodes_[y].view.position, e.target)) {
-        nodes_[e.origin].view.lr[e.link_index].neighbor = x;
+        bind_long_link(e.origin, e.link_index, x);
         nx.view.blr.push_back(e);
         yblr[i] = yblr.back();
         yblr.pop_back();
@@ -426,6 +630,7 @@ void Overlay::establish_long_links(ObjectId x) {
     const RouteOutcome rt = route_to(x, target, /*count=*/true);
     const ObjectId owner = resolve_owner_with_fictives(rt.terminal, target);
     nodes_[x].view.lr.push_back({target, owner});
+    if (j == 0) edge_slots_[x].lr0 = owner;
     // The back entry is kept even when the target currently falls in x's
     // own region: a later join may take the region over, and the entry is
     // what lets the takeover re-bind the link.
@@ -443,8 +648,10 @@ void Overlay::refresh_views(const std::vector<ObjectId>& affected,
   for (const ObjectId o : uniq) {
     if (!contains(o)) continue;  // fictive or already-departed vertex
     Node& n = nodes_[o];
-    n.view.vn = dt_.neighbors(o);
+    n.view.vn.clear();
+    dt_.append_neighbors(o, n.view.vn);
     std::sort(n.view.vn.begin(), n.view.vn.end());
+    rebuild_vn_geom(o);
     if (count) metrics_.count_message(MessageKind::kVoronoiUpdate);
   }
 }
@@ -490,6 +697,10 @@ void Overlay::remove(ObjectId o) {
   // Geometric removal + view refresh of the former neighbours.
   oracle_.remove(static_cast<std::uint32_t>(o), old_pos);
   n.live = false;
+  pos_[o] = {std::numeric_limits<double>::quiet_NaN(),
+             std::numeric_limits<double>::quiet_NaN()};
+  edge_slots_[o].count = 0;
+  edge_slots_[o].lr0 = kNoObject;
   const std::uint32_t idx = live_pos_[o];
   live_pos_[live_ids_.back()] = idx;
   live_ids_[idx] = live_ids_.back();
@@ -518,7 +729,7 @@ void Overlay::remove(ObjectId o) {
     VORONET_EXPECT(heir != kNoObject, "no heir for a delegated long link");
     VORONET_DCHECK(heir == dt_.nearest(e.target, heir));
     nodes_[heir].view.blr.push_back(e);
-    nodes_[e.origin].view.lr[e.link_index].neighbor = heir;
+    bind_long_link(e.origin, e.link_index, heir);
     metrics_.count_message(MessageKind::kBlrTransfer);
     metrics_.count_message(MessageKind::kLongLinkBind);
   }
@@ -541,6 +752,10 @@ void Overlay::crash(ObjectId o) {
   n.view = NodeView{};
   n.live = false;
   oracle_.remove(static_cast<std::uint32_t>(o), dt_.position(o));
+  pos_[o] = {std::numeric_limits<double>::quiet_NaN(),
+             std::numeric_limits<double>::quiet_NaN()};
+  edge_slots_[o].count = 0;
+  edge_slots_[o].lr0 = kNoObject;
   const std::uint32_t idx = live_pos_[o];
   live_pos_[live_ids_.back()] = idx;
   live_ids_[idx] = live_ids_.back();
@@ -597,7 +812,7 @@ std::size_t Overlay::repair_dangling() {
       const Vec2 target = n.view.lr[j].target;
       const RouteOutcome rt = route_to(o, target, /*count=*/true);
       const ObjectId owner = resolve_owner_with_fictives(rt.terminal, target);
-      nodes_[o].view.lr[j].neighbor = owner;
+      bind_long_link(o, j, owner);
       nodes_[owner].view.blr.push_back({o, j, target});
       metrics_.count_message(MessageKind::kLongLinkBind);
       ++repaired;
@@ -672,6 +887,7 @@ void Overlay::rebalance_capacity(std::size_t new_n_max,
       metrics_.count_message(MessageKind::kBlrTransfer);
     }
     n.view.lr.clear();
+    edge_slots_[o].lr0 = kNoObject;
     establish_long_links(o);
   }
 }
@@ -696,6 +912,32 @@ void Overlay::check_invariants(bool check_delaunay) const {
     std::sort(expected_vn.begin(), expected_vn.end());
     VORONET_EXPECT(n.view.vn == expected_vn,
                    "vn cache diverges from the tessellation");
+
+    // The routing-geometry cache must mirror vn bit-for-bit (same
+    // construction formula, immutable positions).
+    VORONET_EXPECT(n.view.vn_geom.size() == n.view.vn.size(),
+                   "vn_geom cache out of sync with vn");
+    for (std::size_t i = 0; i < n.view.vn.size(); ++i) {
+      const VnEdge expect = make_vn_edge(
+          n.view.position, nodes_[n.view.vn[i]].view.position, n.view.vn[i]);
+      VORONET_EXPECT(vn_edge_equal(n.view.vn_geom[i], expect),
+                     "vn_geom cache diverges from the tessellation");
+    }
+
+    // The dense routing mirrors must agree with the views they shadow.
+    VORONET_EXPECT(pos_[o] == n.view.position,
+                   "dense position mirror diverged");
+    const EdgeSlot& slot = edge_slots_[o];
+    VORONET_EXPECT(slot.count == n.view.vn_geom.size(),
+                   "edge slot count out of sync");
+    VORONET_EXPECT(slot.lr0 == (n.view.lr.empty() ? kNoObject
+                                                  : n.view.lr[0].neighbor),
+                   "edge slot lr0 mirror out of sync");
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(slot.count, kInlineVnEdges); ++i) {
+      VORONET_EXPECT(vn_edge_equal(slot.e[i], n.view.vn_geom[i]),
+                     "edge slot diverges from vn_geom");
+    }
 
     // cn must equal the oracle's dmin-ball (minus the object itself).
     ball.clear();

@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -52,15 +53,34 @@ struct BackLink {
   Vec2 target;
 };
 
-/// The view an object maintains (paper, section 3.1).
+/// Cached routing geometry for one Voronoi neighbour: everything the
+/// per-hop scan of route_to() needs without dereferencing the neighbour's
+/// node or taking a square root.  Kept to 32 bytes -- the route loop is
+/// memory-bound, so the bisector terms are derived from per-hop constants
+/// instead of being stored.  Rebuilt whenever vn changes (positions are
+/// immutable for a live object, so the cache can never silently go
+/// stale); check_invariants() verifies it bit-for-bit.
+struct VnEdge {
+  Vec2 pos;        ///< neighbour position
+  double inv_len;  ///< 1 / |pos - self position|
+  ObjectId id;     ///< neighbour id (mirrors the parallel vn entry)
+};
+
+/// The view an object maintains (paper, section 3.1).  Field order is
+/// perf-relevant: position, cn and lr are what the routing loop touches,
+/// so they share the node's first cache line; vn / vn_geom / blr are only
+/// read on view maintenance.
 struct NodeView {
   Vec2 position;
-  std::vector<ObjectId> vn;    ///< Voronoi neighbours (sorted)
   std::vector<ObjectId> cn;    ///< close neighbours within dmin (sorted)
   std::vector<LongLink> lr;    ///< k long-range links
+  std::vector<ObjectId> vn;    ///< Voronoi neighbours (sorted)
+  std::vector<VnEdge> vn_geom; ///< routing cache, parallel to vn
   std::vector<BackLink> blr;   ///< reverse long-range entries
 
   /// Total view size (the quantity the paper proves O(1) expected).
+  /// vn_geom is derived data mirroring vn, not extra view state, so it
+  /// does not count.
   [[nodiscard]] std::size_t degree() const {
     return vn.size() + cn.size() + lr.size() + blr.size();
   }
@@ -71,6 +91,12 @@ struct RouteResult {
   ObjectId owner = kNoObject;  ///< object whose region contains the target
   std::size_t hops = 0;        ///< greedy forwards (Lemma 5's step count)
   bool stopped_by_dmin = false;///< terminated through the dmin condition
+};
+
+/// One query of a batched measurement sweep (see Overlay::probe_batch).
+struct ProbeQuery {
+  ObjectId from = kNoObject;
+  Vec2 target;
 };
 
 class Overlay {
@@ -133,6 +159,15 @@ class Overlay {
   /// call concurrently from measurement threads.
   [[nodiscard]] RouteResult probe(ObjectId from, Vec2 target) const;
 
+  /// probe() over many independent queries with software-pipelined
+  /// routing: a dozen routes advance round-robin, so their per-hop cache
+  /// misses overlap instead of serialising -- a large single-threaded
+  /// speedup for the memory-bound measurement sweeps (and it composes
+  /// with parallel_for across chunks).  Results are element-for-element
+  /// identical to calling probe() per query.
+  void probe_batch(std::span<const ProbeQuery> queries,
+                   std::span<RouteResult> out) const;
+
   /// probe() that also records the forwarding path (path.front() == from;
   /// path.back() == the routing terminal, which may differ from the owner
   /// when a stop condition fires early).
@@ -193,8 +228,11 @@ class Overlay {
 
  private:
   struct Node {
-    bool live = false;
+    // view first: position / cn / lr then share the node's first cache
+    // line, which is all a routing hop reads; `live` is cold (accessor
+    // paths only).
     NodeView view;
+    bool live = false;
   };
 
   struct RouteOutcome {
@@ -202,6 +240,18 @@ class Overlay {
     std::size_t hops = 0;
     bool stopped_by_dmin = false;
   };
+
+  /// Outcome of a single greedy hop (the body of route_to's loop).
+  struct HopOutcome {
+    ObjectId next = kNoObject;    ///< valid when !stop
+    bool stop = false;            ///< a stop condition held at `cur`
+    bool stopped_by_dmin = false; ///< which one (meaningful when stop)
+  };
+
+  /// One hop of the Route framework at `cur`: evaluates the stop
+  /// conditions and the greedy choice, and prefetches the next hop's
+  /// data.  Shared by route_to (sequential) and probe_batch (pipelined).
+  HopOutcome route_hop(ObjectId cur, Vec2 target, double dmin2) const;
 
   /// The shared Route framework (Algorithm 5): greedy-forward until the
   /// 1/3-progress or dmin stop condition holds.  `count` enables message
@@ -226,6 +276,10 @@ class Overlay {
   /// update message each.
   void refresh_views(const std::vector<ObjectId>& affected, bool count);
 
+  /// Rebuild view.vn_geom and the node's dense edge slot from view.vn
+  /// (called wherever vn is assigned).
+  void rebuild_vn_geom(ObjectId o);
+
   [[nodiscard]] Node& node(ObjectId o);
   [[nodiscard]] const Node& node_checked(ObjectId o) const;
   void ensure_slot(ObjectId o);
@@ -237,6 +291,32 @@ class Overlay {
   double dmin_;
   geo::DelaunayTriangulation dt_;
   std::vector<Node> nodes_;          // indexed by ObjectId (dt vertex id)
+  // Dense mirror of view.position (positions are immutable per object):
+  // scattered candidate lookups in the routing hot loop read 16 bytes from
+  // this array instead of pulling whole Node cache lines.
+  std::vector<Vec2> pos_;
+
+  // Dense, cache-line-aligned mirror of the first kInlineVnEdges entries
+  // of view.vn_geom.  Its address depends only on the object id -- no
+  // Node -> vector -> data pointer chase -- so the route loop can prefetch
+  // the next hop's whole edge set the moment the greedy choice is known.
+  // Nodes with more neighbours (rare: Delaunay degree averages six) fall
+  // back to the full vn_geom vector.
+  static constexpr std::size_t kInlineVnEdges = 7;
+  struct alignas(64) EdgeSlot {
+    std::uint32_t count = 0;   ///< full vn size (may exceed kInlineVnEdges)
+    /// First long link's holder (kNoObject when none): with the default
+    /// single-link configuration the route loop never has to chase the
+    /// view's lr vector at all.
+    ObjectId lr0 = kNoObject;
+    VnEdge e[kInlineVnEdges];
+  };
+  std::vector<EdgeSlot> edge_slots_;
+
+  /// Record a (re)bound long link: updates the forward entry and the lr0
+  /// mirror in the origin's edge slot.
+  void bind_long_link(ObjectId origin, std::uint32_t link_index,
+                      ObjectId neighbor);
   std::vector<ObjectId> live_ids_;   // dense list for random sampling
   std::vector<std::uint32_t> live_pos_;  // id -> index into live_ids_
   spatial::GridIndex oracle_;        // brute-force dmin-ball oracle

@@ -120,6 +120,7 @@ std::unique_ptr<Overlay> Overlay::load(std::istream& is) {
     overlay->nodes_[id] = Node{};
     overlay->nodes_[id].live = true;
     overlay->nodes_[id].view.position = {x, y};
+    overlay->pos_[id] = {x, y};
     overlay->live_pos_.resize(
         std::max<std::size_t>(overlay->live_pos_.size(),
                               static_cast<std::size_t>(id) + 1));
@@ -147,6 +148,7 @@ std::unique_ptr<Overlay> Overlay::load(std::istream& is) {
     NodeView& v = overlay->nodes_[p.id].view;
     v.vn = overlay->dt_.neighbors(p.id);
     std::sort(v.vn.begin(), v.vn.end());
+    overlay->rebuild_vn_geom(p.id);
     ball.clear();
     overlay->oracle_.range(v.position, overlay->dmin_, ball);
     for (const auto raw : ball) {
@@ -164,6 +166,7 @@ std::unique_ptr<Overlay> Overlay::load(std::istream& is) {
       const Vec2 target = p.targets[j];
       const ObjectId owner = overlay->dt_.nearest(target, p.id);
       v.lr.push_back({target, owner});
+      if (j == 0) overlay->edge_slots_[p.id].lr0 = owner;
       overlay->nodes_[owner].view.blr.push_back({p.id, j, target});
     }
   }

@@ -457,6 +457,51 @@ TEST(DelaunayWalk, LocateUsesHint) {
   EXPECT_LE(dt.last_walk_steps(), 8u);
 }
 
+TEST(DelaunayWalk, GoodHintShortensTheWalk) {
+  // The point-location contract the overlay and bulk loader lean on: a
+  // hint adjacent to the destination makes the walk O(1), far below the
+  // O(sqrt n) of an unhinted walk across the structure.
+  DelaunayTriangulation dt;
+  Rng rng(7);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 4000; ++i) pts.push_back({rng.uniform(), rng.uniform()});
+  dt.bulk_insert(pts);
+
+  std::size_t cold_total = 0;
+  std::size_t hinted_total = 0;
+  std::size_t hinted_max = 0;
+  for (int q = 0; q < 64; ++q) {
+    const Vec2 p{rng.uniform(), rng.uniform()};
+    const VertexId owner = dt.nearest(p);  // unhinted
+    cold_total += dt.last_walk_steps();
+    const Vec2 near{p.x * 0.999 + 0.0005, p.y * 0.999 + 0.0005};
+    (void)dt.nearest(near, owner);  // hinted by a nearby vertex
+    hinted_total += dt.last_walk_steps();
+    hinted_max = std::max(hinted_max, dt.last_walk_steps());
+  }
+  EXPECT_LT(hinted_total * 4, cold_total)
+      << "hinted walks must be far shorter than cold walks";
+  EXPECT_LE(hinted_max, 32u);
+}
+
+TEST(DelaunayWalk, SequentialInsertsChainLocality) {
+  // Unhinted inserts resume from the last touched triangle, so inserting
+  // a spatially local sequence stays O(1) per step even without explicit
+  // hints.
+  DelaunayTriangulation dt;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) dt.insert({rng.uniform(), rng.uniform()});
+  std::size_t total = 0;
+  double x = 0.3;
+  for (int i = 0; i < 100; ++i) {
+    x += 1e-4;
+    dt.insert({x, 0.4});  // no hint: relies on the last-locate cache
+    total += dt.last_walk_steps();
+  }
+  EXPECT_LE(total / 100, 6u)
+      << "last-insert locality must keep unhinted local walks short";
+}
+
 TEST(DelaunayStar, OrderIsCyclic) {
   DelaunayTriangulation dt;
   dt.insert({0.0, 0.0});

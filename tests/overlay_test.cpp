@@ -119,6 +119,48 @@ TEST(OverlayRouting, ProbeFindsOwnerOfArbitraryPoints) {
   }
 }
 
+TEST(OverlayRouting, GreedyNeighborBreaksTiesTowardsSmallerId) {
+  // Regression: with two exactly equidistant candidates the tie-break
+  // used to compare against the kNoObject sentinel (-2), which no real id
+  // can beat.  The smaller id must win, whatever the evaluation order.
+  OverlayConfig cfg = small_config(9);
+  cfg.use_long_links = false;  // keep the candidate set to vn only
+  Overlay overlay(cfg);
+  const ObjectId a = overlay.insert({0.5, 0.5});
+  const ObjectId b = overlay.insert({0.25, 0.5});
+  const ObjectId c = overlay.insert({0.75, 0.5});
+  ASSERT_LT(b, c);
+  // Target equidistant from b and c (exact coordinates): |t-b| == |t-c|.
+  const Vec2 target{0.5, 0.25};
+  ASSERT_EQ(dist2(overlay.position(b), target),
+            dist2(overlay.position(c), target));
+  EXPECT_EQ(overlay.greedy_neighbor(a, target), b);
+  overlay.check_invariants();
+}
+
+TEST(OverlayRouting, ProbeBatchMatchesScalarProbes) {
+  // The pipelined sweep must be a pure reordering: element-for-element
+  // identical results to probe().
+  Overlay overlay(small_config(12));
+  Rng rng(12);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 600; ++i) overlay.insert(gen.next(rng));
+
+  std::vector<ProbeQuery> queries;
+  for (int q = 0; q < 500; ++q) {
+    queries.push_back({overlay.random_object(rng),
+                       {rng.uniform(), rng.uniform()}});
+  }
+  std::vector<RouteResult> batch(queries.size());
+  overlay.probe_batch(queries, batch);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const RouteResult r = overlay.probe(queries[i].from, queries[i].target);
+    EXPECT_EQ(batch[i].owner, r.owner) << i;
+    EXPECT_EQ(batch[i].hops, r.hops) << i;
+    EXPECT_EQ(batch[i].stopped_by_dmin, r.stopped_by_dmin) << i;
+  }
+}
+
 TEST(OverlayRouting, QueryMatchesProbeAndPreservesState) {
   Overlay overlay(small_config(7));
   Rng rng(7);

@@ -2,6 +2,8 @@
 // adversarial near-degenerate inputs that defeat naive double arithmetic.
 #include "geometry/predicates.hpp"
 
+#include "geometry/expansion.hpp"
+
 #include <cmath>
 #include <random>
 
@@ -198,17 +200,149 @@ TEST(SegmentOps, OnSegment) {
   EXPECT_FALSE(on_segment({0, 0}, {2, 2}, {1.0, 1.5}));
 }
 
-TEST(PredicateStats, ExactFallbackIsCounted) {
+TEST(PredicateStats, AdaptiveStagesAreCounted) {
   reset_predicate_stats();
-  // Well-conditioned: filter succeeds.
+  // Well-conditioned: the stage-A filter succeeds.
   orient2d({0, 0}, {1, 0}, {0, 1});
   auto s = predicate_stats();
   EXPECT_EQ(s.orient_calls, 1u);
+  EXPECT_EQ(s.orient_adapt, 0u);
   EXPECT_EQ(s.orient_exact, 0u);
-  // Exactly degenerate: must fall through to exact arithmetic.
-  orient2d({0.5, 0.5}, {12.0, 12.0}, {4.0, 4.0});
+  // Exactly degenerate with exactly representable translations: the
+  // adaptive stage decides (zero tails) without the full exact fallback.
+  EXPECT_EQ(orient2d({0.5, 0.5}, {12.0, 12.0}, {4.0, 4.0}), 0);
   s = predicate_stats();
+  EXPECT_EQ(s.orient_adapt, 1u);
+  EXPECT_EQ(s.orient_exact, 0u);
+  // Exactly degenerate with roundoff in the translations (1e-20 - 3.0
+  // rounds, leaving a nonzero tail): only the full exact stage can
+  // certify the zero.
+  EXPECT_EQ(orient2d({1e-20, 1e-20}, {1.0, 1.0}, {3.0, 3.0}), 0);
+  s = predicate_stats();
+  EXPECT_EQ(s.orient_adapt, 2u);
   EXPECT_EQ(s.orient_exact, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive-stage validation: the staged predicates must agree with a
+// from-scratch exact expansion evaluation of the original coordinates on
+// random, adversarial (collinear / cocircular) and ulp-perturbed inputs.
+// ---------------------------------------------------------------------------
+
+/// Exact orient2d oracle built directly on the public expansion API:
+/// ax*by - ax*cy + ay*cx - ay*bx + bx*cy - by*cx, fully expanded.
+int orient2d_oracle(Vec2 a, Vec2 b, Vec2 c) {
+  const auto t1 = Expansion<2>::product(a.x, b.y) -
+                  Expansion<2>::product(a.x, c.y);
+  const auto t2 = Expansion<2>::product(a.y, c.x) -
+                  Expansion<2>::product(a.y, b.x);
+  const auto t3 = Expansion<2>::product(b.x, c.y) -
+                  Expansion<2>::product(b.y, c.x);
+  return ((t1 + t2) + t3).sign();
+}
+
+/// Exact incircle oracle: expansion evaluation of the 4x4 lifted
+/// determinant from the original coordinates.
+int incircle_oracle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const auto cross = [](Vec2 u, Vec2 v) {
+    return Expansion<2>::product(u.x, v.y) - Expansion<2>::product(u.y, v.x);
+  };
+  const auto lift = [](Vec2 u) {
+    return Expansion<2>::product(u.x, u.x) + Expansion<2>::product(u.y, u.y);
+  };
+  const auto ab = cross(a, b);
+  const auto ac = cross(a, c);
+  const auto ad = cross(a, d);
+  const auto bc = cross(b, c);
+  const auto bd = cross(b, d);
+  const auto cd = cross(c, d);
+  const auto m_bcd = (lift(b) * cd - lift(c) * bd) + lift(d) * bc;
+  const auto m_acd = (lift(a) * cd - lift(c) * ad) + lift(d) * ac;
+  const auto m_abd = (lift(a) * bd - lift(b) * ad) + lift(d) * ab;
+  const auto m_abc = (lift(a) * bc - lift(b) * ac) + lift(c) * ab;
+  return ((m_acd - m_bcd) + (m_abc - m_abd)).sign();
+}
+
+TEST(Orient2dAdaptive, AgreesWithExactOracleOnPerturbedCollinear) {
+  std::mt19937_64 gen(101);
+  std::uniform_real_distribution<double> coord(0.0, 1.0);
+  std::uniform_real_distribution<double> along(-0.5, 1.5);
+  const double deltas[] = {0.0,      0x1p-30,  -0x1p-30, 0x1p-45,
+                           -0x1p-45, 0x1p-53,  -0x1p-53, 0x1p-60};
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Vec2 a{coord(gen), coord(gen)};
+    const Vec2 b{coord(gen), coord(gen)};
+    const double t = along(gen);
+    const double delta = deltas[iter % (sizeof(deltas) / sizeof(deltas[0]))];
+    // c on (or within delta of) the line through a and b.
+    const Vec2 c{a.x + t * (b.x - a.x) - delta * (b.y - a.y),
+                 a.y + t * (b.y - a.y) + delta * (b.x - a.x)};
+    EXPECT_EQ(orient2d(a, b, c), orient2d_oracle(a, b, c))
+        << "a=(" << a.x << "," << a.y << ") b=(" << b.x << "," << b.y
+        << ") c=(" << c.x << "," << c.y << ")";
+  }
+}
+
+TEST(IncircleAdaptive, AgreesWithExactOracleOnPerturbedCocircular) {
+  std::mt19937_64 gen(103);
+  std::uniform_real_distribution<double> angle(0.0, 6.283185307179586);
+  std::uniform_real_distribution<double> coord(0.25, 0.75);
+  const double deltas[] = {0.0,      0x1p-30, -0x1p-30, 0x1p-45,
+                           -0x1p-45, 0x1p-53, -0x1p-53, 0x1p-60};
+  for (int iter = 0; iter < 1000; ++iter) {
+    const Vec2 center{coord(gen), coord(gen)};
+    const double r = 0.1 + 0.2 * coord(gen);
+    const auto on_circle = [&](double theta, double dr) {
+      return Vec2{center.x + (r + dr) * std::cos(theta),
+                  center.y + (r + dr) * std::sin(theta)};
+    };
+    // Three CCW-ordered circle points and a fourth within delta of it.
+    double t0 = angle(gen);
+    double t1 = t0 + 0.5 + angle(gen) / 4.0;
+    double t2 = t1 + 0.5 + angle(gen) / 4.0;
+    Vec2 a = on_circle(t0, 0.0);
+    Vec2 b = on_circle(t1, 0.0);
+    Vec2 c = on_circle(t2, 0.0);
+    if (orient2d(a, b, c) < 0) std::swap(b, c);
+    if (orient2d(a, b, c) <= 0) continue;
+    const double delta = deltas[iter % (sizeof(deltas) / sizeof(deltas[0]))];
+    const Vec2 d = on_circle(angle(gen), delta);
+    EXPECT_EQ(incircle(a, b, c, d), incircle_oracle(a, b, c, d))
+        << "d=(" << d.x << "," << d.y << ") delta=" << delta;
+  }
+}
+
+TEST(IncircleAdaptive, RectangleCornersNeedTheExactStage) {
+  // Any rectangle is cyclic, so its corners are exactly cocircular; with
+  // 0.1-style coordinates the translations round, which defeats stages B
+  // and C -- only the full exact stage can certify the zero.
+  reset_predicate_stats();
+  EXPECT_EQ(incircle({0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.9}), 0);
+  const auto s = predicate_stats();
+  EXPECT_EQ(s.incircle_adapt, 1u);
+  EXPECT_EQ(s.incircle_exact, 1u);
+}
+
+TEST(PredicateStats, RandomWorkloadsNeverLeaveTheFilter) {
+  // The acceptance bar for the hot path: on generic inputs the stage-A
+  // filter decides everything; the adaptive machinery is pure insurance.
+  std::mt19937_64 gen(107);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  reset_predicate_stats();
+  for (int iter = 0; iter < 5000; ++iter) {
+    const Vec2 a{dist(gen), dist(gen)};
+    const Vec2 b{dist(gen), dist(gen)};
+    Vec2 c{dist(gen), dist(gen)};
+    const Vec2 d{dist(gen), dist(gen)};
+    orient2d(a, b, c);
+    if (orient2d(a, b, c) < 0) std::swap(c.x, c.y);
+    if (orient2d(a, b, c) > 0) incircle(a, b, c, d);
+  }
+  const auto s = predicate_stats();
+  EXPECT_EQ(s.orient_exact, 0u);
+  EXPECT_EQ(s.incircle_exact, 0u);
+  EXPECT_LE(s.orient_adapt, 5u);
+  EXPECT_LE(s.incircle_adapt, 5u);
 }
 
 }  // namespace
