@@ -72,16 +72,20 @@ int main(int argc, char** argv) try {
                         stats::Table::cell(static_cast<std::size_t>(
                             msgs.count() ? msgs.max() : 0.0))});
     }
-    for (std::size_t k = 0;
-         k < static_cast<std::size_t>(sim::MessageKind::kCount); ++k) {
+    // The per-kind breakdown comes from the ChurnReport deltas, so it
+    // covers exactly the churn phase regardless of what ran before.
+    for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
       const auto kind = static_cast<sim::MessageKind>(k);
       msg_table.add_row(
           {dist.name(), std::string(sim::message_kind_name(kind)),
-           stats::Table::cell(m.messages(kind)),
-           stats::Table::cell(static_cast<double>(m.messages(kind)) /
+           stats::Table::cell(report.messages_of(kind)),
+           stats::Table::cell(static_cast<double>(report.messages_of(kind)) /
                                   static_cast<double>(total_ops),
                               2)});
     }
+    std::cerr << "[maintenance] " << dist.name() << ": "
+              << report.messages_per_event()
+              << " maintenance messages per churn event\n";
   }
 
   std::cout << "Sections 4.2/4.3: per-operation maintenance costs\n";

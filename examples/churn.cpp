@@ -33,7 +33,8 @@ int main(int argc, char** argv) try {
   std::cout << "bootstrapped " << overlay.size() << " objects\n";
 
   stats::Table table({"epoch", "population", "joins", "leaves", "queries",
-                      "join hops", "query hops", "msgs/op"});
+                      "join hops", "query hops", "msgs/op", "vn upd/op",
+                      "route fwd/op"});
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     overlay.metrics().reset();
     ChurnConfig churn;
@@ -48,15 +49,20 @@ int main(int argc, char** argv) try {
     const auto& m = overlay.metrics();
     const double ops = static_cast<double>(report.joins + report.leaves +
                                            report.queries);
+    const auto per_op = [&](sim::MessageKind kind) {
+      return ops > 0
+                 ? static_cast<double>(report.messages_of(kind)) / ops
+                 : 0.0;
+    };
     table.add_row(
         {stats::Table::cell(epoch), stats::Table::cell(overlay.size()),
          stats::Table::cell(report.joins), stats::Table::cell(report.leaves),
          stats::Table::cell(report.queries),
          stats::Table::cell(m.hops(sim::OperationKind::kJoin).mean(), 2),
          stats::Table::cell(m.hops(sim::OperationKind::kQuery).mean(), 2),
-         stats::Table::cell(
-             ops > 0 ? static_cast<double>(m.total_messages()) / ops : 0.0,
-             1)});
+         stats::Table::cell(report.messages_per_event(), 1),
+         stats::Table::cell(per_op(sim::MessageKind::kVoronoiUpdate), 1),
+         stats::Table::cell(per_op(sim::MessageKind::kRouteForward), 1)});
   }
   table.print(std::cout);
 

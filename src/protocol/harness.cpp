@@ -1,0 +1,406 @@
+#include "protocol/harness.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace voronet::protocol {
+
+ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
+    : config_(config),
+      overlay_(config.overlay),
+      net_(queue_, config.network),
+      rng_(config.seed) {
+  overlay_.track_view_changes(true);
+  net_.set_sink([this](const Message& m) { deliver(m); });
+  net_.set_abandon_handler([this](const Message& m) { on_abandon(m); });
+}
+
+// ---------------------------------------------------------------------------
+// Workload injection
+// ---------------------------------------------------------------------------
+
+void ProtocolHarness::join_after(double delay, Vec2 p) {
+  ++pending_joins_;
+  queue_.schedule(delay, [this, p] { start_join(p); });
+}
+
+void ProtocolHarness::start_join(Vec2 p) {
+  const std::uint64_t join_id = ++join_seq_;
+  active_joins_.insert(join_id);
+  if (roster_.empty()) {
+    // Nobody to route through: the bootstrap object sponsors itself.
+    sponsor_join(kNoNode, p, join_id);
+    return;
+  }
+  // The joining client contacts a random live node out of band; the join
+  // request materialises at that gateway and routes from there.  Route
+  // messages carry the chain id in `version` so completion is
+  // exactly-once even when a chain is rerouted around a crash.
+  const NodeId gateway = roster_[rng_.index(roster_.size())];
+  Message m;
+  m.type = sim::MessageKind::kJoin;
+  m.src = gateway;
+  m.dst = gateway;
+  m.point = p;
+  m.version = join_id;
+  net_.send(std::move(m));
+}
+
+void ProtocolHarness::leave_after(double delay, NodeId x) {
+  queue_.schedule(delay, [this, x] { execute_leave(x); });
+}
+
+void ProtocolHarness::crash(NodeId x) {
+  queue_.schedule(0.0, [this, x] {
+    if (nodes_.find(x) == nodes_.end()) return;
+    // Remember who should notice: the ground-truth Voronoi neighbours are
+    // the nodes whose cells border the hole the crash leaves.
+    const std::vector<NodeId> witnesses = overlay_.view(x).vn;
+    net_.crash(x);
+    deregister_node(x);
+    // Ground-truth repair happens NOW (the overlay supports further
+    // operations only with its invariants restored -- the usual
+    // simulator substitution); what the failure-detection delay governs
+    // is when the survivors *learn* about it: the touched views stay
+    // undisseminated until the detection event fires (or an interleaved
+    // operation ships them earlier, which only means a neighbour noticed
+    // sooner).
+    overlay_.crash(x);
+    overlay_.repair_dangling();
+    queue_.schedule(config_.failure_detect_delay, [this, witnesses] {
+      if (roster_.empty()) {
+        (void)overlay_.take_touched_views();
+        return;
+      }
+      NodeId detector = kNoNode;
+      for (const NodeId w : witnesses) {
+        if (nodes_.find(w) != nodes_.end()) {
+          detector = w;
+          break;
+        }
+      }
+      if (detector == kNoNode) detector = roster_.front();
+      disseminate(detector);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void ProtocolHarness::deliver(const Message& m) {
+  switch (m.type) {
+    case sim::MessageKind::kJoin:
+    case sim::MessageKind::kRouteForward:
+      handle_route(m);
+      return;
+    case sim::MessageKind::kVoronoiUpdate:
+    case sim::MessageKind::kCloseNeighbor:
+    case sim::MessageKind::kLongLinkBind: {
+      const auto it = nodes_.find(m.dst);
+      if (it == nodes_.end()) return;  // addressee departed in flight
+      if (it->second.apply_update(m)) last_apply_time_ = queue_.now();
+      return;
+    }
+    case sim::MessageKind::kLeaveNotify: {
+      const auto it = nodes_.find(m.dst);
+      if (it != nodes_.end()) it->second.forget_peer(m.src, m.point);
+      return;
+    }
+    default:
+      return;  // kAck never reaches the sink; others are not sent
+  }
+}
+
+void ProtocolHarness::reroute_join(const Message& m) {
+  if (active_joins_.count(m.version) == 0) return;  // chain already done
+  if (roster_.empty()) {
+    // Nobody left to route through: self-sponsor into the empty net.
+    sponsor_join(kNoNode, m.point, m.version);
+    return;
+  }
+  Message retry;
+  retry.type = sim::MessageKind::kRouteForward;
+  const NodeId entry = roster_[rng_.index(roster_.size())];
+  retry.src = entry;
+  retry.dst = entry;
+  retry.point = m.point;
+  retry.hops = m.hops + 1;
+  retry.version = m.version;
+  net_.send(std::move(retry));
+}
+
+void ProtocolHarness::on_abandon(const Message& m) {
+  switch (m.type) {
+    case sim::MessageKind::kJoin:
+    case sim::MessageKind::kRouteForward:
+      // The route chain died with its addressee (crash, or retry cap):
+      // re-enter through a live gateway so the join is never lost.
+      reroute_join(m);
+      return;
+    case sim::MessageKind::kVoronoiUpdate:
+    case sim::MessageKind::kCloseNeighbor:
+    case sim::MessageKind::kLongLinkBind: {
+      // The addressee never got this content: forget that it was sent so
+      // the next touch of the component ships unconditionally.
+      const auto it = sent_.find(m.dst);
+      if (it != sent_.end()) {
+        if (m.type == sim::MessageKind::kVoronoiUpdate) {
+          it->second.vn.reset();
+        } else if (m.type == sim::MessageKind::kCloseNeighbor) {
+          it->second.cn.reset();
+        } else {
+          it->second.lr.reset();
+        }
+      }
+      // When the transfer died because its *sender* crashed (crash-stop:
+      // a dead node cannot drive retransmission), a live witness re-ships
+      // the current authoritative content now -- the crash-repair path
+      // only covers the crashed node's neighbourhood, not its unfinished
+      // sends.  Retry-cap abandonments with a live sender stay
+      // best-effort (re-shipping there would loop under a permanent
+      // partition).
+      if (!net_.crashed(m.src) || roster_.empty() ||
+          nodes_.find(m.dst) == nodes_.end()) {
+        return;
+      }
+      ++op_seq_;
+      Message fresh;
+      fresh.type = m.type;
+      fresh.src = roster_[rng_.index(roster_.size())];
+      fresh.dst = m.dst;
+      fresh.version = op_seq_;
+      if (m.type == sim::MessageKind::kVoronoiUpdate) {
+        fresh.entries = authoritative_vn(m.dst);
+        sent_[m.dst].vn = fresh.entries;
+      } else if (m.type == sim::MessageKind::kCloseNeighbor) {
+        fresh.entries = authoritative_cn(m.dst);
+        sent_[m.dst].cn = fresh.entries;
+      } else {
+        fresh.entries = authoritative_lr(m.dst);
+        sent_[m.dst].lr = fresh.entries;
+      }
+      net_.send(std::move(fresh));
+      return;
+    }
+    default:
+      return;  // leave notifications are best-effort
+  }
+}
+
+void ProtocolHarness::handle_route(const Message& m) {
+  const auto it = nodes_.find(m.dst);
+  if (it == nodes_.end()) {
+    // The addressee departed while the operation was in flight; fall back
+    // to another bootstrap contact.
+    reroute_join(m);
+    return;
+  }
+  const ProtocolNode::Route route = it->second.greedy_step(m.point);
+  // TTL guard: a legitimate greedy chain visits distinct nodes (strictly
+  // decreasing distance), so it can never exceed the population.  Longer
+  // chains mean a permanently stale entry is bouncing the request between
+  // believed and actual positions of a recycled id (possible once a
+  // correcting update was abandoned under max_retries > 0); sponsoring
+  // here is always safe -- the ground-truth insert resolves the true
+  // owner geometrically from any starting object.
+  const bool expired = m.hops > roster_.size() + 16;
+  if (route.terminal || expired) {
+    sponsor_join(m.dst, m.point, m.version);
+    return;
+  }
+  Message fwd;
+  fwd.type = sim::MessageKind::kRouteForward;
+  fwd.src = m.dst;
+  fwd.dst = route.next;
+  fwd.point = m.point;
+  fwd.hops = m.hops + 1;
+  fwd.version = m.version;
+  net_.send(std::move(fwd));
+}
+
+void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
+                                   std::uint64_t join_id) {
+  if (active_joins_.erase(join_id) == 0) return;  // a twin chain finished
+  VORONET_DCHECK(pending_joins_ > 0);
+  --pending_joins_;
+  const NodeId x = (sponsor == kNoNode || overlay_.size() == 0)
+                       ? overlay_.insert(p)
+                       : overlay_.insert(p, sponsor);
+  if (nodes_.find(x) != nodes_.end()) {
+    // Position already taken (positions identify objects): no new node,
+    // but the fictive churn may still have touched views.
+    disseminate(sponsor == kNoNode ? x : sponsor);
+    return;
+  }
+  register_node(x);
+  disseminate(sponsor == kNoNode ? x : sponsor, /*ensure=*/x);
+}
+
+void ProtocolHarness::execute_leave(NodeId x) {
+  const auto it = nodes_.find(x);
+  if (it == nodes_.end() || !overlay_.contains(x)) return;
+  const Vec2 pos = overlay_.position(x);
+
+  // Departure notifications go to the node's LOCAL contacts (what the
+  // paper's object actually knows), not the ground truth.
+  std::vector<NodeId> notified;
+  for (const auto* component : {&it->second.vn(), &it->second.cn()}) {
+    for (const ViewEntry& e : *component) notified.push_back(e.id);
+  }
+  std::sort(notified.begin(), notified.end());
+  notified.erase(std::unique(notified.begin(), notified.end()),
+                 notified.end());
+  for (const NodeId peer : notified) {
+    if (peer == x || nodes_.find(peer) == nodes_.end()) continue;
+    Message m;
+    m.type = sim::MessageKind::kLeaveNotify;
+    m.src = x;
+    m.dst = peer;
+    m.point = pos;
+    net_.send(std::move(m));
+  }
+
+  // The closest live former Voronoi neighbour leads the repair (the
+  // paper's RemoveVoronoiRegion heir).
+  NodeId sponsor = kNoNode;
+  for (const NodeId y : overlay_.view(x).vn) {
+    if (nodes_.find(y) != nodes_.end()) {
+      sponsor = y;
+      break;
+    }
+  }
+  deregister_node(x);
+  overlay_.remove(x);
+  if (sponsor == kNoNode) {
+    // x was the last node (or its whole neighbourhood is gone): nobody
+    // left to update.
+    (void)overlay_.take_touched_views();
+    return;
+  }
+  disseminate(sponsor);
+}
+
+// ---------------------------------------------------------------------------
+// Dissemination
+// ---------------------------------------------------------------------------
+
+std::vector<ViewEntry> ProtocolHarness::authoritative_vn(NodeId o) const {
+  std::vector<ViewEntry> out;
+  const NodeView& view = overlay_.view(o);
+  out.reserve(view.vn.size());
+  for (const ObjectId nb : view.vn) out.push_back({nb, overlay_.position(nb)});
+  return out;
+}
+
+std::vector<ViewEntry> ProtocolHarness::authoritative_cn(NodeId o) const {
+  std::vector<ViewEntry> out;
+  const NodeView& view = overlay_.view(o);
+  out.reserve(view.cn.size());
+  for (const ObjectId c : view.cn) out.push_back({c, overlay_.position(c)});
+  return out;
+}
+
+std::vector<ViewEntry> ProtocolHarness::authoritative_lr(NodeId o) const {
+  std::vector<ViewEntry> out;
+  const NodeView& view = overlay_.view(o);
+  out.reserve(view.lr.size());
+  for (const LongLink& link : view.lr) {
+    // Dangling holders (possible between a crash and its repair) are not
+    // part of the usable view.
+    if (link.neighbor == kNoObject || !overlay_.contains(link.neighbor)) {
+      continue;
+    }
+    out.push_back({link.neighbor, overlay_.position(link.neighbor)});
+  }
+  return out;
+}
+
+void ProtocolHarness::disseminate(NodeId src, NodeId ensure) {
+  Overlay::TouchedViews touched = overlay_.take_touched_views();
+  if (ensure != kNoNode) {
+    touched.vn.push_back(ensure);
+    touched.cn.push_back(ensure);
+    touched.lr.push_back(ensure);
+  }
+  ++op_seq_;
+  const auto ship = [&](const std::vector<ObjectId>& ids,
+                        sim::MessageKind kind,
+                        auto&& extract,
+                        std::optional<std::vector<ViewEntry>> SentState::*
+                            slot) {
+    for (const ObjectId id : ids) {
+      if (nodes_.find(id) == nodes_.end()) continue;
+      std::vector<ViewEntry> entries = extract(id);
+      std::optional<std::vector<ViewEntry>>& last = sent_[id].*slot;
+      if (last && entries == *last) continue;  // touch restored the value
+      Message m;
+      m.type = kind;
+      m.src = src;
+      m.dst = id;
+      m.version = op_seq_;
+      m.entries = entries;
+      last = std::move(entries);
+      net_.send(std::move(m));
+    }
+  };
+  ship(touched.vn, sim::MessageKind::kVoronoiUpdate,
+       [&](NodeId o) { return authoritative_vn(o); }, &SentState::vn);
+  ship(touched.cn, sim::MessageKind::kCloseNeighbor,
+       [&](NodeId o) { return authoritative_cn(o); }, &SentState::cn);
+  ship(touched.lr, sim::MessageKind::kLongLinkBind,
+       [&](NodeId o) { return authoritative_lr(o); }, &SentState::lr);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+void ProtocolHarness::register_node(NodeId x) {
+  // Vertex ids are recycled by the ground truth: a new node may reuse the
+  // id of a previously crashed one, so clear the transport's dead mark.
+  net_.revive(x);
+  nodes_.emplace(x, ProtocolNode(x, overlay_.position(x)));
+  roster_pos_[x] = static_cast<std::uint32_t>(roster_.size());
+  roster_.push_back(x);
+}
+
+void ProtocolHarness::deregister_node(NodeId x) {
+  nodes_.erase(x);
+  sent_.erase(x);
+  const auto it = roster_pos_.find(x);
+  VORONET_DCHECK(it != roster_pos_.end());
+  const std::uint32_t idx = it->second;
+  roster_pos_[roster_.back()] = idx;
+  roster_[idx] = roster_.back();
+  roster_.pop_back();
+  roster_pos_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Differential verification
+// ---------------------------------------------------------------------------
+
+ProtocolHarness::VerifyReport ProtocolHarness::verify_views() const {
+  VerifyReport report;
+  for (const NodeId id : roster_) {
+    const ProtocolNode& node = nodes_.at(id);
+    ++report.checked;
+    const bool ok = overlay_.contains(id) &&
+                    node.position() == overlay_.position(id) &&
+                    node.vn() == authoritative_vn(id) &&
+                    node.cn() == authoritative_cn(id) &&
+                    node.lr() == authoritative_lr(id);
+    if (!ok) {
+      ++report.stale;
+      if (report.stale_ids.size() < 8) report.stale_ids.push_back(id);
+    }
+  }
+  report.missing = overlay_.size() - nodes_.size();
+  return report;
+}
+
+}  // namespace voronet::protocol

@@ -1,0 +1,160 @@
+// Differential protocol harness: message-level execution against the
+// sequential ground truth.
+//
+// The harness runs every workload operation twice, in lock-step:
+//   * the *computation* runs on the shared Overlay (DESIGN.md,
+//     Substitution 1: the tessellation is the one true geometry);
+//   * the *dissemination* runs as real messages: the resulting view
+//     deltas travel to each affected ProtocolNode through the Network,
+//     subject to latency, loss, partitions and crash-stop failures.
+//
+// Joins additionally route at the message level: the join request hops
+// greedily from node to node using only each node's LOCAL view, so
+// concurrent joins observe exactly the staleness a deployment would.
+//
+// verify_views() compares every node's local view against the overlay's
+// authoritative one.  At quiescence with no partition this must match
+// bit-for-bit -- the property DESIGN.md's Substitution 1 *assumes* and
+// tests/protocol_test.cpp now proves per run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/network.hpp"
+#include "protocol/node.hpp"
+#include "sim/event_queue.hpp"
+#include "voronet/overlay.hpp"
+
+namespace voronet::protocol {
+
+struct HarnessConfig {
+  OverlayConfig overlay;
+  NetworkConfig network;
+  /// Delay between a crash and the survivors' repair dissemination (the
+  /// failure-detection latency of the paper's fault model).
+  double failure_detect_delay = 1.0;
+  /// Seed for harness-level choices (gateway sampling).
+  std::uint64_t seed = 0x907aULL;
+};
+
+class ProtocolHarness {
+ public:
+  explicit ProtocolHarness(const HarnessConfig& config);
+
+  ProtocolHarness(const ProtocolHarness&) = delete;
+  ProtocolHarness& operator=(const ProtocolHarness&) = delete;
+
+  // --- Workload injection (all asynchronous: they schedule events) --------
+
+  /// Join an object at p, entering through a uniformly random live node.
+  void join(Vec2 p) { join_after(0.0, p); }
+  void join_after(double delay, Vec2 p);
+
+  /// Voluntary departure (runs the leave protocol).
+  void leave(NodeId x) { leave_after(0.0, x); }
+  void leave_after(double delay, NodeId x);
+
+  /// Crash-stop failure: the node vanishes without protocol; survivors
+  /// repair and re-disseminate after failure_detect_delay.
+  void crash(NodeId x);
+
+  // --- Execution ----------------------------------------------------------
+
+  sim::EventQueue::RunResult run_to_idle() { return queue_.run_to_idle(); }
+  sim::EventQueue::RunResult run_until(double horizon) {
+    return queue_.run_until(horizon);
+  }
+
+  // --- Differential verification ------------------------------------------
+
+  struct VerifyReport {
+    std::size_t checked = 0;      ///< live nodes compared
+    std::size_t stale = 0;        ///< nodes whose local view mismatches
+    std::size_t missing = 0;      ///< ground-truth objects without a node
+    std::vector<NodeId> stale_ids;  ///< first few offenders, for messages
+    [[nodiscard]] bool converged() const {
+      return stale == 0 && missing == 0;
+    }
+  };
+
+  /// Compare every node's local vn / cn / lr (ids AND positions) against
+  /// the overlay's authoritative view.
+  [[nodiscard]] VerifyReport verify_views() const;
+
+  // --- Introspection ------------------------------------------------------
+
+  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] Overlay& overlay() { return overlay_; }
+  [[nodiscard]] const Overlay& overlay() const { return overlay_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
+  [[nodiscard]] NodeId random_node(Rng& rng) const {
+    return roster_[rng.index(roster_.size())];
+  }
+  [[nodiscard]] const ProtocolNode& node(NodeId id) const {
+    return nodes_.at(id);
+  }
+  /// Joins scheduled but not yet sponsored (in-flight route chains).
+  [[nodiscard]] std::size_t pending_joins() const { return pending_joins_; }
+  /// Simulated time of the last view-advancing update -- the convergence
+  /// instant of the most recent workload batch.
+  [[nodiscard]] double last_apply_time() const { return last_apply_time_; }
+
+ private:
+  void start_join(Vec2 p);
+  void handle_route(const Message& m);
+  /// Re-enter a join route chain through a fresh random gateway (the
+  /// addressee departed or the transport abandoned the hop).
+  void reroute_join(const Message& m);
+  /// Terminate join chain `join_id` at `sponsor`.  Exactly-once per
+  /// chain: a rerouted chain can race its original (abandonment after a
+  /// delivered-but-unacked hop), so completion is keyed by the id.
+  void sponsor_join(NodeId sponsor, Vec2 p, std::uint64_t join_id);
+  void execute_leave(NodeId x);
+  void deliver(const Message& m);
+  void on_abandon(const Message& m);
+
+  /// Drain the overlay's touched-view sets and ship each changed
+  /// component to its node as a versioned update from `src`.  `ensure`
+  /// (when valid) is unioned in so a freshly joined node always receives
+  /// its initial view.
+  void disseminate(NodeId src, NodeId ensure = kNoNode);
+
+  [[nodiscard]] std::vector<ViewEntry> authoritative_vn(NodeId o) const;
+  [[nodiscard]] std::vector<ViewEntry> authoritative_cn(NodeId o) const;
+  [[nodiscard]] std::vector<ViewEntry> authoritative_lr(NodeId o) const;
+
+  void register_node(NodeId x);
+  void deregister_node(NodeId x);
+
+  sim::EventQueue queue_;
+  HarnessConfig config_;
+  Overlay overlay_;
+  Network net_;
+  std::unordered_map<NodeId, ProtocolNode> nodes_;
+  std::vector<NodeId> roster_;  ///< live node ids, dense (random sampling)
+  std::unordered_map<NodeId, std::uint32_t> roster_pos_;
+  /// Last content disseminated per node component: suppresses the
+  /// redundant updates the over-approximate touch tracking would produce
+  /// (fictive-object churn restores views it transiently rewrites).
+  /// nullopt = unknown (never sent, or the last transfer was abandoned by
+  /// the transport) -- the next touch ships unconditionally.
+  struct SentState {
+    std::optional<std::vector<ViewEntry>> vn, cn, lr;
+  };
+  std::unordered_map<NodeId, SentState> sent_;
+  std::uint64_t op_seq_ = 0;
+  std::uint64_t join_seq_ = 0;
+  std::unordered_set<std::uint64_t> active_joins_;
+  std::size_t pending_joins_ = 0;
+  double last_apply_time_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace voronet::protocol

@@ -1,0 +1,55 @@
+#include "protocol/latency.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace voronet::protocol {
+
+double LatencyModel::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kUniform:
+      return rng.uniform(a, b);
+    case Kind::kLognormal: {
+      const double median = b - a;
+      VORONET_EXPECT(median >= 0.0, "lognormal median below the floor");
+      if (median == 0.0) return a;
+      // Box-Muller on two uniforms; exp(sigma * z) has median 1, so the
+      // scale factor makes the configured median exact.
+      const double u1 = rng.uniform(1e-12, 1.0);
+      const double u2 = rng.uniform();
+      const double z = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(2.0 * 3.14159265358979323846 * u2);
+      return a + median * std::exp(sigma * z);
+    }
+  }
+  return a;
+}
+
+double LatencyModel::high_quantile() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kUniform:
+      return b;
+    case Kind::kLognormal:
+      return a + (b - a) * std::exp(2.0 * sigma);
+  }
+  return a;
+}
+
+const char* LatencyModel::name() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return "fixed";
+    case Kind::kUniform:
+      return "uniform";
+    case Kind::kLognormal:
+      return "lognormal";
+  }
+  return "unknown";
+}
+
+}  // namespace voronet::protocol

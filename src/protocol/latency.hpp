@@ -1,0 +1,50 @@
+// Pluggable message-latency models for the protocol engine.
+//
+// The paper assumes an asynchronous network with arbitrary (finite)
+// message delays; the latency model decides what "arbitrary" means per
+// experiment: kFixed gives the deterministic baseline (and, at 0, the
+// synchronous limit used by the differential quiescence test), kUniform
+// bounded jitter, and kLognormal the heavy-tailed delays measured on real
+// WANs -- the regime where reordering actually stresses the versioned
+// view updates.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace voronet::protocol {
+
+struct LatencyModel {
+  enum class Kind { kFixed, kUniform, kLognormal };
+
+  Kind kind = Kind::kFixed;
+  // kFixed: delay = a.            (a >= 0)
+  // kUniform: delay ~ U[a, b].    (0 <= a <= b)
+  // kLognormal: delay = a + exp(N(mu, sigma)) scaled so the median is b-a;
+  //   `a` acts as a propagation floor, `sigma` controls the tail weight.
+  double a = 0.0;
+  double b = 0.0;
+  double sigma = 0.5;
+
+  [[nodiscard]] static LatencyModel fixed(double delay) {
+    return {Kind::kFixed, delay, delay, 0.0};
+  }
+  [[nodiscard]] static LatencyModel uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi, 0.0};
+  }
+  [[nodiscard]] static LatencyModel lognormal(double floor, double median,
+                                              double sigma) {
+    return {Kind::kLognormal, floor, median, sigma};
+  }
+
+  /// Draw one delivery delay (always >= 0; >= a for every kind).
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// An upper estimate of one-way delay used to derive retransmission
+  /// timeouts: exact for kFixed/kUniform, the ~97.7th percentile (two
+  /// sigma) for kLognormal.
+  [[nodiscard]] double high_quantile() const;
+
+  [[nodiscard]] const char* name() const;
+};
+
+}  // namespace voronet::protocol

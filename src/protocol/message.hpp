@@ -1,0 +1,63 @@
+// Wire messages of the message-level protocol engine.
+//
+// The sequential overlay (src/voronet) substitutes message *accounting*
+// for messages (DESIGN.md, Substitution 2).  The protocol engine removes
+// that substitution: per-node state machines (protocol::ProtocolNode)
+// exchange these typed messages through protocol::Network, which applies
+// latency, loss and failure injection on top of sim::EventQueue.  Message
+// kinds reuse sim::MessageKind so the per-type counters of sim::Metrics
+// cover both simulation styles with one taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "sim/metrics.hpp"
+
+namespace voronet::protocol {
+
+/// Protocol-level node address.  Equals the overlay's ObjectId (the ground
+/// truth assigns ids; the protocol layer adopts them so differential
+/// comparison is direct).
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -2;
+
+/// One remote-peer entry of a local view: the peer's id plus the position
+/// the local node believes it has.  Positions are immutable per live
+/// object, but ids are recycled across departures, so comparisons must
+/// treat the pair as the identity.
+struct ViewEntry {
+  NodeId id = kNoNode;
+  Vec2 pos;
+
+  friend bool operator==(const ViewEntry&, const ViewEntry&) = default;
+};
+
+/// A network message.  One struct covers every kind (this is a simulator:
+/// clarity beats compactness); which fields are meaningful depends on
+/// `type`:
+///   * kJoin / kRouteForward -- point (the join position), hops, and
+///     version carrying the join-chain id (completion is exactly-once
+///     even when a chain is rerouted around a crashed hop);
+///   * kVnUpdate (kVoronoiUpdate), kCloseGather (kCloseNeighbor),
+///     kLongLinkTransfer (kLongLinkBind) -- entries (the authoritative
+///     component content) and version (monotone per target component;
+///     receivers discard stale or duplicate updates, which makes the
+///     updates idempotent under retransmission and reordering);
+///   * kLeaveNotify -- src announces its departure;
+///   * kAck -- transport-internal, never reaches a node.
+struct Message {
+  sim::MessageKind type = sim::MessageKind::kRouteForward;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint64_t version = 0;
+  Vec2 point;
+  std::uint32_t hops = 0;
+  std::vector<ViewEntry> entries;
+
+  // Transport bookkeeping (owned by protocol::Network).
+  std::uint64_t transfer_id = 0;  ///< unique per logical send, 0 = unset
+};
+
+}  // namespace voronet::protocol

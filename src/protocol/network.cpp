@@ -1,0 +1,141 @@
+#include "protocol/network.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace voronet::protocol {
+
+Network::Network(sim::EventQueue& queue, const NetworkConfig& config)
+    : queue_(queue), config_(config), rng_(config.seed) {
+  VORONET_EXPECT(config.drop_probability >= 0.0 &&
+                     config.drop_probability < 1.0,
+                 "drop probability must lie in [0, 1)");
+  // Auto-RTO: a round trip of pessimistic one-way delays plus slack, so
+  // that under fixed/uniform latency a timeout implies a genuine loss.
+  rto_ = config.retransmit_timeout > 0.0
+             ? config.retransmit_timeout
+             : 2.0 * config.latency.high_quantile() + 0.01;
+}
+
+void Network::send(Message msg) {
+  msg.transfer_id = next_transfer_++;
+  ++stats_.sends;
+  const bool reliable = msg.type != sim::MessageKind::kAck;
+  transmit(msg);
+  if (reliable) {
+    const std::uint64_t id = msg.transfer_id;
+    pending_.emplace(id, Pending{std::move(msg), 1, sim::kNoTimer});
+    arm_timer(id);
+  }
+}
+
+void Network::crash(NodeId node) { crashed_.insert(node); }
+
+void Network::revive(NodeId node) {
+  crashed_.erase(node);
+  // A recycled id is a brand-new endpoint: it must not inherit its
+  // predecessor's dedup history.
+  seen_.erase(node);
+}
+
+void Network::transmit(const Message& msg) {
+  ++stats_.transmissions;
+  metrics_.count_message(msg.type);
+  if (msg.type == sim::MessageKind::kAck) ++stats_.acks;
+  const bool link_down = link_up_ && !link_up_(msg.src, msg.dst);
+  if (link_down || (config_.drop_probability > 0.0 &&
+                    rng_.chance(config_.drop_probability))) {
+    ++stats_.dropped;
+    return;
+  }
+  const double delay = config_.latency.sample(rng_);
+  queue_.schedule(delay, [this, msg] { arrive(msg); });
+}
+
+void Network::arrive(Message msg) {
+  if (msg.type == sim::MessageKind::kAck) {
+    // Transport-internal: settle the acknowledged transfer.  This runs
+    // even when the original sender has crashed since -- the pending
+    // entry is sender-side transport state that must not retransmit
+    // forever on behalf of a dead node.
+    const auto it = pending_.find(msg.transfer_id);
+    if (it != pending_.end()) {
+      queue_.cancel(it->second.timer);
+      pending_.erase(it);
+    }
+    // Prune the receiver-side dedup entry (the ack's src is the original
+    // receiver), so seen_ is bounded by the in-flight count instead of
+    // growing for the life of the network.  A retransmission still in
+    // flight when the ack settles can then be delivered a second time --
+    // rare, and every protocol message is idempotent at the application
+    // layer (versioned updates, exactly-once join chains).
+    const auto seen_it = seen_.find(msg.src);
+    if (seen_it != seen_.end()) {
+      seen_it->second.erase(msg.transfer_id);
+      if (seen_it->second.empty()) seen_.erase(seen_it);
+    }
+    return;
+  }
+  if (crashed_.count(msg.dst)) {
+    ++stats_.dropped;
+    return;
+  }
+  // Acknowledge every reliable arrival, duplicates included (the previous
+  // ack may be the thing that got lost).
+  Message ack;
+  ack.type = sim::MessageKind::kAck;
+  ack.src = msg.dst;
+  ack.dst = msg.src;
+  ack.transfer_id = msg.transfer_id;
+  transmit(ack);
+
+  auto& seen = seen_[msg.dst];
+  if (!seen.insert(msg.transfer_id).second) {
+    ++stats_.duplicates;
+    return;
+  }
+  ++stats_.delivered;
+  if (sink_) sink_(msg);
+}
+
+void Network::arm_timer(std::uint64_t transfer_id) {
+  const auto it = pending_.find(transfer_id);
+  VORONET_DCHECK(it != pending_.end());
+  it->second.timer =
+      queue_.schedule_timer(rto_, [this, transfer_id] {
+        on_timeout(transfer_id);
+      });
+}
+
+void Network::on_timeout(std::uint64_t transfer_id) {
+  const auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;  // acknowledged in the meantime
+  Pending& p = it->second;
+  // Give up when either endpoint crashed -- a crash-stop sender can never
+  // resend, so its unacked transfers die with it -- or the retry cap hit.
+  const bool give_up =
+      crashed_.count(p.msg.dst) != 0 || crashed_.count(p.msg.src) != 0 ||
+      (config_.max_retries > 0 && p.attempts > config_.max_retries);
+  if (give_up) {
+    ++stats_.abandoned;
+    const Message msg = std::move(p.msg);
+    pending_.erase(it);
+    // The settling ack will never come, so drop the receiver-side dedup
+    // entry here (keeps seen_ bounded by the genuinely in-flight count).
+    const auto seen_it = seen_.find(msg.dst);
+    if (seen_it != seen_.end()) {
+      seen_it->second.erase(msg.transfer_id);
+      if (seen_it->second.empty()) seen_.erase(seen_it);
+    }
+    // Tell the application layer last: the handler may send afresh.
+    if (abandon_) abandon_(msg);
+    return;
+  }
+  ++p.attempts;
+  ++stats_.retransmits;
+  transmit(p.msg);
+  arm_timer(transfer_id);
+}
+
+}  // namespace voronet::protocol

@@ -1,0 +1,135 @@
+// Message router of the protocol engine: owns delivery.
+//
+// Every transmission is scheduled through sim::EventQueue with a delay
+// drawn from the LatencyModel, may be lost (drop probability, partition
+// filter, crashed destination), and is counted per message type in a
+// sim::Metrics instance.  Non-ack messages are delivered reliably: the
+// receiving side acknowledges, the sender retransmits on a cancellable
+// timeout until acknowledged (or until the destination is observed
+// crashed / the retry cap is hit).  Duplicate arrivals -- retransmission
+// after a lost ack -- are suppressed by per-receiver transfer-id
+// de-duplication (pruned when the transfer settles, so the table is
+// bounded by the in-flight count; a retransmission already in flight at
+// settle time can occasionally slip through, which the idempotent node
+// layer absorbs).  Counters record the real wire traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "protocol/latency.hpp"
+#include "protocol/message.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace voronet::protocol {
+
+struct NetworkConfig {
+  LatencyModel latency = LatencyModel::fixed(0.0);
+  /// Probability that any single transmission (data or ack) is lost.
+  double drop_probability = 0.0;
+  /// Retransmission timeout; 0 derives one from the latency model
+  /// (two high-quantile one-way delays plus slack).
+  double retransmit_timeout = 0.0;
+  /// Give up on a reliable transfer after this many retransmissions;
+  /// 0 = keep retrying (transfers to crashed destinations are abandoned
+  /// at the first timeout regardless).
+  std::size_t max_retries = 0;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Wire-level accounting, beyond the per-type counters in sim::Metrics.
+struct NetworkStats {
+  std::uint64_t sends = 0;          ///< logical send() calls
+  std::uint64_t transmissions = 0;  ///< wire attempts incl. retransmits+acks
+  std::uint64_t delivered = 0;      ///< messages handed to the sink
+  std::uint64_t duplicates = 0;     ///< arrivals suppressed by dedup
+  std::uint64_t dropped = 0;        ///< lost to loss, partition or crash
+  std::uint64_t retransmits = 0;
+  std::uint64_t abandoned = 0;      ///< reliable transfers given up
+  std::uint64_t acks = 0;
+};
+
+class Network {
+ public:
+  /// Receives each delivered (non-ack, de-duplicated) message.
+  using Sink = std::function<void(const Message&)>;
+  /// Receives each reliable message the transport gave up on (crashed
+  /// destination or retry cap), so the application layer can reroute or
+  /// invalidate caches.
+  using AbandonHandler = std::function<void(const Message&)>;
+  /// Returns true when the src -> dst link is up (partition injection).
+  using LinkFilter = std::function<bool(NodeId, NodeId)>;
+
+  Network(sim::EventQueue& queue, const NetworkConfig& config);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_abandon_handler(AbandonHandler handler) {
+    abandon_ = std::move(handler);
+  }
+
+  /// Send msg.src -> msg.dst.  Reliable (ack + retransmit) for every kind
+  /// except kAck.  The transfer id is assigned here.
+  void send(Message msg);
+
+  /// Crash-stop: the node stops receiving AND stops resending -- reliable
+  /// transfers touching it on either side are abandoned when their
+  /// timeout next fires (receiver side: the sender's failure detector;
+  /// sender side: a dead node cannot drive its retransmit timer).
+  /// Packets already in flight still arrive, as they would on a real
+  /// network.
+  void crash(NodeId node);
+  /// Clear the crashed mark -- required when a vertex id is recycled for
+  /// a brand-new node (the ground truth reuses Delaunay vertex ids).
+  void revive(NodeId node);
+  [[nodiscard]] bool crashed(NodeId node) const {
+    return crashed_.count(node) != 0;
+  }
+
+  /// Install / remove a link filter (messages on down links are lost on
+  /// transmission; retransmit timers keep reliable traffic alive until
+  /// the partition heals).
+  void set_link_filter(LinkFilter up) { link_up_ = std::move(up); }
+  void clear_link_filter() { link_up_ = nullptr; }
+
+  /// Reliable transfers still awaiting acknowledgement.
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
+  [[nodiscard]] sim::Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const sim::Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] double retransmit_timeout() const { return rto_; }
+
+ private:
+  struct Pending {
+    Message msg;
+    std::size_t attempts = 1;
+    sim::TimerId timer = sim::kNoTimer;
+  };
+
+  /// One wire attempt: count it, lose it or schedule its arrival.
+  void transmit(const Message& msg);
+  void arrive(Message msg);
+  void on_timeout(std::uint64_t transfer_id);
+  void arm_timer(std::uint64_t transfer_id);
+
+  sim::EventQueue& queue_;
+  NetworkConfig config_;
+  double rto_;
+  Sink sink_;
+  AbandonHandler abandon_;
+  Rng rng_;
+  sim::Metrics metrics_;
+  NetworkStats stats_;
+  std::uint64_t next_transfer_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> seen_;
+  LinkFilter link_up_;
+};
+
+}  // namespace voronet::protocol

@@ -1,0 +1,63 @@
+#include "protocol/node.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace voronet::protocol {
+
+ProtocolNode::Route ProtocolNode::greedy_step(Vec2 target) const {
+  double best = dist2(position_, target);
+  NodeId next = kNoNode;
+  const auto consider = [&](const ViewEntry& e) {
+    const double d = dist2(e.pos, target);
+    // Strict improvement over the current best; ties break towards the
+    // smaller id so routing is deterministic regardless of scan order.
+    if (d < best || (d == best && next != kNoNode && e.id < next)) {
+      best = d;
+      next = e.id;
+    }
+  };
+  for (const ViewEntry& e : vn_) consider(e);
+  for (const ViewEntry& e : cn_) consider(e);
+  for (const ViewEntry& e : lr_) consider(e);
+  if (next == kNoNode) return {true, kNoNode};
+  return {false, next};
+}
+
+bool ProtocolNode::apply_update(const Message& m) {
+  const auto apply = [&](std::vector<ViewEntry>& component,
+                         std::uint64_t& version) {
+    if (m.version <= version) return false;
+    component = m.entries;
+    version = m.version;
+    return true;
+  };
+  switch (m.type) {
+    case sim::MessageKind::kVoronoiUpdate:
+      return apply(vn_, vn_version_);
+    case sim::MessageKind::kCloseNeighbor:
+      return apply(cn_, cn_version_);
+    case sim::MessageKind::kLongLinkBind:
+      return apply(lr_, lr_version_);
+    default:
+      VORONET_EXPECT(false, "not a view-update message");
+  }
+  return false;
+}
+
+void ProtocolNode::forget_peer(NodeId peer, Vec2 peer_position) {
+  const auto drop = [&](std::vector<ViewEntry>& component) {
+    component.erase(
+        std::remove_if(component.begin(), component.end(),
+                       [&](const ViewEntry& e) {
+                         return e.id == peer && e.pos == peer_position;
+                       }),
+        component.end());
+  };
+  drop(vn_);
+  drop(cn_);
+  drop(lr_);
+}
+
+}  // namespace voronet::protocol

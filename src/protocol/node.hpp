@@ -1,0 +1,69 @@
+// Per-node protocol state machine.
+//
+// A ProtocolNode holds the *local* view the paper's autonomous object
+// maintains -- Voronoi neighbours, close neighbours, long links -- fed
+// exclusively by messages.  Nothing here reads the shared tessellation:
+// between the moment the ground truth changes and the moment the update
+// messages arrive, the local view is stale, and routing decisions made
+// from it are exactly as wrong as a real deployment's would be.
+//
+// View components are versioned: an update is applied only when its
+// version exceeds the component's last applied one, which makes updates
+// idempotent under transport-level retransmission and safe under the
+// reordering a random latency model produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/message.hpp"
+
+namespace voronet::protocol {
+
+class ProtocolNode {
+ public:
+  ProtocolNode(NodeId id, Vec2 position) : id_(id), position_(position) {}
+
+  /// Outcome of one greedy routing decision over the local view.
+  struct Route {
+    bool terminal = false;  ///< no local entry is closer than this node
+    NodeId next = kNoNode;  ///< valid when !terminal
+  };
+
+  /// The paper's Greedyneighbour on the local view: the entry of
+  /// vn + cn + lr closest to the target, forwarded to only when strictly
+  /// closer than this node (positions in view entries are exact and
+  /// immutable, so the distance decreases strictly along a forwarding
+  /// chain and protocol routing cannot cycle, however stale the views).
+  [[nodiscard]] Route greedy_step(Vec2 target) const;
+
+  /// Apply a view-update message (kVoronoiUpdate / kCloseNeighbor /
+  /// kLongLinkBind).  Returns true when the update advanced the view,
+  /// false when it was stale or a duplicate.
+  bool apply_update(const Message& m);
+
+  /// Departure notification: drop entries matching the departed peer
+  /// (id AND position -- ids are recycled, positions are not).
+  void forget_peer(NodeId peer, Vec2 peer_position);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Vec2 position() const { return position_; }
+  [[nodiscard]] const std::vector<ViewEntry>& vn() const { return vn_; }
+  [[nodiscard]] const std::vector<ViewEntry>& cn() const { return cn_; }
+  [[nodiscard]] const std::vector<ViewEntry>& lr() const { return lr_; }
+  [[nodiscard]] std::size_t degree() const {
+    return vn_.size() + cn_.size() + lr_.size();
+  }
+
+ private:
+  NodeId id_;
+  Vec2 position_;
+  std::vector<ViewEntry> vn_;  ///< sorted by id (authority sends sorted)
+  std::vector<ViewEntry> cn_;  ///< sorted by id
+  std::vector<ViewEntry> lr_;  ///< in link-index order
+  std::uint64_t vn_version_ = 0;
+  std::uint64_t cn_version_ = 0;
+  std::uint64_t lr_version_ = 0;
+};
+
+}  // namespace voronet::protocol

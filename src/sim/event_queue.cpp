@@ -8,29 +8,75 @@ namespace voronet::sim {
 
 void EventQueue::schedule(double delay, Handler fn) {
   VORONET_EXPECT(delay >= 0.0, "cannot schedule into the past");
-  heap_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  heap_.push(Event{now_ + delay, next_seq_++, kNoTimer, std::move(fn)});
+}
+
+TimerId EventQueue::schedule_timer(double delay, Handler fn) {
+  VORONET_EXPECT(delay >= 0.0, "cannot schedule into the past");
+  const TimerId id = next_timer_++;
+  live_timers_.insert(id);
+  heap_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool EventQueue::cancel(TimerId id) {
+  if (live_timers_.erase(id) == 0) return false;
+  ++cancelled_in_heap_;
+  return true;
+}
+
+void EventQueue::skim_cancelled() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (top.timer == kNoTimer || live_timers_.count(top.timer)) return;
+    heap_.pop();
+    --cancelled_in_heap_;
+  }
 }
 
 bool EventQueue::step() {
+  skim_cancelled();
   if (heap_.empty()) return false;
   // priority_queue::top returns const&; the handler must be moved out
   // before pop, so copy the bookkeeping fields first.
   Event ev = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
+  if (ev.timer != kNoTimer) live_timers_.erase(ev.timer);
   now_ = ev.at;
   ++processed_;
   ev.fn();
   return true;
 }
 
-std::size_t EventQueue::run_to_idle(std::size_t max_events) {
-  std::size_t n = 0;
-  while (!heap_.empty()) {
-    VORONET_EXPECT(n < max_events, "event budget exhausted (protocol loop?)");
+EventQueue::RunResult EventQueue::run_to_idle(std::size_t max_events) {
+  RunResult result;
+  while (!idle()) {
+    if (result.processed >= max_events) {
+      result.budget_exhausted = true;
+      break;
+    }
     step();
-    ++n;
+    ++result.processed;
   }
-  return n;
+  return result;
+}
+
+EventQueue::RunResult EventQueue::run_until(double horizon,
+                                            std::size_t max_events) {
+  VORONET_EXPECT(horizon >= now_, "cannot run backwards in time");
+  RunResult result;
+  for (;;) {
+    skim_cancelled();
+    if (heap_.empty() || heap_.top().at > horizon) break;
+    if (result.processed >= max_events) {
+      result.budget_exhausted = true;
+      return result;  // clock stays at the last executed event
+    }
+    step();
+    ++result.processed;
+  }
+  now_ = horizon;
+  return result;
 }
 
 }  // namespace voronet::sim

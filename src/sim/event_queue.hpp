@@ -4,33 +4,75 @@
 // resolve in FIFO order so runs are fully deterministic.  The overlay
 // protocol schedules one event per network message (the paper's Spawn),
 // which makes message counting and latency modelling explicit.
+//
+// Two scheduling channels share the clock:
+//   * schedule()        -- fire-and-forget events (the common case);
+//   * schedule_timer()  -- cancellable events, used by the protocol engine
+//                          for retransmit timeouts.  cancel() before the
+//                          timer fires suppresses the handler; a cancelled
+//                          event neither advances the clock nor counts as
+//                          processed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace voronet::sim {
+
+/// Opaque handle for a cancellable timer (0 is never a valid handle).
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
 
 class EventQueue {
  public:
   using Handler = std::function<void()>;
 
+  /// Outcome of a bounded run: how many events executed and whether the
+  /// run stopped because the event budget ran out rather than because the
+  /// queue went quiet.  Callers that expect quiescence must check
+  /// budget_exhausted -- a protocol livelock looks exactly like a long
+  /// convergence otherwise.
+  struct RunResult {
+    std::size_t processed = 0;
+    bool budget_exhausted = false;
+  };
+
   /// Schedule fn at now() + delay (delay >= 0).
   void schedule(double delay, Handler fn);
 
-  /// Execute the earliest pending event; returns false when idle.
+  /// Schedule a cancellable event; the returned handle stays valid until
+  /// the event fires or is cancelled.
+  TimerId schedule_timer(double delay, Handler fn);
+
+  /// Suppress a pending timer.  Returns true iff the timer was still
+  /// pending (false after it fired, was already cancelled, or never
+  /// existed).
+  bool cancel(TimerId id);
+
+  /// Execute the earliest pending live event; returns false when idle.
   bool step();
 
-  /// Drain the queue; returns the number of events processed.  max_events
-  /// guards against runaway protocol loops.
-  std::size_t run_to_idle(std::size_t max_events = kDefaultEventBudget);
+  /// Drain the queue (cancelled timers are skipped, not executed).  Stops
+  /// after max_events executions and reports it in the result instead of
+  /// throwing, so callers can tell budget exhaustion from quiescence.
+  RunResult run_to_idle(std::size_t max_events = kDefaultEventBudget);
+
+  /// Execute every event with timestamp <= horizon, then advance the clock
+  /// to the horizon (events scheduled later stay pending).  Requires
+  /// horizon >= now().
+  RunResult run_until(double horizon,
+                      std::size_t max_events = kDefaultEventBudget);
 
   [[nodiscard]] double now() const { return now_; }
-  [[nodiscard]] bool idle() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool idle() const { return pending() == 0; }
+  /// Live (non-cancelled) events still queued.
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() - cancelled_in_heap_;
+  }
   [[nodiscard]] std::size_t processed() const { return processed_; }
 
   static constexpr std::size_t kDefaultEventBudget = 100'000'000;
@@ -39,6 +81,7 @@ class EventQueue {
   struct Event {
     double at;
     std::uint64_t seq;
+    TimerId timer;  ///< kNoTimer for plain events
     Handler fn;
   };
   struct Later {
@@ -48,9 +91,18 @@ class EventQueue {
     }
   };
 
+  /// Pop cancelled timers off the top (without advancing the clock) until
+  /// the top is live or the heap is empty.
+  void skim_cancelled();
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Timers pending in the heap; a cancel() moves the id from here into
+  // limbo (tracked by cancelled_in_heap_) until its event is skimmed.
+  std::unordered_set<TimerId> live_timers_;
+  std::size_t cancelled_in_heap_ = 0;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  TimerId next_timer_ = 1;
   std::size_t processed_ = 0;
 };
 

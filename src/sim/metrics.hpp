@@ -24,8 +24,16 @@ enum class MessageKind : std::uint8_t {
   kLongLinkBind,      ///< LRn(x) establishment / re-delegation notice
   kLeaveNotify,       ///< departure notifications to cn/vn
   kQueryAnswer,       ///< AnswerQuery back to the requester
+  // Wire-level kinds used by the protocol engine (src/protocol): the
+  // sequential overlay never emits these two, the message-level simulation
+  // emits all nine.
+  kJoin,              ///< AddObject request entering the network
+  kAck,               ///< transport acknowledgement (reliable delivery)
   kCount
 };
+
+inline constexpr std::size_t kMessageKindCount =
+    static_cast<std::size_t>(MessageKind::kCount);
 
 [[nodiscard]] constexpr std::string_view message_kind_name(MessageKind k) {
   switch (k) {
@@ -43,6 +51,10 @@ enum class MessageKind : std::uint8_t {
       return "leave_notify";
     case MessageKind::kQueryAnswer:
       return "query_answer";
+    case MessageKind::kJoin:
+      return "join";
+    case MessageKind::kAck:
+      return "ack";
     case MessageKind::kCount:
       break;
   }

@@ -24,6 +24,12 @@ ChurnReport run_churn(Overlay& overlay, workload::PointGenerator& points,
   sim::EventQueue queue;
   Rng rng(config.seed);
 
+  std::array<std::uint64_t, sim::kMessageKindCount> msgs_before{};
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    msgs_before[k] =
+        overlay.metrics().messages(static_cast<sim::MessageKind>(k));
+  }
+
   // Each event class is a Poisson process that re-arms itself after every
   // firing until the horizon; the event queue interleaves the classes in
   // timestamp order.  `arm` outlives all scheduled events (run_to_idle is
@@ -55,9 +61,18 @@ ChurnReport run_churn(Overlay& overlay, workload::PointGenerator& points,
     ++report.queries;
   });
 
-  report.events_processed = queue.run_to_idle();
+  const sim::EventQueue::RunResult run = queue.run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted,
+                 "churn run exhausted the event budget before quiescence");
+  report.events_processed = run.processed;
   report.simulated_time = queue.now();
   report.final_population = overlay.size();
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    report.messages[k] =
+        overlay.metrics().messages(static_cast<sim::MessageKind>(k)) -
+        msgs_before[k];
+    report.total_messages += report.messages[k];
+  }
   return report;
 }
 

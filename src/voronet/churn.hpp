@@ -8,10 +8,12 @@
 // stay O(1)-ish per event at any churn rate.
 #pragma once
 
+#include <array>
 #include <cstddef>
 
 #include "common/rng.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
 #include "voronet/overlay.hpp"
 #include "workload/distributions.hpp"
 
@@ -33,6 +35,25 @@ struct ChurnReport {
   std::size_t final_population = 0;
   double simulated_time = 0.0;
   std::size_t events_processed = 0;
+
+  /// Maintenance messages generated during the churn phase, per protocol
+  /// kind (delta of the overlay's sim::Metrics counters over the run), so
+  /// callers can report message costs without resetting the overlay's
+  /// cumulative counters around the call.
+  std::array<std::uint64_t, sim::kMessageKindCount> messages{};
+  std::uint64_t total_messages = 0;
+
+  [[nodiscard]] std::uint64_t messages_of(sim::MessageKind kind) const {
+    return messages[static_cast<std::size_t>(kind)];
+  }
+  /// Mean messages per churn event (join + leave + query).
+  [[nodiscard]] double messages_per_event() const {
+    const std::size_t events = joins + leaves + queries;
+    return events == 0
+               ? 0.0
+               : static_cast<double>(total_messages) /
+                     static_cast<double>(events);
+  }
 };
 
 /// Run Poisson-ish churn (exponential inter-arrival per event class) on an

@@ -467,16 +467,7 @@ ObjectId Overlay::insert(Vec2 p) {
     const auto out = dt_.insert(p);
     VORONET_EXPECT(out.created, "bootstrap insertion failed");
     const ObjectId x = out.vertex;
-    ensure_slot(x);
-    nodes_[x] = Node{};
-    nodes_[x].live = true;
-    nodes_[x].view.position = p;
-    pos_[x] = p;
-    live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
-                                           static_cast<std::size_t>(x) + 1));
-    live_pos_[x] = static_cast<std::uint32_t>(live_ids_.size());
-    live_ids_.push_back(x);
-    oracle_.insert(static_cast<std::uint32_t>(x), p);
+    activate_object(x, p);
     establish_long_links(x);
     metrics_.record_operation(OperationKind::kJoin, 0,
                               metrics_.total_messages() - msgs_before);
@@ -530,17 +521,7 @@ ObjectId Overlay::insert(Vec2 p, ObjectId gateway) {
     absorb_affected();
   }
 
-  // Claim the slot and register the object.
-  ensure_slot(x);
-  nodes_[x] = Node{};
-  nodes_[x].live = true;
-  nodes_[x].view.position = p;
-  pos_[x] = p;
-  live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
-                                         static_cast<std::size_t>(x) + 1));
-  live_pos_[x] = static_cast<std::uint32_t>(live_ids_.size());
-  live_ids_.push_back(x);
-  oracle_.insert(static_cast<std::uint32_t>(x), p);
+  activate_object(x, p);
 
   refresh_views(affected, /*count=*/false);
   materialize_object(x);
@@ -555,6 +536,51 @@ void Overlay::bind_long_link(ObjectId origin, std::uint32_t link_index,
                              ObjectId neighbor) {
   nodes_[origin].view.lr[link_index].neighbor = neighbor;
   if (link_index == 0) edge_slots_[origin].lr0 = neighbor;
+  touch_lr(origin);
+}
+
+void Overlay::activate_object(ObjectId o, Vec2 p) {
+  ensure_slot(o);
+  nodes_[o] = Node{};
+  nodes_[o].live = true;
+  nodes_[o].view.position = p;
+  pos_[o] = p;
+  live_pos_.resize(std::max<std::size_t>(live_pos_.size(),
+                                         static_cast<std::size_t>(o) + 1));
+  live_pos_[o] = static_cast<std::uint32_t>(live_ids_.size());
+  live_ids_.push_back(o);
+  oracle_.insert(static_cast<std::uint32_t>(o), p);
+}
+
+void Overlay::deactivate_object(ObjectId o, Vec2 old_pos) {
+  oracle_.remove(static_cast<std::uint32_t>(o), old_pos);
+  nodes_[o].live = false;
+  pos_[o] = {std::numeric_limits<double>::quiet_NaN(),
+             std::numeric_limits<double>::quiet_NaN()};
+  edge_slots_[o].count = 0;
+  edge_slots_[o].lr0 = kNoObject;
+  const std::uint32_t idx = live_pos_[o];
+  live_pos_[live_ids_.back()] = idx;
+  live_ids_[idx] = live_ids_.back();
+  live_ids_.pop_back();
+}
+
+void Overlay::track_view_changes(bool on) {
+  track_views_ = on;
+  if (!on) touched_ = TouchedViews{};
+}
+
+Overlay::TouchedViews Overlay::take_touched_views() {
+  TouchedViews out = std::move(touched_);
+  touched_ = TouchedViews{};
+  for (auto* list : {&out.vn, &out.cn, &out.lr}) {
+    std::sort(list->begin(), list->end());
+    list->erase(std::unique(list->begin(), list->end()), list->end());
+    list->erase(std::remove_if(list->begin(), list->end(),
+                               [&](ObjectId o) { return !contains(o); }),
+                list->end());
+  }
+  return out;
 }
 
 void Overlay::rebuild_vn_geom(ObjectId o) {
@@ -576,6 +602,8 @@ void Overlay::materialize_object(ObjectId x) {
   dt_.append_neighbors(x, nx.view.vn);
   std::sort(nx.view.vn.begin(), nx.view.vn.end());
   rebuild_vn_geom(x);
+  touch_vn(x);
+  touch_cn(x);
 
   // Close neighbours (Lemma 1): candidates are the Voronoi neighbours and
   // their vn/cn members; each neighbour answers one gathering request.
@@ -596,6 +624,7 @@ void Overlay::materialize_object(ObjectId x) {
     if (dist2(nodes_[c].view.position, nx.view.position) <= dmin2) {
       insert_sorted(nx.view.cn, c);
       insert_sorted(nodes_[c].view.cn, x);  // symmetric declaration
+      touch_cn(c);
       metrics_.count_message(MessageKind::kCloseNeighbor);
     }
   }
@@ -631,6 +660,7 @@ void Overlay::establish_long_links(ObjectId x) {
     const ObjectId owner = resolve_owner_with_fictives(rt.terminal, target);
     nodes_[x].view.lr.push_back({target, owner});
     if (j == 0) edge_slots_[x].lr0 = owner;
+    touch_lr(x);
     // The back entry is kept even when the target currently falls in x's
     // own region: a later join may take the region over, and the entry is
     // what lets the takeover re-bind the link.
@@ -652,6 +682,7 @@ void Overlay::refresh_views(const std::vector<ObjectId>& affected,
     dt_.append_neighbors(o, n.view.vn);
     std::sort(n.view.vn.begin(), n.view.vn.end());
     rebuild_vn_geom(o);
+    touch_vn(o);
     if (count) metrics_.count_message(MessageKind::kVoronoiUpdate);
   }
 }
@@ -668,6 +699,7 @@ void Overlay::remove(ObjectId o) {
   // Notify close neighbours of the departure (symmetric sets).
   for (const ObjectId c : n.view.cn) {
     erase_sorted(nodes_[c].view.cn, o);
+    touch_cn(c);
     metrics_.count_message(MessageKind::kLeaveNotify);
   }
   n.view.cn.clear();
@@ -695,16 +727,7 @@ void Overlay::remove(ObjectId o) {
   const Vec2 old_pos = n.view.position;
 
   // Geometric removal + view refresh of the former neighbours.
-  oracle_.remove(static_cast<std::uint32_t>(o), old_pos);
-  n.live = false;
-  pos_[o] = {std::numeric_limits<double>::quiet_NaN(),
-             std::numeric_limits<double>::quiet_NaN()};
-  edge_slots_[o].count = 0;
-  edge_slots_[o].lr0 = kNoObject;
-  const std::uint32_t idx = live_pos_[o];
-  live_pos_[live_ids_.back()] = idx;
-  live_ids_[idx] = live_ids_.back();
-  live_ids_.pop_back();
+  deactivate_object(o, old_pos);
 
   dt_.remove(o);
   metrics_.count_message(MessageKind::kVoronoiUpdate,
@@ -750,16 +773,7 @@ void Overlay::crash(ObjectId o) {
   // back-long-range delegation, no lr retraction.  Everything referencing
   // it elsewhere now dangles.
   n.view = NodeView{};
-  n.live = false;
-  oracle_.remove(static_cast<std::uint32_t>(o), dt_.position(o));
-  pos_[o] = {std::numeric_limits<double>::quiet_NaN(),
-             std::numeric_limits<double>::quiet_NaN()};
-  edge_slots_[o].count = 0;
-  edge_slots_[o].lr0 = kNoObject;
-  const std::uint32_t idx = live_pos_[o];
-  live_pos_[live_ids_.back()] = idx;
-  live_ids_[idx] = live_ids_.back();
-  live_ids_.pop_back();
+  deactivate_object(o, dt_.position(o));
 
   // Neighbours detect the failure and heal their local cells (the one
   // repair that cannot wait: the tessellation must stay a tessellation).
@@ -786,6 +800,7 @@ std::size_t Overlay::repair_dangling() {
              cn.end());
     repaired += before - cn.size();
     if (before != cn.size()) {
+      touch_cn(o);
       metrics_.count_message(MessageKind::kLeaveNotify, before - cn.size());
     }
 
@@ -859,9 +874,11 @@ void Overlay::rebalance_capacity(std::size_t new_n_max,
         // (the peer's entry is already gone if the pair was handled from
         // the other side).
         if (erase_sorted_if_present(nodes_[c].view.cn, o)) {
+          touch_cn(c);
           metrics_.count_message(MessageKind::kCloseNeighbor);
         }
         cn.erase(cn.begin() + static_cast<std::ptrdiff_t>(i));
+        touch_cn(o);
       } else {
         ++i;
       }

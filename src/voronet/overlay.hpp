@@ -206,6 +206,27 @@ class Overlay {
   [[nodiscard]] sim::Metrics& metrics() { return metrics_; }
   [[nodiscard]] const sim::Metrics& metrics() const { return metrics_; }
 
+  // --- View-change tracking (protocol engine support) ----------------------
+
+  /// Objects whose protocol-visible view components were written since the
+  /// last take_touched_views().  Over-approximate: an id may appear even
+  /// when a write restored the previous value (fictive-object churn does
+  /// this); consumers diff against what they last read.
+  struct TouchedViews {
+    std::vector<ObjectId> vn;  ///< Voronoi-neighbour sets rewritten
+    std::vector<ObjectId> cn;  ///< close-neighbour sets modified
+    std::vector<ObjectId> lr;  ///< long links (re)bound
+  };
+
+  /// Enable/disable recording (off by default: one branch per view write).
+  /// The message-level protocol engine (src/protocol) turns it on to learn
+  /// which per-node local views each ground-truth operation invalidated.
+  void track_view_changes(bool on);
+
+  /// Drain the recorded sets: each list comes back sorted, deduplicated
+  /// and restricted to live objects.
+  TouchedViews take_touched_views();
+
   /// Exhaustive cross-check of every view against the tessellation and the
   /// brute-force spatial oracle; throws ContractError on any violation.
   /// O(n * degree) plus an exact-Delaunay audit -- test-suite usage.
@@ -284,6 +305,17 @@ class Overlay {
   [[nodiscard]] const Node& node_checked(ObjectId o) const;
   void ensure_slot(ObjectId o);
 
+  /// Claim the slot of a freshly inserted object: Node state, the dense
+  /// position mirror, the live list and the spatial oracle.  Single
+  /// source of the liveness-transition invariant shared by the join
+  /// paths and the snapshot loader.
+  void activate_object(ObjectId o, Vec2 p);
+
+  /// Inverse transition (shared tail of remove() and crash()): oracle
+  /// and live-list removal, NaN position (the routing scan's dead-peer
+  /// filter) and edge-slot reset.
+  void deactivate_object(ObjectId o, Vec2 old_pos);
+
   /// DistanceToRegion of the paper, on the current tessellation.
   [[nodiscard]] Vec2 distance_to_region(ObjectId o, Vec2 p) const;
 
@@ -317,6 +349,19 @@ class Overlay {
   /// mirror in the origin's edge slot.
   void bind_long_link(ObjectId origin, std::uint32_t link_index,
                       ObjectId neighbor);
+
+  void touch_vn(ObjectId o) {
+    if (track_views_) touched_.vn.push_back(o);
+  }
+  void touch_cn(ObjectId o) {
+    if (track_views_) touched_.cn.push_back(o);
+  }
+  void touch_lr(ObjectId o) {
+    if (track_views_) touched_.lr.push_back(o);
+  }
+
+  bool track_views_ = false;
+  TouchedViews touched_;
   std::vector<ObjectId> live_ids_;   // dense list for random sampling
   std::vector<std::uint32_t> live_pos_;  // id -> index into live_ids_
   spatial::GridIndex oracle_;        // brute-force dmin-ball oracle

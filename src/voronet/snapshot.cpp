@@ -116,18 +116,7 @@ std::unique_ptr<Overlay> Overlay::load(std::istream& is) {
     if (!out.created) fail("duplicate object position");
     hint = out.vertex;
     const ObjectId id = out.vertex;
-    overlay->ensure_slot(id);
-    overlay->nodes_[id] = Node{};
-    overlay->nodes_[id].live = true;
-    overlay->nodes_[id].view.position = {x, y};
-    overlay->pos_[id] = {x, y};
-    overlay->live_pos_.resize(
-        std::max<std::size_t>(overlay->live_pos_.size(),
-                              static_cast<std::size_t>(id) + 1));
-    overlay->live_pos_[id] =
-        static_cast<std::uint32_t>(overlay->live_ids_.size());
-    overlay->live_ids_.push_back(id);
-    overlay->oracle_.insert(static_cast<std::uint32_t>(id), {x, y});
+    overlay->activate_object(id, {x, y});
 
     Pending p;
     p.id = id;

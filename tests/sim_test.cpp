@@ -40,10 +40,28 @@ TEST(EventQueue, HandlersMayScheduleMoreEvents) {
     if (fired < 5) q.schedule(1.0, chain);
   };
   q.schedule(0.0, chain);
-  const std::size_t processed = q.run_to_idle();
+  const auto run = q.run_to_idle();
   EXPECT_EQ(fired, 5);
-  EXPECT_EQ(processed, 5u);
+  EXPECT_EQ(run.processed, 5u);
+  EXPECT_FALSE(run.budget_exhausted);
   EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, ScheduleDuringStepKeepsFifoOrder) {
+  // An event scheduled from inside a handler at the *current* timestamp
+  // must run after every already-queued event with that timestamp (FIFO by
+  // insertion sequence), so re-entrant scheduling stays deterministic.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(0);
+    q.schedule(0.0, [&] { order.push_back(3); });
+  });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.run_to_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.now(), 1.0);
 }
 
 TEST(EventQueue, RelativeDelaysAccumulate) {
@@ -61,11 +79,14 @@ TEST(EventQueue, NegativeDelayRejected) {
   EXPECT_THROW(q.schedule(-1.0, [] {}), ContractError);
 }
 
-TEST(EventQueue, EventBudgetStopsRunaway) {
+TEST(EventQueue, EventBudgetExhaustionIsReportedNotThrown) {
   EventQueue q;
   std::function<void()> forever = [&] { q.schedule(1.0, forever); };
   q.schedule(0.0, forever);
-  EXPECT_THROW(q.run_to_idle(1000), ContractError);
+  const auto run = q.run_to_idle(1000);
+  EXPECT_TRUE(run.budget_exhausted);
+  EXPECT_EQ(run.processed, 1000u);
+  EXPECT_FALSE(q.idle());  // the runaway chain is still pending
 }
 
 TEST(EventQueue, StepReturnsFalseWhenIdle) {
@@ -74,6 +95,71 @@ TEST(EventQueue, StepReturnsFalseWhenIdle) {
   q.schedule(1.0, [] {});
   EXPECT_TRUE(q.step());
   EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizonAndAdvancesClock) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(5.0, [&] { order.push_back(5); });
+  const auto run = q.run_until(3.0);
+  EXPECT_EQ(run.processed, 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 3.0);  // clock reaches the horizon, not the last event
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_to_idle();
+  EXPECT_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, TimerFiresLikeAnOrdinaryEvent) {
+  EventQueue q;
+  int fired = 0;
+  const TimerId t = q.schedule_timer(2.0, [&] { ++fired; });
+  EXPECT_NE(t, kNoTimer);
+  q.run_to_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_FALSE(q.cancel(t));  // already fired
+}
+
+TEST(EventQueue, CancelledTimerNeverRunsNorAdvancesTheClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { fired += 10; });
+  const TimerId t = q.schedule_timer(5.0, [&] { fired += 100; });
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_TRUE(q.cancel(t));
+  EXPECT_FALSE(q.cancel(t));  // double cancel is a no-op
+  EXPECT_EQ(q.pending(), 1u);
+  const auto run = q.run_to_idle();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(run.processed, 1u);
+  EXPECT_EQ(q.now(), 1.0);  // the cancelled 5.0 event left no trace
+  EXPECT_TRUE(q.idle());
+}
+
+TEST(EventQueue, CancelFromInsideAHandlerSuppressesALaterTimer) {
+  // The ack-cancels-retransmit pattern of the protocol engine: the timer
+  // is already in the heap when an earlier event cancels it.
+  EventQueue q;
+  int retransmits = 0;
+  const TimerId rto = q.schedule_timer(3.0, [&] { ++retransmits; });
+  q.schedule(1.0, [&] { EXPECT_TRUE(q.cancel(rto)); });
+  q.run_to_idle();
+  EXPECT_EQ(retransmits, 0);
+  EXPECT_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, TimersAndEventsShareDeterministicFifoTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule_timer(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule_timer(1.0, [&] { order.push_back(3); });
+  q.run_to_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(Metrics, MessageCounting) {
@@ -101,6 +187,8 @@ TEST(Metrics, OperationRecords) {
 TEST(Metrics, KindNames) {
   EXPECT_EQ(message_kind_name(MessageKind::kRouteForward), "route_forward");
   EXPECT_EQ(message_kind_name(MessageKind::kQueryAnswer), "query_answer");
+  EXPECT_EQ(message_kind_name(MessageKind::kJoin), "join");
+  EXPECT_EQ(message_kind_name(MessageKind::kAck), "ack");
   EXPECT_EQ(operation_kind_name(OperationKind::kLeave), "leave");
 }
 
