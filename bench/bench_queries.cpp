@@ -1,0 +1,408 @@
+// Query-workload benchmark: the attribute-space range / radius queries
+// (paper, section 7 perspectives) served at scale, plus the message-level
+// query engine's behaviour under network conditions.
+//
+//   1. throughput  -- batched sequential query serving over overlays of
+//      10^3 / 10^4 / 10^5 objects (10^6 with --full): queries/sec across
+//      worker threads, msgs/query under the queries.hpp counting model,
+//      and greedy hop counts against the polylog routing claim
+//      (hops / log2(N)^2 should stay bounded as N grows);
+//   2. message sweep -- the same queries executed as real kQuery /
+//      kQueryForward / kQueryResult messages through the protocol engine,
+//      swept over latency models and loss rates: p50/p99 completion
+//      latency, wire messages per query, and the differential check
+//      (every result set must equal the sequential ground truth at
+//      quiescence -- enforced, not just reported);
+//   3. staleness   -- queries racing a join burst under loss: completion
+//      and recall against the quiesced ground truth.
+//
+// Usage: bench_queries [--objects N] [--queries Q] [--seed S] [--csv]
+//                      [--smoke] [--full] [--json PATH]
+//
+// --smoke shrinks every phase for CI (~seconds); --full adds the 10^6
+// point to the throughput series and widens the sweeps.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/expect.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "protocol/query_harness.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "voronet/queries.hpp"
+#include "workload/distributions.hpp"
+
+namespace {
+
+using namespace voronet;
+
+struct QueryDraw {
+  bool range = false;
+  ObjectId from = kNoObject;
+  Vec2 a, b;
+  double tol = 0.0;
+};
+
+/// Pre-draw a mixed workload whose selectivity is scale-free: radius and
+/// tolerance shrink with sqrt(N) so a query matches tens of objects at
+/// every N (what a per-query cost series needs; a fixed radius would
+/// drown large overlays in O(N) result sets).
+std::vector<QueryDraw> draw_queries(const Overlay& overlay, std::size_t count,
+                                    Rng& rng) {
+  const double n = static_cast<double>(overlay.size());
+  std::vector<QueryDraw> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QueryDraw d;
+    d.range = (i % 2 == 0);
+    d.from = overlay.random_object(rng);
+    if (d.range) {
+      const double len = rng.uniform(0.02, 0.3);
+      const double angle = rng.uniform(0.0, 6.283185307179586);
+      d.a = {rng.uniform(), rng.uniform()};
+      d.b = {d.a.x + len * std::cos(angle), d.a.y + len * std::sin(angle)};
+      d.tol = rng.uniform(0.0, 1.0) / std::sqrt(n);
+    } else {
+      const double want = rng.uniform(1.0, 48.0);  // expected matches
+      d.a = {rng.uniform(), rng.uniform()};
+      d.tol = std::sqrt(want / (3.141592653589793 * n));
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+RegionQueryResult run_draw(const Overlay& overlay, const QueryDraw& d) {
+  return d.range ? range_query(overlay, d.from, d.a, d.b, d.tol)
+                 : radius_query(overlay, d.from, d.a, d.tol);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: sequential serving throughput
+// ---------------------------------------------------------------------------
+
+struct ThroughputPoint {
+  std::size_t objects;
+  std::size_t queries;
+  double seconds;
+  double qps;
+  double mean_hops;
+  double p99_hops;
+  double mean_msgs;     ///< counting-model messages per query
+  double mean_matches;
+  double hops_over_polylog;  ///< mean_hops / log2(N)^2
+};
+
+ThroughputPoint throughput_point(std::size_t objects, std::size_t queries,
+                                 std::uint64_t seed) {
+  OverlayConfig cfg;
+  cfg.n_max = objects;
+  cfg.seed = seed;
+  Overlay overlay(cfg);
+  Rng rng(seed);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  while (overlay.size() < objects) overlay.insert(gen.next(rng));
+
+  const std::vector<QueryDraw> draws = draw_queries(overlay, queries, rng);
+  std::vector<double> hops(queries);
+  std::vector<double> msgs(queries);
+  std::vector<double> matches(queries);
+
+  Timer t;
+  parallel_for(0, queries, [&](std::size_t begin, std::size_t end,
+                               std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const RegionQueryResult res = run_draw(overlay, draws[i]);
+      hops[i] = static_cast<double>(res.route_hops);
+      msgs[i] = static_cast<double>(res.total_messages());
+      matches[i] = static_cast<double>(res.matches.size());
+    }
+  });
+  const double secs = t.seconds();
+
+  stats::OfflineSummary hop_summary;
+  hop_summary.reserve(queries);
+  double msg_sum = 0.0;
+  double match_sum = 0.0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    hop_summary.add(hops[i]);
+    msg_sum += msgs[i];
+    match_sum += matches[i];
+  }
+  const double log2n = std::log2(static_cast<double>(objects));
+  ThroughputPoint p;
+  p.objects = objects;
+  p.queries = queries;
+  p.seconds = secs;
+  p.qps = static_cast<double>(queries) / secs;
+  p.mean_hops = hop_summary.mean();
+  p.p99_hops = hop_summary.quantile(0.99);
+  p.mean_msgs = msg_sum / static_cast<double>(queries);
+  p.mean_matches = match_sum / static_cast<double>(queries);
+  p.hops_over_polylog = p.mean_hops / (log2n * log2n);
+  std::cerr << "[queries] N=" << objects << ": " << p.qps << " q/s, "
+            << p.mean_msgs << " msgs/query, mean hops " << p.mean_hops
+            << " (/log2^2 = " << p.hops_over_polylog << ")\n";
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: message-level latency x loss sweep
+// ---------------------------------------------------------------------------
+
+struct SweepCell {
+  std::string latency;
+  double loss;
+  std::size_t queries;
+  std::size_t identical;  ///< result sets equal to the ground truth
+  double p50_latency;
+  double p99_latency;
+  double wire_msgs_per_query;
+  double mean_hops;
+};
+
+SweepCell message_cell(std::size_t objects, std::size_t queries,
+                       const protocol::LatencyModel& latency, double loss,
+                       std::uint64_t seed) {
+  protocol::HarnessConfig config;
+  config.overlay.n_max = objects * 2;
+  config.overlay.seed = seed;
+  config.network.seed = seed ^ 0xfeedULL;
+  config.network.latency = latency;
+  config.network.drop_probability = loss;
+  config.seed = seed ^ 0x907aULL;
+  protocol::QueryHarness qh(config);
+  qh.populate(objects, seed);
+  VORONET_EXPECT(qh.harness().verify_views().converged(),
+                 "population did not converge");
+
+  Rng rng(seed ^ 0xabcdULL);
+  const std::vector<QueryDraw> draws =
+      draw_queries(qh.overlay(), queries, rng);
+  const auto tx_before = qh.harness().network().stats().transmissions;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const QueryDraw& d = draws[i];
+    const double at = 0.05 * static_cast<double>(i);
+    ids.push_back(d.range
+                      ? qh.issue_range(d.from, d.a, d.b, d.tol, at)
+                      : qh.issue_radius(d.from, d.a, d.tol, at));
+  }
+  const auto run = qh.harness().run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted, "query sweep did not quiesce");
+
+  SweepCell cell;
+  cell.latency = latency.name();
+  cell.loss = loss;
+  cell.queries = queries;
+  cell.identical = 0;
+  stats::OfflineSummary lat;
+  stats::StreamingSummary hops;
+  for (const std::uint64_t id : ids) {
+    const auto d = qh.collect(id);
+    VORONET_EXPECT(d.completed, "query never completed");
+    if (d.identical()) ++cell.identical;
+    lat.add(d.msg.latency());
+    hops.add(static_cast<double>(d.msg.route_hops));
+  }
+  cell.p50_latency = lat.quantile(0.5);
+  cell.p99_latency = lat.quantile(0.99);
+  cell.wire_msgs_per_query =
+      static_cast<double>(qh.harness().network().stats().transmissions -
+                          tx_before) /
+      static_cast<double>(queries);
+  cell.mean_hops = hops.mean();
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: staleness (queries racing a join burst)
+// ---------------------------------------------------------------------------
+
+struct StalenessReport {
+  std::size_t queries = 0;
+  std::size_t completed = 0;
+  double mean_recall = 0.0;
+  double min_recall = 1.0;
+};
+
+StalenessReport staleness_phase(std::size_t objects, std::size_t burst,
+                                std::size_t queries, std::uint64_t seed) {
+  protocol::HarnessConfig config;
+  config.overlay.n_max = (objects + burst) * 2;
+  config.overlay.seed = seed;
+  config.network.seed = seed ^ 0xfeedULL;
+  config.network.latency = protocol::LatencyModel::uniform(0.005, 0.05);
+  config.network.drop_probability = 0.1;
+  config.seed = seed ^ 0x907aULL;
+  protocol::QueryHarness qh(config);
+  qh.populate(objects, seed);
+
+  Rng rng(seed ^ 0x5a1eULL);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  const double horizon = 2.0;
+  for (std::size_t i = 0; i < burst; ++i) {
+    qh.harness().join_after(
+        horizon * static_cast<double>(i) / static_cast<double>(burst),
+        gen.next(rng));
+  }
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const double at =
+        horizon * static_cast<double>(i) / static_cast<double>(queries);
+    ids.push_back(qh.issue_radius(qh.harness().random_node(rng),
+                                  {rng.uniform(), rng.uniform()},
+                                  rng.uniform(0.03, 0.15), at));
+  }
+  const auto run = qh.harness().run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted, "staleness phase did not quiesce");
+
+  StalenessReport rep;
+  rep.queries = queries;
+  double recall_sum = 0.0;
+  for (const std::uint64_t id : ids) {
+    const auto d = qh.collect(id);
+    if (!d.completed) continue;
+    ++rep.completed;
+    const double r = d.recall();
+    recall_sum += r;
+    rep.min_recall = std::min(rep.min_recall, r);
+  }
+  rep.mean_recall =
+      rep.completed ? recall_sum / static_cast<double>(rep.completed) : 0.0;
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const bool full = flags.get_bool("full", false);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 9));
+  const auto queries = static_cast<std::size_t>(
+      flags.get_int("queries", smoke ? 2000 : 200000));
+  const bool csv = flags.get_bool("csv", false);
+  const std::string json_path = flags.get_string("json", "");
+  std::vector<std::size_t> series = smoke
+                                        ? std::vector<std::size_t>{300, 1000}
+                                        : std::vector<std::size_t>{1000,
+                                                                   10000,
+                                                                   100000};
+  if (full) series.push_back(1000000);
+  if (const long n = flags.get_int("objects", 0); n > 0) {
+    series = {static_cast<std::size_t>(n)};
+  }
+  flags.reject_unconsumed();
+
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", bench::Json::string("queries"));
+
+  // --- Phase 1 -------------------------------------------------------------
+  stats::Table tput({"objects", "queries", "q/s", "msgs/query", "mean_hops",
+                     "p99_hops", "hops/log2^2", "mean_matches"});
+  bench::Json tput_json = bench::Json::array();
+  for (const std::size_t n : series) {
+    const ThroughputPoint p = throughput_point(n, queries, seed);
+    tput.add_row({stats::Table::cell(p.objects),
+                  stats::Table::cell(p.queries),
+                  stats::Table::cell(p.qps, 0),
+                  stats::Table::cell(p.mean_msgs, 2),
+                  stats::Table::cell(p.mean_hops, 2),
+                  stats::Table::cell(p.p99_hops, 1),
+                  stats::Table::cell(p.hops_over_polylog, 4),
+                  stats::Table::cell(p.mean_matches, 1)});
+    tput_json.push(bench::Json::object()
+                       .set("objects", bench::Json::integer(p.objects))
+                       .set("queries", bench::Json::integer(p.queries))
+                       .set("seconds", bench::Json::number(p.seconds))
+                       .set("queries_per_sec", bench::Json::number(p.qps))
+                       .set("msgs_per_query", bench::Json::number(p.mean_msgs))
+                       .set("mean_hops", bench::Json::number(p.mean_hops))
+                       .set("p99_hops", bench::Json::number(p.p99_hops))
+                       .set("hops_over_log2_sq",
+                            bench::Json::number(p.hops_over_polylog))
+                       .set("mean_matches",
+                            bench::Json::number(p.mean_matches)));
+  }
+  doc.set("throughput", std::move(tput_json));
+
+  // --- Phase 2 -------------------------------------------------------------
+  const std::size_t msg_objects = smoke ? 150 : 600;
+  const std::size_t msg_queries = smoke ? 20 : 100;
+  const std::vector<protocol::LatencyModel> latencies =
+      smoke ? std::vector<protocol::LatencyModel>{
+                  protocol::LatencyModel::fixed(0.02)}
+            : std::vector<protocol::LatencyModel>{
+                  protocol::LatencyModel::fixed(0.02),
+                  protocol::LatencyModel::uniform(0.005, 0.05),
+                  protocol::LatencyModel::lognormal(0.005, 0.03, 1.0)};
+  const std::vector<double> losses =
+      smoke ? std::vector<double>{0.0, 0.25}
+            : std::vector<double>{0.0, 0.05, 0.25};
+
+  stats::Table sweep({"latency", "loss", "identical", "p50_lat", "p99_lat",
+                      "wire_msgs/q", "mean_hops"});
+  bench::Json sweep_json = bench::Json::array();
+  for (const auto& latency : latencies) {
+    for (const double loss : losses) {
+      const SweepCell cell =
+          message_cell(msg_objects, msg_queries, latency, loss, seed);
+      VORONET_EXPECT(cell.identical == cell.queries,
+                     "message-level query diverged from the ground truth "
+                     "at quiescence");
+      sweep.add_row({cell.latency, stats::Table::cell(cell.loss, 2),
+                     stats::Table::cell(cell.identical),
+                     stats::Table::cell(cell.p50_latency, 3),
+                     stats::Table::cell(cell.p99_latency, 3),
+                     stats::Table::cell(cell.wire_msgs_per_query, 1),
+                     stats::Table::cell(cell.mean_hops, 2)});
+      sweep_json.push(
+          bench::Json::object()
+              .set("latency", bench::Json::string(cell.latency))
+              .set("loss", bench::Json::number(cell.loss))
+              .set("queries", bench::Json::integer(cell.queries))
+              .set("identical", bench::Json::integer(cell.identical))
+              .set("p50_completion", bench::Json::number(cell.p50_latency))
+              .set("p99_completion", bench::Json::number(cell.p99_latency))
+              .set("wire_msgs_per_query",
+                   bench::Json::number(cell.wire_msgs_per_query))
+              .set("mean_hops", bench::Json::number(cell.mean_hops)));
+    }
+  }
+  doc.set("message_sweep", std::move(sweep_json));
+
+  // --- Phase 3 -------------------------------------------------------------
+  const StalenessReport stale = staleness_phase(
+      smoke ? 150 : 400, smoke ? 30 : 80, smoke ? 10 : 40, seed);
+  doc.set("staleness",
+          bench::Json::object()
+              .set("queries", bench::Json::integer(stale.queries))
+              .set("completed", bench::Json::integer(stale.completed))
+              .set("mean_recall", bench::Json::number(stale.mean_recall))
+              .set("min_recall", bench::Json::number(stale.min_recall)));
+
+  std::cout << "Query serving throughput (sequential layer, "
+            << parallel_workers() << " workers)\n";
+  if (csv) tput.print_csv(std::cout); else tput.print(std::cout);
+  std::cout << "\nMessage-level queries: completion latency vs latency "
+               "model and loss (" << msg_objects << " nodes, "
+            << msg_queries << " queries; 'identical' counts exact "
+               "differential matches)\n";
+  if (csv) sweep.print_csv(std::cout); else sweep.print(std::cout);
+  std::cout << "\nStaleness: " << stale.completed << "/" << stale.queries
+            << " queries completed during a join burst at 10% loss, mean "
+               "recall " << stale.mean_recall << " (min "
+            << stale.min_recall << ")\n";
+  bench::write_json_file(json_path, doc);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_queries: " << e.what() << "\n";
+  return 1;
+}

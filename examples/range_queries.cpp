@@ -45,11 +45,18 @@ int main(int argc, char** argv) try {
   const double tol = 0.02;
   const auto range = range_query(overlay, overlay.random_object(rng), a, b,
                                  tol);
+  // `matches` filters by SITE distance to the segment (the objects whose
+  // attribute pair falls in the queried strip); `owners` is REGION
+  // intersection (every cell the strip meets, i.e. the objects that had
+  // to serve the query) -- an owner's site can sit outside the strip its
+  // cell dips into, so owners is usually the larger set.
   std::cout << "range query along x=0.5, y in [0.2, 0.8] (tol " << tol
             << "): " << range.matches.size() << " matches, "
             << range.owners.size() << " cells visited, " << range.route_hops
             << " hops to reach the segment, " << range.forward_messages
-            << " forwards along it\n";
+            << " forwards + " << range.result_messages
+            << " replies along it (" << range.total_messages()
+            << " messages total)\n";
 
   // Cross-check against a linear scan over the matching strip.
   std::size_t scan_matches = 0;

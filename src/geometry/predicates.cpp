@@ -1,5 +1,6 @@
 #include "geometry/predicates.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -299,6 +300,17 @@ Vec2 closest_point_on_segment(Vec2 a, Vec2 b, Vec2 p) {
 
 double dist2_to_segment(Vec2 a, Vec2 b, Vec2 p) {
   return dist2(p, closest_point_on_segment(a, b, p));
+}
+
+double dist2_segment_segment(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  if (segments_intersect(a, b, c, d)) return 0.0;
+  // Disjoint segments: the minimum distance is attained at an endpoint of
+  // one of them against the other.
+  double best = dist2_to_segment(c, d, a);
+  best = std::min(best, dist2_to_segment(c, d, b));
+  best = std::min(best, dist2_to_segment(a, b, c));
+  best = std::min(best, dist2_to_segment(a, b, d));
+  return best;
 }
 
 bool on_segment(Vec2 a, Vec2 b, Vec2 p) {

@@ -48,6 +48,12 @@ Vec2 closest_point_on_segment(Vec2 a, Vec2 b, Vec2 p);
 /// Squared distance from p to segment [a, b].
 double dist2_to_segment(Vec2 a, Vec2 b, Vec2 p);
 
+/// Squared distance between segments [a, b] and [c, d]: exactly 0 when
+/// they intersect (decided with the exact orientation tests), otherwise
+/// the minimum of the four endpoint-to-segment distances (attained at an
+/// endpoint for disjoint segments).
+double dist2_segment_segment(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
 /// True if segments [a,b] and [c,d] share at least one point (closed
 /// segments, exact orientation tests; collinear overlaps count).
 bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);

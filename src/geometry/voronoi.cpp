@@ -162,4 +162,67 @@ double dist2_to_region(const DelaunayTriangulation& dt,
   return dist2(p, closest_point_in_region(dt, site, p));
 }
 
+double dist2_region_to_segment(const DelaunayTriangulation& dt,
+                               DelaunayTriangulation::VertexId site, Vec2 a,
+                               Vec2 b) {
+  VORONET_EXPECT(dt.is_live(site), "dist2_region_to_segment: dead site");
+  if (a == b) return dist2_to_region(dt, site, a);
+  const Vec2 s = dt.position(site);
+
+  // Does the segment meet the region?  The region is the intersection of
+  // the bisector half-planes towards the Delaunay neighbours, each linear
+  // along the segment, so clipping the parameter interval [0, 1] against
+  // them decides membership without any clip box (unbounded hull cells
+  // included) and returns 0 exactly when some p(t) satisfies every
+  // constraint -- a segment merely grazing the cell boundary lands on
+  // tlo == thi instead of the false positives of a sampled minimisation.
+  thread_local std::vector<DelaunayTriangulation::VertexId> nbrs;
+  nbrs.clear();
+  dt.append_neighbors(site, nbrs);
+  double tlo = 0.0;
+  double thi = 1.0;
+  for (const auto n : nbrs) {
+    const Vec2 q = dt.position(n);
+    const Vec2 mid = 0.5 * (s + q);
+    const Vec2 normal = q - s;
+    const double fa = dot(a - mid, normal);
+    const double fb = dot(b - mid, normal);
+    if (fa <= 0.0 && fb <= 0.0) continue;  // whole segment on s's side
+    if (fa > 0.0 && fb > 0.0) {
+      tlo = 1.0;
+      thi = 0.0;
+      break;  // whole segment beyond this bisector
+    }
+    const double t = fa / (fa - fb);  // f changes sign at t
+    if (fa > 0.0) {
+      tlo = std::max(tlo, t);
+    } else {
+      thi = std::min(thi, t);
+    }
+    if (tlo > thi) break;
+  }
+  if (tlo <= thi) return 0.0;
+
+  // Disjoint: the distance between two convex sets is attained on the
+  // region's boundary.  Clip the cell to a box that provably contains the
+  // closest region point z: since s lies in the region,
+  // d(z, segment) <= d(s, segment), so z lies within that margin of the
+  // segment's bounding box -- and every artificial box edge is at least
+  // the margin away from the segment, so it cannot undercut a real edge.
+  const double margin = std::sqrt(dist2_to_segment(a, b, s)) * 1.0001 + 1e-12;
+  Box box{{std::min(a.x, b.x) - margin, std::min(a.y, b.y) - margin},
+          {std::max(a.x, b.x) + margin, std::max(a.y, b.y) + margin}};
+  thread_local std::vector<Vec2> poly;
+  clip_cell_into(dt, site, box, poly);
+  VORONET_EXPECT(!poly.empty(), "clipped Voronoi cell vanished");
+
+  double best = dist2_to_segment(a, b, s);  // upper bound (s is in the region)
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    best = std::min(best,
+                    dist2_segment_segment(a, b, poly[i], poly[(i + 1) % n]));
+  }
+  return best;
+}
+
 }  // namespace voronet::geo

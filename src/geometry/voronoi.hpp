@@ -60,4 +60,21 @@ Vec2 closest_point_in_region(const DelaunayTriangulation& dt,
 double dist2_to_region(const DelaunayTriangulation& dt,
                        DelaunayTriangulation::VertexId site, Vec2 p);
 
+/// Squared distance from segment [a, b] to site's Voronoi region.
+///
+/// Exact where it matters: whether the segment meets the region is
+/// decided by clipping the segment's parameter interval against the
+/// region's bisector half-planes (no box, so unbounded hull cells are
+/// handled exactly), which returns exactly 0 even when the segment only
+/// grazes the cell -- e.g. passes through a Voronoi vertex.  The previous
+/// implementation ternary-searched dist2_to_region along the segment and
+/// could report a small positive distance for a grazing segment, making
+/// tolerance-0 range queries skip cells the segment actually crosses
+/// (regression-tested in tests/queries_test.cpp).  When the segment
+/// misses the region, the distance is the minimum over the cell-boundary
+/// edges of the exact segment-segment distance.
+double dist2_region_to_segment(const DelaunayTriangulation& dt,
+                               DelaunayTriangulation::VertexId site, Vec2 a,
+                               Vec2 b);
+
 }  // namespace voronet::geo

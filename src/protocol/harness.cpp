@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "geometry/voronoi.hpp"
+#include "voronet/queries.hpp"
 
 namespace voronet::protocol {
 
@@ -97,6 +99,15 @@ void ProtocolHarness::deliver(const Message& m) {
     case sim::MessageKind::kRouteForward:
       handle_route(m);
       return;
+    case sim::MessageKind::kQuery:
+      handle_query_route(m);
+      return;
+    case sim::MessageKind::kQueryForward:
+      handle_query_forward(m);
+      return;
+    case sim::MessageKind::kQueryResult:
+      handle_query_result(m);
+      return;
     case sim::MessageKind::kVoronoiUpdate:
     case sim::MessageKind::kCloseNeighbor:
     case sim::MessageKind::kLongLinkBind: {
@@ -140,6 +151,19 @@ void ProtocolHarness::on_abandon(const Message& m) {
       // The route chain died with its addressee (crash, or retry cap):
       // re-enter through a live gateway so the join is never lost.
       reroute_join(m);
+      return;
+    case sim::MessageKind::kQuery:
+      // Query route chain died with its addressee: re-enter like a join.
+      reroute_query(m);
+      return;
+    case sim::MessageKind::kQueryForward:
+      // The addressed cell is unreachable (crashed): close its branch
+      // with an empty reply so the parent's subtree still finishes.
+      apply_query_reply(m.version, m.src, m.dst, {});
+      return;
+    case sim::MessageKind::kQueryResult:
+      // A reply died with the ancestor waiting for it; the flood has no
+      // aggregation failover (see the crash limitation in the header).
       return;
     case sim::MessageKind::kVoronoiUpdate:
     case sim::MessageKind::kCloseNeighbor:
@@ -238,6 +262,316 @@ void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
   }
   register_node(x);
   disseminate(sponsor == kNoNode ? x : sponsor, /*ensure=*/x);
+}
+
+// ---------------------------------------------------------------------------
+// Region queries (message level)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Issuer-side match extraction: positions travel in the result entries,
+/// so the issuer evaluates voronet::site_within_tolerance -- the ONE
+/// site predicate the sequential layer also applies (a radius query is
+/// the zero-length segment).
+bool query_site_matches(const QuerySpec& spec, Vec2 pos) {
+  const Vec2 b = spec.kind == QueryKind::kRange ? spec.b : spec.a;
+  return site_within_tolerance(spec.a, b, pos, spec.tol);
+}
+
+}  // namespace
+
+std::uint64_t ProtocolHarness::issue_range_query(NodeId from, Vec2 a, Vec2 b,
+                                                 double tol, double delay) {
+  VORONET_EXPECT(tol >= 0.0, "negative range tolerance");
+  QuerySpec spec;
+  spec.kind = QueryKind::kRange;
+  spec.a = a;
+  spec.b = b;
+  spec.tol = tol;
+  return issue_query(from, spec, delay);
+}
+
+std::uint64_t ProtocolHarness::issue_radius_query(NodeId from, Vec2 center,
+                                                  double radius,
+                                                  double delay) {
+  VORONET_EXPECT(radius >= 0.0, "negative query radius");
+  QuerySpec spec;
+  spec.kind = QueryKind::kRadius;
+  spec.a = center;
+  spec.tol = radius;
+  return issue_query(from, spec, delay);
+}
+
+std::uint64_t ProtocolHarness::issue_query(NodeId from, QuerySpec spec,
+                                           double delay) {
+  const std::uint64_t query_id = ++query_seq_;
+  spec.issuer = from;
+  QueryRecord& rec = query_records_[query_id];
+  rec.spec = spec;
+  ++pending_queries_;
+  queue_.schedule(delay, [this, from, query_id] {
+    start_query(from, query_id);
+  });
+  return query_id;
+}
+
+void ProtocolHarness::start_query(NodeId from, std::uint64_t query_id) {
+  QueryRecord& rec = query_records_.at(query_id);
+  rec.issued = queue_.now();
+  if (roster_.empty()) {
+    complete_query(query_id, {});  // nobody can serve anything
+    return;
+  }
+  // The issuer injects the query at itself (or, if it departed between
+  // issue and start, at a random live gateway -- the out-of-band
+  // bootstrap contact of the join path).
+  const NodeId entry = nodes_.find(from) != nodes_.end()
+                           ? from
+                           : roster_[rng_.index(roster_.size())];
+  Message m;
+  m.type = sim::MessageKind::kQuery;
+  m.src = entry;
+  m.dst = entry;
+  m.point = rec.spec.target();
+  m.version = query_id;
+  m.query = rec.spec;
+  net_.send(std::move(m));
+}
+
+void ProtocolHarness::reroute_query(const Message& m) {
+  const auto it = query_records_.find(m.version);
+  if (it == query_records_.end() || it->second.done) return;
+  if (roster_.empty()) {
+    complete_query(m.version, {});
+    return;
+  }
+  Message retry;
+  retry.type = sim::MessageKind::kQuery;
+  const NodeId entry = roster_[rng_.index(roster_.size())];
+  retry.src = entry;
+  retry.dst = entry;
+  retry.point = m.query.target();
+  retry.hops = m.hops + 1;
+  retry.version = m.version;
+  retry.query = m.query;
+  net_.send(std::move(retry));
+}
+
+void ProtocolHarness::handle_query_route(const Message& m) {
+  const auto rec = query_records_.find(m.version);
+  if (rec == query_records_.end() || rec->second.done) return;
+  const auto it = nodes_.find(m.dst);
+  if (it == nodes_.end()) {
+    reroute_query(m);  // addressee departed while the query was in flight
+    return;
+  }
+  const ProtocolNode::Route route = it->second.greedy_step(m.point);
+  // Same TTL guard as the join chains: a legitimate greedy chain visits
+  // distinct nodes, so longer ones mean a permanently stale entry is
+  // bouncing the query; serving from here is safe (the flood still covers
+  // whatever is reachable, and the differential harness grades it).
+  const bool expired = m.hops > roster_.size() + 16;
+  if (route.terminal || expired) {
+    // One root per query: a twin chain (duplicate kQuery slip, or a
+    // reroute racing its original) that terminates after a flood already
+    // started must not root a second, partial flood -- its smaller final
+    // aggregate could win the completion race and shadow the full one.
+    const auto flood = query_flood_.find(m.version);
+    if (flood != query_flood_.end() && !flood->second.empty()) return;
+    rec->second.route_hops = m.hops;
+    serve_query(m.version, m.dst, kNoNode);
+    return;
+  }
+  Message fwd;
+  fwd.type = sim::MessageKind::kQuery;
+  fwd.src = m.dst;
+  fwd.dst = route.next;
+  fwd.point = m.point;
+  fwd.hops = m.hops + 1;
+  fwd.version = m.version;
+  fwd.query = m.query;
+  net_.send(std::move(fwd));
+}
+
+bool ProtocolHarness::query_region_qualifies(const QuerySpec& spec,
+                                             NodeId o) const {
+  // Substitution 1: the clipped-cell geometry a deployed object would
+  // hold locally is read off the ground-truth tessellation.
+  if (!overlay_.contains(o)) return false;
+  const double tol2 = spec.tol * spec.tol;
+  if (spec.kind == QueryKind::kRange) {
+    return geo::dist2_region_to_segment(overlay_.tessellation(), o, spec.a,
+                                        spec.b) <= tol2;
+  }
+  return geo::dist2_to_region(overlay_.tessellation(), o, spec.a) <= tol2;
+}
+
+void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
+                                  NodeId parent) {
+  auto& flood = query_flood_[query_id];
+  const auto existing = flood.find(node);
+  if (existing != flood.end()) {
+    // Already served.  A forward from another branch is rejected (the
+    // branch must not wait forever); a re-delivery from the node's own
+    // flood parent -- a retransmission that slipped the transport dedup
+    // -- is ignored, because the pending echo answers it and a rejection
+    // racing ahead of that echo would book the whole subtree as empty.
+    if (parent != kNoNode && parent != existing->second.parent) {
+      QueryRecord& rec = query_records_.at(query_id);
+      Message reject;
+      reject.type = sim::MessageKind::kQueryResult;
+      reject.src = node;
+      reject.dst = parent;
+      reject.version = query_id;
+      reject.query = rec.spec;
+      net_.send(std::move(reject));
+      ++rec.result_sends;
+    }
+    return;
+  }
+  QueryRecord& rec = query_records_.at(query_id);
+  QueryFloodState& state = flood[node];
+  state.parent = parent;
+  const ProtocolNode& self = nodes_.at(node);
+  state.acc.push_back({node, self.position()});
+  // Forward across every qualifying Voronoi adjacency of the LOCAL view,
+  // except back to the parent.  Entries whose believed position no longer
+  // matches the ground truth (departed peer, recycled id) cannot be
+  // served through and are skipped -- exactly the coverage staleness
+  // costs a deployment.
+  auto& region_cache = query_region_cache_[query_id];
+  for (const ViewEntry& e : self.vn()) {
+    if (e.id == parent) continue;
+    if (!overlay_.contains(e.id) || overlay_.position(e.id) != e.pos) {
+      continue;
+    }
+    const auto cached = region_cache.find(e.id);
+    const bool qualifies = cached != region_cache.end()
+                               ? cached->second
+                               : region_cache
+                                     .emplace(e.id, query_region_qualifies(
+                                                        rec.spec, e.id))
+                                     .first->second;
+    if (!qualifies) continue;
+    Message fwd;
+    fwd.type = sim::MessageKind::kQueryForward;
+    fwd.src = node;
+    fwd.dst = e.id;
+    fwd.version = query_id;
+    fwd.query = rec.spec;
+    net_.send(std::move(fwd));
+    ++rec.forward_sends;
+    ++state.pending;
+  }
+  if (state.pending == 0) finish_query_node(query_id, node);
+}
+
+void ProtocolHarness::handle_query_forward(const Message& m) {
+  const auto rec = query_records_.find(m.version);
+  if (rec == query_records_.end() || rec->second.done) {
+    return;  // late transport-dedup slip after completion: already replied
+  }
+  const auto it = nodes_.find(m.dst);
+  if (it == nodes_.end()) {
+    // The addressed cell departed with the forward in flight; reject on
+    // its behalf so the sender's subtree completes (the address answers
+    // "no such cell" -- its replacement, if any, was never served).
+    Message reject;
+    reject.type = sim::MessageKind::kQueryResult;
+    reject.src = m.dst;
+    reject.dst = m.src;
+    reject.version = m.version;
+    reject.query = rec->second.spec;
+    net_.send(std::move(reject));
+    ++rec->second.result_sends;
+    return;
+  }
+  serve_query(m.version, m.dst, m.src);
+}
+
+void ProtocolHarness::finish_query_node(std::uint64_t query_id,
+                                        NodeId node) {
+  QueryRecord& rec = query_records_.at(query_id);
+  QueryFloodState& state = query_flood_.at(query_id).at(node);
+  if (state.parent != kNoNode) {
+    Message echo;
+    echo.type = sim::MessageKind::kQueryResult;
+    echo.src = node;
+    echo.dst = state.parent;
+    echo.version = query_id;
+    echo.query = rec.spec;
+    echo.entries = state.acc;
+    net_.send(std::move(echo));
+    ++rec.result_sends;
+    return;
+  }
+  // Flood root: ship (or locally deliver) the final aggregate.
+  if (node == rec.spec.issuer) {
+    complete_query(query_id, std::move(state.acc));
+    return;
+  }
+  Message fin;
+  fin.type = sim::MessageKind::kQueryResult;
+  fin.src = node;
+  fin.dst = rec.spec.issuer;
+  fin.version = query_id;
+  fin.query = rec.spec;
+  fin.query_final = true;
+  fin.entries = state.acc;
+  net_.send(std::move(fin));
+  ++rec.result_sends;
+}
+
+void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
+                                        NodeId child,
+                                        const std::vector<ViewEntry>& subtree) {
+  const auto rec = query_records_.find(query_id);
+  if (rec == query_records_.end() || rec->second.done) return;
+  const auto flood = query_flood_.find(query_id);
+  if (flood == query_flood_.end()) return;
+  const auto it = flood->second.find(node);
+  if (it == flood->second.end()) return;  // node departed mid-query
+  QueryFloodState& state = it->second;
+  if (!state.replied.insert(child).second) return;  // duplicate reply slip
+  state.acc.insert(state.acc.end(), subtree.begin(), subtree.end());
+  VORONET_DCHECK(state.pending > 0);
+  --state.pending;
+  if (state.pending == 0) finish_query_node(query_id, node);
+}
+
+void ProtocolHarness::handle_query_result(const Message& m) {
+  if (m.query_final) {
+    complete_query(m.version, m.entries);
+    return;
+  }
+  apply_query_reply(m.version, m.dst, m.src, m.entries);
+}
+
+void ProtocolHarness::complete_query(std::uint64_t query_id,
+                                     std::vector<ViewEntry> owners) {
+  const auto it = query_records_.find(query_id);
+  if (it == query_records_.end()) return;  // record already dropped
+  QueryRecord& rec = it->second;
+  if (rec.done) return;  // exactly-once (a twin root can race)
+  rec.done = true;
+  rec.completed = queue_.now();
+  std::sort(owners.begin(), owners.end(),
+            [](const ViewEntry& x, const ViewEntry& y) { return x.id < y.id; });
+  for (const ViewEntry& e : owners) {
+    if (query_site_matches(rec.spec, e.pos)) rec.matches.push_back(e.id);
+  }
+  rec.owners = std::move(owners);
+  query_flood_.erase(query_id);
+  query_region_cache_.erase(query_id);
+  VORONET_DCHECK(pending_queries_ > 0);
+  --pending_queries_;
+}
+
+void ProtocolHarness::drop_completed_queries() {
+  for (auto it = query_records_.begin(); it != query_records_.end();) {
+    it = it->second.done ? query_records_.erase(it) : std::next(it);
+  }
 }
 
 void ProtocolHarness::execute_leave(NodeId x) {

@@ -63,6 +63,69 @@ class ProtocolHarness {
   /// repair and re-disseminate after failure_detect_delay.
   void crash(NodeId x);
 
+  // --- Region queries (message level) -------------------------------------
+  //
+  // The queries of src/voronet/queries.hpp executed as real messages: a
+  // kQuery chain greedy-routes the spec to the flood root using only each
+  // hop's LOCAL view, the root floods kQueryForward cell-to-cell across
+  // the qualifying Voronoi adjacencies, every forward draws exactly one
+  // kQueryResult reply (the aggregation echo of a finished subtree, or
+  // the rejection of a duplicate arrival), and the root ships the final
+  // aggregate to the issuer.  The geometric region tests run against the
+  // ground-truth tessellation (DESIGN.md Substitution 1 -- the stand-in
+  // for each cell knowing its own clipped geometry), but which
+  // adjacencies exist, and therefore which cells get served, is read from
+  // the per-node local views: a stale view loses or misdirects real
+  // coverage, which the differential QueryHarness measures as recall.
+  // Counting model: identical to queries.hpp (route_hops /
+  // forward_messages / result_messages).  Result SETS are asserted equal
+  // at quiescence across arbitrary latency and loss; the logical COUNTS
+  // are deterministic only without retransmission (fixed latency, zero
+  // loss) -- a retransmission that slips the transport dedup draws one
+  // extra rejection reply.
+  //
+  // Limitation: queries ride the reliable transport, so arbitrary loss,
+  // latency and reordering are survived, but a node crashing while a
+  // flood holds unfinished subtree state on it orphans that subtree
+  // (echo-based aggregation has no failover); issue queries around
+  // crashes, not across them.
+
+  /// Progress / outcome of one message-level query (see issue_*_query).
+  struct QueryRecord {
+    QuerySpec spec;
+    double issued = 0.0;     ///< simulated issue instant
+    double completed = 0.0;  ///< final-aggregate arrival (valid when done)
+    bool done = false;
+    std::size_t route_hops = 0;       ///< kQuery greedy forwards
+    std::uint64_t forward_sends = 0;  ///< logical kQueryForward sends
+    std::uint64_t result_sends = 0;   ///< logical kQueryResult sends
+    std::vector<ViewEntry> owners;    ///< served cells, sorted by id
+    std::vector<NodeId> matches;      ///< sites passing the predicate, sorted
+
+    [[nodiscard]] double latency() const { return completed - issued; }
+    [[nodiscard]] std::uint64_t total_messages() const {
+      return route_hops + forward_sends + result_sends;
+    }
+  };
+
+  /// Issue a range / radius query from `from` (scheduled `delay` from
+  /// now); returns the query id to pass to query_record().
+  std::uint64_t issue_range_query(NodeId from, Vec2 a, Vec2 b, double tol,
+                                  double delay = 0.0);
+  std::uint64_t issue_radius_query(NodeId from, Vec2 center, double radius,
+                                   double delay = 0.0);
+
+  [[nodiscard]] const QueryRecord& query_record(std::uint64_t id) const {
+    return query_records_.at(id);
+  }
+  /// Queries issued but not yet completed at the issuer.
+  [[nodiscard]] std::size_t pending_queries() const {
+    return pending_queries_;
+  }
+  /// Forget completed query records (bulk sweeps would otherwise hold
+  /// every result set in memory).
+  void drop_completed_queries();
+
   // --- Execution ----------------------------------------------------------
 
   sim::EventQueue::RunResult run_to_idle() { return queue_.run_to_idle(); }
@@ -109,6 +172,28 @@ class ProtocolHarness {
  private:
   void start_join(Vec2 p);
   void handle_route(const Message& m);
+  std::uint64_t issue_query(NodeId from, QuerySpec spec, double delay);
+  void start_query(NodeId from, std::uint64_t query_id);
+  void handle_query_route(const Message& m);
+  void handle_query_forward(const Message& m);
+  void handle_query_result(const Message& m);
+  /// Re-enter a query route chain through a fresh random gateway (the
+  /// addressee departed or the transport abandoned the hop).
+  void reroute_query(const Message& m);
+  /// Serve the query at `node`: record it, forward to every qualifying
+  /// neighbouring cell except `parent`, echo when the subtree finishes.
+  void serve_query(std::uint64_t query_id, NodeId node, NodeId parent);
+  /// The subtree under `node` is complete: echo to the flood parent, or
+  /// ship/complete the final aggregate when `node` is the root.
+  void finish_query_node(std::uint64_t query_id, NodeId node);
+  /// Apply one child reply at `node` (idempotent per child: transport
+  /// dedup can rarely let a retransmission slip through).
+  void apply_query_reply(std::uint64_t query_id, NodeId node, NodeId child,
+                         const std::vector<ViewEntry>& subtree);
+  void complete_query(std::uint64_t query_id, std::vector<ViewEntry> owners);
+  /// Ground-truth geometric test: does o's region meet the query region?
+  [[nodiscard]] bool query_region_qualifies(const QuerySpec& spec,
+                                            NodeId o) const;
   /// Re-enter a join route chain through a fresh random gateway (the
   /// addressee departed or the transport abandoned the hop).
   void reroute_join(const Message& m);
@@ -149,6 +234,27 @@ class ProtocolHarness {
     std::optional<std::vector<ViewEntry>> vn, cn, lr;
   };
   std::unordered_map<NodeId, SentState> sent_;
+  /// Per-node flood bookkeeping of one in-flight query (kept until the
+  /// query completes so late duplicate forwards are rejected, not
+  /// re-served).
+  struct QueryFloodState {
+    NodeId parent = kNoNode;
+    std::size_t pending = 0;          ///< forwards awaiting a reply
+    std::vector<ViewEntry> acc;       ///< this subtree's served cells
+    std::unordered_set<NodeId> replied;  ///< children already heard from
+  };
+  std::unordered_map<std::uint64_t, QueryRecord> query_records_;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<NodeId, QueryFloodState>>
+      query_flood_;
+  /// Memoised region-test verdicts per in-flight query: a cell is probed
+  /// once per neighbouring served cell, but its geometry only needs
+  /// clipping once (mirrors the sequential flood's cache; dropped with
+  /// the flood state at completion).
+  std::unordered_map<std::uint64_t, std::unordered_map<NodeId, bool>>
+      query_region_cache_;
+  std::uint64_t query_seq_ = 0;
+  std::size_t pending_queries_ = 0;
   std::uint64_t op_seq_ = 0;
   std::uint64_t join_seq_ = 0;
   std::unordered_set<std::uint64_t> active_joins_;

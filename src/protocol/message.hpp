@@ -14,14 +14,20 @@
 
 #include "geometry/vec2.hpp"
 #include "sim/metrics.hpp"
+#include "voronet/object_id.hpp"
 
 namespace voronet::protocol {
 
-/// Protocol-level node address.  Equals the overlay's ObjectId (the ground
+/// Protocol-level node address.  IS the overlay's ObjectId (the ground
 /// truth assigns ids; the protocol layer adopts them so differential
-/// comparison is direct).
-using NodeId = std::int32_t;
-inline constexpr NodeId kNoNode = -2;
+/// comparison is direct), and the invalid sentinel is the overlay's own
+/// -- one definition in voronet/object_id.hpp instead of a parallel
+/// literal that happened to coincide.
+using NodeId = ObjectId;
+inline constexpr NodeId kNoNode = kNoObject;
+static_assert(kNoNode == kNoObject &&
+                  kNoNode == geo::DelaunayTriangulation::kNoVertex,
+              "the protocol sentinel must be the overlay's invalid id");
 
 /// One remote-peer entry of a local view: the peer's id plus the position
 /// the local node believes it has.  Positions are immutable per live
@@ -32,6 +38,28 @@ struct ViewEntry {
   Vec2 pos;
 
   friend bool operator==(const ViewEntry&, const ViewEntry&) = default;
+};
+
+/// Which region-query style a kQuery / kQueryForward / kQueryResult
+/// message serves (voronet::range_query / radius_query at message level).
+enum class QueryKind : std::uint8_t {
+  kRange,   ///< segment [a, b] inflated by `tol`
+  kRadius,  ///< disk around `a` of radius `tol` (b unused)
+};
+
+/// Region-query payload carried by the three query message kinds.  The
+/// spec travels with every hop so any node can evaluate the geometric
+/// tests; `issuer` is where the final aggregate returns.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kRadius;
+  Vec2 a;            ///< segment start / disk centre
+  Vec2 b;            ///< segment end (kRange only)
+  double tol = 0.0;  ///< tolerance (kRange) / radius (kRadius)
+  NodeId issuer = kNoNode;
+
+  /// The greedy routing target: the point whose cell owner roots the
+  /// flood (the paper routes a range query to one endpoint's owner).
+  [[nodiscard]] Vec2 target() const { return a; }
 };
 
 /// A network message.  One struct covers every kind (this is a simulator:
@@ -46,6 +74,14 @@ struct ViewEntry {
 ///     receivers discard stale or duplicate updates, which makes the
 ///     updates idempotent under retransmission and reordering);
 ///   * kLeaveNotify -- src announces its departure;
+///   * kQuery -- a region query greedy-routing towards query.target();
+///     version carries the query id, hops the chain length so far;
+///   * kQueryForward -- cell-to-cell flood forward of the query from a
+///     served cell to a neighbouring cell whose region qualifies;
+///   * kQueryResult -- with query_final false, the aggregation echo (or
+///     duplicate rejection) from a flood child back to its parent,
+///     entries carrying the served cells of the finished subtree; with
+///     query_final true, the root's aggregate to query.issuer;
 ///   * kAck -- transport-internal, never reaches a node.
 struct Message {
   sim::MessageKind type = sim::MessageKind::kRouteForward;
@@ -55,6 +91,8 @@ struct Message {
   Vec2 point;
   std::uint32_t hops = 0;
   std::vector<ViewEntry> entries;
+  QuerySpec query;
+  bool query_final = false;
 
   // Transport bookkeeping (owned by protocol::Network).
   std::uint64_t transfer_id = 0;  ///< unique per logical send, 0 = unset

@@ -1,0 +1,94 @@
+#include "protocol/query_harness.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "workload/distributions.hpp"
+
+namespace voronet::protocol {
+
+void QueryHarness::populate(std::size_t objects, std::uint64_t seed,
+                            double spacing) {
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  Rng rng(seed);
+  std::size_t i = 0;
+  while (harness_.node_count() + harness_.pending_joins() < objects) {
+    harness_.join_after(spacing * static_cast<double>(i++), gen.next(rng));
+  }
+  const auto run = harness_.run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted, "query-harness growth did not quiesce");
+}
+
+double QueryHarness::Differential::recall() const {
+  if (truth.matches.empty()) return 1.0;
+  std::size_t found = 0;
+  for (const NodeId id : msg.matches) {
+    if (std::binary_search(truth.matches.begin(), truth.matches.end(), id)) {
+      ++found;
+    }
+  }
+  return static_cast<double>(found) /
+         static_cast<double>(truth.matches.size());
+}
+
+QueryHarness::Differential QueryHarness::grade(
+    std::uint64_t query_id, const RegionQueryResult& truth) const {
+  Differential d;
+  d.truth = truth;
+  d.msg = harness_.query_record(query_id);
+  d.completed = d.msg.done;
+
+  std::vector<NodeId> truth_owners = truth.owners;
+  std::sort(truth_owners.begin(), truth_owners.end());
+  std::vector<NodeId> msg_owners;
+  msg_owners.reserve(d.msg.owners.size());
+  for (const ViewEntry& e : d.msg.owners) msg_owners.push_back(e.id);
+  d.owners_match = msg_owners == truth_owners;
+  d.matches_match = d.msg.matches == truth.matches;  // both sorted
+  d.counts_match = d.msg.forward_sends == truth.forward_messages &&
+                   d.msg.result_sends == truth.result_messages;
+  return d;
+}
+
+QueryHarness::Differential QueryHarness::collect(
+    std::uint64_t query_id) const {
+  const ProtocolHarness::QueryRecord& rec = harness_.query_record(query_id);
+  const Overlay& overlay = harness_.overlay();
+  // The result sets of the sequential execution are independent of the
+  // entry object; fall back to any live object when the issuer departed.
+  NodeId from = rec.spec.issuer;
+  if (!overlay.contains(from)) {
+    VORONET_EXPECT(!overlay.objects().empty(),
+                   "grading a query against an empty overlay");
+    from = overlay.objects().front();
+  }
+  const RegionQueryResult truth =
+      rec.spec.kind == QueryKind::kRange
+          ? range_query(overlay, from, rec.spec.a, rec.spec.b, rec.spec.tol)
+          : radius_query(overlay, from, rec.spec.a, rec.spec.tol);
+  return grade(query_id, truth);
+}
+
+QueryHarness::Differential QueryHarness::run_range(NodeId from, Vec2 a,
+                                                   Vec2 b,
+                                                   double tolerance) {
+  const RegionQueryResult truth =
+      range_query(harness_.overlay(), from, a, b, tolerance);
+  const std::uint64_t id = harness_.issue_range_query(from, a, b, tolerance);
+  const auto run = harness_.run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted, "range query did not quiesce");
+  return grade(id, truth);
+}
+
+QueryHarness::Differential QueryHarness::run_radius(NodeId from, Vec2 center,
+                                                    double radius) {
+  const RegionQueryResult truth =
+      radius_query(harness_.overlay(), from, center, radius);
+  const std::uint64_t id = harness_.issue_radius_query(from, center, radius);
+  const auto run = harness_.run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted, "radius query did not quiesce");
+  return grade(id, truth);
+}
+
+}  // namespace voronet::protocol

@@ -1,0 +1,89 @@
+// Differential query harness: every query runs twice.
+//
+//   * once on the sequential ground truth (voronet::range_query /
+//     radius_query over the shared Overlay -- cell geometry and view
+//     reads with message *accounting*);
+//   * once through the message-level engine (ProtocolHarness's kQuery /
+//     kQueryForward / kQueryResult protocol over per-node local views,
+//     with real latency, loss and retransmission).
+//
+// At quiescence with converged views the two executions must agree
+// exactly -- same served-cell set, same match set -- which
+// run_range()/run_radius() check per query and
+// tests/query_engine_test.cpp asserts across a latency x loss sweep.
+// The logical message counts additionally agree whenever no
+// retransmission occurred (fixed latency, zero loss; a retransmission
+// that slips the transport dedup draws one extra rejection reply), so
+// counts_match is asserted only there.
+// Under staleness (views still converging while the query runs) the
+// message execution legitimately loses coverage; recall() quantifies it
+// against the ground truth instead of asserting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/harness.hpp"
+#include "voronet/queries.hpp"
+
+namespace voronet::protocol {
+
+class QueryHarness {
+ public:
+  explicit QueryHarness(const HarnessConfig& config) : harness_(config) {}
+
+  /// Grow the population through message-level joins and quiesce.
+  void populate(std::size_t objects, std::uint64_t seed,
+                double spacing = 0.01);
+
+  /// One differential execution: both layers, compared field by field.
+  struct Differential {
+    RegionQueryResult truth;           ///< sequential ground-truth result
+    ProtocolHarness::QueryRecord msg;  ///< message-level outcome
+    bool completed = false;   ///< the final aggregate reached the issuer
+    bool owners_match = false;   ///< served-cell sets identical
+    bool matches_match = false;  ///< predicate-match sets identical
+    bool counts_match = false;   ///< forward/result counts identical
+
+    /// The quiescence contract: identical result sets, delivered.
+    [[nodiscard]] bool identical() const {
+      return completed && owners_match && matches_match;
+    }
+    /// Fraction of ground-truth matches the message execution found
+    /// (1 when the truth set is empty; the staleness metric).
+    [[nodiscard]] double recall() const;
+  };
+
+  /// Issue the query at both layers, run the network to quiescence, and
+  /// compare.  The overlay must be quiet (no joins in flight) for the
+  /// comparison to be meaningful as an assertion.
+  Differential run_range(NodeId from, Vec2 a, Vec2 b, double tolerance);
+  Differential run_radius(NodeId from, Vec2 center, double radius);
+
+  /// Asynchronous issue for batched latency measurements: the query is
+  /// NOT run to quiescence here; call harness().run_to_idle() (or
+  /// run_until) and collect() afterwards.  `delay` spaces issues in
+  /// simulated time.
+  std::uint64_t issue_range(NodeId from, Vec2 a, Vec2 b, double tolerance,
+                            double delay = 0.0) {
+    return harness_.issue_range_query(from, a, b, tolerance, delay);
+  }
+  std::uint64_t issue_radius(NodeId from, Vec2 center, double radius,
+                             double delay = 0.0) {
+    return harness_.issue_radius_query(from, center, radius, delay);
+  }
+  /// Grade a previously issued query against the CURRENT ground truth.
+  [[nodiscard]] Differential collect(std::uint64_t query_id) const;
+
+  [[nodiscard]] ProtocolHarness& harness() { return harness_; }
+  [[nodiscard]] const ProtocolHarness& harness() const { return harness_; }
+  [[nodiscard]] Overlay& overlay() { return harness_.overlay(); }
+
+ private:
+  [[nodiscard]] Differential grade(std::uint64_t query_id,
+                                   const RegionQueryResult& truth) const;
+
+  ProtocolHarness harness_;
+};
+
+}  // namespace voronet::protocol

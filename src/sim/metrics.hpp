@@ -25,10 +25,13 @@ enum class MessageKind : std::uint8_t {
   kLeaveNotify,       ///< departure notifications to cn/vn
   kQueryAnswer,       ///< AnswerQuery back to the requester
   // Wire-level kinds used by the protocol engine (src/protocol): the
-  // sequential overlay never emits these two, the message-level simulation
-  // emits all nine.
+  // sequential overlay never emits these, the message-level simulation
+  // emits all of them.
   kJoin,              ///< AddObject request entering the network
   kAck,               ///< transport acknowledgement (reliable delivery)
+  kQuery,             ///< region query greedy-routing to the flood root
+  kQueryForward,      ///< cell-to-cell flood forward of a region query
+  kQueryResult,       ///< flood echo / final aggregate back to the issuer
   kCount
 };
 
@@ -55,6 +58,12 @@ inline constexpr std::size_t kMessageKindCount =
       return "join";
     case MessageKind::kAck:
       return "ack";
+    case MessageKind::kQuery:
+      return "query";
+    case MessageKind::kQueryForward:
+      return "query_forward";
+    case MessageKind::kQueryResult:
+      return "query_result";
     case MessageKind::kCount:
       break;
   }

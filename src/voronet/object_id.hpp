@@ -1,0 +1,22 @@
+// The one definition of the overlay's object identity.
+//
+// Object ids are the Delaunay vertex ids of the ground-truth
+// tessellation, and every layer of the system -- the sequential overlay
+// (voronet::ObjectId), the message-level protocol engine
+// (protocol::NodeId) and the differential harnesses -- must agree on the
+// invalid-id sentinel.  Historically the protocol layer carried its own
+// `kNoNode = -2` literal next to the overlay's `kNoObject`; the two were
+// equal only by coincidence of both copying
+// DelaunayTriangulation::kNoVertex.  They are now aliases of this single
+// definition, and protocol/message.hpp pins the aliasing with a
+// static_assert (tests/query_engine_test.cpp re-checks it at runtime).
+#pragma once
+
+#include "geometry/delaunay.hpp"
+
+namespace voronet {
+
+using ObjectId = geo::DelaunayTriangulation::VertexId;
+inline constexpr ObjectId kNoObject = geo::DelaunayTriangulation::kNoVertex;
+
+}  // namespace voronet

@@ -32,11 +32,9 @@
 #include "sim/metrics.hpp"
 #include "spatial/grid_index.hpp"
 #include "voronet/config.hpp"
+#include "voronet/object_id.hpp"
 
 namespace voronet {
-
-using ObjectId = geo::DelaunayTriangulation::VertexId;
-inline constexpr ObjectId kNoObject = geo::DelaunayTriangulation::kNoVertex;
 
 /// One long-range link: the immutable target point drawn by Choose-LRT and
 /// the object currently responsible for the region containing it.

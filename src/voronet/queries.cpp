@@ -1,6 +1,8 @@
 #include "voronet/queries.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/expect.hpp"
@@ -11,32 +13,72 @@ namespace voronet {
 
 namespace {
 
-/// Squared distance from an object's region to a point, through the
-/// overlay's ground-truth tessellation.
-double region_dist2(const Overlay& overlay, ObjectId o, Vec2 p) {
-  return geo::dist2_to_region(overlay.tessellation(), o, p);
-}
+/// The shared cell-to-cell flood with the header's counting model applied
+/// in one place for both query styles.
+///
+///  * region_test(o)  -- does o's Voronoi region meet the query region?
+///    (drives the flood: exactly the cells passing it are served, plus
+///    the root unconditionally -- the routed entry point always passes
+///    when routing is exact, since the queried point lies in its cell);
+///  * site_test(o)    -- does o's site satisfy the query predicate?
+///    (fills `matches`).
+///
+/// Message accounting follows the cell-to-cell protocol the message-level
+/// engine (src/protocol) executes: every served cell transmits the query
+/// to each qualifying neighbour except its flood parent -- including
+/// neighbours another branch already served, whose rejection is a result
+/// message like any echo.  forward_messages is therefore
+/// sum-of-qualifying-degrees minus the (V - 1) parent links, an
+/// order-independent quantity.
+RegionQueryResult region_flood(
+    const Overlay& overlay, ObjectId from, Vec2 target,
+    const std::function<bool(ObjectId)>& region_test,
+    const std::function<bool(ObjectId)>& site_test) {
+  RegionQueryResult res;
 
-/// Squared distance from an object's Voronoi region to segment [a, b].
-/// The distance from p(t) = a + t(b-a) to a convex set is convex in t, so
-/// ternary search converges to the global minimum.
-double region_dist2_to_segment(const Overlay& overlay, ObjectId o, Vec2 a,
-                               Vec2 b) {
-  double lo = 0.0;
-  double hi = 1.0;
-  for (int iter = 0; iter < 60; ++iter) {
-    const double m1 = lo + (hi - lo) / 3.0;
-    const double m2 = hi - (hi - lo) / 3.0;
-    const double d1 = region_dist2(overlay, o, a + m1 * (b - a));
-    const double d2 = region_dist2(overlay, o, a + m2 * (b - a));
-    if (d1 < d2) {
-      hi = m2;
-    } else {
-      lo = m1;
+  // Reach the region with the ordinary greedy protocol.
+  const RouteResult entry = overlay.probe(from, target);
+  res.route_hops = entry.hops;
+
+  // Memoised region test: a cell is probed once per neighbouring served
+  // cell, but its geometry only needs clipping once.
+  std::unordered_map<ObjectId, bool> qualifies;
+  const auto test = [&](ObjectId o) {
+    const auto it = qualifies.find(o);
+    if (it != qualifies.end()) return it->second;
+    const bool q = region_test(o);
+    qualifies.emplace(o, q);
+    return q;
+  };
+
+  std::size_t qualifying_transmissions = 0;
+  std::unordered_set<ObjectId> visited{entry.owner};
+  std::vector<ObjectId> stack{entry.owner};
+  while (!stack.empty()) {
+    const ObjectId cur = stack.back();
+    stack.pop_back();
+    res.owners.push_back(cur);
+    if (site_test(cur)) res.matches.push_back(cur);
+    for (const ObjectId nb : overlay.view(cur).vn) {
+      if (!test(nb)) continue;
+      ++qualifying_transmissions;  // cur would transmit to nb (or to its
+                                   // parent, subtracted once below)
+      if (visited.insert(nb).second) stack.push_back(nb);
     }
-    if (d1 == 0.0 || d2 == 0.0) return 0.0;
   }
-  return region_dist2(overlay, o, a + 0.5 * (lo + hi) * (b - a));
+
+  // Each served cell other than the root received the query across
+  // exactly one of the qualifying adjacencies counted above (its flood
+  // parent, which always qualifies -- it was served); the rest are real
+  // transmissions.  Every transmission draws exactly one reply, and the
+  // root sends the final aggregate to the issuer unless it is the issuer.
+  VORONET_DCHECK(qualifying_transmissions + 1 >= res.owners.size());
+  res.forward_messages = qualifying_transmissions - (res.owners.size() - 1);
+  res.result_messages =
+      res.forward_messages + (entry.owner != from ? 1 : 0);
+
+  std::sort(res.matches.begin(), res.matches.end());
+  return res;
 }
 
 }  // namespace
@@ -44,74 +86,43 @@ double region_dist2_to_segment(const Overlay& overlay, ObjectId o, Vec2 a,
 RegionQueryResult range_query(const Overlay& overlay, ObjectId from, Vec2 a,
                               Vec2 b, double tolerance) {
   VORONET_EXPECT(tolerance >= 0.0, "negative range tolerance");
-  RegionQueryResult res;
-
-  // Reach the owner of endpoint a with the ordinary greedy protocol.
-  const RouteResult entry = overlay.probe(from, a);
-  res.route_hops = entry.hops;
-
   // Flood the "stadium" (segment inflated by the tolerance): forward
   // across exactly those Voronoi neighbours whose region comes within the
   // tolerance of the segment.  The stadium is convex, so the cells meeting
   // it form a connected patch of the Voronoi adjacency and the flood
   // reaches them all.  With tolerance 0 this degenerates to the paper's
-  // sketch -- forwarding along the cells the segment crosses.
+  // sketch -- forwarding along the cells the segment crosses, decided
+  // exactly by dist2_region_to_segment (a grazing segment returns 0, not
+  // a small positive approximation).
   const double tol2 = tolerance * tolerance;
-  std::unordered_set<ObjectId> visited{entry.owner};
-  std::vector<ObjectId> stack{entry.owner};
-  while (!stack.empty()) {
-    const ObjectId cur = stack.back();
-    stack.pop_back();
-    res.owners.push_back(cur);
-    if (geo::dist2_to_segment(a, b, overlay.position(cur)) <= tol2) {
-      res.matches.push_back(cur);
-    }
-    for (const ObjectId nb : overlay.view(cur).vn) {
-      if (visited.count(nb)) continue;
-      if (region_dist2_to_segment(overlay, nb, a, b) <= tol2) {
-        visited.insert(nb);
-        stack.push_back(nb);
-        ++res.forward_messages;
-      }
-    }
-  }
-  std::sort(res.matches.begin(), res.matches.end());
-  return res;
+  return region_flood(
+      overlay, from, a,
+      [&](ObjectId o) {
+        return geo::dist2_region_to_segment(overlay.tessellation(), o, a,
+                                            b) <= tol2;
+      },
+      [&](ObjectId o) {
+        return site_within_tolerance(a, b, overlay.position(o), tolerance);
+      });
 }
 
 RegionQueryResult radius_query(const Overlay& overlay, ObjectId from,
                                Vec2 center, double radius) {
   VORONET_EXPECT(radius >= 0.0, "negative query radius");
-  RegionQueryResult res;
-
-  const RouteResult entry = overlay.probe(from, center);
-  res.route_hops = entry.hops;
-
   // Flood the Voronoi adjacency, but only across objects whose region
   // intersects the disk: this visits exactly the cells overlapping the
   // query (the set of such cells is connected since cells are convex and
   // the disk is convex).
   const double r2 = radius * radius;
-  std::unordered_set<ObjectId> visited{entry.owner};
-  std::vector<ObjectId> stack{entry.owner};
-  while (!stack.empty()) {
-    const ObjectId cur = stack.back();
-    stack.pop_back();
-    res.owners.push_back(cur);
-    if (dist2(overlay.position(cur), center) <= r2) {
-      res.matches.push_back(cur);
-    }
-    for (const ObjectId nb : overlay.view(cur).vn) {
-      if (visited.count(nb)) continue;
-      if (region_dist2(overlay, nb, center) <= r2) {
-        visited.insert(nb);
-        stack.push_back(nb);
-        ++res.forward_messages;
-      }
-    }
-  }
-  std::sort(res.matches.begin(), res.matches.end());
-  return res;
+  return region_flood(
+      overlay, from, center,
+      [&](ObjectId o) {
+        return geo::dist2_to_region(overlay.tessellation(), o, center) <= r2;
+      },
+      [&](ObjectId o) {
+        return site_within_tolerance(center, center, overlay.position(o),
+                                     radius);
+      });
 }
 
 }  // namespace voronet

@@ -14,30 +14,80 @@
 //    neighbours whose regions intersect the disk.
 //
 // Both use only the per-object views plus cell geometry, i.e. the same
-// information a distributed deployment has, and report the number of
-// forwarding messages used.
+// information a distributed deployment has.  `owners` is *region*
+// intersection (every cell the query region meets -- the cells that must
+// serve the query), while `matches` filters by *site* distance (the
+// objects whose attribute point satisfies the predicate); an object can
+// own a crossed cell while sitting outside the tolerance strip, so the
+// two sets legitimately differ.
+//
+// Counting model (shared with the message-level engine in src/protocol,
+// which executes the same queries as real kQuery / kQueryForward /
+// kQueryResult messages; the differential harness asserts the counts
+// agree at quiescence):
+//
+//  * route_hops        -- greedy forwards carrying the query from `from`
+//                         to the first served cell (the flood root).
+//  * forward_messages  -- cell-to-cell flood transmissions: every served
+//                         cell sends the query once to EACH neighbouring
+//                         cell whose region passes the geometric test,
+//                         except the cell it received the query from.  A
+//                         receiver that was already served rejects the
+//                         duplicate, but the transmission still happened
+//                         and is counted (the earlier implementation
+//                         counted only first-acceptance forwards and made
+//                         these probes free, understating the protocol).
+//  * result_messages   -- one reply per received forward (the aggregation
+//                         echo, or the duplicate rejection), plus the
+//                         final aggregate from the root back to the
+//                         issuer when the issuer is not the root itself.
+//
+// The totals are order-independent: with V served cells of which Q(c)
+// qualifying neighbours each, forward_messages = sum Q(c) - (V - 1),
+// whatever spanning tree the flood happens to build.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "geometry/predicates.hpp"
 #include "geometry/vec2.hpp"
 #include "voronet/overlay.hpp"
 
 namespace voronet {
 
+/// The site predicate both query styles and both execution layers share:
+/// does `pos` lie within `tolerance` of segment [a, b]?  Radius queries
+/// pass a == b == centre (the zero-length segment degenerates to point
+/// distance), so this one definition decides `matches` for the
+/// sequential flood AND the message-level issuer -- the differential
+/// contract depends on the two applying the identical comparison.
+[[nodiscard]] inline bool site_within_tolerance(Vec2 a, Vec2 b, Vec2 pos,
+                                                double tolerance) {
+  return geo::dist2_to_segment(a, b, pos) <= tolerance * tolerance;
+}
+
 struct RegionQueryResult {
   /// Objects owning the queried region of space, in visit order.
   std::vector<ObjectId> owners;
-  /// Objects matching the query predicate (subset of owners for segment
-  /// queries; objects inside the disk for radius queries).
+  /// Objects matching the query predicate by site distance (sorted; an
+  /// owner can miss the tolerance strip and a match always owns a cell).
   std::vector<ObjectId> matches;
-  std::size_t route_hops = 0;      ///< greedy hops to reach the region
-  std::size_t forward_messages = 0;///< cell-to-cell forwards afterwards
+  std::size_t route_hops = 0;       ///< greedy hops to reach the region
+  std::size_t forward_messages = 0; ///< cell-to-cell flood transmissions
+  std::size_t result_messages = 0;  ///< echo / rejection / final replies
+
+  /// Total protocol messages under the counting model above.
+  [[nodiscard]] std::size_t total_messages() const {
+    return route_hops + forward_messages + result_messages;
+  }
 };
 
-/// All objects whose Voronoi region intersects segment [a, b]; `matches`
-/// lists those lying within `tolerance` of the segment (a "range" hit on
-/// the queried attribute interval).
+/// All objects whose Voronoi region intersects segment [a, b] within
+/// `tolerance` (`owners`); `matches` lists those whose site lies within
+/// `tolerance` of the segment (a "range" hit on the queried attribute
+/// interval).  Tolerance 0 degenerates to the paper's sketch: the cells
+/// the segment crosses, decided exactly (see geo::dist2_region_to_segment).
 RegionQueryResult range_query(const Overlay& overlay, ObjectId from, Vec2 a,
                               Vec2 b, double tolerance);
 

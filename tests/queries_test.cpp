@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "geometry/predicates.hpp"
+#include "geometry/voronoi.hpp"
 #include "workload/distributions.hpp"
 
 namespace voronet {
@@ -134,6 +135,198 @@ TEST(RangeQuery, DegenerateSegmentEqualsRadiusQuery) {
   const auto point = range_query(overlay, from, p, p, 0.0);
   EXPECT_EQ(point.owners.size(), 1u);
   EXPECT_EQ(point.owners.front(), overlay.tessellation().nearest(p));
+}
+
+TEST(RangeQuery, GrazingSegmentThroughVoronoiVertex) {
+  // Four cocircular sites with the exactly representable Voronoi vertex
+  // (0.5, 0.5).  The diagonal segment passes through the vertex: it
+  // crosses two cells and touches the other two in exactly one point.
+  // The region test must return distance 0 for the grazed cells -- the
+  // old ternary-search approximation reported a small positive distance
+  // and a tolerance-0 query skipped them.
+  OverlayConfig cfg;
+  cfg.n_max = 64;
+  cfg.seed = 31;
+  Overlay overlay(cfg);
+  std::vector<ObjectId> core;
+  core.push_back(overlay.insert({0.25, 0.25}));
+  core.push_back(overlay.insert({0.75, 0.25}));
+  core.push_back(overlay.insert({0.25, 0.75}));
+  core.push_back(overlay.insert({0.75, 0.75}));
+  const Vec2 a{0.375, 0.375};
+  const Vec2 b{0.625, 0.625};
+
+  // Direct geometric regression: every cell is at distance exactly 0
+  // (all coordinates dyadic, so the half-plane clipping is exact).
+  for (const ObjectId o : core) {
+    EXPECT_EQ(geo::dist2_region_to_segment(overlay.tessellation(), o, a, b),
+              0.0)
+        << "cell of object " << o << " not recognised as grazed";
+  }
+
+  for (const ObjectId from : core) {
+    const auto res = range_query(overlay, from, a, b, 0.0);
+    std::vector<ObjectId> owners = res.owners;
+    std::sort(owners.begin(), owners.end());
+    std::vector<ObjectId> expected = core;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(owners, expected);
+  }
+}
+
+TEST(RegionQueries, CountingModelInvariants) {
+  // result_messages = forward_messages + one final aggregate unless the
+  // issuer is the flood root itself (queries.hpp counting model), and a
+  // query served by a single cell sends no forwards beyond the probes of
+  // its qualifying neighbours.
+  OverlayConfig cfg;
+  cfg.n_max = 2048;
+  cfg.seed = 32;
+  Overlay overlay(cfg);
+  Rng rng(32);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 300; ++i) overlay.insert(gen.next(rng));
+
+  for (int q = 0; q < 20; ++q) {
+    const Vec2 center{rng.uniform(), rng.uniform()};
+    const ObjectId from = overlay.random_object(rng);
+    const auto res = radius_query(overlay, from, center, rng.uniform(0.0, 0.2));
+    ASSERT_FALSE(res.owners.empty());
+    const std::size_t fin = res.owners.front() != from ? 1u : 0u;
+    EXPECT_EQ(res.result_messages, res.forward_messages + fin);
+    EXPECT_EQ(res.total_messages(),
+              res.route_hops + res.forward_messages + res.result_messages);
+  }
+
+  // Radius 0 at a generic point: one served cell, no flood traffic
+  // (no neighbouring region contains the centre).
+  const Vec2 center{0.437, 0.611};
+  const ObjectId owner = overlay.tessellation().nearest(center);
+  const auto point = radius_query(overlay, owner, center, 0.0);
+  EXPECT_EQ(point.owners.size(), 1u);
+  EXPECT_EQ(point.forward_messages, 0u);
+  EXPECT_EQ(point.result_messages, 0u);  // issuer == root: local answer
+  EXPECT_EQ(point.route_hops, 0u);
+}
+
+TEST(RegionQueries, RandomizedDifferentialAgainstBruteForce) {
+  // Both query styles against exhaustive scans over every object, across
+  // many seeds: `matches` by site distance, `owners` by the same region
+  // test the flood applies (so this also proves the flood's connectivity
+  // claim: no qualifying cell is unreachable).
+  const int kSeeds = 50;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    OverlayConfig cfg;
+    cfg.n_max = 8192;
+    cfg.seed = 100 + static_cast<std::uint64_t>(seed);
+    Overlay overlay(cfg);
+    Rng rng(cfg.seed);
+    workload::PointGenerator gen(
+        seed % 2 == 0 ? workload::DistributionConfig::uniform()
+                      : workload::DistributionConfig::power_law(2.0));
+    const int n = seed < 2 ? 2000 : 250;  // two full-size populations
+    for (int i = 0; i < n; ++i) overlay.insert(gen.next(rng));
+    const auto& dt = overlay.tessellation();
+
+    for (int q = 0; q < 3; ++q) {
+      // --- range ---------------------------------------------------------
+      const Vec2 a{rng.uniform(), rng.uniform()};
+      const Vec2 b{rng.uniform(), rng.uniform()};
+      const double tol = q == 0 ? 0.0 : rng.uniform(0.0, 0.1);
+      const double tol2 = tol * tol;
+      const auto res =
+          range_query(overlay, overlay.random_object(rng), a, b, tol);
+      std::vector<ObjectId> owners = res.owners;
+      std::sort(owners.begin(), owners.end());
+      std::vector<ObjectId> expect_owners;
+      std::vector<ObjectId> expect_matches;
+      for (const ObjectId o : overlay.objects()) {
+        if (geo::dist2_region_to_segment(dt, o, a, b) <= tol2) {
+          expect_owners.push_back(o);
+        }
+        if (geo::dist2_to_segment(a, b, overlay.position(o)) <= tol2) {
+          expect_matches.push_back(o);
+        }
+      }
+      std::sort(expect_owners.begin(), expect_owners.end());
+      std::sort(expect_matches.begin(), expect_matches.end());
+      EXPECT_EQ(owners, expect_owners) << "seed " << seed << " range " << q;
+      EXPECT_EQ(res.matches, expect_matches)
+          << "seed " << seed << " range " << q;
+
+      // --- radius --------------------------------------------------------
+      const Vec2 center{rng.uniform(), rng.uniform()};
+      const double radius = q == 0 ? 0.0 : rng.uniform(0.0, 0.2);
+      const double r2 = radius * radius;
+      const auto disk =
+          radius_query(overlay, overlay.random_object(rng), center, radius);
+      owners = disk.owners;
+      std::sort(owners.begin(), owners.end());
+      expect_owners.clear();
+      expect_matches.clear();
+      for (const ObjectId o : overlay.objects()) {
+        if (geo::dist2_to_region(dt, o, center) <= r2) {
+          expect_owners.push_back(o);
+        }
+        if (dist2(overlay.position(o), center) <= r2) {
+          expect_matches.push_back(o);
+        }
+      }
+      std::sort(expect_owners.begin(), expect_owners.end());
+      std::sort(expect_matches.begin(), expect_matches.end());
+      EXPECT_EQ(owners, expect_owners) << "seed " << seed << " radius " << q;
+      EXPECT_EQ(disk.matches, expect_matches)
+          << "seed " << seed << " radius " << q;
+    }
+  }
+}
+
+TEST(RegionQueries, DegenerateCases) {
+  OverlayConfig cfg;
+  cfg.n_max = 4096;
+  cfg.seed = 33;
+  Overlay overlay(cfg);
+  Rng rng(33);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 400; ++i) overlay.insert(gen.next(rng));
+
+  // Zero-length segment with positive tolerance == radius query.
+  const Vec2 p{0.31, 0.64};
+  const ObjectId from = overlay.random_object(rng);
+  const auto seg = range_query(overlay, from, p, p, 0.15);
+  const auto disk = radius_query(overlay, from, p, 0.15);
+  EXPECT_EQ(seg.matches, disk.matches);
+  std::vector<ObjectId> seg_owners = seg.owners;
+  std::vector<ObjectId> disk_owners = disk.owners;
+  std::sort(seg_owners.begin(), seg_owners.end());
+  std::sort(disk_owners.begin(), disk_owners.end());
+  EXPECT_EQ(seg_owners, disk_owners);
+
+  // Query region entirely outside the populated hull: no matches, but
+  // the flood still serves the boundary cells the region meets (hull
+  // cells are unbounded).
+  const auto outside = range_query(overlay, from, {1.3, 1.2}, {1.6, 1.5},
+                                   0.01);
+  EXPECT_TRUE(outside.matches.empty());
+  EXPECT_FALSE(outside.owners.empty());
+  for (const ObjectId o : outside.owners) {
+    EXPECT_LE(
+        geo::dist2_region_to_segment(overlay.tessellation(), o, {1.3, 1.2},
+                                     {1.6, 1.5}),
+        0.01 * 0.01);
+  }
+  const auto far_disk = radius_query(overlay, from, {2.0, 2.0}, 0.05);
+  EXPECT_TRUE(far_disk.matches.empty());
+  EXPECT_FALSE(far_disk.owners.empty());
+
+  // `from` equal to the owner of the queried point: zero route hops,
+  // no final result message.
+  const Vec2 center{0.52, 0.48};
+  const ObjectId owner = overlay.tessellation().nearest(center);
+  const auto local = radius_query(overlay, owner, center, 0.08);
+  EXPECT_EQ(local.route_hops, 0u);
+  EXPECT_EQ(local.owners.front(), owner);
+  EXPECT_EQ(local.result_messages, local.forward_messages);
 }
 
 TEST(RangeQuery, SkewedDataStillCovered) {
