@@ -14,7 +14,11 @@
 //      (every result set must equal the sequential ground truth at
 //      quiescence -- enforced, not just reported);
 //   3. staleness   -- queries racing a join burst under loss: completion
-//      and recall against the quiesced ground truth.
+//      and recall against the quiesced ground truth;
+//   4. churn       -- the crash-failover scenario: queries racing joins,
+//      voluntary leaves AND crash-stop failures, graded (completion,
+//      recall, precision, re-issued epochs, branch failovers) against
+//      the post-quiescence ground truth.
 //
 // Usage: bench_queries [--objects N] [--queries Q] [--seed S] [--csv]
 //                      [--smoke] [--full] [--json PATH]
@@ -279,6 +283,33 @@ StalenessReport staleness_phase(std::size_t objects, std::size_t burst,
   return rep;
 }
 
+// ---------------------------------------------------------------------------
+// Phase 4: churn-concurrent queries (crash failover)
+// ---------------------------------------------------------------------------
+
+protocol::QueryHarness::ChurnScenarioReport churn_phase(
+    std::size_t objects, const protocol::QueryHarness::ChurnScenario& s,
+    std::uint64_t seed) {
+  protocol::HarnessConfig config;
+  config.overlay.n_max = (objects + s.joins) * 2;
+  config.overlay.seed = seed;
+  config.network.seed = seed ^ 0xfeedULL;
+  config.network.latency = protocol::LatencyModel::uniform(0.005, 0.05);
+  config.network.drop_probability = 0.1;
+  config.failure_detect_delay = 0.25;
+  config.seed = seed ^ 0x907aULL;
+  protocol::QueryHarness qh(config);
+  qh.populate(objects, seed);
+
+  const auto rep = qh.run_churn_scenario(s);
+  VORONET_EXPECT(rep.quiesced, "churn phase did not quiesce");
+  VORONET_EXPECT(rep.completed == rep.queries,
+                 "a query was lost to churn despite the failover machinery");
+  VORONET_EXPECT(rep.converged,
+                 "views did not reconverge after the churn scenario");
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -388,6 +419,30 @@ int main(int argc, char** argv) try {
               .set("mean_recall", bench::Json::number(stale.mean_recall))
               .set("min_recall", bench::Json::number(stale.min_recall)));
 
+  // --- Phase 4 -------------------------------------------------------------
+  protocol::QueryHarness::ChurnScenario churn;
+  churn.joins = smoke ? 10 : 30;
+  churn.leaves = smoke ? 8 : 25;
+  churn.crashes = smoke ? 5 : 15;
+  churn.queries = smoke ? 15 : 50;
+  churn.horizon = smoke ? 1.5 : 3.0;
+  churn.seed = seed ^ 0xc4a5ULL;
+  const auto churned = churn_phase(smoke ? 150 : 400, churn, seed);
+  doc.set(
+      "churn",
+      bench::Json::object()
+          .set("queries", bench::Json::integer(churned.queries))
+          .set("completed", bench::Json::integer(churned.completed))
+          .set("exact", bench::Json::integer(churned.exact))
+          .set("reissued", bench::Json::integer(churned.reissued))
+          .set("max_epochs", bench::Json::integer(churned.max_epochs))
+          .set("branch_failovers",
+               bench::Json::integer(churned.branch_failovers))
+          .set("mean_recall", bench::Json::number(churned.mean_recall))
+          .set("min_recall", bench::Json::number(churned.min_recall))
+          .set("mean_precision", bench::Json::number(churned.mean_precision))
+          .set("min_precision", bench::Json::number(churned.min_precision)));
+
   std::cout << "Query serving throughput (sequential layer, "
             << parallel_workers() << " workers)\n";
   if (csv) tput.print_csv(std::cout); else tput.print(std::cout);
@@ -400,6 +455,15 @@ int main(int argc, char** argv) try {
             << " queries completed during a join burst at 10% loss, mean "
                "recall " << stale.mean_recall << " (min "
             << stale.min_recall << ")\n";
+  std::cout << "\nChurn-concurrent (joins+leaves+crashes racing queries, "
+               "10% loss): " << churned.completed << "/" << churned.queries
+            << " completed, " << churned.exact << " exact, "
+            << churned.reissued << " re-issued (max " << churned.max_epochs
+            << " epochs, " << churned.branch_failovers
+            << " branch failovers), recall mean " << churned.mean_recall
+            << " (min " << churned.min_recall << "), precision mean "
+            << churned.mean_precision << " (min " << churned.min_precision
+            << ")\n";
   bench::write_json_file(json_path, doc);
   return 0;
 } catch (const std::exception& e) {

@@ -17,6 +17,17 @@ ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
   overlay_.track_view_changes(true);
   net_.set_sink([this](const Message& m) { deliver(m); });
   net_.set_abandon_handler([this](const Message& m) { on_abandon(m); });
+  // Echo-deadline period: long enough that a healthy (merely slow) flood
+  // is never declared dead -- several RTOs / tail latencies -- and at
+  // least the failure-detection delay, so the sweep observes repairs the
+  // fault model has already admitted to the survivors.
+  query_deadline_ =
+      config.query_deadline > 0.0
+          ? config.query_deadline
+          : std::max({4.0 * net_.retransmit_timeout(),
+                      8.0 * config.network.latency.high_quantile(),
+                      config.failure_detect_delay}) +
+                0.05;
 }
 
 // ---------------------------------------------------------------------------
@@ -71,7 +82,11 @@ void ProtocolHarness::crash(NodeId x) {
     // sooner).
     overlay_.crash(x);
     overlay_.repair_dangling();
+    invalidate_region_caches();
+    ++repairs_pending_;
     queue_.schedule(config_.failure_detect_delay, [this, witnesses] {
+      VORONET_DCHECK(repairs_pending_ > 0);
+      --repairs_pending_;
       if (roster_.empty()) {
         (void)overlay_.take_touched_views();
         return;
@@ -106,6 +121,7 @@ void ProtocolHarness::deliver(const Message& m) {
       handle_query_forward(m);
       return;
     case sim::MessageKind::kQueryResult:
+    case sim::MessageKind::kQueryAbort:
       handle_query_result(m);
       return;
     case sim::MessageKind::kVoronoiUpdate:
@@ -157,13 +173,24 @@ void ProtocolHarness::on_abandon(const Message& m) {
       reroute_query(m);
       return;
     case sim::MessageKind::kQueryForward:
-      // The addressed cell is unreachable (crashed): close its branch
-      // with an empty reply so the parent's subtree still finishes.
-      apply_query_reply(m.version, m.src, m.dst, {});
+      // The addressed cell is unreachable (crashed before it could serve,
+      // or the retry cap fired): per-branch failover.
+      fail_branch(m);
       return;
     case sim::MessageKind::kQueryResult:
-      // A reply died with the ancestor waiting for it; the flood has no
-      // aggregation failover (see the crash limitation in the header).
+    case sim::MessageKind::kQueryAbort:
+      if (!epoch_current(m)) return;
+      if (m.query_final) {
+        // The issuer crashed with the aggregate in flight: the client
+        // stub completes from the root's copy (or re-issues, if the
+        // epoch was tainted -- complete_query gates).
+        complete_query(m.version, m.entries);
+        return;
+      }
+      // An echo died with the ancestor waiting for it: that ancestor
+      // crashed holding pending subtree state (or its link is beyond the
+      // retry cap), so everything it aggregated is lost.  Re-issue.
+      reissue_query(m.version);
       return;
     case sim::MessageKind::kVoronoiUpdate:
     case sim::MessageKind::kCloseNeighbor:
@@ -254,6 +281,7 @@ void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
   const NodeId x = (sponsor == kNoNode || overlay_.size() == 0)
                        ? overlay_.insert(p)
                        : overlay_.insert(p, sponsor);
+  invalidate_region_caches();
   if (nodes_.find(x) != nodes_.end()) {
     // Position already taken (positions identify objects): no new node,
     // but the fictive churn may still have touched views.
@@ -309,25 +337,39 @@ std::uint64_t ProtocolHarness::issue_query(NodeId from, QuerySpec spec,
   spec.issuer = from;
   QueryRecord& rec = query_records_[query_id];
   rec.spec = spec;
+  query_runtime_[query_id];
   ++pending_queries_;
-  queue_.schedule(delay, [this, from, query_id] {
-    start_query(from, query_id);
-  });
+  queue_.schedule(delay, [this, query_id] { start_query(query_id); });
   return query_id;
 }
 
-void ProtocolHarness::start_query(NodeId from, std::uint64_t query_id) {
+void ProtocolHarness::start_query(std::uint64_t query_id) {
   QueryRecord& rec = query_records_.at(query_id);
   rec.issued = queue_.now();
+  rec.epoch = 1;
+  // Pin the issuer's identity: ids are recycled, so "the issuer is still
+  // alive" must mean the same (id, position) pair, not just the id.
+  QueryRuntime& rt = query_runtime_.at(query_id);
+  const auto it = nodes_.find(rec.spec.issuer);
+  if (it != nodes_.end()) {
+    rt.issuer_known = true;
+    rt.issuer_pos = it->second.position();
+  }
+  begin_epoch(query_id);
+  arm_query_deadline(query_id);
+}
+
+void ProtocolHarness::begin_epoch(std::uint64_t query_id) {
+  QueryRecord& rec = query_records_.at(query_id);
   if (roster_.empty()) {
     complete_query(query_id, {});  // nobody can serve anything
     return;
   }
   // The issuer injects the query at itself (or, if it departed between
-  // issue and start, at a random live gateway -- the out-of-band
-  // bootstrap contact of the join path).
-  const NodeId entry = nodes_.find(from) != nodes_.end()
-                           ? from
+  // issue and start -- or crashed between epochs -- at a random live
+  // gateway: the out-of-band bootstrap contact of the join path).
+  const NodeId entry = issuer_live(query_id)
+                           ? rec.spec.issuer
                            : roster_[rng_.index(roster_.size())];
   Message m;
   m.type = sim::MessageKind::kQuery;
@@ -335,13 +377,86 @@ void ProtocolHarness::start_query(NodeId from, std::uint64_t query_id) {
   m.dst = entry;
   m.point = rec.spec.target();
   m.version = query_id;
+  m.epoch = rec.epoch;
   m.query = rec.spec;
   net_.send(std::move(m));
 }
 
-void ProtocolHarness::reroute_query(const Message& m) {
+bool ProtocolHarness::epoch_current(const Message& m) const {
   const auto it = query_records_.find(m.version);
+  return it != query_records_.end() && !it->second.done &&
+         m.epoch == it->second.epoch;
+}
+
+bool ProtocolHarness::entry_live(const ViewEntry& e) const {
+  const auto it = nodes_.find(e.id);
+  return it != nodes_.end() && it->second.position() == e.pos;
+}
+
+bool ProtocolHarness::issuer_live(std::uint64_t query_id) const {
+  const QueryRecord& rec = query_records_.at(query_id);
+  const auto rt = query_runtime_.find(query_id);
+  if (rt == query_runtime_.end() || !rt->second.issuer_known) return false;
+  return entry_live({rec.spec.issuer, rt->second.issuer_pos});
+}
+
+void ProtocolHarness::reissue_query(std::uint64_t query_id) {
+  const auto it = query_records_.find(query_id);
   if (it == query_records_.end() || it->second.done) return;
+  QueryRuntime& rt = query_runtime_.at(query_id);
+  if (rt.reissue_pending) return;  // several taints, one fresh epoch
+  rt.reissue_pending = true;
+  // Give the repair a chance to land first: re-entering immediately would
+  // mostly re-observe the same staleness and burn an epoch for nothing.
+  const double delay =
+      std::max(config_.failure_detect_delay, net_.retransmit_timeout());
+  queue_.schedule(delay, [this, query_id] {
+    const auto rec = query_records_.find(query_id);
+    if (rec == query_records_.end() || rec->second.done) return;
+    QueryRuntime& runtime = query_runtime_.at(query_id);
+    runtime.reissue_pending = false;
+    runtime.stale_observed = false;
+    ++rec->second.epoch;
+    // The old epoch's flood state dies here; its messages are filtered
+    // out by the epoch checks, so they cannot resurrect it.
+    query_flood_.erase(query_id);
+    query_region_cache_.erase(query_id);
+    begin_epoch(query_id);
+  });
+}
+
+void ProtocolHarness::arm_query_deadline(std::uint64_t query_id) {
+  {
+    const auto rt = query_runtime_.find(query_id);
+    if (rt == query_runtime_.end() || rt->second.deadline_armed) return;
+    rt->second.deadline_armed = true;
+  }
+  queue_.schedule(query_deadline_, [this, query_id] {
+    const auto rec = query_records_.find(query_id);
+    if (rec == query_records_.end() || rec->second.done) return;
+    query_runtime_.at(query_id).deadline_armed = false;
+    // Sweep the current flood for dead participants: a node that crashed
+    // while holding subtree state usually betrays itself through its
+    // children's abandoned transfers, but a subtree can die whole (every
+    // member crashed) without leaving one -- this timer is the backstop
+    // failure detector that keeps such a query live.
+    const auto flood = query_flood_.find(query_id);
+    bool dead = false;
+    if (flood != query_flood_.end()) {
+      for (const auto& [node, state] : flood->second) {
+        if (nodes_.find(node) == nodes_.end()) {
+          dead = true;
+          break;
+        }
+      }
+    }
+    if (dead) reissue_query(query_id);
+    arm_query_deadline(query_id);
+  });
+}
+
+void ProtocolHarness::reroute_query(const Message& m) {
+  if (!epoch_current(m)) return;
   if (roster_.empty()) {
     complete_query(m.version, {});
     return;
@@ -354,13 +469,14 @@ void ProtocolHarness::reroute_query(const Message& m) {
   retry.point = m.query.target();
   retry.hops = m.hops + 1;
   retry.version = m.version;
+  retry.epoch = m.epoch;
   retry.query = m.query;
   net_.send(std::move(retry));
 }
 
 void ProtocolHarness::handle_query_route(const Message& m) {
+  if (!epoch_current(m)) return;
   const auto rec = query_records_.find(m.version);
-  if (rec == query_records_.end() || rec->second.done) return;
   const auto it = nodes_.find(m.dst);
   if (it == nodes_.end()) {
     reroute_query(m);  // addressee departed while the query was in flight
@@ -390,6 +506,7 @@ void ProtocolHarness::handle_query_route(const Message& m) {
   fwd.point = m.point;
   fwd.hops = m.hops + 1;
   fwd.version = m.version;
+  fwd.epoch = m.epoch;
   fwd.query = m.query;
   net_.send(std::move(fwd));
 }
@@ -411,6 +528,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
                                   NodeId parent) {
   auto& flood = query_flood_[query_id];
   const auto existing = flood.find(node);
+  QueryRecord& rec = query_records_.at(query_id);
   if (existing != flood.end()) {
     // Already served.  A forward from another branch is rejected (the
     // branch must not wait forever); a re-delivery from the node's own
@@ -418,19 +536,18 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     // -- is ignored, because the pending echo answers it and a rejection
     // racing ahead of that echo would book the whole subtree as empty.
     if (parent != kNoNode && parent != existing->second.parent) {
-      QueryRecord& rec = query_records_.at(query_id);
       Message reject;
       reject.type = sim::MessageKind::kQueryResult;
       reject.src = node;
       reject.dst = parent;
       reject.version = query_id;
+      reject.epoch = rec.epoch;
       reject.query = rec.spec;
       net_.send(std::move(reject));
       ++rec.result_sends;
     }
     return;
   }
-  QueryRecord& rec = query_records_.at(query_id);
   QueryFloodState& state = flood[node];
   state.parent = parent;
   const ProtocolNode& self = nodes_.at(node);
@@ -439,11 +556,14 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
   // except back to the parent.  Entries whose believed position no longer
   // matches the ground truth (departed peer, recycled id) cannot be
   // served through and are skipped -- exactly the coverage staleness
-  // costs a deployment.
+  // costs a deployment -- but a DEAD entry also means this view predates
+  // a repair that is racing the flood, so the epoch is tainted and the
+  // issuer will re-run the query over repaired views.
   auto& region_cache = query_region_cache_[query_id];
   for (const ViewEntry& e : self.vn()) {
     if (e.id == parent) continue;
     if (!overlay_.contains(e.id) || overlay_.position(e.id) != e.pos) {
+      query_runtime_.at(query_id).stale_observed = true;
       continue;
     }
     const auto cached = region_cache.find(e.id);
@@ -459,6 +579,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     fwd.src = node;
     fwd.dst = e.id;
     fwd.version = query_id;
+    fwd.epoch = rec.epoch;
     fwd.query = rec.spec;
     net_.send(std::move(fwd));
     ++rec.forward_sends;
@@ -467,24 +588,26 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
   if (state.pending == 0) finish_query_node(query_id, node);
 }
 
-void ProtocolHarness::handle_query_forward(const Message& m) {
-  const auto rec = query_records_.find(m.version);
-  if (rec == query_records_.end() || rec->second.done) {
-    return;  // late transport-dedup slip after completion: already replied
+void ProtocolHarness::fail_branch(const Message& m) {
+  // The branch's target cell is gone: its region has been -- or is being
+  // -- redistributed.  When the sender still lives and holds flood
+  // state, close the branch with an explicit abort so its subtree
+  // terminates (tainting the epoch); when the sender itself is gone too,
+  // its whole subtree died with it -- only a fresh epoch can recover.
+  if (!epoch_current(m)) return;
+  if (nodes_.find(m.src) != nodes_.end()) {
+    apply_query_reply(m.version, m.src, m.dst, {}, /*aborted=*/true);
+  } else {
+    reissue_query(m.version);
   }
-  const auto it = nodes_.find(m.dst);
-  if (it == nodes_.end()) {
-    // The addressed cell departed with the forward in flight; reject on
-    // its behalf so the sender's subtree completes (the address answers
-    // "no such cell" -- its replacement, if any, was never served).
-    Message reject;
-    reject.type = sim::MessageKind::kQueryResult;
-    reject.src = m.dst;
-    reject.dst = m.src;
-    reject.version = m.version;
-    reject.query = rec->second.spec;
-    net_.send(std::move(reject));
-    ++rec->second.result_sends;
+}
+
+void ProtocolHarness::handle_query_forward(const Message& m) {
+  if (!epoch_current(m)) {
+    return;  // superseded epoch, or a late dedup slip after completion
+  }
+  if (nodes_.find(m.dst) == nodes_.end()) {
+    fail_branch(m);  // the addressed cell departed with the forward in flight
     return;
   }
   serve_query(m.version, m.dst, m.src);
@@ -495,19 +618,31 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
   QueryRecord& rec = query_records_.at(query_id);
   QueryFloodState& state = query_flood_.at(query_id).at(node);
   if (state.parent != kNoNode) {
+    // Subtree done: echo the covered cells -- as an abort echo when a
+    // branch below failed over, so the mark reaches the root.
     Message echo;
-    echo.type = sim::MessageKind::kQueryResult;
+    echo.type = state.aborted ? sim::MessageKind::kQueryAbort
+                              : sim::MessageKind::kQueryResult;
     echo.src = node;
     echo.dst = state.parent;
     echo.version = query_id;
+    echo.epoch = rec.epoch;
     echo.query = rec.spec;
     echo.entries = state.acc;
     net_.send(std::move(echo));
     ++rec.result_sends;
     return;
   }
-  // Flood root: ship (or locally deliver) the final aggregate.
-  if (node == rec.spec.issuer) {
+  // Flood root.  An aborted or tainted epoch is not worth shipping: its
+  // aggregate straddles a repair.  Re-issue instead.
+  if (state.aborted || query_runtime_.at(query_id).stale_observed) {
+    reissue_query(query_id);
+    return;
+  }
+  // Ship (or locally deliver) the final aggregate.  A crashed issuer is
+  // the out-of-band client reconnecting elsewhere: the record completes
+  // straight from the root's copy.
+  if (node == rec.spec.issuer || !issuer_live(query_id)) {
     complete_query(query_id, std::move(state.acc));
     return;
   }
@@ -516,6 +651,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
   fin.src = node;
   fin.dst = rec.spec.issuer;
   fin.version = query_id;
+  fin.epoch = rec.epoch;
   fin.query = rec.spec;
   fin.query_final = true;
   fin.entries = state.acc;
@@ -525,15 +661,27 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
 
 void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
                                         NodeId child,
-                                        const std::vector<ViewEntry>& subtree) {
+                                        const std::vector<ViewEntry>& subtree,
+                                        bool aborted) {
   const auto rec = query_records_.find(query_id);
   if (rec == query_records_.end() || rec->second.done) return;
   const auto flood = query_flood_.find(query_id);
   if (flood == query_flood_.end()) return;
   const auto it = flood->second.find(node);
   if (it == flood->second.end()) return;  // node departed mid-query
+  if (nodes_.find(node) == nodes_.end()) {
+    // The waiting node itself is dead: nobody can echo its subtree any
+    // more, whatever this reply says.  Re-issue.
+    reissue_query(query_id);
+    return;
+  }
   QueryFloodState& state = it->second;
   if (!state.replied.insert(child).second) return;  // duplicate reply slip
+  if (aborted) {
+    state.aborted = true;
+    query_runtime_.at(query_id).stale_observed = true;
+    ++rec->second.branch_failovers;
+  }
   state.acc.insert(state.acc.end(), subtree.begin(), subtree.end());
   VORONET_DCHECK(state.pending > 0);
   --state.pending;
@@ -541,11 +689,13 @@ void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
 }
 
 void ProtocolHarness::handle_query_result(const Message& m) {
+  if (!epoch_current(m)) return;
   if (m.query_final) {
     complete_query(m.version, m.entries);
     return;
   }
-  apply_query_reply(m.version, m.dst, m.src, m.entries);
+  apply_query_reply(m.version, m.dst, m.src, m.entries,
+                    m.type == sim::MessageKind::kQueryAbort);
 }
 
 void ProtocolHarness::complete_query(std::uint64_t query_id,
@@ -554,6 +704,24 @@ void ProtocolHarness::complete_query(std::uint64_t query_id,
   if (it == query_records_.end()) return;  // record already dropped
   QueryRecord& rec = it->second;
   if (rec.done) return;  // exactly-once (a twin root can race)
+  // Completion gate: if the epoch observed a repair, or the aggregate
+  // names a cell that is no longer live (it crashed or left after
+  // echoing), the result straddles a repair -- re-run it over repaired
+  // views instead of handing the client a set no topology ever served.
+  if (roster_.empty()) {
+    owners.clear();  // everyone is gone; the true result set is empty
+  } else {
+    const QueryRuntime& rt = query_runtime_.at(query_id);
+    const bool stale =
+        rt.stale_observed ||
+        std::any_of(owners.begin(), owners.end(),
+                    [this](const ViewEntry& e) { return !entry_live(e); });
+    if (stale) {
+      reissue_query(query_id);
+      return;
+    }
+  }
+  rec.issuer_lost = !issuer_live(query_id);
   rec.done = true;
   rec.completed = queue_.now();
   std::sort(owners.begin(), owners.end(),
@@ -564,6 +732,7 @@ void ProtocolHarness::complete_query(std::uint64_t query_id,
   rec.owners = std::move(owners);
   query_flood_.erase(query_id);
   query_region_cache_.erase(query_id);
+  query_runtime_.erase(query_id);
   VORONET_DCHECK(pending_queries_ > 0);
   --pending_queries_;
 }
@@ -609,6 +778,7 @@ void ProtocolHarness::execute_leave(NodeId x) {
   }
   deregister_node(x);
   overlay_.remove(x);
+  invalidate_region_caches();
   if (sponsor == kNoNode) {
     // x was the last node (or its whole neighbourhood is gone): nobody
     // left to update.
@@ -643,8 +813,10 @@ std::vector<ViewEntry> ProtocolHarness::authoritative_lr(NodeId o) const {
   const NodeView& view = overlay_.view(o);
   out.reserve(view.lr.size());
   for (const LongLink& link : view.lr) {
-    // Dangling holders (possible between a crash and its repair) are not
-    // part of the usable view.
+    // Dangling holders (possible while a crash's failure-detection
+    // window is open) are not usable view content and are not shipped;
+    // once every repair has quiesced, verify_views() reports any that
+    // remain as divergence instead of silently tolerating them here.
     if (link.neighbor == kNoObject || !overlay_.contains(link.neighbor)) {
       continue;
     }
@@ -694,9 +866,11 @@ void ProtocolHarness::disseminate(NodeId src, NodeId ensure) {
 // ---------------------------------------------------------------------------
 
 void ProtocolHarness::register_node(NodeId x) {
-  // Vertex ids are recycled by the ground truth: a new node may reuse the
-  // id of a previously crashed one, so clear the transport's dead mark.
-  net_.revive(x);
+  // Vertex ids are recycled by the ground truth: a new node may reuse
+  // the id of a previously departed one, so clear the transport's dead
+  // mark and abandon predecessor-era transfers.  Fresh ids skip the
+  // revive (nothing to clean, and revive scans the in-flight table).
+  if (dead_ids_.erase(x) > 0) net_.revive(x);
   nodes_.emplace(x, ProtocolNode(x, overlay_.position(x)));
   roster_pos_[x] = static_cast<std::uint32_t>(roster_.size());
   roster_.push_back(x);
@@ -705,6 +879,7 @@ void ProtocolHarness::register_node(NodeId x) {
 void ProtocolHarness::deregister_node(NodeId x) {
   nodes_.erase(x);
   sent_.erase(x);
+  dead_ids_.insert(x);
   const auto it = roster_pos_.find(x);
   VORONET_DCHECK(it != roster_pos_.end());
   const std::uint32_t idx = it->second;
@@ -720,6 +895,7 @@ void ProtocolHarness::deregister_node(NodeId x) {
 
 ProtocolHarness::VerifyReport ProtocolHarness::verify_views() const {
   VerifyReport report;
+  const bool strict = !repair_in_flight();
   for (const NodeId id : roster_) {
     const ProtocolNode& node = nodes_.at(id);
     ++report.checked;
@@ -731,6 +907,15 @@ ProtocolHarness::VerifyReport ProtocolHarness::verify_views() const {
     if (!ok) {
       ++report.stale;
       if (report.stale_ids.size() < 8) report.stale_ids.push_back(id);
+    }
+    if (strict && overlay_.contains(id)) {
+      // With no repair in flight, a dead long-link holder in the ground
+      // truth is real divergence (authoritative_lr would mask it).
+      for (const LongLink& link : overlay_.view(id).lr) {
+        if (link.neighbor == kNoObject || !overlay_.contains(link.neighbor)) {
+          ++report.dangling;
+        }
+      }
     }
   }
   report.missing = overlay_.size() - nodes_.size();

@@ -38,6 +38,12 @@ struct HarnessConfig {
   /// Delay between a crash and the survivors' repair dissemination (the
   /// failure-detection latency of the paper's fault model).
   double failure_detect_delay = 1.0;
+  /// Backstop failure detector for query floods: a per-query timer that
+  /// periodically checks the flood for participants that died without
+  /// leaving a transport-observable trace and re-issues the query when it
+  /// finds one.  0 derives a period from the transport RTO, the latency
+  /// model's high quantile and failure_detect_delay.
+  double query_deadline = 0.0;
   /// Seed for harness-level choices (gateway sampling).
   std::uint64_t seed = 0x907aULL;
 };
@@ -82,26 +88,55 @@ class ProtocolHarness {
   // at quiescence across arbitrary latency and loss; the logical COUNTS
   // are deterministic only without retransmission (fixed latency, zero
   // loss) -- a retransmission that slips the transport dedup draws one
-  // extra rejection reply.
+  // extra rejection reply -- and without re-issued epochs (below), which
+  // multiply the flood cost (see the epoch extension in queries.hpp).
   //
-  // Limitation: queries ride the reliable transport, so arbitrary loss,
-  // latency and reordering are survived, but a node crashing while a
-  // flood holds unfinished subtree state on it orphans that subtree
-  // (echo-based aggregation has no failover); issue queries around
-  // crashes, not across them.
+  // Crash-stop failures mid-flood ARE survived, in two layers:
+  //
+  //  * Per-branch failover.  A branch whose addressee is unreachable
+  //    (crashed before serving, or the transport's retry cap fired) is
+  //    closed by the transport's abandonment hook with an explicit
+  //    kQueryAbort reply, so the parent's subtree still terminates; the
+  //    abort echo carries the cells the subtree DID cover and propagates
+  //    its mark to the flood root.  A node that crashes while HOLDING
+  //    pending subtree state cannot echo; its death is observed through
+  //    the abandoned echoes / forwards of its own children (a crash-stop
+  //    endpoint abandons reliable transfers on both sides) and, as a
+  //    backstop, by the per-query echo-deadline timer that sweeps the
+  //    flood for dead participants every `query_deadline`.
+  //
+  //  * Query epochs.  Any observation of a repair racing the flood --
+  //    a served view entry that is provably dead, an aborted branch, a
+  //    dead cell in the final aggregate, a crashed flood-state holder or
+  //    root -- taints the epoch, and the issuer transparently re-issues
+  //    the query with an incremented epoch once the failure-detection
+  //    delay has passed.  Handlers discard messages from superseded
+  //    epochs (per-epoch dedup), so a stale echo cannot corrupt the
+  //    fresh aggregate.  The final epoch runs over repaired views and
+  //    therefore matches the post-repair ground truth exactly; an epoch
+  //    that observed nothing ran entirely on one side of the repair and
+  //    is exact for the topology at its completion instant.  An issuer
+  //    that crashes mid-query is modelled as the out-of-band client
+  //    reconnecting elsewhere: the flood root completes the record
+  //    directly (QueryRecord::issuer_lost).
 
   /// Progress / outcome of one message-level query (see issue_*_query).
   struct QueryRecord {
     QuerySpec spec;
-    double issued = 0.0;     ///< simulated issue instant
+    double issued = 0.0;     ///< simulated issue instant (first epoch)
     double completed = 0.0;  ///< final-aggregate arrival (valid when done)
     bool done = false;
-    std::size_t route_hops = 0;       ///< kQuery greedy forwards
-    std::uint64_t forward_sends = 0;  ///< logical kQueryForward sends
-    std::uint64_t result_sends = 0;   ///< logical kQueryResult sends
+    std::size_t route_hops = 0;       ///< kQuery greedy forwards (last epoch)
+    std::uint64_t forward_sends = 0;  ///< logical kQueryForward sends (all)
+    std::uint64_t result_sends = 0;   ///< kQueryResult + kQueryAbort sends
     std::vector<ViewEntry> owners;    ///< served cells, sorted by id
     std::vector<NodeId> matches;      ///< sites passing the predicate, sorted
+    std::uint32_t epoch = 0;           ///< flood epochs used (1 = no failover)
+    std::uint32_t branch_failovers = 0;///< branches closed by kQueryAbort
+    bool issuer_lost = false;          ///< issuer crashed; completed at root
 
+    /// Completion latency, measured from the FIRST issue: failover and
+    /// re-issued epochs are part of the latency a client observes.
     [[nodiscard]] double latency() const { return completed - issued; }
     [[nodiscard]] std::uint64_t total_messages() const {
       return route_hops + forward_sends + result_sends;
@@ -139,15 +174,22 @@ class ProtocolHarness {
     std::size_t checked = 0;      ///< live nodes compared
     std::size_t stale = 0;        ///< nodes whose local view mismatches
     std::size_t missing = 0;      ///< ground-truth objects without a node
+    std::size_t dangling = 0;     ///< dead long-link holders after repair
     std::vector<NodeId> stale_ids;  ///< first few offenders, for messages
     [[nodiscard]] bool converged() const {
-      return stale == 0 && missing == 0;
+      return stale == 0 && missing == 0 && dangling == 0;
     }
   };
 
   /// Compare every node's local vn / cn / lr (ids AND positions) against
-  /// the overlay's authoritative view.
+  /// the overlay's authoritative view.  While a crash's failure-detection
+  /// window is open (repair_in_flight()), dangling long-link holders are
+  /// tolerated; once every repair has disseminated, a dangling holder is
+  /// real divergence and is reported in `dangling`.
   [[nodiscard]] VerifyReport verify_views() const;
+
+  /// Crash repairs whose failure-detection delay has not yet elapsed.
+  [[nodiscard]] bool repair_in_flight() const { return repairs_pending_ > 0; }
 
   // --- Introspection ------------------------------------------------------
 
@@ -170,16 +212,51 @@ class ProtocolHarness {
   [[nodiscard]] double last_apply_time() const { return last_apply_time_; }
 
  private:
+  /// Per-query state the harness (not the record consumer) needs while
+  /// the query is in flight; dropped at completion.
+  struct QueryRuntime {
+    /// The current epoch observed a repair racing it (a provably dead
+    /// view entry at serve time, or an aborted branch): the result may
+    /// straddle the repair, so completion re-issues instead.
+    bool stale_observed = false;
+    bool reissue_pending = false;  ///< a re-issue is already scheduled
+    bool deadline_armed = false;   ///< echo-deadline sweep event pending
+    bool issuer_known = false;     ///< issuer_pos below is meaningful
+    Vec2 issuer_pos;  ///< guards against the issuer id being recycled
+  };
+
   void start_join(Vec2 p);
   void handle_route(const Message& m);
   std::uint64_t issue_query(NodeId from, QuerySpec spec, double delay);
-  void start_query(NodeId from, std::uint64_t query_id);
+  void start_query(std::uint64_t query_id);
+  /// (Re-)enter the route phase of the record's current epoch: inject a
+  /// kQuery at the issuer, or at a random live gateway when the issuer
+  /// is gone (the client's out-of-band bootstrap contact).
+  void begin_epoch(std::uint64_t query_id);
+  /// The current epoch is compromised (crashed subtree holder, aborted
+  /// branch, repair observed): schedule a fresh epoch after the
+  /// failure-detection delay.  Idempotent per epoch.
+  void reissue_query(std::uint64_t query_id);
+  /// Backstop failure detector: periodically sweep the flood for
+  /// participants that died without a transport-observable trace.
+  void arm_query_deadline(std::uint64_t query_id);
   void handle_query_route(const Message& m);
   void handle_query_forward(const Message& m);
   void handle_query_result(const Message& m);
+  /// Is m a current-epoch message of a live query?  Superseded epochs'
+  /// messages are discarded wholesale (their flood state is gone).
+  [[nodiscard]] bool epoch_current(const Message& m) const;
+  /// Does this (id, position) pair denote a live protocol node?
+  [[nodiscard]] bool entry_live(const ViewEntry& e) const;
+  [[nodiscard]] bool issuer_live(std::uint64_t query_id) const;
   /// Re-enter a query route chain through a fresh random gateway (the
   /// addressee departed or the transport abandoned the hop).
   void reroute_query(const Message& m);
+  /// Per-branch failover for a kQueryForward whose addressee is gone
+  /// (departed in flight, crashed, or beyond the retry cap): close the
+  /// branch with an abort at the sender if it still holds flood state,
+  /// or re-issue outright when the sender's subtree died with it.
+  void fail_branch(const Message& m);
   /// Serve the query at `node`: record it, forward to every qualifying
   /// neighbouring cell except `parent`, echo when the subtree finishes.
   void serve_query(std::uint64_t query_id, NodeId node, NodeId parent);
@@ -187,10 +264,18 @@ class ProtocolHarness {
   /// ship/complete the final aggregate when `node` is the root.
   void finish_query_node(std::uint64_t query_id, NodeId node);
   /// Apply one child reply at `node` (idempotent per child: transport
-  /// dedup can rarely let a retransmission slip through).
+  /// dedup can rarely let a retransmission slip through).  `aborted`
+  /// closes the branch AND taints the epoch (kQueryAbort, or the local
+  /// failure detector standing in for a reply that cannot come).
   void apply_query_reply(std::uint64_t query_id, NodeId node, NodeId child,
-                         const std::vector<ViewEntry>& subtree);
+                         const std::vector<ViewEntry>& subtree, bool aborted);
+  /// Deliver the final aggregate to the client: completes the record,
+  /// unless the epoch is tainted or the aggregate names dead cells -- a
+  /// repair raced the flood -- in which case the query re-issues.
   void complete_query(std::uint64_t query_id, std::vector<ViewEntry> owners);
+  /// Topology changed: memoised region verdicts are stale (a surviving
+  /// cell's clipped geometry may have grown into the query region).
+  void invalidate_region_caches() { query_region_cache_.clear(); }
   /// Ground-truth geometric test: does o's region meet the query region?
   [[nodiscard]] bool query_region_qualifies(const QuerySpec& spec,
                                             NodeId o) const;
@@ -223,6 +308,10 @@ class ProtocolHarness {
   Overlay overlay_;
   Network net_;
   std::unordered_map<NodeId, ProtocolNode> nodes_;
+  /// Ids whose previous holder departed: only these need Network::revive
+  /// on re-registration (reviving a fresh id would scan the transport's
+  /// in-flight table for nothing on every join).
+  std::unordered_set<NodeId> dead_ids_;
   std::vector<NodeId> roster_;  ///< live node ids, dense (random sampling)
   std::unordered_map<NodeId, std::uint32_t> roster_pos_;
   /// Last content disseminated per node component: suppresses the
@@ -240,10 +329,12 @@ class ProtocolHarness {
   struct QueryFloodState {
     NodeId parent = kNoNode;
     std::size_t pending = 0;          ///< forwards awaiting a reply
+    bool aborted = false;             ///< a branch below failed over
     std::vector<ViewEntry> acc;       ///< this subtree's served cells
     std::unordered_set<NodeId> replied;  ///< children already heard from
   };
   std::unordered_map<std::uint64_t, QueryRecord> query_records_;
+  std::unordered_map<std::uint64_t, QueryRuntime> query_runtime_;
   std::unordered_map<std::uint64_t,
                      std::unordered_map<NodeId, QueryFloodState>>
       query_flood_;
@@ -255,6 +346,8 @@ class ProtocolHarness {
       query_region_cache_;
   std::uint64_t query_seq_ = 0;
   std::size_t pending_queries_ = 0;
+  std::size_t repairs_pending_ = 0;
+  double query_deadline_ = 0.0;  ///< derived echo-deadline period
   std::uint64_t op_seq_ = 0;
   std::uint64_t join_seq_ = 0;
   std::unordered_set<std::uint64_t> active_joins_;

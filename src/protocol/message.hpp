@@ -82,7 +82,17 @@ struct QuerySpec {
 ///     duplicate rejection) from a flood child back to its parent,
 ///     entries carrying the served cells of the finished subtree; with
 ///     query_final true, the root's aggregate to query.issuer;
+///   * kQueryAbort -- the echo of a subtree that lost a branch to a
+///     crash-stop failure: entries carry the cells the subtree still
+///     COVERED, and the abort mark propagates to the flood root so the
+///     issuer re-issues the query under a fresh epoch;
 ///   * kAck -- transport-internal, never reaches a node.
+///
+/// Query messages additionally carry `epoch`: the issuer re-issues a
+/// query whose flood observed a crash or an in-flight repair, and every
+/// handler discards messages whose epoch is not the query's current one,
+/// so a stale echo from a failed epoch can never corrupt the fresh
+/// flood's aggregate.
 struct Message {
   sim::MessageKind type = sim::MessageKind::kRouteForward;
   NodeId src = kNoNode;
@@ -93,6 +103,7 @@ struct Message {
   std::vector<ViewEntry> entries;
   QuerySpec query;
   bool query_final = false;
+  std::uint32_t epoch = 0;  ///< query flood epoch (query kinds only)
 
   // Transport bookkeeping (owned by protocol::Network).
   std::uint64_t transfer_id = 0;  ///< unique per logical send, 0 = unset

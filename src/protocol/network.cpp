@@ -33,10 +33,43 @@ void Network::send(Message msg) {
 void Network::crash(NodeId node) { crashed_.insert(node); }
 
 void Network::revive(NodeId node) {
-  crashed_.erase(node);
   // A recycled id is a brand-new endpoint: it must not inherit its
-  // predecessor's dedup history.
+  // predecessor's unsettled transfers either.  A reliable transfer still
+  // armed from the dead predecessor's era would otherwise retransmit into
+  // the new endpoint (stale content, fresh dedup table) or resend on the
+  // dead sender's behalf.  Abandon them through the regular give-up path
+  // -- BEFORE clearing the crashed mark, so the application layer's
+  // abandon handler still observes which side died and can re-ship
+  // authoritative content from a live witness.
+  std::vector<std::uint64_t> stale;
+  for (const auto& [id, p] : pending_) {
+    if (p.msg.src == node || p.msg.dst == node) stale.push_back(id);
+  }
+  for (const std::uint64_t id : stale) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) continue;  // settled by a handler's send
+    queue_.cancel(it->second.timer);
+    abandon_transfer(it);
+  }
+  crashed_.erase(node);
+  // ... nor its predecessor's dedup history.
   seen_.erase(node);
+}
+
+void Network::abandon_transfer(
+    std::unordered_map<std::uint64_t, Pending>::iterator it) {
+  ++stats_.abandoned;
+  const Message msg = std::move(it->second.msg);
+  pending_.erase(it);
+  // The settling ack will never come, so drop the receiver-side dedup
+  // entry here (keeps seen_ bounded by the genuinely in-flight count).
+  const auto seen_it = seen_.find(msg.dst);
+  if (seen_it != seen_.end()) {
+    seen_it->second.erase(msg.transfer_id);
+    if (seen_it->second.empty()) seen_.erase(seen_it);
+  }
+  // Tell the application layer last: the handler may send afresh.
+  if (abandon_) abandon_(msg);
 }
 
 void Network::transmit(const Message& msg) {
@@ -118,18 +151,7 @@ void Network::on_timeout(std::uint64_t transfer_id) {
       crashed_.count(p.msg.dst) != 0 || crashed_.count(p.msg.src) != 0 ||
       (config_.max_retries > 0 && p.attempts > config_.max_retries);
   if (give_up) {
-    ++stats_.abandoned;
-    const Message msg = std::move(p.msg);
-    pending_.erase(it);
-    // The settling ack will never come, so drop the receiver-side dedup
-    // entry here (keeps seen_ bounded by the genuinely in-flight count).
-    const auto seen_it = seen_.find(msg.dst);
-    if (seen_it != seen_.end()) {
-      seen_it->second.erase(msg.transfer_id);
-      if (seen_it->second.empty()) seen_.erase(seen_it);
-    }
-    // Tell the application layer last: the handler may send afresh.
-    if (abandon_) abandon_(msg);
+    abandon_transfer(it);
     return;
   }
   ++p.attempts;

@@ -84,6 +84,11 @@ class Network {
   void crash(NodeId node);
   /// Clear the crashed mark -- required when a vertex id is recycled for
   /// a brand-new node (the ground truth reuses Delaunay vertex ids).
+  /// Reliable transfers still armed from the dead predecessor's era are
+  /// abandoned first (through the abandon handler, with the crashed mark
+  /// still set): a predecessor-era retransmission must never deliver
+  /// stale content to the brand-new endpoint, and a dead sender's
+  /// transfers must not come back to life with the recycled id.
   void revive(NodeId node);
   [[nodiscard]] bool crashed(NodeId node) const {
     return crashed_.count(node) != 0;
@@ -116,6 +121,11 @@ class Network {
   void arrive(Message msg);
   void on_timeout(std::uint64_t transfer_id);
   void arm_timer(std::uint64_t transfer_id);
+  /// Give up on a reliable transfer: erase it (the timer must already be
+  /// settled or cancelled), prune the receiver-side dedup entry, and
+  /// notify the application layer last (the handler may send afresh).
+  void abandon_transfer(
+      std::unordered_map<std::uint64_t, Pending>::iterator it);
 
   sim::EventQueue& queue_;
   NetworkConfig config_;

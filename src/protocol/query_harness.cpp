@@ -1,6 +1,7 @@
 #include "protocol/query_harness.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/expect.hpp"
 #include "common/rng.hpp"
@@ -21,7 +22,9 @@ void QueryHarness::populate(std::size_t objects, std::uint64_t seed,
 }
 
 double QueryHarness::Differential::recall() const {
-  if (truth.matches.empty()) return 1.0;
+  // An empty truth set is only "fully recalled" by an empty result: the
+  // old unconditional 1.0 hid message-layer false positives entirely.
+  if (truth.matches.empty()) return msg.matches.empty() ? 1.0 : 0.0;
   std::size_t found = 0;
   for (const NodeId id : msg.matches) {
     if (std::binary_search(truth.matches.begin(), truth.matches.end(), id)) {
@@ -30,6 +33,18 @@ double QueryHarness::Differential::recall() const {
   }
   return static_cast<double>(found) /
          static_cast<double>(truth.matches.size());
+}
+
+double QueryHarness::Differential::precision() const {
+  if (msg.matches.empty()) return 1.0;  // nothing found, nothing false
+  std::size_t correct = 0;
+  for (const NodeId id : msg.matches) {
+    if (std::binary_search(truth.matches.begin(), truth.matches.end(), id)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(msg.matches.size());
 }
 
 QueryHarness::Differential QueryHarness::grade(
@@ -68,6 +83,79 @@ QueryHarness::Differential QueryHarness::collect(
           ? range_query(overlay, from, rec.spec.a, rec.spec.b, rec.spec.tol)
           : radius_query(overlay, from, rec.spec.a, rec.spec.tol);
   return grade(query_id, truth);
+}
+
+QueryHarness::ChurnScenarioReport QueryHarness::run_churn_scenario(
+    const ChurnScenario& s) {
+  VORONET_EXPECT(harness_.node_count() > 0,
+                 "churn scenario needs a populated overlay (populate())");
+  // One shared RNG drives both the schedule-time draws (times, query
+  // specs) and the fire-time draws (leave/crash victims are chosen from
+  // the population alive at that instant); event order is deterministic,
+  // so the whole scenario replays bit-for-bit from the seed.
+  const auto rng = std::make_shared<Rng>(s.seed);
+  sim::EventQueue& queue = harness_.queue();
+  const std::size_t floor = std::max<std::size_t>(s.min_population, 4);
+
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (std::size_t i = 0; i < s.joins; ++i) {
+    harness_.join_after(rng->uniform(0.0, s.horizon), gen.next(*rng));
+  }
+  for (std::size_t i = 0; i < s.leaves; ++i) {
+    queue.schedule(rng->uniform(0.0, s.horizon), [this, rng, floor] {
+      if (harness_.node_count() <= floor) return;
+      harness_.leave(harness_.random_node(*rng));
+    });
+  }
+  for (std::size_t i = 0; i < s.crashes; ++i) {
+    queue.schedule(rng->uniform(0.0, s.horizon), [this, rng, floor] {
+      if (harness_.node_count() <= floor) return;
+      harness_.crash(harness_.random_node(*rng));
+    });
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(s.queries);
+  for (std::size_t i = 0; i < s.queries; ++i) {
+    const NodeId from = harness_.random_node(*rng);
+    const double at = rng->uniform(0.0, s.horizon);
+    if (i % 2 == 0) {
+      const Vec2 c{rng->uniform(), rng->uniform()};
+      ids.push_back(issue_radius(from, c, rng->uniform(0.03, 0.15), at));
+    } else {
+      const Vec2 a{rng->uniform(), rng->uniform()};
+      const Vec2 b{rng->uniform(), rng->uniform()};
+      ids.push_back(issue_range(from, a, b, rng->uniform(0.0, 0.05), at));
+    }
+  }
+
+  const auto run = harness_.run_to_idle();
+
+  ChurnScenarioReport rep;
+  rep.queries = s.queries;
+  rep.quiesced = !run.budget_exhausted;
+  rep.converged = harness_.verify_views().converged();
+  double recall_sum = 0.0;
+  double precision_sum = 0.0;
+  for (const std::uint64_t id : ids) {
+    const Differential d = collect(id);
+    if (!d.completed) continue;
+    ++rep.completed;
+    const double r = d.recall();
+    const double p = d.precision();
+    recall_sum += r;
+    precision_sum += p;
+    rep.min_recall = std::min(rep.min_recall, r);
+    rep.min_precision = std::min(rep.min_precision, p);
+    if (r == 1.0 && p == 1.0) ++rep.exact;
+    if (d.msg.epoch > 1) ++rep.reissued;
+    rep.max_epochs = std::max(rep.max_epochs, d.msg.epoch);
+    rep.branch_failovers += d.msg.branch_failovers;
+  }
+  if (rep.completed > 0) {
+    rep.mean_recall = recall_sum / static_cast<double>(rep.completed);
+    rep.mean_precision = precision_sum / static_cast<double>(rep.completed);
+  }
+  return rep;
 }
 
 QueryHarness::Differential QueryHarness::run_range(NodeId from, Vec2 a,

@@ -32,6 +32,7 @@ enum class MessageKind : std::uint8_t {
   kQuery,             ///< region query greedy-routing to the flood root
   kQueryForward,      ///< cell-to-cell flood forward of a region query
   kQueryResult,       ///< flood echo / final aggregate back to the issuer
+  kQueryAbort,        ///< failed-branch partial echo (covered cells so far)
   kCount
 };
 
@@ -64,6 +65,8 @@ inline constexpr std::size_t kMessageKindCount =
       return "query_forward";
     case MessageKind::kQueryResult:
       return "query_result";
+    case MessageKind::kQueryAbort:
+      return "query_abort";
     case MessageKind::kCount:
       break;
   }

@@ -45,6 +45,16 @@
 // The totals are order-independent: with V served cells of which Q(c)
 // qualifying neighbours each, forward_messages = sum Q(c) - (V - 1),
 // whatever spanning tree the flood happens to build.
+//
+// Epoch extension (crash failover, src/protocol): a flood that observes
+// a crash-stop failure or an in-flight repair is re-issued by its issuer
+// under a fresh epoch, so a query that needed E epochs pays the
+// route + flood cost of every epoch it ran -- the aborted epochs'
+// partial floods (each cut short by kQueryAbort branch closures) plus
+// one full, clean flood.  The sequential execution below always serves
+// in a single epoch (`epochs` == 1); the message layer reports its
+// counters cumulatively across epochs, which is why count equality is
+// asserted only for single-epoch, retransmission-free runs.
 #pragma once
 
 #include <cstddef>
@@ -76,6 +86,7 @@ struct RegionQueryResult {
   std::size_t route_hops = 0;       ///< greedy hops to reach the region
   std::size_t forward_messages = 0; ///< cell-to-cell flood transmissions
   std::size_t result_messages = 0;  ///< echo / rejection / final replies
+  std::size_t epochs = 1;           ///< flood epochs (sequential: always 1)
 
   /// Total protocol messages under the counting model above.
   [[nodiscard]] std::size_t total_messages() const {

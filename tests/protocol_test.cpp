@@ -223,6 +223,130 @@ TEST(ProtocolEngine, CrashDuringInFlightJoinsLosesNoJoin) {
   h.overlay().check_invariants();
 }
 
+TEST(ProtocolEngine, ReviveAbandonsPredecessorEraTransfers) {
+  // The surgical transport-level contract behind id recycling: reviving
+  // an id must abandon every reliable transfer still armed from the dead
+  // predecessor's era -- on BOTH sides.  Before the fix, revive() only
+  // cleared the dedup table, so a predecessor-era retransmission was
+  // delivered to the brand-new endpoint (receiver side), and a dead
+  // sender's unacked transfers came back to life with the recycled id.
+  sim::EventQueue queue;
+  NetworkConfig config;
+  config.latency = LatencyModel::fixed(0.05);
+  Network net(queue, config);
+  std::size_t delivered = 0;
+  std::vector<Message> abandoned;
+  net.set_sink([&](const Message&) { ++delivered; });
+  net.set_abandon_handler([&](const Message& m) { abandoned.push_back(m); });
+
+  // Receiver side: 1 -> 2 in flight when 2 crashes.
+  Message to_victim;
+  to_victim.type = sim::MessageKind::kVoronoiUpdate;
+  to_victim.src = 1;
+  to_victim.dst = 2;
+  net.send(to_victim);
+  // Sender side: 2 -> 3, dropped by a transient fault (simulated by
+  // crashing the sender before the ack can settle the transfer).
+  Message from_victim;
+  from_victim.type = sim::MessageKind::kCloseNeighbor;
+  from_victim.src = 2;
+  from_victim.dst = 2;  // self-addressed: dies with the endpoint
+  net.send(from_victim);
+  net.crash(2);
+  (void)queue.run_until(0.06);  // arrivals dropped at the dead endpoint
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(net.in_flight(), 2u);
+
+  // The id is recycled for a brand-new node before the retransmit
+  // timers fire: both predecessor-era transfers must be abandoned NOW
+  // (with the crashed mark still visible to the abandon handler) ...
+  net.revive(2);
+  EXPECT_EQ(net.in_flight(), 0u);
+  ASSERT_EQ(abandoned.size(), 2u);
+  EXPECT_EQ(net.stats().abandoned, 2u);
+
+  // ... and nothing stale may reach the new endpoint afterwards.
+  const auto run = queue.run_to_idle();
+  ASSERT_FALSE(run.budget_exhausted);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(net.stats().retransmits, 0u);
+
+  // The recycled endpoint is fully functional for fresh traffic.
+  Message fresh;
+  fresh.type = sim::MessageKind::kVoronoiUpdate;
+  fresh.src = 1;
+  fresh.dst = 2;
+  net.send(fresh);
+  (void)queue.run_to_idle();
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(ProtocolEngine, RecycledIdInheritsNoPredecessorTransfers) {
+  // Regression: Network::revive() cleared the recycled id's receiver-side
+  // dedup but left predecessor-era reliable transfers armed, so a
+  // retransmission addressed to (or sent by) the dead predecessor could
+  // deliver stale view content to the brand-new endpoint -- content with
+  // a version counter ahead of the fresh node's zero, hence applied.
+  // Crash a node and immediately rejoin while its transfers are still in
+  // their retransmission window: the recycled id must come up clean and
+  // the system must converge exactly.
+  HarnessConfig config = small_config();
+  config.network.latency = LatencyModel::uniform(0.02, 0.1);
+  config.network.drop_probability = 0.3;  // keep retransmissions armed
+  config.failure_detect_delay = 0.3;
+  ProtocolHarness h(config);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  Rng rng(38);
+  grow(h, gen, rng, 100, 0.005);
+  Rng pick(39);
+  for (int i = 0; i < 8; ++i) {
+    // Crash mid-traffic (joins in flight address the victim too), then
+    // join immediately: the freed vertex id is recycled while transfers
+    // from the victim's era are still pending.
+    h.join_after(0.0, gen.next(rng));
+    h.crash(h.random_node(pick));
+    h.join_after(0.01, gen.next(rng));
+    const auto run = h.run_to_idle();
+    ASSERT_FALSE(run.budget_exhausted);
+  }
+  EXPECT_EQ(h.pending_joins(), 0u);
+  EXPECT_EQ(h.node_count(), 108u);  // 100 + 16 joins - 8 crashes
+  EXPECT_FALSE(h.repair_in_flight());
+  const auto report = h.verify_views();
+  EXPECT_TRUE(report.converged())
+      << report.stale << " stale, " << report.dangling << " dangling of "
+      << report.checked;
+  h.overlay().check_invariants();
+}
+
+TEST(ProtocolEngine, RepairWindowIsVisibleAndStrictVerifyResumes) {
+  // verify_views() tolerates dangling long-link holders only while a
+  // crash's failure-detection window is open; afterwards the strict
+  // audit (report.dangling) is back in force.
+  HarnessConfig config = small_config();
+  config.network.latency = LatencyModel::fixed(0.01);
+  config.failure_detect_delay = 0.5;
+  ProtocolHarness h(config);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  Rng rng(40);
+  grow(h, gen, rng, 80);
+  EXPECT_FALSE(h.repair_in_flight());
+
+  Rng pick(41);
+  h.crash(h.random_node(pick));
+  const auto mid = h.run_until(h.queue().now() + 0.25);
+  ASSERT_FALSE(mid.budget_exhausted);
+  EXPECT_TRUE(h.repair_in_flight());  // detection delay not yet elapsed
+
+  const auto run = h.run_to_idle();
+  ASSERT_FALSE(run.budget_exhausted);
+  EXPECT_FALSE(h.repair_in_flight());
+  const auto report = h.verify_views();
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.dangling, 0u);
+  h.overlay().check_invariants();
+}
+
 TEST(ProtocolEngine, PartitionStallsThenHeals) {
   HarnessConfig config = small_config();
   config.network.latency = LatencyModel::fixed(0.02);

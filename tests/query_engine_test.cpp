@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "protocol/message.hpp"
 #include "voronet/object_id.hpp"
@@ -168,6 +170,181 @@ TEST(QueryEngine, QueriesDuringJoinBurstCompleteAndReportRecall) {
   const auto after = qh.run_radius(qh.harness().random_node(rng),
                                    {0.4, 0.6}, 0.1);
   EXPECT_TRUE(after.identical());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop failures mid-query
+// ---------------------------------------------------------------------------
+
+/// Drive the harness in small time slices until the query's flood is
+/// demonstrably in flight (the root served and forwarded), then crash
+/// `victim`.  Returns false when the query completed before the flood
+/// could be interrupted (does not happen with the latencies used here).
+bool crash_mid_flood(QueryHarness& qh, std::uint64_t id,
+                     protocol::NodeId victim) {
+  auto& h = qh.harness();
+  while (!h.query_record(id).done && h.query_record(id).forward_sends < 2) {
+    const auto run = h.run_until(h.queue().now() + 0.003);
+    if (run.budget_exhausted) return false;
+  }
+  if (h.query_record(id).done) return false;
+  h.crash(victim);
+  return true;
+}
+
+TEST(QueryEngine, CrashMidFloodFailoverSweep) {
+  // The failover contract: a crash-stop failure mid-flood -- of a leaf
+  // cell, an interior cell, the flood root or the issuer itself -- never
+  // loses the query.  Per-branch aborts close dead branches, the issuer
+  // re-issues tainted epochs, and once graded at quiescence the result
+  // is EXACT against the post-crash ground truth (recall == precision
+  // == 1), across latency models and loss up to 25%.
+  const std::vector<LatencyModel> latencies = {
+      LatencyModel::fixed(0.02),
+      LatencyModel::uniform(0.005, 0.05),
+      LatencyModel::lognormal(0.005, 0.03, 1.0),
+  };
+  const std::vector<double> losses = {0.0, 0.1, 0.25};
+  const Vec2 center{0.5, 0.5};
+  const double radius = 0.12;
+  std::size_t reissued_total = 0;
+
+  for (const auto& latency : latencies) {
+    for (const double loss : losses) {
+      HarnessConfig config = make_config(71);
+      config.network.latency = latency;
+      config.network.drop_probability = loss;
+      config.failure_detect_delay = 0.2;
+      QueryHarness qh(config);
+      qh.populate(220, 71);
+      ASSERT_TRUE(qh.harness().verify_views().converged());
+      auto& h = qh.harness();
+
+      for (const int role : {0, 1, 2, 3}) {  // leaf, interior, root, issuer
+        // Victims come from the CURRENT sequential truth, so each role
+        // names a cell that really serves this query.
+        const ObjectId root = qh.overlay().tessellation().nearest(center);
+        const auto truth =
+            radius_query(qh.overlay(), root, center, radius);
+        ASSERT_GT(truth.owners.size(), 3u);
+        // Issuer: a node far from the region (its cell never serves).
+        protocol::NodeId issuer = root;
+        double worst = -1.0;
+        for (const protocol::NodeId n : h.roster()) {
+          const double d = dist2(qh.overlay().position(n), center);
+          if (d > worst) {
+            worst = d;
+            issuer = n;
+          }
+        }
+        protocol::NodeId victim = root;
+        if (role == 0) {  // leaf: the served cell farthest from the centre
+          double far = -1.0;
+          for (const ObjectId o : truth.owners) {
+            const double d = dist2(qh.overlay().position(o), center);
+            if (d > far) {
+              far = d;
+              victim = o;
+            }
+          }
+        } else if (role == 1) {  // interior: a served neighbour of the root
+          for (const ObjectId o : qh.overlay().view(root).vn) {
+            if (std::find(truth.owners.begin(), truth.owners.end(), o) !=
+                truth.owners.end()) {
+              victim = o;
+              break;
+            }
+          }
+        } else if (role == 3) {
+          victim = issuer;
+        }
+        ASSERT_NE(issuer, root);
+
+        const std::uint64_t id = qh.issue_radius(issuer, center, radius);
+        ASSERT_TRUE(crash_mid_flood(qh, id, victim))
+            << latency.name() << " loss " << loss << " role " << role;
+        const auto run = h.run_to_idle();
+        ASSERT_FALSE(run.budget_exhausted)
+            << latency.name() << " loss " << loss << " role " << role;
+        ASSERT_EQ(h.pending_queries(), 0u);
+
+        const auto d = qh.collect(id);
+        EXPECT_TRUE(d.completed)
+            << latency.name() << " loss " << loss << " role " << role;
+        EXPECT_TRUE(d.identical())
+            << latency.name() << " loss " << loss << " role " << role
+            << ": owners " << d.msg.owners.size() << " vs truth "
+            << d.truth.owners.size() << ", epochs " << d.msg.epoch;
+        EXPECT_EQ(d.recall(), 1.0);
+        EXPECT_EQ(d.precision(), 1.0);
+        if (role == 3) EXPECT_TRUE(d.msg.issuer_lost);
+        if (d.msg.epoch > 1) ++reissued_total;
+
+        // Repairs have quiesced: the strict view check (including the
+        // dangling-holder audit) must hold again.
+        EXPECT_FALSE(h.repair_in_flight());
+        EXPECT_TRUE(h.verify_views().converged());
+      }
+      h.overlay().check_invariants();
+    }
+  }
+  // The sweep must have exercised the failover path, not dodged it.
+  EXPECT_GT(reissued_total, 0u);
+}
+
+TEST(QueryEngine, ChurnConcurrentScenario) {
+  // Queries racing joins, voluntary leaves AND crash-stop failures on
+  // one event queue -- the scenario class the failover machinery exists
+  // for.  Every query must complete; quality is graded against the
+  // post-quiescence ground truth (queries that finished before later
+  // churn legitimately reflect an earlier topology, so recall /
+  // precision are bounded, not asserted exact).
+  HarnessConfig config = make_config(73);
+  config.network.latency = LatencyModel::uniform(0.005, 0.05);
+  config.network.drop_probability = 0.1;
+  config.failure_detect_delay = 0.25;
+  QueryHarness qh(config);
+  qh.populate(250, 73);
+
+  QueryHarness::ChurnScenario s;
+  s.joins = 25;
+  s.leaves = 20;
+  s.crashes = 12;
+  s.queries = 40;
+  s.horizon = 2.5;
+  s.seed = 73;
+  const auto rep = qh.run_churn_scenario(s);
+
+  EXPECT_TRUE(rep.quiesced);
+  EXPECT_EQ(rep.completed, rep.queries);
+  EXPECT_EQ(qh.harness().pending_queries(), 0u);
+  EXPECT_TRUE(rep.converged);  // strict: repairs quiesced, no dangling
+  EXPECT_GE(rep.mean_recall, 0.8);
+  EXPECT_GE(rep.mean_precision, 0.8);
+  EXPECT_GT(rep.exact, rep.queries / 2);
+  qh.overlay().check_invariants();
+
+  // Quiet again: fresh queries are exact again.
+  Rng rng(73);
+  const auto after = qh.run_radius(qh.harness().random_node(rng),
+                                   {0.45, 0.55}, 0.1);
+  EXPECT_TRUE(after.identical());
+  EXPECT_EQ(after.recall(), 1.0);
+  EXPECT_EQ(after.precision(), 1.0);
+}
+
+TEST(QueryEngine, EmptyTruthRecallRequiresEmptyResult) {
+  // Satellite regression: recall() used to return 1.0 whenever the truth
+  // set was empty, hiding message-layer false positives entirely.
+  QueryHarness::Differential d;
+  EXPECT_EQ(d.recall(), 1.0);     // empty == empty
+  EXPECT_EQ(d.precision(), 1.0);  // nothing found, nothing false
+  d.msg.matches = {ObjectId{3}};
+  EXPECT_EQ(d.recall(), 0.0);  // false positive against an empty truth
+  EXPECT_EQ(d.precision(), 0.0);
+  d.truth.matches = {ObjectId{3}, ObjectId{5}};
+  EXPECT_EQ(d.recall(), 0.5);
+  EXPECT_EQ(d.precision(), 1.0);
 }
 
 TEST(QueryEngine, RecordHousekeeping) {
