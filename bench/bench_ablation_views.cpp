@@ -29,9 +29,9 @@ struct Variant {
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  args.finish();
 
   const std::size_t objects = scale.full ? 100'000 : 12'000;
   const std::size_t pairs = scale.pairs;
@@ -82,6 +82,10 @@ int main(int argc, char** argv) try {
   } else {
     table.print(std::cout);
   }
+  bench::write_json_file(
+      scale.json_path, bench::Json::object()
+                           .set("bench", bench::Json::string("ablation_views"))
+                           .set("table", bench::table_json(table)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_ablation_views: " << e.what() << "\n";

@@ -18,9 +18,9 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  args.finish();
 
   // Deliberate under-provisioning by 8x.  Note: far harsher ratios combined
   // with heavy clustering make the close neighbourhoods quadratic (every
@@ -84,6 +84,10 @@ int main(int argc, char** argv) try {
   } else {
     table.print(std::cout);
   }
+  bench::write_json_file(
+      scale.json_path, bench::Json::object()
+                           .set("bench", bench::Json::string("adaptive_nmax"))
+                           .set("table", bench::table_json(table)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_adaptive_nmax: " << e.what() << "\n";

@@ -2,29 +2,28 @@
 
 #include <atomic>
 #include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
-#include <stdexcept>
 
-#include "common/expect.hpp"
 #include "common/parallel.hpp"
-#include "stats/summary.hpp"
 
 namespace voronet::bench {
 
-Scale resolve_scale(const Flags& flags) {
+Scale resolve_scale(const Args& args) {
   Scale s{};
-  s.full = bench_full_scale(flags);
-  s.csv = flags.has("csv");
-  s.json_path = flags.get_string("json", "");
-  s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  s.full = args.full;
+  s.csv = args.csv;
+  s.json_path = args.json_path;
+  s.seed = args.seed;
+  const Flags& flags = args.flags();
   if (s.full) {
     s.objects = static_cast<std::size_t>(flags.get_int("objects", 300'000));
     s.checkpoint =
         static_cast<std::size_t>(flags.get_int("checkpoint", 10'000));
     s.pairs = static_cast<std::size_t>(flags.get_int("pairs", 100'000));
+  } else if (args.smoke) {
+    s.objects = static_cast<std::size_t>(flags.get_int("objects", 8'000));
+    s.checkpoint =
+        static_cast<std::size_t>(flags.get_int("checkpoint", 4'000));
+    s.pairs = static_cast<std::size_t>(flags.get_int("pairs", 2'000));
   } else {
     s.objects = static_cast<std::size_t>(flags.get_int("objects", 60'000));
     s.checkpoint =
@@ -79,144 +78,6 @@ double mean_route_hops(const Overlay& overlay, std::size_t pairs, Rng& rng) {
   return probe_stats(overlay, pairs, rng).mean_hops;
 }
 
-// ---------------------------------------------------------------------------
-// JSON
-// ---------------------------------------------------------------------------
-
-namespace {
-
-void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          // Remaining control characters must be \u-escaped for valid JSON.
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-std::string render_double(double v) {
-  // Round-trip precision; JSON has no inf/nan, map them to null.
-  if (!std::isfinite(v)) return "null";
-  std::ostringstream os;
-  os.precision(17);
-  os << v;
-  return os.str();
-}
-
-}  // namespace
-
-Json Json::object() { return Json{}; }
-
-Json Json::array() {
-  Json j;
-  j.kind_ = Kind::kArray;
-  return j;
-}
-
-Json Json::number(double v) {
-  Json j;
-  j.kind_ = Kind::kNumber;
-  j.scalar_ = render_double(v);
-  return j;
-}
-
-Json Json::integer(unsigned long long v) {
-  Json j;
-  j.kind_ = Kind::kNumber;
-  j.scalar_ = std::to_string(v);
-  return j;
-}
-
-Json Json::string(std::string v) {
-  Json j;
-  j.kind_ = Kind::kString;
-  j.scalar_ = std::move(v);
-  return j;
-}
-
-Json Json::boolean(bool v) {
-  Json j;
-  j.kind_ = Kind::kBool;
-  j.scalar_ = v ? "true" : "false";
-  return j;
-}
-
-Json& Json::set(const std::string& key, Json value) {
-  VORONET_EXPECT(kind_ == Kind::kObject, "set() on a non-object Json value");
-  children_.emplace_back(key, std::move(value));
-  return *this;
-}
-
-Json& Json::push(Json value) {
-  VORONET_EXPECT(kind_ == Kind::kArray, "push() on a non-array Json value");
-  children_.emplace_back(std::string{}, std::move(value));
-  return *this;
-}
-
-void Json::write(std::ostream& os, int indent) const {
-  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
-  switch (kind_) {
-    case Kind::kNumber:
-    case Kind::kBool:
-      os << scalar_;
-      break;
-    case Kind::kString:
-      write_escaped(os, scalar_);
-      break;
-    case Kind::kObject: {
-      if (children_.empty()) {
-        os << "{}";
-        break;
-      }
-      os << "{\n";
-      for (std::size_t i = 0; i < children_.size(); ++i) {
-        os << inner;
-        write_escaped(os, children_[i].first);
-        os << ": ";
-        children_[i].second.write(os, indent + 1);
-        os << (i + 1 < children_.size() ? ",\n" : "\n");
-      }
-      os << pad << '}';
-      break;
-    }
-    case Kind::kArray: {
-      if (children_.empty()) {
-        os << "[]";
-        break;
-      }
-      os << "[\n";
-      for (std::size_t i = 0; i < children_.size(); ++i) {
-        os << inner;
-        children_[i].second.write(os, indent + 1);
-        os << (i + 1 < children_.size() ? ",\n" : "\n");
-      }
-      os << pad << ']';
-      break;
-    }
-  }
-}
-
-std::string Json::str() const {
-  std::ostringstream os;
-  write(os);
-  return os.str();
-}
-
 Json table_json(const stats::Table& table) {
   const auto cell_value = [](const std::string& cell) {
     double v = 0.0;
@@ -237,15 +98,6 @@ Json table_json(const stats::Table& table) {
   }
   return Json::object().set("header", std::move(header))
       .set("rows", std::move(rows));
-}
-
-void write_json_file(const std::string& path, const Json& doc) {
-  if (path.empty()) return;
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open --json path: " + path);
-  doc.write(os);
-  os << '\n';
-  if (!os) throw std::runtime_error("failed writing --json path: " + path);
 }
 
 std::vector<GrowthPoint> route_growth_series(

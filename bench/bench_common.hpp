@@ -1,14 +1,14 @@
 // Shared machinery for the figure/table benchmark binaries.
 //
-// Every bench accepts:
+// Every bench accepts the common flag set, parsed once by parse_args():
 //   --full            run at the paper's exact scale (300k objects, 100k
 //                     route samples); otherwise a laptop-scale default
+//   --smoke           shrink every phase for the CI smoke run (~seconds)
 //   --csv             print machine-readable CSV instead of tables
 //   --json PATH       additionally write the results as a JSON document
-//   --objects N       override the maximum overlay size
-//   --pairs M         override the number of sampled routes per checkpoint
 //   --seed S          change the experiment seed
-// plus bench-specific flags documented in each binary.
+// plus bench-specific flags documented in each binary (queried through
+// Args::flags() before Args::finish() rejects the typos).
 #pragma once
 
 #include <cstdint>
@@ -16,13 +16,50 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/json.hpp"
 #include "stats/table.hpp"
 #include "voronet/overlay.hpp"
 #include "workload/distributions.hpp"
 
 namespace voronet::bench {
 
-/// Common scale parameters resolved from flags (paper scale under --full).
+// The ordered JSON document builder every bench writes --json files with.
+// One definition for the whole repo (scenario reports use it too); see
+// src/common/json.hpp.
+using voronet::Json;
+using voronet::write_json_file;
+
+/// The common flag set, parsed once.  Bench-specific flags are queried
+/// through flags(); call finish() after the last query so unknown flags
+/// still abort startup.
+class Args {
+  // Declared first: members initialize in declaration order, and every
+  // public field below reads from the parsed flags.
+  Flags flags_;
+
+ public:
+  Args(int argc, const char* const* argv, std::uint64_t default_seed = 42)
+      : flags_(argc, argv),
+        smoke(flags_.get_bool("smoke", false)),
+        full(bench_full_scale(flags_)),
+        csv(flags_.get_bool("csv", false)),
+        seed(static_cast<std::uint64_t>(
+            flags_.get_int("seed", static_cast<std::int64_t>(default_seed)))),
+        json_path(flags_.get_string("json", "")) {}
+
+  const bool smoke;
+  const bool full;
+  const bool csv;
+  const std::uint64_t seed;
+  const std::string json_path;
+
+  [[nodiscard]] const Flags& flags() const { return flags_; }
+  /// Throws std::invalid_argument if any parsed flag was never queried.
+  void finish() const { flags_.reject_unconsumed(); }
+};
+
+/// Common scale parameters resolved from the shared flags (paper scale
+/// under --full, CI scale under --smoke).
 struct Scale {
   std::size_t objects;      ///< final overlay size
   std::size_t checkpoint;   ///< measure every `checkpoint` insertions
@@ -33,51 +70,15 @@ struct Scale {
   std::string json_path;    ///< empty unless --json PATH was given
 };
 
-// ---------------------------------------------------------------------------
-// Minimal ordered JSON document builder.
-//
-// The figure benches and bench_hotpath share --json <path>: every bench
-// writes one JSON object so sweep scripts and the perf-trend tracker can
-// consume results without scraping tables.  Numbers are emitted with
-// round-trip precision.
-// ---------------------------------------------------------------------------
-class Json {
- public:
-  static Json object();
-  static Json array();
-  static Json number(double v);
-  static Json integer(unsigned long long v);
-  static Json string(std::string v);
-  static Json boolean(bool v);
-
-  /// Object member (insertion order preserved); returns *this for chaining.
-  Json& set(const std::string& key, Json value);
-  /// Array element; returns *this for chaining.
-  Json& push(Json value);
-
-  void write(std::ostream& os, int indent = 0) const;
-  [[nodiscard]] std::string str() const;
-
- private:
-  enum class Kind { kObject, kArray, kNumber, kString, kBool };
-  Kind kind_ = Kind::kObject;
-  std::string scalar_;  // rendered representation for leaf kinds
-  std::vector<std::pair<std::string, Json>> children_;
-};
-
 /// Render a stats::Table as {"header": [...], "rows": [[...], ...]}; cells
 /// that parse as numbers are emitted as numbers, the rest as strings.
 Json table_json(const stats::Table& table);
 
-/// Write `doc` to `path` (pretty-printed); throws std::runtime_error on
-/// I/O failure.  No-op when path is empty, so benches can call it
-/// unconditionally with scale.json_path.
-void write_json_file(const std::string& path, const Json& doc);
-
 /// Paper scale: 300,000 objects, checkpoints every 10,000 adds, 100,000
 /// random couples per checkpoint (section 5).  Default scale keeps the
-/// same shape at ~1/5 size so the whole harness runs in minutes.
-Scale resolve_scale(const Flags& flags);
+/// same shape at ~1/5 size so the whole harness runs in minutes; --smoke
+/// shrinks further for CI.
+Scale resolve_scale(const Args& args);
 
 /// Grow an overlay to `target` objects under the given distribution,
 /// invoking `checkpoint(n)` every `every` insertions (and at the end).

@@ -17,10 +17,10 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  const bool all = flags.has("all");
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  const bool all = args.flags().has("all");
+  args.finish();
 
   std::vector<workload::DistributionConfig> dists;
   if (all) {

@@ -17,11 +17,11 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
   const auto long_links =
-      static_cast<std::size_t>(flags.get_int("long-links", 1));
-  flags.reject_unconsumed();
+      static_cast<std::size_t>(args.flags().get_int("long-links", 1));
+  args.finish();
 
   std::cerr << "[fig6] objects=" << scale.objects
             << " checkpoint=" << scale.checkpoint << " pairs=" << scale.pairs

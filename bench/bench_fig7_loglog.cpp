@@ -18,9 +18,9 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  args.finish();
 
   std::cerr << "[fig7] objects=" << scale.objects
             << " checkpoint=" << scale.checkpoint << " pairs=" << scale.pairs

@@ -14,11 +14,11 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  const auto max_links =
-      static_cast<std::size_t>(flags.get_int("max-links", scale.full ? 10 : 6));
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  const auto max_links = static_cast<std::size_t>(
+      args.flags().get_int("max-links", scale.full ? 10 : 6));
+  args.finish();
 
   std::cerr << "[fig8] objects=" << scale.objects << " pairs=" << scale.pairs
             << " links=1.." << max_links

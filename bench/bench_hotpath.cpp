@@ -177,21 +177,22 @@ bench::Json bench_routing(const HotpathScale& s) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const Flags flags(argc, argv);
-  const bool smoke = flags.has("smoke");
+  const bench::Args args(argc, argv);
+  const bool smoke = args.smoke;
   HotpathScale s{};
   s.points = static_cast<std::size_t>(
-      flags.get_int("points", smoke ? 100'000 : 1'000'000));
-  s.locates =
-      static_cast<std::size_t>(flags.get_int("locates", smoke ? 2'000 : 20'000));
+      args.flags().get_int("points", smoke ? 100'000 : 1'000'000));
+  s.locates = static_cast<std::size_t>(
+      args.flags().get_int("locates", smoke ? 2'000 : 20'000));
   s.objects = static_cast<std::size_t>(
-      flags.get_int("objects", smoke ? 5'000 : 50'000));
-  s.routes =
-      static_cast<std::size_t>(flags.get_int("routes", smoke ? 2'000 : 20'000));
-  s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
-  const std::string json_path = flags.get_string("json", "");
-  flags.reject_unconsumed();
+      args.flags().get_int("objects", smoke ? 5'000 : 50'000));
+  s.routes = static_cast<std::size_t>(
+      args.flags().get_int("routes", smoke ? 2'000 : 20'000));
+  s.seed = args.seed;
+  const auto threads =
+      static_cast<std::size_t>(args.flags().get_int("threads", 0));
+  const std::string json_path = args.json_path;
+  args.finish();
   set_parallel_workers(threads);
 
   geo::DelaunayTriangulation dt;

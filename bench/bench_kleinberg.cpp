@@ -15,9 +15,9 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  args.finish();
 
   const std::vector<std::size_t> sides =
       scale.full ? std::vector<std::size_t>{100, 180, 320, 550}
@@ -83,6 +83,10 @@ int main(int argc, char** argv) try {
   } else {
     table.print(std::cout);
   }
+  bench::write_json_file(
+      scale.json_path, bench::Json::object()
+                           .set("bench", bench::Json::string("kleinberg"))
+                           .set("table", bench::table_json(table)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_kleinberg: " << e.what() << "\n";

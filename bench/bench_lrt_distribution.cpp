@@ -18,14 +18,14 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bool csv = flags.has("csv");
-  const auto samples =
-      static_cast<std::size_t>(flags.get_int("samples", 500'000));
-  const auto n_max = static_cast<std::size_t>(flags.get_int("nmax", 300'000));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  (void)bench_full_scale(flags);  // accepted for harness uniformity
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bool csv = args.csv;
+  const auto samples = static_cast<std::size_t>(
+      args.flags().get_int("samples", args.smoke ? 100'000 : 500'000));
+  const auto n_max =
+      static_cast<std::size_t>(args.flags().get_int("nmax", 300'000));
+  const std::uint64_t seed = args.seed;
+  args.finish();
 
   Rng rng(seed);
   const Vec2 from{0.5, 0.5};
@@ -94,6 +94,12 @@ int main(int argc, char** argv) try {
   } else {
     spacing.print(std::cout);
   }
+  bench::write_json_file(
+      args.json_path,
+      bench::Json::object()
+          .set("bench", bench::Json::string("lrt_distribution"))
+          .set("shells", bench::table_json(table))
+          .set("sub_spacing", bench::table_json(spacing)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_lrt_distribution: " << e.what() << "\n";

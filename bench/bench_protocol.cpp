@@ -6,14 +6,14 @@
 //      simulating real messages instead of counting them);
 //   2. convergence  -- simulated time until every node's local view
 //      matches the ground truth again after a burst of joins, swept over
-//      latency models and loss rates, with per-type message counts and
-//      the differential verification result for every cell.
+//      latency models and loss rates via the scenario API (one flash-crowd
+//      JoinBurst timeline x scenario::sweep), with per-type message counts
+//      and the differential verification result for every cell.
 //
 // Usage: bench_protocol [--objects N] [--burst B] [--seed S] [--csv]
 //                       [--smoke] [--json PATH]
 //
 // --smoke shrinks both phases for the CI smoke run (~seconds).
-#include <array>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +22,7 @@
 #include "common/expect.hpp"
 #include "common/timer.hpp"
 #include "protocol/harness.hpp"
+#include "scenario/runner.hpp"
 #include "stats/table.hpp"
 #include "workload/distributions.hpp"
 
@@ -35,33 +36,23 @@ struct ProtocolScale {
   std::uint64_t seed;
 };
 
-protocol::HarnessConfig base_config(const ProtocolScale& s) {
+bench::Json throughput_phase(const ProtocolScale& s) {
   protocol::HarnessConfig config;
   config.overlay.n_max = s.objects * 4;
   config.overlay.seed = s.seed;
   config.network.seed = s.seed ^ 0xfeedULL;
   config.seed = s.seed ^ 0x907aULL;
-  return config;
-}
-
-/// Grow a harness to `target` nodes with spaced joins and drain.
-void grow(protocol::ProtocolHarness& h, workload::PointGenerator& gen,
-          Rng& rng, std::size_t target, double spacing) {
-  std::size_t i = 0;
-  while (h.node_count() + h.pending_joins() < target) {
-    h.join_after(spacing * static_cast<double>(i++), gen.next(rng));
-  }
-  const auto run = h.run_to_idle();
-  VORONET_EXPECT(!run.budget_exhausted, "growth did not quiesce");
-}
-
-bench::Json throughput_phase(const ProtocolScale& s) {
-  protocol::ProtocolHarness h(base_config(s));
+  protocol::ProtocolHarness h(config);
   workload::PointGenerator gen(workload::DistributionConfig::uniform());
   Rng rng(s.seed);
 
   Timer t;
-  grow(h, gen, rng, s.objects, 0.01);
+  std::size_t i = 0;
+  while (h.node_count() + h.pending_joins() < s.objects) {
+    h.join_after(0.01 * static_cast<double>(i++), gen.next(rng));
+  }
+  const auto run = h.run_to_idle();
+  VORONET_EXPECT(!run.budget_exhausted, "growth did not quiesce");
   const double secs = t.seconds();
 
   const auto& stats = h.network().stats();
@@ -88,138 +79,89 @@ bench::Json throughput_phase(const ProtocolScale& s) {
       .set("verified_nodes", bench::Json::integer(report.checked));
 }
 
-struct SweepCell {
-  std::string latency;
-  double loss;
-  double convergence;  ///< simulated time from burst start to last apply
-  std::uint64_t transmissions;
-  std::uint64_t retransmits;
-  std::uint64_t dropped;
-  bool converged;
-  std::array<std::uint64_t, sim::kMessageKindCount> by_type{};
-};
-
-SweepCell convergence_cell(const ProtocolScale& s,
-                           const protocol::LatencyModel& latency,
-                           double loss) {
-  protocol::HarnessConfig config = base_config(s);
-  config.network.latency = latency;
-  config.network.drop_probability = loss;
-  protocol::ProtocolHarness h(config);
-  workload::PointGenerator gen(workload::DistributionConfig::uniform());
-  Rng rng(s.seed);
-  grow(h, gen, rng, s.objects, 0.01);
-
-  // Snapshot, then inject the burst within one second of simulated time.
-  const double t0 = h.queue().now();
-  const auto tx_before = h.network().stats().transmissions;
-  const auto retx_before = h.network().stats().retransmits;
-  const auto drop_before = h.network().stats().dropped;
-  std::array<std::uint64_t, sim::kMessageKindCount> by_before{};
-  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
-    by_before[k] =
-        h.network().metrics().messages(static_cast<sim::MessageKind>(k));
-  }
-  for (std::size_t i = 0; i < s.burst; ++i) {
-    h.join_after(static_cast<double>(i) / static_cast<double>(s.burst),
-                 gen.next(rng));
-  }
-  const auto run = h.run_to_idle();
-  VORONET_EXPECT(!run.budget_exhausted, "burst did not quiesce");
-
-  SweepCell cell;
-  cell.latency = latency.name();
-  cell.loss = loss;
-  cell.convergence = h.last_apply_time() - t0;
-  cell.transmissions = h.network().stats().transmissions - tx_before;
-  cell.retransmits = h.network().stats().retransmits - retx_before;
-  cell.dropped = h.network().stats().dropped - drop_before;
-  cell.converged = h.verify_views().converged();
-  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
-    cell.by_type[k] =
-        h.network().metrics().messages(static_cast<sim::MessageKind>(k)) -
-        by_before[k];
-  }
-  return cell;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const Flags flags(argc, argv);
-  const bool smoke = flags.get_bool("smoke", false);
+  const bench::Args args(argc, argv, /*default_seed=*/7);
+  const bool smoke = args.smoke;
   ProtocolScale s;
   s.objects = static_cast<std::size_t>(
-      flags.get_int("objects", smoke ? 400 : 2000));
-  s.burst =
-      static_cast<std::size_t>(flags.get_int("burst", smoke ? 50 : 200));
-  s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
-  const bool csv = flags.get_bool("csv", false);
-  const std::string json_path = flags.get_string("json", "");
-  flags.reject_unconsumed();
+      args.flags().get_int("objects", smoke ? 400 : 2000));
+  s.burst = static_cast<std::size_t>(
+      args.flags().get_int("burst", smoke ? 50 : 200));
+  s.seed = args.seed;
+  args.finish();
 
   bench::Json doc = bench::Json::object();
   doc.set("bench", bench::Json::string("protocol"));
   doc.set("throughput", throughput_phase(s));
 
-  const std::vector<protocol::LatencyModel> latencies = {
+  // The convergence measurement is a scenario: populate, inject one
+  // flash-crowd join burst within a second of simulated time, drain, and
+  // audit.  scenario::sweep replaces the hand-rolled latency x loss grid.
+  scenario::Scenario burst;
+  burst.name = "bench-protocol-burst";
+  burst.population = s.objects;
+  burst.seed = s.seed;
+  burst.timeline = {scenario::Event::join_burst(0.0, s.burst, 1.0)};
+
+  scenario::SweepGrid grid;
+  grid.latencies = {
       protocol::LatencyModel::fixed(0.02),
       protocol::LatencyModel::uniform(0.005, 0.05),
       protocol::LatencyModel::lognormal(0.005, 0.03, 1.0),
   };
-  const std::vector<double> losses = smoke ? std::vector<double>{0.0, 0.1}
-                                           : std::vector<double>{0.0, 0.01,
-                                                                 0.05, 0.2};
+  grid.losses = smoke ? std::vector<double>{0.0, 0.1}
+                      : std::vector<double>{0.0, 0.01, 0.05, 0.2};
 
   stats::Table table({"latency", "loss", "convergence", "msgs", "retx",
                       "dropped", "vn_upd", "cn_upd", "lr_upd", "converged"});
-  bench::Json sweep = bench::Json::array();
-  for (const auto& latency : latencies) {
-    for (const double loss : losses) {
-      const SweepCell cell = convergence_cell(s, latency, loss);
-      VORONET_EXPECT(cell.converged,
-                     "sweep cell failed differential verification");
-      const auto by = [&](sim::MessageKind k) {
-        return cell.by_type[static_cast<std::size_t>(k)];
-      };
-      table.add_row({cell.latency, stats::Table::cell(cell.loss, 2),
-                     stats::Table::cell(cell.convergence, 3),
-                     stats::Table::cell(cell.transmissions),
-                     stats::Table::cell(cell.retransmits),
-                     stats::Table::cell(cell.dropped),
-                     stats::Table::cell(by(sim::MessageKind::kVoronoiUpdate)),
-                     stats::Table::cell(by(sim::MessageKind::kCloseNeighbor)),
-                     stats::Table::cell(by(sim::MessageKind::kLongLinkBind)),
-                     cell.converged ? "yes" : "NO"});
-      bench::Json row = bench::Json::object();
-      row.set("latency", bench::Json::string(cell.latency))
-          .set("loss", bench::Json::number(cell.loss))
-          .set("convergence_time", bench::Json::number(cell.convergence))
-          .set("transmissions", bench::Json::integer(cell.transmissions))
-          .set("retransmits", bench::Json::integer(cell.retransmits))
-          .set("dropped", bench::Json::integer(cell.dropped))
-          .set("converged", bench::Json::boolean(cell.converged));
-      bench::Json per_type = bench::Json::object();
-      for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
-        per_type.set(
-            std::string(message_kind_name(static_cast<sim::MessageKind>(k))),
-            bench::Json::integer(cell.by_type[k]));
-      }
-      row.set("messages_by_type", std::move(per_type));
-      sweep.push(std::move(row));
+  bench::Json sweep_json = bench::Json::array();
+  for (const scenario::SweepCell& cell : scenario::sweep(burst, grid)) {
+    const scenario::Report& rep = cell.report;
+    VORONET_EXPECT(rep.quiesced, "sweep cell did not quiesce");
+    VORONET_EXPECT(rep.converged,
+                   "sweep cell failed differential verification");
+    table.add_row({rep.latency_name, stats::Table::cell(rep.loss, 2),
+                   stats::Table::cell(rep.convergence_time, 3),
+                   stats::Table::cell(rep.wire.transmissions),
+                   stats::Table::cell(rep.wire.retransmits),
+                   stats::Table::cell(rep.wire.dropped),
+                   stats::Table::cell(
+                       rep.messages_of(sim::MessageKind::kVoronoiUpdate)),
+                   stats::Table::cell(
+                       rep.messages_of(sim::MessageKind::kCloseNeighbor)),
+                   stats::Table::cell(
+                       rep.messages_of(sim::MessageKind::kLongLinkBind)),
+                   rep.converged ? "yes" : "NO"});
+    bench::Json row = bench::Json::object();
+    row.set("latency", bench::Json::string(rep.latency_name))
+        .set("loss", bench::Json::number(rep.loss))
+        .set("convergence_time", bench::Json::number(rep.convergence_time))
+        .set("transmissions", bench::Json::integer(rep.wire.transmissions))
+        .set("retransmits", bench::Json::integer(rep.wire.retransmits))
+        .set("dropped", bench::Json::integer(rep.wire.dropped))
+        .set("converged", bench::Json::boolean(rep.converged));
+    bench::Json per_type = bench::Json::object();
+    for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+      per_type.set(
+          std::string(message_kind_name(static_cast<sim::MessageKind>(k))),
+          bench::Json::integer(rep.messages[k]));
     }
+    row.set("messages_by_type", std::move(per_type));
+    sweep_json.push(std::move(row));
   }
-  doc.set("convergence_sweep", std::move(sweep));
+  doc.set("convergence_sweep", std::move(sweep_json));
 
   std::cout << "Protocol engine: burst convergence vs latency model and "
                "loss rate ("
             << s.objects << " nodes, burst " << s.burst << ")\n";
-  if (csv) {
+  if (args.csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
   }
-  bench::write_json_file(json_path, doc);
+  bench::write_json_file(args.json_path, doc);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_protocol: " << e.what() << "\n";

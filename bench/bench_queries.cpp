@@ -1,20 +1,21 @@
 // Query-workload benchmark: the attribute-space range / radius queries
 // (paper, section 7 perspectives) served at scale, plus the message-level
-// query engine's behaviour under network conditions.
+// query engine's behaviour under network conditions.  Phases 2-4 are
+// scenario::Scenario timelines executed by the one scenario::Runner; the
+// latency x loss grid is scenario::sweep.
 //
 //   1. throughput  -- batched sequential query serving over overlays of
 //      10^3 / 10^4 / 10^5 objects (10^6 with --full): queries/sec across
 //      worker threads, msgs/query under the queries.hpp counting model,
 //      and greedy hop counts against the polylog routing claim
 //      (hops / log2(N)^2 should stay bounded as N grows);
-//   2. message sweep -- the same queries executed as real kQuery /
-//      kQueryForward / kQueryResult messages through the protocol engine,
-//      swept over latency models and loss rates: p50/p99 completion
-//      latency, wire messages per query, and the differential check
-//      (every result set must equal the sequential ground truth at
-//      quiescence -- enforced, not just reported);
-//   3. staleness   -- queries racing a join burst under loss: completion
-//      and recall against the quiesced ground truth;
+//   2. message sweep -- a query-stream scenario swept over latency models
+//      and loss rates: p50/p99 completion latency, wire messages per
+//      query, and the differential check (every result set must equal
+//      the sequential ground truth at quiescence -- enforced, not just
+//      reported);
+//   3. staleness   -- a flash-crowd scenario: queries racing a join burst
+//      under loss; completion and recall against the quiesced truth;
 //   4. churn       -- the crash-failover scenario: queries racing joins,
 //      voluntary leaves AND crash-stop failures, graded (completion,
 //      recall, precision, re-issued epochs, branch failovers) against
@@ -25,7 +26,6 @@
 //
 // --smoke shrinks every phase for CI (~seconds); --full adds the 10^6
 // point to the throughput series and widens the sweeps.
-#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -35,7 +35,7 @@
 #include "common/expect.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
-#include "protocol/query_harness.hpp"
+#include "scenario/runner.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "voronet/queries.hpp"
@@ -52,30 +52,24 @@ struct QueryDraw {
   double tol = 0.0;
 };
 
-/// Pre-draw a mixed workload whose selectivity is scale-free: radius and
-/// tolerance shrink with sqrt(N) so a query matches tens of objects at
-/// every N (what a per-query cost series needs; a fixed radius would
-/// drown large overlays in O(N) result sets).
+/// Pre-draw a mixed workload from the one scale-free geometry definition
+/// (voronet::draw_range_geometry / draw_radius_geometry) -- the identical
+/// distribution the scenario drivers draw per query, so phase 1's
+/// per-query costs are comparable with the scenario phases.
 std::vector<QueryDraw> draw_queries(const Overlay& overlay, std::size_t count,
                                     Rng& rng) {
-  const double n = static_cast<double>(overlay.size());
   std::vector<QueryDraw> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     QueryDraw d;
     d.range = (i % 2 == 0);
     d.from = overlay.random_object(rng);
-    if (d.range) {
-      const double len = rng.uniform(0.02, 0.3);
-      const double angle = rng.uniform(0.0, 6.283185307179586);
-      d.a = {rng.uniform(), rng.uniform()};
-      d.b = {d.a.x + len * std::cos(angle), d.a.y + len * std::sin(angle)};
-      d.tol = rng.uniform(0.0, 1.0) / std::sqrt(n);
-    } else {
-      const double want = rng.uniform(1.0, 48.0);  // expected matches
-      d.a = {rng.uniform(), rng.uniform()};
-      d.tol = std::sqrt(want / (3.141592653589793 * n));
-    }
+    const QueryGeometry g = d.range
+                                ? draw_range_geometry(rng, overlay.size())
+                                : draw_radius_geometry(rng, overlay.size());
+    d.a = g.a;
+    d.b = g.b;
+    d.tol = g.tol;
     out.push_back(d);
   }
   return out;
@@ -155,182 +149,25 @@ ThroughputPoint throughput_point(std::size_t objects, std::size_t queries,
   return p;
 }
 
-// ---------------------------------------------------------------------------
-// Phase 2: message-level latency x loss sweep
-// ---------------------------------------------------------------------------
-
-struct SweepCell {
-  std::string latency;
-  double loss;
-  std::size_t queries;
-  std::size_t identical;  ///< result sets equal to the ground truth
-  double p50_latency;
-  double p99_latency;
-  double wire_msgs_per_query;
-  double mean_hops;
-};
-
-SweepCell message_cell(std::size_t objects, std::size_t queries,
-                       const protocol::LatencyModel& latency, double loss,
-                       std::uint64_t seed) {
-  protocol::HarnessConfig config;
-  config.overlay.n_max = objects * 2;
-  config.overlay.seed = seed;
-  config.network.seed = seed ^ 0xfeedULL;
-  config.network.latency = latency;
-  config.network.drop_probability = loss;
-  config.seed = seed ^ 0x907aULL;
-  protocol::QueryHarness qh(config);
-  qh.populate(objects, seed);
-  VORONET_EXPECT(qh.harness().verify_views().converged(),
-                 "population did not converge");
-
-  Rng rng(seed ^ 0xabcdULL);
-  const std::vector<QueryDraw> draws =
-      draw_queries(qh.overlay(), queries, rng);
-  const auto tx_before = qh.harness().network().stats().transmissions;
-  std::vector<std::uint64_t> ids;
-  ids.reserve(queries);
-  for (std::size_t i = 0; i < queries; ++i) {
-    const QueryDraw& d = draws[i];
-    const double at = 0.05 * static_cast<double>(i);
-    ids.push_back(d.range
-                      ? qh.issue_range(d.from, d.a, d.b, d.tol, at)
-                      : qh.issue_radius(d.from, d.a, d.tol, at));
-  }
-  const auto run = qh.harness().run_to_idle();
-  VORONET_EXPECT(!run.budget_exhausted, "query sweep did not quiesce");
-
-  SweepCell cell;
-  cell.latency = latency.name();
-  cell.loss = loss;
-  cell.queries = queries;
-  cell.identical = 0;
-  stats::OfflineSummary lat;
-  stats::StreamingSummary hops;
-  for (const std::uint64_t id : ids) {
-    const auto d = qh.collect(id);
-    VORONET_EXPECT(d.completed, "query never completed");
-    if (d.identical()) ++cell.identical;
-    lat.add(d.msg.latency());
-    hops.add(static_cast<double>(d.msg.route_hops));
-  }
-  cell.p50_latency = lat.quantile(0.5);
-  cell.p99_latency = lat.quantile(0.99);
-  cell.wire_msgs_per_query =
-      static_cast<double>(qh.harness().network().stats().transmissions -
-                          tx_before) /
-      static_cast<double>(queries);
-  cell.mean_hops = hops.mean();
-  return cell;
-}
-
-// ---------------------------------------------------------------------------
-// Phase 3: staleness (queries racing a join burst)
-// ---------------------------------------------------------------------------
-
-struct StalenessReport {
-  std::size_t queries = 0;
-  std::size_t completed = 0;
-  double mean_recall = 0.0;
-  double min_recall = 1.0;
-};
-
-StalenessReport staleness_phase(std::size_t objects, std::size_t burst,
-                                std::size_t queries, std::uint64_t seed) {
-  protocol::HarnessConfig config;
-  config.overlay.n_max = (objects + burst) * 2;
-  config.overlay.seed = seed;
-  config.network.seed = seed ^ 0xfeedULL;
-  config.network.latency = protocol::LatencyModel::uniform(0.005, 0.05);
-  config.network.drop_probability = 0.1;
-  config.seed = seed ^ 0x907aULL;
-  protocol::QueryHarness qh(config);
-  qh.populate(objects, seed);
-
-  Rng rng(seed ^ 0x5a1eULL);
-  workload::PointGenerator gen(workload::DistributionConfig::uniform());
-  const double horizon = 2.0;
-  for (std::size_t i = 0; i < burst; ++i) {
-    qh.harness().join_after(
-        horizon * static_cast<double>(i) / static_cast<double>(burst),
-        gen.next(rng));
-  }
-  std::vector<std::uint64_t> ids;
-  for (std::size_t i = 0; i < queries; ++i) {
-    const double at =
-        horizon * static_cast<double>(i) / static_cast<double>(queries);
-    ids.push_back(qh.issue_radius(qh.harness().random_node(rng),
-                                  {rng.uniform(), rng.uniform()},
-                                  rng.uniform(0.03, 0.15), at));
-  }
-  const auto run = qh.harness().run_to_idle();
-  VORONET_EXPECT(!run.budget_exhausted, "staleness phase did not quiesce");
-
-  StalenessReport rep;
-  rep.queries = queries;
-  double recall_sum = 0.0;
-  for (const std::uint64_t id : ids) {
-    const auto d = qh.collect(id);
-    if (!d.completed) continue;
-    ++rep.completed;
-    const double r = d.recall();
-    recall_sum += r;
-    rep.min_recall = std::min(rep.min_recall, r);
-  }
-  rep.mean_recall =
-      rep.completed ? recall_sum / static_cast<double>(rep.completed) : 0.0;
-  return rep;
-}
-
-// ---------------------------------------------------------------------------
-// Phase 4: churn-concurrent queries (crash failover)
-// ---------------------------------------------------------------------------
-
-protocol::QueryHarness::ChurnScenarioReport churn_phase(
-    std::size_t objects, const protocol::QueryHarness::ChurnScenario& s,
-    std::uint64_t seed) {
-  protocol::HarnessConfig config;
-  config.overlay.n_max = (objects + s.joins) * 2;
-  config.overlay.seed = seed;
-  config.network.seed = seed ^ 0xfeedULL;
-  config.network.latency = protocol::LatencyModel::uniform(0.005, 0.05);
-  config.network.drop_probability = 0.1;
-  config.failure_detect_delay = 0.25;
-  config.seed = seed ^ 0x907aULL;
-  protocol::QueryHarness qh(config);
-  qh.populate(objects, seed);
-
-  const auto rep = qh.run_churn_scenario(s);
-  VORONET_EXPECT(rep.quiesced, "churn phase did not quiesce");
-  VORONET_EXPECT(rep.completed == rep.queries,
-                 "a query was lost to churn despite the failover machinery");
-  VORONET_EXPECT(rep.converged,
-                 "views did not reconverge after the churn scenario");
-  return rep;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const Flags flags(argc, argv);
-  const bool smoke = flags.get_bool("smoke", false);
-  const bool full = flags.get_bool("full", false);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 9));
+  const bench::Args args(argc, argv, /*default_seed=*/9);
+  const bool smoke = args.smoke;
+  const bool full = args.full;
+  const std::uint64_t seed = args.seed;
   const auto queries = static_cast<std::size_t>(
-      flags.get_int("queries", smoke ? 2000 : 200000));
-  const bool csv = flags.get_bool("csv", false);
-  const std::string json_path = flags.get_string("json", "");
+      args.flags().get_int("queries", smoke ? 2000 : 200000));
   std::vector<std::size_t> series = smoke
                                         ? std::vector<std::size_t>{300, 1000}
                                         : std::vector<std::size_t>{1000,
                                                                    10000,
                                                                    100000};
   if (full) series.push_back(1000000);
-  if (const long n = flags.get_int("objects", 0); n > 0) {
+  if (const long n = args.flags().get_int("objects", 0); n > 0) {
     series = {static_cast<std::size_t>(n)};
   }
-  flags.reject_unconsumed();
+  args.finish();
 
   bench::Json doc = bench::Json::object();
   doc.set("bench", bench::Json::string("queries"));
@@ -367,51 +204,72 @@ int main(int argc, char** argv) try {
   // --- Phase 2 -------------------------------------------------------------
   const std::size_t msg_objects = smoke ? 150 : 600;
   const std::size_t msg_queries = smoke ? 20 : 100;
-  const std::vector<protocol::LatencyModel> latencies =
+
+  scenario::Scenario stream;
+  stream.name = "bench-queries-stream";
+  stream.population = msg_objects;
+  stream.seed = seed;
+  stream.timeline = {scenario::Event::query_stream(
+      0.0, msg_queries, 0.05 * static_cast<double>(msg_queries))};
+
+  scenario::SweepGrid grid;
+  grid.latencies =
       smoke ? std::vector<protocol::LatencyModel>{
                   protocol::LatencyModel::fixed(0.02)}
             : std::vector<protocol::LatencyModel>{
                   protocol::LatencyModel::fixed(0.02),
                   protocol::LatencyModel::uniform(0.005, 0.05),
                   protocol::LatencyModel::lognormal(0.005, 0.03, 1.0)};
-  const std::vector<double> losses =
-      smoke ? std::vector<double>{0.0, 0.25}
-            : std::vector<double>{0.0, 0.05, 0.25};
+  grid.losses = smoke ? std::vector<double>{0.0, 0.25}
+                      : std::vector<double>{0.0, 0.05, 0.25};
 
-  stats::Table sweep({"latency", "loss", "identical", "p50_lat", "p99_lat",
-                      "wire_msgs/q", "mean_hops"});
+  stats::Table sweep_table({"latency", "loss", "identical", "p50_lat",
+                            "p99_lat", "wire_msgs/q", "mean_hops"});
   bench::Json sweep_json = bench::Json::array();
-  for (const auto& latency : latencies) {
-    for (const double loss : losses) {
-      const SweepCell cell =
-          message_cell(msg_objects, msg_queries, latency, loss, seed);
-      VORONET_EXPECT(cell.identical == cell.queries,
-                     "message-level query diverged from the ground truth "
-                     "at quiescence");
-      sweep.add_row({cell.latency, stats::Table::cell(cell.loss, 2),
-                     stats::Table::cell(cell.identical),
-                     stats::Table::cell(cell.p50_latency, 3),
-                     stats::Table::cell(cell.p99_latency, 3),
-                     stats::Table::cell(cell.wire_msgs_per_query, 1),
-                     stats::Table::cell(cell.mean_hops, 2)});
-      sweep_json.push(
-          bench::Json::object()
-              .set("latency", bench::Json::string(cell.latency))
-              .set("loss", bench::Json::number(cell.loss))
-              .set("queries", bench::Json::integer(cell.queries))
-              .set("identical", bench::Json::integer(cell.identical))
-              .set("p50_completion", bench::Json::number(cell.p50_latency))
-              .set("p99_completion", bench::Json::number(cell.p99_latency))
-              .set("wire_msgs_per_query",
-                   bench::Json::number(cell.wire_msgs_per_query))
-              .set("mean_hops", bench::Json::number(cell.mean_hops)));
-    }
+  for (const scenario::SweepCell& cell : scenario::sweep(stream, grid)) {
+    const scenario::Report& rep = cell.report;
+    VORONET_EXPECT(rep.quiesced, "query sweep did not quiesce");
+    VORONET_EXPECT(rep.identical == rep.queries,
+                   "message-level query diverged from the ground truth "
+                   "at quiescence");
+    sweep_table.add_row({rep.latency_name, stats::Table::cell(rep.loss, 2),
+                         stats::Table::cell(rep.identical),
+                         stats::Table::cell(rep.p50_completion, 3),
+                         stats::Table::cell(rep.p99_completion, 3),
+                         stats::Table::cell(rep.wire_msgs_per_query, 1),
+                         stats::Table::cell(rep.mean_route_hops, 2)});
+    sweep_json.push(
+        bench::Json::object()
+            .set("latency", bench::Json::string(rep.latency_name))
+            .set("loss", bench::Json::number(rep.loss))
+            .set("queries", bench::Json::integer(rep.queries))
+            .set("identical", bench::Json::integer(rep.identical))
+            .set("p50_completion", bench::Json::number(rep.p50_completion))
+            .set("p99_completion", bench::Json::number(rep.p99_completion))
+            .set("wire_msgs_per_query",
+                 bench::Json::number(rep.wire_msgs_per_query))
+            .set("mean_hops", bench::Json::number(rep.mean_route_hops)));
   }
   doc.set("message_sweep", std::move(sweep_json));
 
   // --- Phase 3 -------------------------------------------------------------
-  const StalenessReport stale = staleness_phase(
-      smoke ? 150 : 400, smoke ? 30 : 80, smoke ? 10 : 40, seed);
+  const std::size_t stale_objects = smoke ? 150 : 400;
+  const std::size_t stale_burst = smoke ? 30 : 80;
+  const std::size_t stale_queries = smoke ? 10 : 40;
+
+  scenario::Scenario flash;
+  flash.name = "bench-queries-staleness";
+  flash.population = stale_objects;
+  flash.seed = seed;
+  flash.latency = protocol::LatencyModel::uniform(0.005, 0.05);
+  flash.loss = 0.1;
+  flash.timeline = {
+      scenario::Event::join_burst(0.0, stale_burst, 2.0),
+      scenario::Event::query_stream(0.0, stale_queries, 2.0,
+                                    scenario::QueryMix::kRadius),
+  };
+  const scenario::Report stale = scenario::run_scenario(flash);
+  VORONET_EXPECT(stale.quiesced, "staleness phase did not quiesce");
   doc.set("staleness",
           bench::Json::object()
               .set("queries", bench::Json::integer(stale.queries))
@@ -420,14 +278,31 @@ int main(int argc, char** argv) try {
               .set("min_recall", bench::Json::number(stale.min_recall)));
 
   // --- Phase 4 -------------------------------------------------------------
-  protocol::QueryHarness::ChurnScenario churn;
-  churn.joins = smoke ? 10 : 30;
-  churn.leaves = smoke ? 8 : 25;
-  churn.crashes = smoke ? 5 : 15;
-  churn.queries = smoke ? 15 : 50;
-  churn.horizon = smoke ? 1.5 : 3.0;
+  const std::size_t churn_objects = smoke ? 150 : 400;
+  const double horizon = smoke ? 1.5 : 3.0;
+
+  scenario::Scenario churn;
+  churn.name = "bench-queries-churn";
+  churn.population = churn_objects;
   churn.seed = seed ^ 0xc4a5ULL;
-  const auto churned = churn_phase(smoke ? 150 : 400, churn, seed);
+  churn.latency = protocol::LatencyModel::uniform(0.005, 0.05);
+  churn.loss = 0.1;
+  churn.failure_detect_delay = 0.25;
+  churn.timeline = {
+      scenario::Event::join_burst(0.0, smoke ? 10 : 30, horizon,
+                                  scenario::Spread::kUniform),
+      scenario::Event::leave(0.0, smoke ? 8 : 25, horizon, 16),
+      scenario::Event::crash(0.0, smoke ? 5 : 15, horizon, 16),
+      scenario::Event::query_stream(0.0, smoke ? 15 : 50, horizon,
+                                    scenario::QueryMix::kMixed,
+                                    scenario::Spread::kUniform),
+  };
+  const scenario::Report churned = scenario::run_scenario(churn);
+  VORONET_EXPECT(churned.quiesced, "churn phase did not quiesce");
+  VORONET_EXPECT(churned.completed == churned.queries,
+                 "a query was lost to churn despite the failover machinery");
+  VORONET_EXPECT(churned.converged,
+                 "views did not reconverge after the churn scenario");
   doc.set(
       "churn",
       bench::Json::object()
@@ -445,12 +320,13 @@ int main(int argc, char** argv) try {
 
   std::cout << "Query serving throughput (sequential layer, "
             << parallel_workers() << " workers)\n";
-  if (csv) tput.print_csv(std::cout); else tput.print(std::cout);
+  if (args.csv) tput.print_csv(std::cout); else tput.print(std::cout);
   std::cout << "\nMessage-level queries: completion latency vs latency "
                "model and loss (" << msg_objects << " nodes, "
             << msg_queries << " queries; 'identical' counts exact "
                "differential matches)\n";
-  if (csv) sweep.print_csv(std::cout); else sweep.print(std::cout);
+  if (args.csv) sweep_table.print_csv(std::cout);
+  else sweep_table.print(std::cout);
   std::cout << "\nStaleness: " << stale.completed << "/" << stale.queries
             << " queries completed during a join burst at 10% loss, mean "
                "recall " << stale.mean_recall << " (min "
@@ -464,7 +340,7 @@ int main(int argc, char** argv) try {
             << " (min " << churned.min_recall << "), precision mean "
             << churned.mean_precision << " (min " << churned.min_precision
             << ")\n";
-  bench::write_json_file(json_path, doc);
+  bench::write_json_file(args.json_path, doc);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_queries: " << e.what() << "\n";

@@ -17,9 +17,9 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  args.finish();
 
   const std::size_t objects = scale.full ? 20'000 : 4'000;
   const std::size_t pairs = scale.full ? 2'000 : 500;
@@ -53,6 +53,10 @@ int main(int argc, char** argv) try {
   } else {
     table.print(std::cout);
   }
+  bench::write_json_file(
+      scale.json_path, bench::Json::object()
+                           .set("bench", bench::Json::string("spanner_dilation"))
+                           .set("table", bench::table_json(table)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_spanner_dilation: " << e.what() << "\n";

@@ -17,11 +17,11 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  const auto churn_ops = static_cast<std::size_t>(
-      flags.get_int("churn-ops", scale.full ? 30'000 : 5'000));
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  const auto churn_ops = static_cast<std::size_t>(args.flags().get_int(
+      "churn-ops", scale.full ? 30'000 : (args.smoke ? 1'000 : 5'000)));
+  args.finish();
 
   stats::Table op_table({"distribution", "objects", "operation", "count",
                          "hops mean", "hops max", "msgs mean", "msgs max"});
@@ -100,6 +100,12 @@ int main(int argc, char** argv) try {
   } else {
     msg_table.print(std::cout);
   }
+  bench::write_json_file(
+      scale.json_path,
+      bench::Json::object()
+          .set("bench", bench::Json::string("table_maintenance"))
+          .set("operations", bench::table_json(op_table))
+          .set("messages", bench::table_json(msg_table)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_table_maintenance: " << e.what() << "\n";

@@ -16,9 +16,9 @@
 
 int main(int argc, char** argv) try {
   using namespace voronet;
-  const Flags flags(argc, argv);
-  const bench::Scale scale = bench::resolve_scale(flags);
-  flags.reject_unconsumed();
+  const bench::Args args(argc, argv);
+  const bench::Scale scale = bench::resolve_scale(args);
+  args.finish();
 
   const std::vector<std::size_t> sizes =
       scale.full ? std::vector<std::size_t>{30'000, 100'000, 300'000}
@@ -68,6 +68,10 @@ int main(int argc, char** argv) try {
   } else {
     table.print(std::cout);
   }
+  bench::write_json_file(
+      scale.json_path, bench::Json::object()
+                           .set("bench", bench::Json::string("table_viewsizes"))
+                           .set("table", bench::table_json(table)));
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "bench_table_viewsizes: " << e.what() << "\n";

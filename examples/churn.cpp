@@ -1,76 +1,110 @@
-// Membership churn under simulated time: joins, leaves and queries drive
-// the overlay through the discrete-event engine while the maintenance
-// protocol keeps every view consistent.
+// Membership churn as a declarative scenario: joins, leaves, crashes and
+// region queries race each other on the message-level protocol engine
+// while the maintenance protocol keeps every local view consistent.
 //
-//   $ ./churn [--population N] [--epochs E] [--seed S]
+//   $ ./example_churn [--scenario scenarios/steady_churn.json]
+//                     [--population N] [--seed S]
 //
-// Prints per-epoch population, message-rate and routing statistics, then
-// audits the full set of view invariants (vn == tessellation adjacency,
-// cn == dmin balls, long links bound to region owners, blr inverse).
+// Without --scenario, an equivalent steady-churn timeline is built in
+// code -- the two spellings demonstrate that a scenario file IS the API.
+// Prints the scenario's verify-barrier timeline, the per-kind message
+// costs, the query grading, and then audits the ground-truth invariants.
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/timer.hpp"
+#include "scenario/runner.hpp"
 #include "stats/table.hpp"
-#include "voronet/churn.hpp"
 
 int main(int argc, char** argv) try {
   using namespace voronet;
   const Flags flags(argc, argv);
+  const std::string path = flags.get_string("scenario", "");
   const auto population =
-      static_cast<std::size_t>(flags.get_int("population", 2000));
-  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 5));
+      static_cast<std::size_t>(flags.get_int("population", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
   flags.reject_unconsumed();
 
-  OverlayConfig cfg;
-  cfg.n_max = population * 4;
-  cfg.seed = seed;
-  Overlay overlay(cfg);
-  Rng rng(seed);
-  workload::PointGenerator gen(workload::DistributionConfig::uniform());
-  while (overlay.size() < population) overlay.insert(gen.next(rng));
-  std::cout << "bootstrapped " << overlay.size() << " objects\n";
-
-  stats::Table table({"epoch", "population", "joins", "leaves", "queries",
-                      "join hops", "query hops", "msgs/op", "vn upd/op",
-                      "route fwd/op"});
-  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
-    overlay.metrics().reset();
-    ChurnConfig churn;
-    churn.join_rate = 5.0;
-    churn.leave_rate = 5.0;  // balanced churn around the base population
-    churn.query_rate = 10.0;
-    churn.duration = 100.0;
-    churn.min_population = population / 2;
-    churn.seed = seed + epoch;
-    const ChurnReport report = run_churn(overlay, gen, churn);
-
-    const auto& m = overlay.metrics();
-    const double ops = static_cast<double>(report.joins + report.leaves +
-                                           report.queries);
-    const auto per_op = [&](sim::MessageKind kind) {
-      return ops > 0
-                 ? static_cast<double>(report.messages_of(kind)) / ops
-                 : 0.0;
+  scenario::Scenario s;
+  if (!path.empty()) {
+    s = scenario::load_scenario(path);
+    std::cout << "loaded scenario \"" << s.name << "\" from " << path << "\n";
+  } else {
+    s.name = "steady-churn (inline)";
+    s.population = population;
+    s.seed = seed;
+    s.latency = protocol::LatencyModel::uniform(0.005, 0.05);
+    s.loss = 0.05;
+    s.failure_detect_delay = 0.25;
+    const double horizon = 3.0;
+    s.timeline = {
+        scenario::Event::join_burst(0.0, 40, horizon,
+                                    scenario::Spread::kUniform),
+        scenario::Event::leave(0.0, 30, horizon, population / 2),
+        scenario::Event::crash(0.0, 10, horizon, population / 2),
+        scenario::Event::query_stream(0.0, 40, horizon),
+        scenario::Event::quiesce(horizon),
+        scenario::Event::verify_barrier(horizon),
     };
-    table.add_row(
-        {stats::Table::cell(epoch), stats::Table::cell(overlay.size()),
-         stats::Table::cell(report.joins), stats::Table::cell(report.leaves),
-         stats::Table::cell(report.queries),
-         stats::Table::cell(m.hops(sim::OperationKind::kJoin).mean(), 2),
-         stats::Table::cell(m.hops(sim::OperationKind::kQuery).mean(), 2),
-         stats::Table::cell(report.messages_per_event(), 1),
-         stats::Table::cell(per_op(sim::MessageKind::kVoronoiUpdate), 1),
-         stats::Table::cell(per_op(sim::MessageKind::kRouteForward), 1)});
   }
-  table.print(std::cout);
+
+  Timer wall;
+  scenario::Runner runner(s);
+  const scenario::Report rep = runner.run();
+  std::cout << "scenario \"" << rep.name << "\": " << rep.initial_population
+            << " -> " << rep.final_population << " nodes over "
+            << rep.duration << " simulated time units (" << wall.seconds()
+            << "s wall)\n";
+  std::cout << rep.joins << " joins, " << rep.leaves << " leaves, "
+            << rep.crashes << " crashes; " << rep.wire.transmissions
+            << " wire transmissions (" << rep.wire.retransmits
+            << " retransmits, " << rep.wire.dropped << " dropped)\n";
+
+  const std::size_t ops = rep.joins + rep.leaves + rep.crashes + rep.queries;
+  stats::Table msg_table({"message kind", "count", "per operation"});
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    const auto kind = static_cast<sim::MessageKind>(k);
+    if (rep.messages_of(kind) == 0) continue;
+    msg_table.add_row(
+        {std::string(sim::message_kind_name(kind)),
+         stats::Table::cell(rep.messages_of(kind)),
+         stats::Table::cell(static_cast<double>(rep.messages_of(kind)) /
+                                static_cast<double>(ops == 0 ? 1 : ops),
+                            2)});
+  }
+  msg_table.print(std::cout);
+
+  if (!rep.barriers.empty()) {
+    stats::Table barriers({"time", "nodes", "stale", "pending joins",
+                           "in flight", "converged"});
+    for (const auto& b : rep.barriers) {
+      barriers.add_row({stats::Table::cell(b.at, 2),
+                        stats::Table::cell(b.nodes),
+                        stats::Table::cell(b.stale),
+                        stats::Table::cell(b.pending_joins),
+                        stats::Table::cell(b.in_flight),
+                        b.converged ? "yes" : "no"});
+    }
+    std::cout << "\nverify barriers:\n";
+    barriers.print(std::cout);
+  }
+
+  if (rep.queries > 0) {
+    std::cout << "\nqueries: " << rep.completed << "/" << rep.queries
+              << " completed, " << rep.exact << " exact, " << rep.reissued
+              << " re-issued; recall mean " << rep.mean_recall << " (min "
+              << rep.min_recall << "), precision mean " << rep.mean_precision
+              << "\n";
+  }
+  std::cout << "quiesced: " << (rep.quiesced ? "yes" : "NO")
+            << ", converged: " << (rep.converged ? "yes" : "NO") << "\n";
 
   Timer audit;
-  overlay.check_invariants();
-  std::cout << "invariant audit passed over " << overlay.size()
-            << " objects in " << audit.seconds() << "s\n";
-  return 0;
+  runner.harness().overlay().check_invariants();
+  std::cout << "invariant audit passed over "
+            << runner.harness().overlay().size() << " objects in "
+            << audit.seconds() << "s\n";
+  return rep.quiesced && rep.converged ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "churn: " << e.what() << "\n";
   return 1;

@@ -1,98 +1,85 @@
-// Network partition and healing at the message level.
+// Network partition and healing, expressed as a declarative scenario.
 //
-// Splits the overlay along the x = 1/2 attribute line, keeps injecting
-// joins while the two halves cannot talk, and shows the protocol engine
-// riding it out: cross-cut view updates and route chains stall (stale
-// local views, joins stuck in flight, reliable transfers retrying), then
-// the partition heals and every retransmission drains until the
-// differential audit is exact again.
+// The timeline splits the overlay along the x = 1/2 attribute line, keeps
+// injecting joins while the two halves cannot talk, and places verify
+// barriers across the partitioned window: the protocol engine rides it
+// out (stale local views, joins stuck in flight, reliable transfers
+// retrying), then the partition heals and every retransmission drains
+// until the differential audit is exact again.
 //
-//   $ ./example_partition_heal [--population N] [--joins J] [--seed S]
+//   $ ./example_partition_heal [--scenario scenarios/partition_heal.json]
+//                              [--population N] [--joins J] [--seed S]
 //
-// Prints a timeline table (stale views / pending joins / in-flight
-// transfers per checkpoint) and the final verification.
+// Prints the verify-barrier timeline (stale views / pending joins /
+// in-flight transfers per checkpoint) and the final verification.
 #include <iostream>
 
+#include "common/expect.hpp"
 #include "common/flags.hpp"
-#include "protocol/harness.hpp"
+#include "scenario/runner.hpp"
 #include "stats/table.hpp"
-#include "workload/distributions.hpp"
 
 int main(int argc, char** argv) try {
   using namespace voronet;
   const Flags flags(argc, argv);
+  const std::string path = flags.get_string("scenario", "");
   const auto population =
       static_cast<std::size_t>(flags.get_int("population", 600));
   const auto joins = static_cast<std::size_t>(flags.get_int("joins", 60));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
   flags.reject_unconsumed();
 
-  protocol::HarnessConfig config;
-  config.overlay.n_max = population * 4;
-  config.overlay.seed = seed;
-  config.network.seed = seed ^ 0xfeedULL;
-  config.network.latency = protocol::LatencyModel::uniform(0.01, 0.05);
-  protocol::ProtocolHarness h(config);
-
-  workload::PointGenerator gen(workload::DistributionConfig::uniform());
-  Rng rng(seed);
-  for (std::size_t i = 0; i < population; ++i) {
-    h.join_after(0.01 * static_cast<double>(i), gen.next(rng));
-  }
-  auto run = h.run_to_idle();
-  VORONET_EXPECT(!run.budget_exhausted, "bootstrap did not quiesce");
-  std::cout << "bootstrapped " << h.node_count() << " protocol nodes ("
-            << h.network().stats().transmissions << " messages)\n";
-
-  // Partition: links crossing x = 1/2 go down.  Node positions are
-  // immutable, so consulting the ground truth for the side is safe.
-  const Overlay& overlay = h.overlay();
-  const auto west = [&overlay](protocol::NodeId n) {
-    return overlay.contains(n) ? overlay.position(n).x < 0.5 : true;
-  };
-  h.network().set_link_filter([west](protocol::NodeId a, protocol::NodeId b) {
-    return west(a) == west(b);
-  });
-  std::cout << "partitioned along x = 0.5\n";
-
-  // Joins keep arriving on both sides of the cut.
-  const double t0 = h.queue().now();
-  for (std::size_t i = 0; i < joins; ++i) {
-    h.join_after(0.2 * static_cast<double>(i), gen.next(rng));
+  scenario::Scenario s;
+  if (!path.empty()) {
+    s = scenario::load_scenario(path);
+    std::cout << "loaded scenario \"" << s.name << "\" from " << path << "\n";
+  } else {
+    s.name = "partition-heal (inline)";
+    s.population = population;
+    s.seed = seed;
+    s.latency = protocol::LatencyModel::uniform(0.01, 0.05);
+    // Joins keep arriving on both sides of the cut; barriers sample the
+    // stalled system at quarters of the partitioned window.
+    const double span = 0.2 * static_cast<double>(joins) + 10.0;
+    s.timeline = {
+        scenario::Event::partition_start(0.0, 0.5),
+        scenario::Event::join_burst(0.0, joins,
+                                    0.2 * static_cast<double>(joins)),
+        scenario::Event::verify_barrier(0.25 * span),
+        scenario::Event::verify_barrier(0.50 * span),
+        scenario::Event::verify_barrier(0.75 * span),
+        scenario::Event::verify_barrier(span),
+        scenario::Event::partition_heal(span),
+        scenario::Event::quiesce(span),
+        scenario::Event::verify_barrier(span),
+    };
   }
 
-  stats::Table table({"time", "phase", "nodes", "stale views",
-                      "pending joins", "in flight", "retransmits"});
-  const auto checkpoint = [&](const char* phase) {
-    const auto report = h.verify_views();
-    table.add_row({stats::Table::cell(h.queue().now() - t0, 1), phase,
-                   stats::Table::cell(h.node_count()),
-                   stats::Table::cell(report.stale),
-                   stats::Table::cell(h.pending_joins()),
-                   stats::Table::cell(h.network().in_flight()),
-                   stats::Table::cell(h.network().stats().retransmits)});
-  };
+  scenario::Runner runner(s);
+  const scenario::Report rep = runner.run();
+  std::cout << "bootstrapped " << rep.initial_population
+            << " protocol nodes; " << rep.joins
+            << " joins injected during the partition\n";
 
-  const double partition_span = 0.2 * static_cast<double>(joins) + 10.0;
-  for (int slice = 1; slice <= 4; ++slice) {
-    run = h.run_until(t0 + partition_span * (0.25 * slice));
-    VORONET_EXPECT(!run.budget_exhausted, "partition slice blew the budget");
-    checkpoint("partitioned");
+  stats::Table table({"time", "nodes", "stale views", "pending joins",
+                      "in flight", "converged"});
+  for (const auto& b : rep.barriers) {
+    table.add_row({stats::Table::cell(b.at, 1), stats::Table::cell(b.nodes),
+                   stats::Table::cell(b.stale),
+                   stats::Table::cell(b.pending_joins),
+                   stats::Table::cell(b.in_flight),
+                   b.converged ? "yes" : "no"});
   }
-
-  h.network().clear_link_filter();
-  run = h.run_to_idle();
-  VORONET_EXPECT(!run.budget_exhausted, "heal did not quiesce");
-  checkpoint("healed");
   table.print(std::cout);
 
-  const auto report = h.verify_views();
-  VORONET_EXPECT(report.converged(), "views did not reconverge after heal");
-  std::cout << "post-heal differential audit: " << report.checked
-            << " local views match the ground truth exactly\n";
-  h.overlay().check_invariants();
+  VORONET_EXPECT(rep.quiesced, "heal did not quiesce");
+  VORONET_EXPECT(rep.converged, "views did not reconverge after heal");
+  std::cout << "post-heal differential audit: " << rep.final_population
+            << " local views match the ground truth exactly ("
+            << rep.wire.retransmits << " retransmits rode out the cut)\n";
+  runner.harness().overlay().check_invariants();
   std::cout << "ground-truth invariant audit passed over "
-            << h.overlay().size() << " objects\n";
+            << runner.harness().overlay().size() << " objects\n";
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "partition_heal: " << e.what() << "\n";

@@ -1,0 +1,482 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/expect.hpp"
+
+namespace voronet {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters must be \u-escaped for valid JSON.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string render_double(double v) {
+  // Round-trip precision; JSON has no inf/nan, map them to null.
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Json Json::object() { return Json{}; }
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  j.scalar_ = render_double(v);
+  return j;
+}
+
+Json Json::integer(unsigned long long v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = static_cast<double>(v);
+  j.scalar_ = std::to_string(v);
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.scalar_ = std::move(v);
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.scalar_ = v ? "true" : "false";
+  return j;
+}
+
+Json Json::null() {
+  Json j;
+  j.kind_ = Kind::kNull;
+  j.scalar_ = "null";
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  VORONET_EXPECT(kind_ == Kind::kObject, "set() on a non-object Json value");
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  VORONET_EXPECT(kind_ == Kind::kArray, "push() on a non-array Json value");
+  children_.emplace_back(std::string{}, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : children_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("missing JSON member \"" + key + "\"");
+  }
+  return *v;
+}
+
+const Json& Json::item(std::size_t i) const {
+  if (kind_ != Kind::kArray || i >= children_.size()) {
+    throw std::invalid_argument("JSON array index out of range");
+  }
+  return children_[i].second;
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("JSON value is not a number");
+  }
+  return num_;
+}
+
+namespace {
+
+/// Exact integer extraction from a number's rendered form.  Numbers that
+/// were built by integer() or parsed from an integer token keep the full
+/// 64-bit value in scalar_; routing through the double would corrupt
+/// values above 2^53 (and overflow into UB near the int64 boundary).
+template <typename Int>
+bool parse_exact(const std::string& s, Int& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::int64_t Json::as_int() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("JSON value is not a number");
+  }
+  if (std::int64_t i = 0; parse_exact(scalar_, i)) return i;
+  // Non-integer rendering (scientific / fractional): accept only values
+  // the double represents exactly within the int64 range.
+  const double v = num_;
+  if (v != std::floor(v) || v < -9.223372036854775808e18 ||
+      v >= 9.223372036854775808e18) {
+    throw std::invalid_argument("JSON number is not an integer: " + scalar_);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t Json::as_uint() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("JSON value is not a number");
+  }
+  if (std::uint64_t u = 0; parse_exact(scalar_, u)) return u;
+  const double v = num_;
+  if (v < 0.0) {
+    throw std::invalid_argument("JSON number is negative: " + scalar_);
+  }
+  if (v != std::floor(v) || v >= 1.8446744073709552e19) {
+    throw std::invalid_argument("JSON number is not an integer: " + scalar_);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw std::invalid_argument("JSON value is not a string");
+  }
+  return scalar_;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) {
+    throw std::invalid_argument("JSON value is not a boolean");
+  }
+  return scalar_ == "true";
+}
+
+double Json::get_double(const std::string& key, double def) const {
+  const Json* v = find(key);
+  return v == nullptr ? def : v->as_double();
+}
+
+std::uint64_t Json::get_uint(const std::string& key,
+                             std::uint64_t def) const {
+  const Json* v = find(key);
+  return v == nullptr ? def : v->as_uint();
+}
+
+std::string Json::get_string(const std::string& key, std::string def) const {
+  const Json* v = find(key);
+  return v == nullptr ? std::move(def) : v->as_string();
+}
+
+bool Json::get_bool(const std::string& key, bool def) const {
+  const Json* v = find(key);
+  return v == nullptr ? def : v->as_bool();
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNumber:
+    case Kind::kBool:
+    case Kind::kNull:
+      os << scalar_;
+      break;
+    case Kind::kString:
+      write_escaped(os, scalar_);
+      break;
+    case Kind::kObject: {
+      if (children_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        os << inner;
+        write_escaped(os, children_[i].first);
+        os << ": ";
+        children_[i].second.write(os, indent + 1);
+        os << (i + 1 < children_.size() ? ",\n" : "\n");
+      }
+      os << pad << '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (children_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        os << inner;
+        children_[i].second.write(os, indent + 1);
+        os << (i + 1 < children_.size() ? ",\n" : "\n");
+      }
+      os << pad << ']';
+      break;
+    }
+  }
+}
+
+std::string Json::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over the writer's subset of JSON.
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+        if (consume_word("true")) return Json::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_word("false")) return Json::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_word("null")) return Json::null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape digit");
+          }
+          // The writer only \u-escapes control characters (< 0x20); encode
+          // the general case as UTF-8 anyway so foreign documents survive.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      fail("malformed number '" + token + "'");
+    }
+    // Preserve integer tokens exactly (to_string rendering, full uint64
+    // range -- a 64-bit seed must survive parse + write byte-for-byte;
+    // the double value is only a lossy convenience view).
+    if (token.find_first_of(".eE") == std::string::npos && token[0] != '-') {
+      unsigned long long u = 0;
+      const auto [uptr, uec] =
+          std::from_chars(token.data(), token.data() + token.size(), u);
+      if (uec == std::errc{} && uptr == token.data() + token.size()) {
+        return Json::integer(u);
+      }
+    }
+    return Json::number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+void write_json_file(const std::string& path, const Json& doc) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open --json path: " + path);
+  doc.write(os);
+  os << '\n';
+  if (!os) throw std::runtime_error("failed writing --json path: " + path);
+}
+
+Json read_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read JSON file: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return Json::parse(buf.str());
+}
+
+}  // namespace voronet

@@ -1,0 +1,109 @@
+// Minimal ordered JSON document type shared by the scenario subsystem and
+// the bench binaries.
+//
+// Building: the figure benches and bench_hotpath share --json <path>; every
+// bench writes one JSON object so sweep scripts and the perf-trend tracker
+// can consume results without scraping tables.  Numbers are emitted with
+// round-trip precision and object members keep insertion order, so a
+// document serialized twice from the same values is bit-identical -- the
+// property the scenario replay-determinism contract is asserted on.
+//
+// Parsing: scenario::Scenario files (scenarios/*.json) are read back
+// through parse(), so a recorded run can be replayed from disk.  The
+// parser covers the JSON subset the writer emits (objects, arrays, finite
+// numbers, strings with the writer's escapes, booleans, null).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace voronet {
+
+class Json {
+ public:
+  static Json object();
+  static Json array();
+  static Json number(double v);
+  static Json integer(unsigned long long v);
+  static Json string(std::string v);
+  static Json boolean(bool v);
+  static Json null();
+
+  /// Parse a complete JSON document; throws std::invalid_argument with a
+  /// character offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  // --- Building ------------------------------------------------------------
+
+  /// Object member (insertion order preserved); returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Array element; returns *this for chaining.
+  Json& push(Json value);
+
+  // --- Inspection ----------------------------------------------------------
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Object: member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Object: member access; throws std::invalid_argument when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Array/object: number of elements / members.
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+  /// Array: element access (throws on out-of-range / non-array).
+  [[nodiscard]] const Json& item(std::size_t i) const;
+  /// Object/array: the ordered (key, value) children; array keys are "".
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& children()
+      const {
+    return children_;
+  }
+
+  /// Typed leaf accessors; throw std::invalid_argument on kind mismatch.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] bool as_bool() const;
+
+  /// Convenience: member value with a default when absent.
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t def) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  // --- Output --------------------------------------------------------------
+
+  void write(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kString, kBool, kNull };
+  Kind kind_ = Kind::kObject;
+  std::string scalar_;  // rendered representation for leaf kinds
+  double num_ = 0.0;    // numeric value (kNumber only)
+  std::vector<std::pair<std::string, Json>> children_;
+
+  friend class JsonParser;
+};
+
+/// Write `doc` to `path` (pretty-printed); throws std::runtime_error on
+/// I/O failure.  No-op when path is empty, so callers can pass an
+/// optional --json flag value unconditionally.
+void write_json_file(const std::string& path, const Json& doc);
+
+/// Read and parse a whole JSON file; throws std::runtime_error when the
+/// file cannot be read, std::invalid_argument when it does not parse.
+Json read_json_file(const std::string& path);
+
+}  // namespace voronet

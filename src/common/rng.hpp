@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -86,6 +87,13 @@ class Rng {
 
   /// Bernoulli trial with success probability p.
   bool chance(double p) { return uniform() < p; }
+
+  /// Exponential inter-arrival delay for a Poisson process of `rate`
+  /// (the one definition every event-driven churn/workload driver uses).
+  double exponential(double rate) {
+    VORONET_EXPECT(rate > 0.0, "exponential(rate) requires rate > 0");
+    return -std::log(uniform(1e-12, 1.0)) / rate;
+  }
 
   /// Derive an independent child generator (for per-thread streams).
   Rng fork() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }

@@ -1,17 +1,23 @@
 #include "protocol/query_harness.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/expect.hpp"
 #include "common/rng.hpp"
-#include "workload/distributions.hpp"
 
 namespace voronet::protocol {
 
 void QueryHarness::populate(std::size_t objects, std::uint64_t seed,
                             double spacing) {
-  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  populate(objects, seed, workload::DistributionConfig::uniform(), spacing);
+}
+
+void QueryHarness::populate(std::size_t objects, std::uint64_t seed,
+                            const workload::DistributionConfig& dist,
+                            double spacing) {
+  workload::PointGenerator gen(dist);
   Rng rng(seed);
   std::size_t i = 0;
   while (harness_.node_count() + harness_.pending_joins() < objects) {
@@ -85,58 +91,238 @@ QueryHarness::Differential QueryHarness::collect(
   return grade(query_id, truth);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario event scheduling
+// ---------------------------------------------------------------------------
+
+void QueryHarness::issue_scenario_query(
+    const scenario::Event& event, bool range, double delay,
+    const std::shared_ptr<ScheduleContext>& ctx) {
+  const NodeId from = harness_.random_node(ctx->rng);
+  QueryGeometry spec;
+  if (event.has_spec) {
+    spec.a = event.a;
+    spec.b = event.b;
+    spec.tol = event.tol;
+  } else {
+    spec = range ? draw_range_geometry(ctx->rng, harness_.node_count())
+                 : draw_radius_geometry(ctx->rng, harness_.node_count());
+  }
+  ctx->query_ids.push_back(
+      range ? issue_range(from, spec.a, spec.b, spec.tol, delay)
+            : issue_radius(from, spec.a, spec.tol, delay));
+}
+
+void QueryHarness::fire_leave(const std::shared_ptr<ScheduleContext>& ctx,
+                              std::size_t floor) {
+  if (harness_.node_count() <= floor) return;
+  harness_.leave(harness_.random_node(ctx->rng));
+  ++ctx->leaves;
+}
+
+void QueryHarness::fire_crash(const std::shared_ptr<ScheduleContext>& ctx,
+                              std::size_t floor) {
+  if (harness_.node_count() <= floor) return;
+  const NodeId victim = harness_.random_node(ctx->rng);
+  ctx->crashed_positions.push_back(harness_.overlay().position(victim));
+  harness_.crash(victim);
+  ++ctx->crashes;
+}
+
+void QueryHarness::schedule_event(
+    const scenario::Event& event, double t0,
+    const std::shared_ptr<ScheduleContext>& ctx) {
+  using scenario::EventKind;
+  using scenario::QueryMix;
+  using scenario::Spread;
+  sim::EventQueue& queue = harness_.queue();
+  const double now = queue.now();
+  // An event whose start the run has already passed -- a preceding
+  // quiesce barrier drained beyond it, and how far a drain advances the
+  // clock depends on the retransmit tail, hence on seed and loss --
+  // fires immediately: a declarative timeline must not become invalid
+  // under a parameter edit.
+  const double start = std::max(t0 + event.at, now);
+  // The floor below which leave/crash fire-time bodies become no-ops.
+  const std::size_t floor = std::max<std::size_t>(event.min_population, 4);
+
+  /// Time of operation i under the event's spread (count-based spreads;
+  /// Poisson streams re-arm themselves at fire time instead).
+  const auto op_time = [&](std::size_t i) {
+    switch (event.spread) {
+      case Spread::kUniform:
+        return ctx->rng.uniform(start, start + event.duration);
+      case Spread::kEven:
+      case Spread::kPoisson:
+        break;
+    }
+    return event.count <= 1 ? start
+                            : start + event.duration *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(event.count);
+  };
+  /// Arm a self-rescheduling Poisson process: `fire` runs at each arrival
+  /// until the window closes.  The closure owns ctx, so the stream stays
+  /// alive for as long as it keeps re-arming.
+  const auto arm_poisson = [&](auto&& fire) {
+    const double end = start + event.duration;
+    auto arm = [this, &queue, ctx, rate = event.rate, end,
+                fire = std::forward<decltype(fire)>(fire)](
+                   auto&& self, double from) -> void {
+      const double delay = ctx->rng.exponential(rate);
+      if (from + delay > end) return;
+      queue.schedule(from + delay - queue.now(),
+                     [self, fire, at = from + delay] {
+                       fire();
+                       self(self, at);
+                     });
+    };
+    arm(arm, start);
+  };
+
+  switch (event.kind) {
+    case EventKind::kJoinBurst: {
+      if (event.spread == Spread::kPoisson) {
+        arm_poisson([this, ctx] {
+          harness_.join_after(0.0, ctx->points.next(ctx->rng));
+          ++ctx->joins;
+        });
+        break;
+      }
+      for (std::size_t i = 0; i < event.count; ++i) {
+        harness_.join_after(op_time(i) - now, ctx->points.next(ctx->rng));
+        ++ctx->joins;
+      }
+      break;
+    }
+    case EventKind::kLeave: {
+      if (event.spread == Spread::kPoisson) {
+        arm_poisson([this, ctx, floor] { fire_leave(ctx, floor); });
+        break;
+      }
+      for (std::size_t i = 0; i < event.count; ++i) {
+        queue.schedule(op_time(i) - now,
+                       [this, ctx, floor] { fire_leave(ctx, floor); });
+      }
+      break;
+    }
+    case EventKind::kCrash: {
+      if (event.spread == Spread::kPoisson) {
+        arm_poisson([this, ctx, floor] { fire_crash(ctx, floor); });
+        break;
+      }
+      for (std::size_t i = 0; i < event.count; ++i) {
+        queue.schedule(op_time(i) - now,
+                       [this, ctx, floor] { fire_crash(ctx, floor); });
+      }
+      break;
+    }
+    case EventKind::kRevive: {
+      queue.schedule(start - now, [this, ctx, count = event.count] {
+        for (std::size_t i = 0; i < count && !ctx->crashed_positions.empty();
+             ++i) {
+          harness_.join_after(0.0, ctx->crashed_positions.back());
+          ctx->crashed_positions.pop_back();
+          ++ctx->revives;
+          ++ctx->joins;
+        }
+      });
+      break;
+    }
+    case EventKind::kPartitionStart: {
+      queue.schedule(start - now, [this, axis = event.axis_value] {
+        // Node positions are immutable, so consulting the ground truth
+        // for the side of the cut is safe.
+        const Overlay& overlay = harness_.overlay();
+        harness_.network().set_link_filter(
+            [&overlay, axis](NodeId a, NodeId b) {
+              const auto west = [&overlay, axis](NodeId n) {
+                return overlay.contains(n) ? overlay.position(n).x < axis
+                                           : true;
+              };
+              return west(a) == west(b);
+            });
+      });
+      break;
+    }
+    case EventKind::kPartitionHeal: {
+      queue.schedule(start - now,
+                     [this] { harness_.network().clear_link_filter(); });
+      break;
+    }
+    case EventKind::kRangeQuery:
+      issue_scenario_query(event, /*range=*/true, start - now, ctx);
+      break;
+    case EventKind::kRadiusQuery:
+      issue_scenario_query(event, /*range=*/false, start - now, ctx);
+      break;
+    case EventKind::kQueryStream: {
+      const auto is_range = [mix = event.mix](std::size_t i) {
+        return mix == QueryMix::kRange ||
+               (mix == QueryMix::kMixed && i % 2 == 0);
+      };
+      if (event.spread == Spread::kPoisson) {
+        // Fire-time issue: the spec must see the population of the issue
+        // instant, so the stream schedules the issue itself, not a
+        // pre-drawn query.
+        auto counter = std::make_shared<std::size_t>(0);
+        arm_poisson([this, ctx, event, counter, is_range] {
+          issue_scenario_query(event, is_range((*counter)++), 0.0, ctx);
+        });
+        break;
+      }
+      for (std::size_t i = 0; i < event.count; ++i) {
+        issue_scenario_query(event, is_range(i), op_time(i) - now, ctx);
+      }
+      break;
+    }
+    case EventKind::kQuiesce:
+    case EventKind::kVerifyBarrier:
+      VORONET_EXPECT(false,
+                     "barrier events sequence the run, not the queue; "
+                     "scenario::Runner handles them");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn-concurrent scenario driver (deprecated shim)
+// ---------------------------------------------------------------------------
+
+std::vector<scenario::Event> QueryHarness::ChurnScenario::events() const {
+  using scenario::Event;
+  using scenario::QueryMix;
+  using scenario::Spread;
+  return {
+      Event::join_burst(0.0, joins, horizon, Spread::kUniform),
+      Event::leave(0.0, leaves, horizon, min_population),
+      Event::crash(0.0, crashes, horizon, min_population),
+      Event::query_stream(0.0, queries, horizon, QueryMix::kMixed,
+                          Spread::kUniform),
+  };
+}
+
 QueryHarness::ChurnScenarioReport QueryHarness::run_churn_scenario(
     const ChurnScenario& s) {
   VORONET_EXPECT(harness_.node_count() > 0,
                  "churn scenario needs a populated overlay (populate())");
-  // One shared RNG drives both the schedule-time draws (times, query
+  // One shared context drives both the schedule-time draws (times, query
   // specs) and the fire-time draws (leave/crash victims are chosen from
   // the population alive at that instant); event order is deterministic,
   // so the whole scenario replays bit-for-bit from the seed.
-  const auto rng = std::make_shared<Rng>(s.seed);
-  sim::EventQueue& queue = harness_.queue();
-  const std::size_t floor = std::max<std::size_t>(s.min_population, 4);
-
-  workload::PointGenerator gen(workload::DistributionConfig::uniform());
-  for (std::size_t i = 0; i < s.joins; ++i) {
-    harness_.join_after(rng->uniform(0.0, s.horizon), gen.next(*rng));
-  }
-  for (std::size_t i = 0; i < s.leaves; ++i) {
-    queue.schedule(rng->uniform(0.0, s.horizon), [this, rng, floor] {
-      if (harness_.node_count() <= floor) return;
-      harness_.leave(harness_.random_node(*rng));
-    });
-  }
-  for (std::size_t i = 0; i < s.crashes; ++i) {
-    queue.schedule(rng->uniform(0.0, s.horizon), [this, rng, floor] {
-      if (harness_.node_count() <= floor) return;
-      harness_.crash(harness_.random_node(*rng));
-    });
-  }
-  std::vector<std::uint64_t> ids;
-  ids.reserve(s.queries);
-  for (std::size_t i = 0; i < s.queries; ++i) {
-    const NodeId from = harness_.random_node(*rng);
-    const double at = rng->uniform(0.0, s.horizon);
-    if (i % 2 == 0) {
-      const Vec2 c{rng->uniform(), rng->uniform()};
-      ids.push_back(issue_radius(from, c, rng->uniform(0.03, 0.15), at));
-    } else {
-      const Vec2 a{rng->uniform(), rng->uniform()};
-      const Vec2 b{rng->uniform(), rng->uniform()};
-      ids.push_back(issue_range(from, a, b, rng->uniform(0.0, 0.05), at));
-    }
-  }
+  const auto ctx = std::make_shared<ScheduleContext>(
+      s.seed, workload::DistributionConfig::uniform());
+  const double t0 = harness_.queue().now();
+  for (const scenario::Event& e : s.events()) schedule_event(e, t0, ctx);
 
   const auto run = harness_.run_to_idle();
 
   ChurnScenarioReport rep;
-  rep.queries = s.queries;
+  rep.queries = ctx->query_ids.size();
   rep.quiesced = !run.budget_exhausted;
   rep.converged = harness_.verify_views().converged();
   double recall_sum = 0.0;
   double precision_sum = 0.0;
-  for (const std::uint64_t id : ids) {
+  for (const std::uint64_t id : ctx->query_ids) {
     const Differential d = collect(id);
     if (!d.completed) continue;
     ++rep.completed;

@@ -18,13 +18,25 @@
 // Under staleness (views still converging while the query runs) the
 // message execution legitimately loses coverage; recall() quantifies it
 // against the ground truth instead of asserting.
+//
+// Workload injection speaks the scenario event vocabulary
+// (src/scenario/events.hpp): schedule_event() schedules one declarative
+// timeline event -- join bursts, leaves, crashes, revives, partitions,
+// queries -- on the harness's event queue, drawing every stochastic
+// choice from a shared ScheduleContext so a timeline replays bit-for-bit
+// from its seed.  scenario::Runner composes these into full scenario
+// executions; the ChurnScenario struct below survives only as a thin
+// shim over the same vocabulary.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "protocol/harness.hpp"
+#include "scenario/events.hpp"
 #include "voronet/queries.hpp"
+#include "workload/distributions.hpp"
 
 namespace voronet::protocol {
 
@@ -35,6 +47,9 @@ class QueryHarness {
   /// Grow the population through message-level joins and quiesce.
   void populate(std::size_t objects, std::uint64_t seed,
                 double spacing = 0.01);
+  /// Same, with an explicit join-position workload.
+  void populate(std::size_t objects, std::uint64_t seed,
+                const workload::DistributionConfig& dist, double spacing);
 
   /// One differential execution: both layers, compared field by field.
   struct Differential {
@@ -84,15 +99,42 @@ class QueryHarness {
   /// Grade a previously issued query against the CURRENT ground truth.
   [[nodiscard]] Differential collect(std::uint64_t query_id) const;
 
-  // --- Churn-concurrent scenario driver ------------------------------------
+  // --- Scenario event scheduling -------------------------------------------
+
+  /// Shared mutable state of one scheduled timeline: the Rng every
+  /// stochastic choice draws from, the join-position workload, and the
+  /// counters / stacks the fire-time callbacks update.  Held by
+  /// shared_ptr because Poisson streams re-arm themselves from inside
+  /// scheduled closures.
+  struct ScheduleContext {
+    ScheduleContext(std::uint64_t seed,
+                    const workload::DistributionConfig& dist)
+        : rng(seed), points(dist) {}
+
+    Rng rng;
+    workload::PointGenerator points;
+    std::vector<std::uint64_t> query_ids;  ///< every query issued
+    std::size_t joins = 0;    ///< joins scheduled (bursts + revives)
+    std::size_t leaves = 0;   ///< leaves executed (floor skips excluded)
+    std::size_t crashes = 0;  ///< crashes executed
+    std::size_t revives = 0;  ///< crash positions rejoined
+    /// Positions of crashed nodes, most recent last (kRevive pops here).
+    std::vector<Vec2> crashed_positions;
+  };
+
+  /// Schedule every operation of one timeline event at absolute times
+  /// `t0 + event.at [+ spread]` on the harness's event queue.  Barrier
+  /// kinds (kQuiesce / kVerifyBarrier) sequence the *run*, not the
+  /// queue, and are rejected here -- scenario::Runner handles them.
+  void schedule_event(const scenario::Event& event, double t0,
+                      const std::shared_ptr<ScheduleContext>& ctx);
+
+  // --- Churn-concurrent scenario driver (deprecated shim) ------------------
   //
-  // The scenario class the failover machinery exists for: queries racing
-  // joins, voluntary leaves and crash-stop failures on the same event
-  // queue.  Every operation count is spread uniformly over [0, horizon]
-  // in simulated time; leave/crash victims are drawn from the LIVE
-  // population at fire time.  After quiescence every query is graded
-  // (completion + recall + precision) against the post-quiescence ground
-  // truth.
+  // The original one-off churn driver, now a thin wrapper that expands
+  // into scenario events and schedules them through schedule_event().
+  // New code should build a scenario::Scenario and use scenario::Runner,
+  // which adds barriers, partitions and a full serializable report.
 
   struct ChurnScenario {
     std::size_t joins = 0;
@@ -104,6 +146,9 @@ class QueryHarness {
     /// this floor (a scenario must not tear the overlay down entirely).
     std::size_t min_population = 16;
     std::uint64_t seed = 0xc4a12ULL;
+
+    /// The equivalent timeline in the unified event vocabulary.
+    [[nodiscard]] std::vector<scenario::Event> events() const;
   };
 
   struct ChurnScenarioReport {
@@ -130,6 +175,17 @@ class QueryHarness {
  private:
   [[nodiscard]] Differential grade(std::uint64_t query_id,
                                    const RegionQueryResult& truth) const;
+
+  /// Issue one query with geometry from the event (or drawn scale-free
+  /// from ctx->rng) at `delay` from now.
+  void issue_scenario_query(const scenario::Event& event, bool range,
+                            double delay,
+                            const std::shared_ptr<ScheduleContext>& ctx);
+  /// Fire-time bodies of the membership events.
+  void fire_leave(const std::shared_ptr<ScheduleContext>& ctx,
+                  std::size_t floor);
+  void fire_crash(const std::shared_ptr<ScheduleContext>& ctx,
+                  std::size_t floor);
 
   ProtocolHarness harness_;
 };

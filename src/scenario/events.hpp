@@ -1,0 +1,194 @@
+// The scenario event vocabulary: one set of typed, declarative timeline
+// events that every workload driver in the repo consumes.
+//
+// A scenario (src/scenario/scenario.hpp) is a list of these events plus a
+// seed and network parameterization; scenario::Runner executes them
+// against the message-level protocol + query engines, and the sequential
+// churn driver (voronet::run_events) interprets the membership/query
+// subset directly against an Overlay.  Both drivers draw every stochastic
+// choice (operation times, victims, query geometry) from one seeded Rng
+// in event order, so a timeline replays bit-for-bit from its seed.
+//
+// This header is deliberately low-level -- geometry and <vector> only --
+// so that src/voronet can consume the vocabulary without depending on the
+// protocol or scenario layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace voronet::scenario {
+
+enum class EventKind : std::uint8_t {
+  kJoinBurst,       ///< `count` joins (or a Poisson stream at `rate`)
+  kLeave,           ///< voluntary departures of random live nodes
+  kCrash,           ///< crash-stop failures of random live nodes
+  kRevive,          ///< rejoin the positions of the most recent crashes
+  kPartitionStart,  ///< cut every link crossing x = `axis_value`
+  kPartitionHeal,   ///< remove the partition
+  kRangeQuery,      ///< one range query (explicit or drawn geometry)
+  kRadiusQuery,     ///< one radius query (explicit or drawn geometry)
+  kQueryStream,     ///< `count` queries (or a Poisson stream at `rate`)
+  kQuiesce,         ///< barrier: drain the event queue to idle
+  kVerifyBarrier,   ///< barrier: record a differential view audit
+};
+
+/// How a multi-operation event spreads its operations over [at, at+duration].
+enum class Spread : std::uint8_t {
+  kEven,     ///< operation i fires at `at + i * duration / count`
+  kUniform,  ///< each operation time drawn uniformly from the window
+  kPoisson,  ///< Poisson process at `rate` until `at + duration`
+};
+
+/// Which query styles a kQueryStream mixes.
+enum class QueryMix : std::uint8_t {
+  kMixed,   ///< alternate range / radius
+  kRange,
+  kRadius,
+};
+
+/// One timeline event.  Which fields are meaningful depends on `kind`;
+/// unused fields keep their defaults so events serialize compactly.
+struct Event {
+  EventKind kind = EventKind::kQuiesce;
+  double at = 0.0;        ///< start, relative to the timeline origin
+  double duration = 0.0;  ///< window the operations spread over
+  std::size_t count = 1;  ///< operations in the window (kEven / kUniform)
+  double rate = 0.0;      ///< operations per time unit (kPoisson)
+  Spread spread = Spread::kEven;
+  /// Leave / crash operations are skipped while the live population is at
+  /// or below this floor (a scenario must not tear the overlay down).
+  std::size_t min_population = 0;
+  /// Explicit query geometry (kRangeQuery / kRadiusQuery).  When false,
+  /// the executing driver draws scale-free geometry from the run Rng.
+  bool has_spec = false;
+  Vec2 a;            ///< segment start / disk centre
+  Vec2 b;            ///< segment end (range only)
+  double tol = 0.0;  ///< range tolerance / disk radius
+  QueryMix mix = QueryMix::kMixed;  ///< kQueryStream composition
+  double axis_value = 0.5;          ///< kPartitionStart cut position
+
+  // --- Factories (the spellings scenarios are written in) ------------------
+
+  static Event join_burst(double at, std::size_t count, double duration,
+                          Spread spread = Spread::kEven) {
+    Event e;
+    e.kind = EventKind::kJoinBurst;
+    e.at = at;
+    e.count = count;
+    e.duration = duration;
+    e.spread = spread;
+    return e;
+  }
+  static Event join_poisson(double at, double rate, double duration) {
+    Event e;
+    e.kind = EventKind::kJoinBurst;
+    e.at = at;
+    e.rate = rate;
+    e.duration = duration;
+    e.spread = Spread::kPoisson;
+    e.count = 0;
+    return e;
+  }
+  static Event leave(double at, std::size_t count, double duration,
+                     std::size_t min_population,
+                     Spread spread = Spread::kUniform) {
+    Event e;
+    e.kind = EventKind::kLeave;
+    e.at = at;
+    e.count = count;
+    e.duration = duration;
+    e.min_population = min_population;
+    e.spread = spread;
+    return e;
+  }
+  static Event leave_poisson(double at, double rate, double duration,
+                             std::size_t min_population) {
+    Event e = leave(at, 0, duration, min_population, Spread::kPoisson);
+    e.rate = rate;
+    return e;
+  }
+  static Event crash(double at, std::size_t count, double duration,
+                     std::size_t min_population,
+                     Spread spread = Spread::kUniform) {
+    Event e = leave(at, count, duration, min_population, spread);
+    e.kind = EventKind::kCrash;
+    return e;
+  }
+  static Event revive(double at, std::size_t count = 1) {
+    Event e;
+    e.kind = EventKind::kRevive;
+    e.at = at;
+    e.count = count;
+    return e;
+  }
+  static Event partition_start(double at, double axis_value = 0.5) {
+    Event e;
+    e.kind = EventKind::kPartitionStart;
+    e.at = at;
+    e.axis_value = axis_value;
+    return e;
+  }
+  static Event partition_heal(double at) {
+    Event e;
+    e.kind = EventKind::kPartitionHeal;
+    e.at = at;
+    return e;
+  }
+  static Event range_query(double at, Vec2 a, Vec2 b, double tol) {
+    Event e;
+    e.kind = EventKind::kRangeQuery;
+    e.at = at;
+    e.has_spec = true;
+    e.a = a;
+    e.b = b;
+    e.tol = tol;
+    return e;
+  }
+  static Event radius_query(double at, Vec2 center, double radius) {
+    Event e;
+    e.kind = EventKind::kRadiusQuery;
+    e.at = at;
+    e.has_spec = true;
+    e.a = center;
+    e.tol = radius;
+    return e;
+  }
+  static Event query_stream(double at, std::size_t count, double duration,
+                            QueryMix mix = QueryMix::kMixed,
+                            Spread spread = Spread::kEven) {
+    Event e;
+    e.kind = EventKind::kQueryStream;
+    e.at = at;
+    e.count = count;
+    e.duration = duration;
+    e.mix = mix;
+    e.spread = spread;
+    return e;
+  }
+  static Event query_poisson(double at, double rate, double duration,
+                             QueryMix mix = QueryMix::kMixed) {
+    Event e = query_stream(at, 0, duration, mix, Spread::kPoisson);
+    e.rate = rate;
+    return e;
+  }
+  static Event quiesce(double at = 0.0) {
+    Event e;
+    e.kind = EventKind::kQuiesce;
+    e.at = at;
+    return e;
+  }
+  static Event verify_barrier(double at = 0.0) {
+    Event e;
+    e.kind = EventKind::kVerifyBarrier;
+    e.at = at;
+    return e;
+  }
+};
+
+using Timeline = std::vector<Event>;
+
+}  // namespace voronet::scenario

@@ -1,0 +1,148 @@
+// scenario::Runner -- the one execution engine every scenario runs
+// through.
+//
+// A Runner builds the full differential stack (Overlay ground truth +
+// message-level protocol engine + query engine) from a Scenario's
+// parameterization, grows the initial population, schedules the timeline
+// through QueryHarness::schedule_event, sequences the quiesce / verify
+// barriers, and emits one unified scenario::Report: convergence time,
+// per-kind message counts, wire statistics, differential verdicts and
+// per-query completion / recall / precision grading.
+//
+// Replay guarantee: everything the Runner does is driven by the
+// scenario's seed through the deterministic event queue -- no wall-clock
+// value enters the Report -- so running the same scenario twice produces
+// bit-identical Report JSON (asserted over every committed scenario file
+// by tests/scenario_test.cpp).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "protocol/query_harness.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/metrics.hpp"
+
+namespace voronet {
+class Json;
+}
+
+namespace voronet::scenario {
+
+struct Report {
+  std::string name;
+  /// Parameter echo, so a report identifies its experiment on its own.
+  std::uint64_t seed = 0;
+  std::string latency_name;
+  double loss = 0.0;
+
+  std::size_t initial_population = 0;
+  std::size_t final_population = 0;
+  std::size_t joins = 0;    ///< timeline joins scheduled (incl. revives)
+  std::size_t leaves = 0;   ///< leaves executed (population-floor skips excluded)
+  std::size_t crashes = 0;  ///< crashes executed
+  std::size_t revives = 0;  ///< crash positions rejoined
+
+  bool quiesced = false;   ///< every drain completed within budget
+  bool converged = false;  ///< strict differential view audit at the end
+  double duration = 0.0;   ///< simulated time, timeline origin -> drain
+  /// Timeline origin -> last view-advancing update (the convergence
+  /// instant of the workload; 0 when the timeline changed no views).
+  double convergence_time = 0.0;
+  std::size_t events_processed = 0;
+
+  /// Wire accounting over the timeline phase (populate excluded): deltas
+  /// of the Network's counters.
+  protocol::NetworkStats wire;
+  /// Per-kind message deltas over the timeline phase.
+  std::array<std::uint64_t, sim::kMessageKindCount> messages{};
+  std::uint64_t total_messages = 0;
+
+  // --- Query grading (vs the post-quiescence ground truth) -----------------
+  std::size_t queries = 0;
+  std::size_t completed = 0;
+  std::size_t identical = 0;  ///< result sets equal to the ground truth
+  std::size_t exact = 0;      ///< recall == precision == 1
+  std::size_t reissued = 0;   ///< needed more than one flood epoch
+  std::uint32_t max_epochs = 0;
+  std::uint64_t branch_failovers = 0;
+  double mean_recall = 1.0, min_recall = 1.0;
+  double mean_precision = 1.0, min_precision = 1.0;
+  double p50_completion = 0.0, p99_completion = 0.0;
+  double mean_route_hops = 0.0;
+  /// Query-kind wire attempts (kQuery/kQueryForward/kQueryResult/
+  /// kQueryAbort, retransmits included, transport acks excluded) per
+  /// issued query -- churn/maintenance traffic is not billed here.
+  double wire_msgs_per_query = 0.0;
+
+  /// One row per kVerifyBarrier event: the differential audit at that
+  /// instant (mid-partition barriers legitimately show stale views).
+  struct Barrier {
+    double at = 0.0;  ///< simulated time relative to the timeline origin
+    std::size_t nodes = 0;
+    std::size_t stale = 0;
+    std::size_t missing = 0;
+    std::size_t dangling = 0;
+    std::size_t pending_joins = 0;
+    std::size_t in_flight = 0;
+    bool converged = false;
+  };
+  std::vector<Barrier> barriers;
+
+  [[nodiscard]] std::uint64_t messages_of(sim::MessageKind kind) const {
+    return messages[static_cast<std::size_t>(kind)];
+  }
+
+  /// The unified report schema (DESIGN.md, "Scenario API").  Fully
+  /// deterministic for a given scenario + seed.
+  [[nodiscard]] Json to_json() const;
+};
+
+class Runner {
+ public:
+  /// Validates and takes ownership of the scenario; the harness is built
+  /// but the population is not grown until run().
+  explicit Runner(Scenario s);
+
+  /// Execute the scenario once: populate, schedule the timeline, sequence
+  /// barriers, drain, grade.  Callable once per Runner.
+  Report run();
+
+  /// The underlying differential stack, for callers that want to inspect
+  /// state after the run (examples, tests).
+  [[nodiscard]] protocol::QueryHarness& harness() { return qh_; }
+
+ private:
+  Scenario scenario_;
+  protocol::QueryHarness qh_;
+  bool ran_ = false;
+};
+
+/// Convenience: build a Runner, run, return the report.
+Report run_scenario(const Scenario& s);
+
+// ---------------------------------------------------------------------------
+// Sweep combinator: one scenario x a parameter grid.
+// ---------------------------------------------------------------------------
+
+/// Axes of a sweep; an empty axis keeps the base scenario's value.  Cells
+/// run in population-major, then latency, then loss order (the order the
+/// bench tables print in).
+struct SweepGrid {
+  std::vector<protocol::LatencyModel> latencies;
+  std::vector<double> losses;
+  std::vector<std::size_t> populations;
+};
+
+struct SweepCell {
+  Scenario scenario;  ///< the base with this cell's overrides applied
+  Report report;
+};
+
+/// Run `base` once per grid cell (latency x loss x population), applying
+/// the overrides to a copy.  Replaces the hand-rolled latency x loss
+/// loops the protocol / query benches and tests used to copy-paste.
+std::vector<SweepCell> sweep(const Scenario& base, const SweepGrid& grid);
+
+}  // namespace voronet::scenario

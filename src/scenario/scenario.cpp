@@ -1,0 +1,322 @@
+#include "scenario/scenario.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace voronet::scenario {
+
+namespace {
+
+template <typename Table, typename Enum = typename Table::value_type::second_type>
+Enum parse_enum(std::string_view text, const Table& table,
+                const char* what) {
+  for (const auto& [name, value] : table) {
+    if (text == name) return value;
+  }
+  throw std::invalid_argument(std::string("unknown ") + what + " \"" +
+                              std::string(text) + "\"");
+}
+
+constexpr std::array<std::pair<std::string_view, EventKind>, 11>
+    kEventKinds = {{
+        {"join_burst", EventKind::kJoinBurst},
+        {"leave", EventKind::kLeave},
+        {"crash", EventKind::kCrash},
+        {"revive", EventKind::kRevive},
+        {"partition_start", EventKind::kPartitionStart},
+        {"partition_heal", EventKind::kPartitionHeal},
+        {"range_query", EventKind::kRangeQuery},
+        {"radius_query", EventKind::kRadiusQuery},
+        {"query_stream", EventKind::kQueryStream},
+        {"quiesce", EventKind::kQuiesce},
+        {"verify_barrier", EventKind::kVerifyBarrier},
+}};
+
+constexpr std::array<std::pair<std::string_view, Spread>, 3>
+    kSpreads = {{
+        {"even", Spread::kEven},
+        {"uniform", Spread::kUniform},
+        {"poisson", Spread::kPoisson},
+}};
+
+constexpr std::array<std::pair<std::string_view, QueryMix>, 3>
+    kMixes = {{
+        {"mixed", QueryMix::kMixed},
+        {"range", QueryMix::kRange},
+        {"radius", QueryMix::kRadius},
+}};
+
+constexpr std::array<std::pair<std::string_view, protocol::LatencyModel::Kind>,
+                     3>
+    kLatencyKinds = {{
+        {"fixed", protocol::LatencyModel::Kind::kFixed},
+        {"uniform", protocol::LatencyModel::Kind::kUniform},
+        {"lognormal", protocol::LatencyModel::Kind::kLognormal},
+}};
+
+[[nodiscard]] bool multi_op(EventKind kind) {
+  return kind == EventKind::kJoinBurst || kind == EventKind::kLeave ||
+         kind == EventKind::kCrash || kind == EventKind::kQueryStream;
+}
+
+Json event_to_json(const Event& e) {
+  Json j = Json::object();
+  j.set("event", Json::string(event_kind_name(e.kind)));
+  if (e.at != 0.0) j.set("at", Json::number(e.at));
+  switch (e.kind) {
+    case EventKind::kJoinBurst:
+    case EventKind::kLeave:
+    case EventKind::kCrash:
+    case EventKind::kQueryStream:
+      if (e.spread == Spread::kPoisson) {
+        j.set("rate", Json::number(e.rate));
+      } else {
+        j.set("count", Json::integer(e.count));
+      }
+      j.set("duration", Json::number(e.duration));
+      j.set("spread", Json::string(spread_name(e.spread)));
+      if (e.kind == EventKind::kQueryStream) {
+        j.set("mix", Json::string(query_mix_name(e.mix)));
+      }
+      if ((e.kind == EventKind::kLeave || e.kind == EventKind::kCrash) &&
+          e.min_population > 0) {
+        j.set("min_population", Json::integer(e.min_population));
+      }
+      break;
+    case EventKind::kRevive:
+      j.set("count", Json::integer(e.count));
+      break;
+    case EventKind::kPartitionStart:
+      j.set("axis_value", Json::number(e.axis_value));
+      break;
+    case EventKind::kRangeQuery:
+      if (e.has_spec) {
+        j.set("ax", Json::number(e.a.x)).set("ay", Json::number(e.a.y));
+        j.set("bx", Json::number(e.b.x)).set("by", Json::number(e.b.y));
+        j.set("tolerance", Json::number(e.tol));
+      }
+      break;
+    case EventKind::kRadiusQuery:
+      if (e.has_spec) {
+        j.set("cx", Json::number(e.a.x)).set("cy", Json::number(e.a.y));
+        j.set("radius", Json::number(e.tol));
+      }
+      break;
+    case EventKind::kPartitionHeal:
+    case EventKind::kQuiesce:
+    case EventKind::kVerifyBarrier:
+      break;
+  }
+  return j;
+}
+
+Event event_from_json(const Json& j) {
+  Event e;
+  e.kind = parse_enum(j.at("event").as_string(), kEventKinds, "event kind");
+  e.at = j.get_double("at", 0.0);
+  if (multi_op(e.kind)) {
+    e.duration = j.get_double("duration", 0.0);
+    e.spread = parse_enum(j.get_string("spread", "even"), kSpreads, "spread");
+    if (e.spread == Spread::kPoisson) {
+      e.rate = j.get_double("rate", 0.0);
+      e.count = 0;
+    } else {
+      e.count = j.get_uint("count", 0);
+    }
+    e.min_population = j.get_uint("min_population", 0);
+    if (e.kind == EventKind::kQueryStream) {
+      e.mix = parse_enum(j.get_string("mix", "mixed"), kMixes, "query mix");
+    }
+  }
+  switch (e.kind) {
+    case EventKind::kRevive:
+      e.count = j.get_uint("count", 1);
+      break;
+    case EventKind::kPartitionStart:
+      e.axis_value = j.get_double("axis_value", 0.5);
+      break;
+    case EventKind::kRangeQuery:
+      if (j.find("ax") != nullptr) {
+        e.has_spec = true;
+        e.a = {j.at("ax").as_double(), j.at("ay").as_double()};
+        e.b = {j.at("bx").as_double(), j.at("by").as_double()};
+        e.tol = j.get_double("tolerance", 0.0);
+      }
+      break;
+    case EventKind::kRadiusQuery:
+      if (j.find("cx") != nullptr) {
+        e.has_spec = true;
+        e.a = {j.at("cx").as_double(), j.at("cy").as_double()};
+        e.tol = j.get_double("radius", 0.0);
+      }
+      break;
+    default:
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  for (const auto& [name, value] : kEventKinds) {
+    if (value == kind) return name.data();
+  }
+  return "unknown";
+}
+
+const char* spread_name(Spread spread) {
+  for (const auto& [name, value] : kSpreads) {
+    if (value == spread) return name.data();
+  }
+  return "unknown";
+}
+
+const char* query_mix_name(QueryMix mix) {
+  for (const auto& [name, value] : kMixes) {
+    if (value == mix) return name.data();
+  }
+  return "unknown";
+}
+
+std::size_t Scenario::scheduled_joins() const {
+  std::size_t joins = 0;
+  for (const Event& e : timeline) {
+    if (e.kind == EventKind::kJoinBurst || e.kind == EventKind::kRevive) {
+      joins += e.spread == Spread::kPoisson
+                   ? static_cast<std::size_t>(
+                         std::ceil(e.rate * e.duration)) + 1
+                   : e.count;
+    }
+  }
+  return joins;
+}
+
+void validate(const Scenario& s) {
+  if (s.population < 1) {
+    throw std::invalid_argument("scenario population must be >= 1");
+  }
+  if (s.workload != "uniform" && s.workload != "power_law") {
+    throw std::invalid_argument("unknown workload \"" + s.workload + "\"");
+  }
+  if (s.loss < 0.0 || s.loss >= 1.0) {
+    throw std::invalid_argument("loss must be in [0, 1)");
+  }
+  bool partitioned = false;
+  double barrier_at = 0.0;
+  for (const Event& e : s.timeline) {
+    if (e.at < 0.0) throw std::invalid_argument("event time must be >= 0");
+    if (multi_op(e.kind)) {
+      if (e.duration < 0.0) {
+        throw std::invalid_argument("event duration must be >= 0");
+      }
+      if (e.spread == Spread::kPoisson && e.rate <= 0.0) {
+        throw std::invalid_argument("poisson events need a positive rate");
+      }
+    }
+    switch (e.kind) {
+      case EventKind::kPartitionStart:
+        if (partitioned) {
+          throw std::invalid_argument("partition started twice without heal");
+        }
+        partitioned = true;
+        break;
+      case EventKind::kPartitionHeal:
+        if (!partitioned) {
+          throw std::invalid_argument("partition heal without a start");
+        }
+        partitioned = false;
+        break;
+      case EventKind::kQuiesce:
+      case EventKind::kVerifyBarrier:
+        // Barriers sequence the run; they must not move time backwards.
+        if (e.at > 0.0 && e.at < barrier_at) {
+          throw std::invalid_argument(
+              "barrier events must be in non-decreasing time order");
+        }
+        barrier_at = std::max(barrier_at, e.at);
+        break;
+      default:
+        break;
+    }
+  }
+  if (partitioned) {
+    throw std::invalid_argument(
+        "scenario ends inside a partition (reliable transfers would retry "
+        "forever); add a partition_heal event");
+  }
+}
+
+Json scenario_to_json(const Scenario& s) {
+  Json doc = Json::object();
+  doc.set("name", Json::string(s.name));
+  doc.set("population", Json::integer(s.population));
+  if (s.n_max > 0) doc.set("n_max", Json::integer(s.n_max));
+  doc.set("seed", Json::integer(s.seed));
+  doc.set("workload", Json::string(s.workload));
+  if (s.workload == "power_law") {
+    doc.set("power_law_alpha", Json::number(s.power_law_alpha));
+  }
+  if (s.populate_spacing != 0.01) {
+    doc.set("populate_spacing", Json::number(s.populate_spacing));
+  }
+  Json latency = Json::object();
+  latency.set("kind", Json::string(s.latency.name()));
+  latency.set("a", Json::number(s.latency.a));
+  latency.set("b", Json::number(s.latency.b));
+  if (s.latency.kind == protocol::LatencyModel::Kind::kLognormal) {
+    latency.set("sigma", Json::number(s.latency.sigma));
+  }
+  Json network = Json::object();
+  network.set("latency", std::move(latency));
+  network.set("loss", Json::number(s.loss));
+  doc.set("network", std::move(network));
+  doc.set("failure_detect_delay", Json::number(s.failure_detect_delay));
+  Json timeline = Json::array();
+  for (const Event& e : s.timeline) timeline.push(event_to_json(e));
+  doc.set("timeline", std::move(timeline));
+  return doc;
+}
+
+Scenario scenario_from_json(const Json& doc) {
+  Scenario s;
+  s.name = doc.get_string("name", "scenario");
+  s.population = doc.get_uint("population", 200);
+  s.n_max = doc.get_uint("n_max", 0);
+  s.seed = doc.get_uint("seed", 1);
+  s.workload = doc.get_string("workload", "uniform");
+  s.power_law_alpha = doc.get_double("power_law_alpha", 5.0);
+  s.populate_spacing = doc.get_double("populate_spacing", 0.01);
+  if (const Json* network = doc.find("network"); network != nullptr) {
+    if (const Json* latency = network->find("latency"); latency != nullptr) {
+      s.latency.kind = parse_enum(latency->get_string("kind", "fixed"),
+                                  kLatencyKinds, "latency kind");
+      s.latency.a = latency->get_double("a", 0.0);
+      s.latency.b = latency->get_double("b", s.latency.a);
+      s.latency.sigma = latency->get_double("sigma", 0.5);
+    }
+    s.loss = network->get_double("loss", 0.0);
+  }
+  s.failure_detect_delay = doc.get_double("failure_detect_delay", 1.0);
+  if (const Json* timeline = doc.find("timeline"); timeline != nullptr) {
+    for (std::size_t i = 0; i < timeline->size(); ++i) {
+      s.timeline.push_back(event_from_json(timeline->item(i)));
+    }
+  }
+  validate(s);
+  return s;
+}
+
+Scenario load_scenario(const std::string& path) {
+  return scenario_from_json(read_json_file(path));
+}
+
+void save_scenario(const std::string& path, const Scenario& s) {
+  write_json_file(path, scenario_to_json(s));
+}
+
+}  // namespace voronet::scenario

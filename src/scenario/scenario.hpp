@@ -1,0 +1,72 @@
+// scenario::Scenario -- a declarative, replayable experiment description.
+//
+// A scenario bundles
+//   * a parameterization: initial population N, workload distribution,
+//     seed, latency model, loss rate, failure-detection delay;
+//   * a timeline of typed events (src/scenario/events.hpp): membership
+//     churn, crash-stop failures, partitions, region queries, and the
+//     quiesce / verify barriers that give a run its checkpoints.
+//
+// Scenarios serialize to and from JSON (scenarios/*.json), so every run
+// is recordable and replayable: scenario::Runner executes a scenario
+// deterministically from its seed and emits one scenario::Report whose
+// JSON is bit-identical across replays (asserted by tests/scenario_test).
+#pragma once
+
+#include <string>
+
+#include "protocol/latency.hpp"
+#include "scenario/events.hpp"
+
+namespace voronet {
+class Json;
+}
+
+namespace voronet::scenario {
+
+struct Scenario {
+  std::string name = "scenario";
+
+  /// Initial population, grown through message-level joins before the
+  /// timeline origin (the timeline's t = 0 is the post-populate instant).
+  std::size_t population = 200;
+  /// Overlay capacity; 0 derives a capacity comfortably above population
+  /// plus every scheduled join.
+  std::size_t n_max = 0;
+  std::uint64_t seed = 1;
+  /// Join-position workload: "uniform" or "power_law".
+  std::string workload = "uniform";
+  double power_law_alpha = 5.0;
+  /// Simulated-time spacing between the populate phase's joins.
+  double populate_spacing = 0.01;
+
+  protocol::LatencyModel latency = protocol::LatencyModel::fixed(0.0);
+  double loss = 0.0;
+  double failure_detect_delay = 1.0;
+
+  Timeline timeline;
+
+  /// Total joins the timeline can schedule (count-based events only;
+  /// Poisson streams estimate rate * duration, rounded up).
+  [[nodiscard]] std::size_t scheduled_joins() const;
+};
+
+/// Structural validation: known kinds, barriers in non-decreasing time
+/// order, partitions balanced (a scenario must not end partitioned --
+/// reliable transfers would retry forever and the final drain could not
+/// quiesce).  Throws std::invalid_argument with a description.
+void validate(const Scenario& s);
+
+[[nodiscard]] Json scenario_to_json(const Scenario& s);
+[[nodiscard]] Scenario scenario_from_json(const Json& doc);
+
+/// Load + parse + validate a scenario file.
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+/// Serialize a scenario to `path` (pretty-printed JSON).
+void save_scenario(const std::string& path, const Scenario& s);
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+[[nodiscard]] const char* spread_name(Spread spread);
+[[nodiscard]] const char* query_mix_name(QueryMix mix);
+
+}  // namespace voronet::scenario

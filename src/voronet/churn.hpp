@@ -1,17 +1,27 @@
-// Churn driver: runs joins, leaves and queries against an overlay over
-// simulated time through the discrete-event engine.
+// Sequential churn driver: runs joins, leaves and queries against an
+// overlay over simulated time through the discrete-event engine.
 //
 // The paper analyses join/leave costs (section 4.2) but evaluates a
 // statically grown overlay; this driver extends the evaluation to sustained
 // membership churn -- used by bench_table_maintenance and the churn
 // example to demonstrate that view invariants hold and maintenance costs
 // stay O(1)-ish per event at any churn rate.
+//
+// The driver speaks the scenario event vocabulary
+// (src/scenario/events.hpp): run_events() interprets the membership /
+// query subset (join bursts, leaves, query streams -- count-based or
+// Poisson) directly against the Overlay, and ChurnConfig survives as the
+// named rate parameterization that expands into those events via
+// events().  The message-level counterpart of the same vocabulary is
+// scenario::Runner; one timeline can drive either layer.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "scenario/events.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "voronet/overlay.hpp"
@@ -26,6 +36,17 @@ struct ChurnConfig {
   double duration = 100.0;   ///< simulated time horizon
   std::size_t min_population = 8;  ///< leaves are suppressed below this
   std::uint64_t seed = 7;
+
+  /// The equivalent timeline in the unified event vocabulary: three
+  /// Poisson streams over [0, duration].
+  [[nodiscard]] std::vector<scenario::Event> events() const {
+    return {
+        scenario::Event::join_poisson(0.0, join_rate, duration),
+        scenario::Event::leave_poisson(0.0, leave_rate, duration,
+                                       min_population),
+        scenario::Event::query_poisson(0.0, query_rate, duration),
+    };
+  }
 };
 
 struct ChurnReport {
@@ -56,8 +77,19 @@ struct ChurnReport {
   }
 };
 
+/// Interpret a timeline of scenario events against an existing overlay,
+/// drawing join positions from `points` and every stochastic choice from
+/// `seed`.  Supported kinds: kJoinBurst, kLeave, kQueryStream (queries
+/// execute as greedy point routes to a random attribute point) and the
+/// no-op barrier kQuiesce; crash / partition / region-query events need
+/// the message layer and are rejected (use scenario::Runner).
+ChurnReport run_events(Overlay& overlay, workload::PointGenerator& points,
+                       const std::vector<scenario::Event>& events,
+                       std::uint64_t seed);
+
 /// Run Poisson-ish churn (exponential inter-arrival per event class) on an
-/// existing overlay using `points` as the join workload.
+/// existing overlay using `points` as the join workload.  Thin wrapper:
+/// expands the config into events() and interprets them.
 ChurnReport run_churn(Overlay& overlay, workload::PointGenerator& points,
                       const ChurnConfig& config);
 

@@ -1,6 +1,7 @@
 #include "voronet/queries.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -123,6 +124,27 @@ RegionQueryResult radius_query(const Overlay& overlay, ObjectId from,
         return site_within_tolerance(center, center, overlay.position(o),
                                      radius);
       });
+}
+
+QueryGeometry draw_range_geometry(Rng& rng, std::size_t population) {
+  const double n = static_cast<double>(std::max<std::size_t>(population, 2));
+  QueryGeometry g;
+  const double len = rng.uniform(0.02, 0.3);
+  const double angle = rng.uniform(0.0, 6.283185307179586);
+  g.a = {rng.uniform(), rng.uniform()};
+  g.b = {g.a.x + len * std::cos(angle), g.a.y + len * std::sin(angle)};
+  g.tol = rng.uniform(0.0, 1.0) / std::sqrt(n);
+  return g;
+}
+
+QueryGeometry draw_radius_geometry(Rng& rng, std::size_t population) {
+  const double n = static_cast<double>(std::max<std::size_t>(population, 2));
+  QueryGeometry g;
+  const double want = rng.uniform(1.0, 48.0);  // expected matches
+  g.a = {rng.uniform(), rng.uniform()};
+  g.b = g.a;
+  g.tol = std::sqrt(want / (3.141592653589793 * n));
+  return g;
 }
 
 }  // namespace voronet

@@ -107,4 +107,17 @@ RegionQueryResult range_query(const Overlay& overlay, ObjectId from, Vec2 a,
 RegionQueryResult radius_query(const Overlay& overlay, ObjectId from,
                                Vec2 center, double radius);
 
+/// Scale-free random query geometry: radius and tolerance shrink with
+/// sqrt(N) so a query matches tens of objects at every population (a
+/// fixed radius would drown large overlays in O(N) result sets).  One
+/// definition for every driver -- the bench throughput workload, the
+/// scenario event scheduler and the churn shim draw the identical
+/// distribution, so their per-query costs are comparable.
+struct QueryGeometry {
+  Vec2 a, b;         ///< segment endpoints (radius: a == b == centre)
+  double tol = 0.0;  ///< range tolerance / disk radius
+};
+QueryGeometry draw_range_geometry(Rng& rng, std::size_t population);
+QueryGeometry draw_radius_geometry(Rng& rng, std::size_t population);
+
 }  // namespace voronet

@@ -74,6 +74,48 @@ TEST(Churn, GrowthOnlyMatchesJoins) {
   overlay.check_invariants();
 }
 
+TEST(Churn, EventVocabularyDrivesTheSequentialLayer) {
+  // The unified scenario vocabulary: count-based events interpret
+  // directly against the overlay, same as the Poisson streams that
+  // ChurnConfig::events() expands into.
+  OverlayConfig cfg;
+  cfg.n_max = 512;
+  cfg.seed = 5;
+  Overlay overlay(cfg);
+  Rng rng(5);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  for (int i = 0; i < 30; ++i) overlay.insert(gen.next(rng));
+
+  const std::vector<scenario::Event> timeline = {
+      scenario::Event::join_burst(0.0, 25, 10.0),
+      scenario::Event::leave(2.0, 10, 8.0, /*min_population=*/8,
+                             scenario::Spread::kUniform),
+      scenario::Event::query_stream(0.0, 40, 10.0),
+      scenario::Event::quiesce(10.0),  // no-op barrier, accepted
+  };
+  const ChurnReport report = run_events(overlay, gen, timeline, 99);
+  EXPECT_EQ(report.joins, 25u);
+  EXPECT_EQ(report.leaves, 10u);
+  EXPECT_EQ(report.queries, 40u);
+  EXPECT_EQ(overlay.size(), 30u + 25u - 10u);
+  EXPECT_GT(report.total_messages, 0u);
+  overlay.check_invariants();
+
+  // Message-layer-only events are rejected loudly, not silently dropped.
+  EXPECT_THROW(run_events(overlay, gen,
+                          {scenario::Event::crash(0.0, 1, 1.0, 8)}, 99),
+               std::exception);
+
+  // ChurnConfig is now a spelling of the same vocabulary.
+  ChurnConfig config;
+  const auto events = config.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, scenario::EventKind::kJoinBurst);
+  EXPECT_EQ(events[0].spread, scenario::Spread::kPoisson);
+  EXPECT_DOUBLE_EQ(events[0].rate, config.join_rate);
+  EXPECT_EQ(events[1].min_population, config.min_population);
+}
+
 TEST(Churn, DeterministicForSeed) {
   const auto run_once = [] {
     OverlayConfig cfg;
