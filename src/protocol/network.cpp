@@ -1,21 +1,75 @@
 #include "protocol/network.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/expect.hpp"
 
 namespace voronet::protocol {
 
+namespace {
+
+/// SplitMix64 finaliser: the deterministic hash behind the retransmission
+/// jitter.  Keyed by (transfer id, attempt) so concurrent transfers --
+/// and successive attempts of one transfer -- desynchronise without
+/// consuming the delivery Rng stream.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Network::Network(sim::EventQueue& queue, const NetworkConfig& config)
     : queue_(queue), config_(config), rng_(config.seed) {
   VORONET_EXPECT(config.drop_probability >= 0.0 &&
                      config.drop_probability < 1.0,
                  "drop probability must lie in [0, 1)");
+  VORONET_EXPECT(config.backoff_factor >= 1.0,
+                 "retransmit backoff factor must be >= 1");
+  VORONET_EXPECT(config.jitter >= 0.0 && config.jitter < 1.0,
+                 "retransmit jitter must lie in [0, 1)");
   // Auto-RTO: a round trip of pessimistic one-way delays plus slack, so
   // that under fixed/uniform latency a timeout implies a genuine loss.
   rto_ = config.retransmit_timeout > 0.0
              ? config.retransmit_timeout
              : 2.0 * config.latency.high_quantile() + 0.01;
+  rto_cap_ = config.rto_cap > 0.0 ? config.rto_cap : 16.0 * rto_;
+}
+
+double Network::backoff_timeout(std::uint64_t transfer_id,
+                                std::size_t attempts) const {
+  // Attempt k waits min(rto * f^(k-1), cap): responsive to a single loss,
+  // but a transfer stuck behind a loss burst / latency spike / stalled
+  // receiver stops hammering the window.  pow() stays finite: the
+  // exponent is capped by where the ceiling bites anyway.
+  const double exponent = std::min<double>(static_cast<double>(attempts - 1),
+                                           40.0);
+  double timeout =
+      std::min(rto_ * std::pow(config_.backoff_factor, exponent), rto_cap_);
+  if (config_.jitter > 0.0) {
+    // Deterministic jitter in [1 - j/2, 1 + j/2): hashed, not drawn, so
+    // the Rng delivery stream (and with it every committed replay) is
+    // untouched by how often a transfer retried.
+    const double u = static_cast<double>(
+                         mix64(transfer_id * 0x2545f4914f6cdd1dULL +
+                               attempts) >>
+                         11) *
+                     0x1.0p-53;
+    timeout *= 1.0 + config_.jitter * (u - 0.5);
+  }
+  return timeout;
+}
+
+double Network::effective_drop() const {
+  double drop = config_.drop_probability;
+  for (const double extra : loss_bursts_) drop += extra;
+  // Windows are finite (validated by the scenario layer), so a saturated
+  // probability cannot retransmit forever -- but keep it a probability.
+  return std::min(drop, 1.0);
 }
 
 void Network::send(Message msg) {
@@ -30,7 +84,70 @@ void Network::send(Message msg) {
   }
 }
 
-void Network::crash(NodeId node) { crashed_.insert(node); }
+void Network::crash(NodeId node) {
+  crashed_.insert(node);
+  // A crashed node's wedged process dies with the host: discard the
+  // parked backlog instead of delivering it to a corpse on resume.
+  stalled_.erase(node);
+  stall_backlog_.erase(node);
+}
+
+void Network::stall(NodeId node) {
+  if (crashed_.count(node) != 0) return;  // dead beats wedged
+  stalled_.insert(node);
+}
+
+void Network::resume(NodeId node) {
+  const auto it = stalled_.find(node);
+  if (it == stalled_.end()) return;
+  stalled_.erase(it);
+  const auto backlog_it = stall_backlog_.find(node);
+  if (backlog_it == stall_backlog_.end()) return;
+  // Drain in arrival order.  Move the backlog out first: delivering a
+  // message can trigger sends whose acks / retransmissions must not
+  // append to the vector mid-iteration.
+  std::vector<Message> backlog = std::move(backlog_it->second);
+  stall_backlog_.erase(backlog_it);
+  for (Message& msg : backlog) receive(std::move(msg));
+}
+
+void Network::resume_all() {
+  // Deterministic drain order: ascending node id, independent of the
+  // unordered_set's iteration order.
+  std::vector<NodeId> nodes(stalled_.begin(), stalled_.end());
+  std::sort(nodes.begin(), nodes.end());
+  for (const NodeId node : nodes) resume(node);
+}
+
+void Network::begin_loss_burst(double extra_drop) {
+  loss_bursts_.push_back(extra_drop);
+}
+
+void Network::end_loss_burst(double extra_drop) {
+  const auto it =
+      std::find(loss_bursts_.begin(), loss_bursts_.end(), extra_drop);
+  if (it != loss_bursts_.end()) loss_bursts_.erase(it);
+}
+
+void Network::begin_latency_spike(double factor) {
+  latency_spikes_.push_back(factor);
+}
+
+void Network::end_latency_spike(double factor) {
+  const auto it =
+      std::find(latency_spikes_.begin(), latency_spikes_.end(), factor);
+  if (it != latency_spikes_.end()) latency_spikes_.erase(it);
+}
+
+void Network::begin_duplication(double probability) {
+  duplications_.push_back(probability);
+}
+
+void Network::end_duplication(double probability) {
+  const auto it =
+      std::find(duplications_.begin(), duplications_.end(), probability);
+  if (it != duplications_.end()) duplications_.erase(it);
+}
 
 void Network::revive(NodeId node) {
   // A recycled id is a brand-new endpoint: it must not inherit its
@@ -52,13 +169,16 @@ void Network::revive(NodeId node) {
     abandon_transfer(it);
   }
   crashed_.erase(node);
-  // ... nor its predecessor's dedup history.
+  // ... nor its predecessor's dedup history or stall window.
   seen_.erase(node);
+  stalled_.erase(node);
+  stall_backlog_.erase(node);
 }
 
 void Network::abandon_transfer(
     std::unordered_map<std::uint64_t, Pending>::iterator it) {
   ++stats_.abandoned;
+  metrics_.record_transfer_attempts(it->second.attempts);
   const Message msg = std::move(it->second.msg);
   pending_.erase(it);
   // The settling ack will never come, so drop the receiver-side dedup
@@ -77,13 +197,26 @@ void Network::transmit(const Message& msg) {
   metrics_.count_message(msg.type);
   if (msg.type == sim::MessageKind::kAck) ++stats_.acks;
   const bool link_down = link_up_ && !link_up_(msg.src, msg.dst);
-  if (link_down || (config_.drop_probability > 0.0 &&
-                    rng_.chance(config_.drop_probability))) {
+  const double drop = effective_drop();
+  if (link_down || (drop > 0.0 && rng_.chance(drop))) {
     ++stats_.dropped;
     return;
   }
-  const double delay = config_.latency.sample(rng_);
+  double delay = config_.latency.sample(rng_);
+  for (const double factor : latency_spikes_) delay *= factor;
   queue_.schedule(delay, [this, msg] { arrive(msg); });
+  if (!duplications_.empty()) {
+    // Duplication window: the strongest open window's probability wins
+    // (overlapping windows model one flaky path, not independent copies).
+    const double dup =
+        *std::max_element(duplications_.begin(), duplications_.end());
+    if (dup > 0.0 && rng_.chance(dup)) {
+      ++stats_.injected_duplicates;
+      double dup_delay = config_.latency.sample(rng_);
+      for (const double factor : latency_spikes_) dup_delay *= factor;
+      queue_.schedule(dup_delay, [this, msg] { arrive(msg); });
+    }
+  }
 }
 
 void Network::arrive(Message msg) {
@@ -91,9 +224,11 @@ void Network::arrive(Message msg) {
     // Transport-internal: settle the acknowledged transfer.  This runs
     // even when the original sender has crashed since -- the pending
     // entry is sender-side transport state that must not retransmit
-    // forever on behalf of a dead node.
+    // forever on behalf of a dead node.  Acks also settle for a stalled
+    // sender: the transport state machine lives below the wedged process.
     const auto it = pending_.find(msg.transfer_id);
     if (it != pending_.end()) {
+      metrics_.record_transfer_attempts(it->second.attempts);
       queue_.cancel(it->second.timer);
       pending_.erase(it);
     }
@@ -114,6 +249,19 @@ void Network::arrive(Message msg) {
     ++stats_.dropped;
     return;
   }
+  if (stalled_.count(msg.dst)) {
+    // Gray failure: the packet reached the host, but the wedged process
+    // cannot run its receive handler -- so no ack either.  The sender's
+    // failure detector sees exactly what a crash looks like; only time
+    // (resume before its patience runs out) tells the two apart.
+    ++stats_.stalled_deferred;
+    stall_backlog_[msg.dst].push_back(std::move(msg));
+    return;
+  }
+  receive(std::move(msg));
+}
+
+void Network::receive(Message msg) {
   // Acknowledge every reliable arrival, duplicates included (the previous
   // ack may be the thing that got lost).
   Message ack;
@@ -135,8 +283,9 @@ void Network::arrive(Message msg) {
 void Network::arm_timer(std::uint64_t transfer_id) {
   const auto it = pending_.find(transfer_id);
   VORONET_DCHECK(it != pending_.end());
+  const double timeout = backoff_timeout(transfer_id, it->second.attempts);
   it->second.timer =
-      queue_.schedule_timer(rto_, [this, transfer_id] {
+      queue_.schedule_timer(timeout, [this, transfer_id] {
         on_timeout(transfer_id);
       });
 }

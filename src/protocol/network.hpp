@@ -18,6 +18,7 @@
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "protocol/latency.hpp"
@@ -31,9 +32,23 @@ struct NetworkConfig {
   LatencyModel latency = LatencyModel::fixed(0.0);
   /// Probability that any single transmission (data or ack) is lost.
   double drop_probability = 0.0;
-  /// Retransmission timeout; 0 derives one from the latency model
+  /// Base retransmission timeout; 0 derives one from the latency model
   /// (two high-quantile one-way delays plus slack).
   double retransmit_timeout = 0.0;
+  /// Retransmission backoff: attempt k waits
+  /// min(rto * backoff_factor^(k-1), rto_cap) plus deterministic jitter.
+  /// A fixed timeout under correlated loss (a loss burst, a latency
+  /// spike) synchronises every retransmitter into a storm; the capped
+  /// exponential spreads them out while staying responsive to single
+  /// losses.  1.0 restores the fixed-RTO behaviour.
+  double backoff_factor = 2.0;
+  /// Backoff ceiling; 0 derives 16x the base timeout.
+  double rto_cap = 0.0;
+  /// Deterministic jitter as a fraction of the armed timeout: the actual
+  /// wait is scaled by a factor in [1 - jitter/2, 1 + jitter/2] hashed
+  /// from (transfer id, attempt) -- no Rng stream is consumed, so the
+  /// delivery randomness is unperturbed and replays stay bit-identical.
+  double jitter = 0.25;
   /// Give up on a reliable transfer after this many retransmissions;
   /// 0 = keep retrying (transfers to crashed destinations are abandoned
   /// at the first timeout regardless).
@@ -51,6 +66,8 @@ struct NetworkStats {
   std::uint64_t retransmits = 0;
   std::uint64_t abandoned = 0;      ///< reliable transfers given up
   std::uint64_t acks = 0;
+  std::uint64_t injected_duplicates = 0;  ///< duplication-window copies
+  std::uint64_t stalled_deferred = 0;     ///< arrivals parked at a stalled node
 };
 
 class Network {
@@ -94,6 +111,35 @@ class Network {
     return crashed_.count(node) != 0;
   }
 
+  // --- Gray failures -------------------------------------------------------
+
+  /// Stall: the node's process stops running but the node is NOT dead.
+  /// Inbound non-ack messages are parked unacknowledged (so senders
+  /// retransmit -- the failure detector's false-positive path); they are
+  /// delivered in arrival order when the node resumes.  Transport acks
+  /// for the node's own earlier sends still settle (NIC-level state), and
+  /// its retransmit timers keep driving -- the process is wedged, not the
+  /// host.  Idempotent; crash() discards the parked backlog.
+  void stall(NodeId node);
+  void resume(NodeId node);
+  /// Resume every stalled node (scenario kResume).
+  void resume_all();
+  [[nodiscard]] bool stalled(NodeId node) const {
+    return stalled_.count(node) != 0;
+  }
+
+  /// Degradation windows (scenario kLossBurst / kLatencySpike /
+  /// kDuplicate).  Windows nest: drop probabilities add (clamped below
+  /// 1), latency factors multiply, duplication picks the strongest
+  /// window.  end_* removes one matching begin_* (balanced by the
+  /// scheduling layer).
+  void begin_loss_burst(double extra_drop);
+  void end_loss_burst(double extra_drop);
+  void begin_latency_spike(double factor);
+  void end_latency_spike(double factor);
+  void begin_duplication(double probability);
+  void end_duplication(double probability);
+
   /// Install / remove a link filter (messages on down links are lost on
   /// transmission; retransmit timers keep reliable traffic alive until
   /// the partition heals).
@@ -119,6 +165,14 @@ class Network {
   /// One wire attempt: count it, lose it or schedule its arrival.
   void transmit(const Message& msg);
   void arrive(Message msg);
+  /// Deliver a message that reached its (non-crashed) destination: park it
+  /// when the destination is stalled, otherwise ack + dedup + sink.
+  void receive(Message msg);
+  /// Armed timeout for the transfer's next attempt: capped exponential
+  /// backoff plus deterministic per-(transfer, attempt) jitter.
+  [[nodiscard]] double backoff_timeout(std::uint64_t transfer_id,
+                                       std::size_t attempts) const;
+  [[nodiscard]] double effective_drop() const;
   void on_timeout(std::uint64_t transfer_id);
   void arm_timer(std::uint64_t transfer_id);
   /// Give up on a reliable transfer: erase it (the timer must already be
@@ -130,6 +184,7 @@ class Network {
   sim::EventQueue& queue_;
   NetworkConfig config_;
   double rto_;
+  double rto_cap_;
   Sink sink_;
   AbandonHandler abandon_;
   Rng rng_;
@@ -140,6 +195,16 @@ class Network {
   std::unordered_set<NodeId> crashed_;
   std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> seen_;
   LinkFilter link_up_;
+
+  // Gray-failure state.
+  std::unordered_set<NodeId> stalled_;
+  /// Arrival-ordered backlog of a stalled node (drained on resume,
+  /// discarded on crash).
+  std::unordered_map<NodeId, std::vector<Message>> stall_backlog_;
+  /// Open degradation windows (tiny: scenarios open a handful at most).
+  std::vector<double> loss_bursts_;
+  std::vector<double> latency_spikes_;
+  std::vector<double> duplications_;
 };
 
 }  // namespace voronet::protocol

@@ -113,20 +113,80 @@ void QueryHarness::issue_scenario_query(
             : issue_radius(from, spec.a, spec.tol, delay));
 }
 
+NodeId QueryHarness::select_target(scenario::Target target, Rng& rng) const {
+  using scenario::Target;
+  if (target == Target::kUniformTarget) return harness_.random_node(rng);
+  const Overlay& overlay = harness_.overlay();
+  NodeId best = kNoObject;
+  std::size_t best_score = 0;
+  for (const NodeId id : overlay.objects()) {
+    const NodeView& v = overlay.view(id);
+    std::size_t score = 0;
+    switch (target) {
+      case Target::kHighestDegree:
+        score = v.degree();
+        break;
+      case Target::kLongLinkHub:
+        score = v.blr.size();
+        break;
+      case Target::kDensestRegion:
+        score = v.cn.size();
+        break;
+      case Target::kUniformTarget:
+        break;
+    }
+    // live_ids_ iteration order is insertion order, not id order, so the
+    // tie-break must compare ids explicitly for a deterministic pick.
+    if (best == kNoObject || score > best_score ||
+        (score == best_score && id < best)) {
+      best = id;
+      best_score = score;
+    }
+  }
+  VORONET_EXPECT(best != kNoObject, "targeted selector on an empty overlay");
+  return best;
+}
+
 void QueryHarness::fire_leave(const std::shared_ptr<ScheduleContext>& ctx,
-                              std::size_t floor) {
+                              std::size_t floor, scenario::Target target) {
   if (harness_.node_count() <= floor) return;
-  harness_.leave(harness_.random_node(ctx->rng));
+  harness_.leave(select_target(target, ctx->rng));
   ++ctx->leaves;
 }
 
 void QueryHarness::fire_crash(const std::shared_ptr<ScheduleContext>& ctx,
-                              std::size_t floor) {
+                              std::size_t floor, scenario::Target target) {
   if (harness_.node_count() <= floor) return;
-  const NodeId victim = harness_.random_node(ctx->rng);
+  const NodeId victim = select_target(target, ctx->rng);
   ctx->crashed_positions.push_back(harness_.overlay().position(victim));
   harness_.crash(victim);
   ++ctx->crashes;
+}
+
+void QueryHarness::fire_stall(const std::shared_ptr<ScheduleContext>& ctx,
+                              std::size_t floor, scenario::Target target,
+                              double duration) {
+  // The floor guards stalls too: wedging most of a tiny overlay stops
+  // every query from completing within the run budget.
+  if (harness_.node_count() <= floor) return;
+  Network& network = harness_.network();
+  // Retry a few draws so overlapping uniform stalls tend to pick distinct
+  // victims (targeted selectors are deterministic: re-stalling the same
+  // node extends nothing -- the kEven spread already staggers windows).
+  NodeId victim = select_target(target, ctx->rng);
+  for (int i = 0; i < 4 && network.stalled(victim) &&
+                  target == scenario::Target::kUniformTarget;
+       ++i) {
+    victim = select_target(target, ctx->rng);
+  }
+  if (network.stalled(victim)) return;
+  network.stall(victim);
+  ++ctx->stalls;
+  // Auto-resume when the window closes: a stall is a *window*, so every
+  // scenario quiesces without needing a matching kResume event.
+  harness_.queue().schedule(duration, [this, victim] {
+    harness_.network().resume(victim);
+  });
 }
 
 void QueryHarness::schedule_event(
@@ -196,24 +256,28 @@ void QueryHarness::schedule_event(
       break;
     }
     case EventKind::kLeave: {
+      const auto fire = [this, ctx, floor, target = event.target] {
+        fire_leave(ctx, floor, target);
+      };
       if (event.spread == Spread::kPoisson) {
-        arm_poisson([this, ctx, floor] { fire_leave(ctx, floor); });
+        arm_poisson(fire);
         break;
       }
       for (std::size_t i = 0; i < event.count; ++i) {
-        queue.schedule(op_time(i) - now,
-                       [this, ctx, floor] { fire_leave(ctx, floor); });
+        queue.schedule(op_time(i) - now, fire);
       }
       break;
     }
     case EventKind::kCrash: {
+      const auto fire = [this, ctx, floor, target = event.target] {
+        fire_crash(ctx, floor, target);
+      };
       if (event.spread == Spread::kPoisson) {
-        arm_poisson([this, ctx, floor] { fire_crash(ctx, floor); });
+        arm_poisson(fire);
         break;
       }
       for (std::size_t i = 0; i < event.count; ++i) {
-        queue.schedule(op_time(i) - now,
-                       [this, ctx, floor] { fire_crash(ctx, floor); });
+        queue.schedule(op_time(i) - now, fire);
       }
       break;
     }
@@ -230,14 +294,22 @@ void QueryHarness::schedule_event(
       break;
     }
     case EventKind::kPartitionStart: {
-      queue.schedule(start - now, [this, axis = event.axis_value] {
+      queue.schedule(start - now, [this, ctx, axis = event.axis_value,
+                                   target = event.target] {
         // Node positions are immutable, so consulting the ground truth
-        // for the side of the cut is safe.
+        // for the side of the cut is safe.  A targeted cut aims through
+        // the selected node's x instead of the declared axis, isolating
+        // (say) the long-link hub on whichever side is smaller.
         const Overlay& overlay = harness_.overlay();
+        double cut = axis;
+        if (target != scenario::Target::kUniformTarget &&
+            harness_.node_count() > 0) {
+          cut = overlay.position(select_target(target, ctx->rng)).x;
+        }
         harness_.network().set_link_filter(
-            [&overlay, axis](NodeId a, NodeId b) {
-              const auto west = [&overlay, axis](NodeId n) {
-                return overlay.contains(n) ? overlay.position(n).x < axis
+            [&overlay, cut](NodeId a, NodeId b) {
+              const auto west = [&overlay, cut](NodeId n) {
+                return overlay.contains(n) ? overlay.position(n).x < cut
                                            : true;
               };
               return west(a) == west(b);
@@ -274,6 +346,49 @@ void QueryHarness::schedule_event(
       for (std::size_t i = 0; i < event.count; ++i) {
         issue_scenario_query(event, is_range(i), op_time(i) - now, ctx);
       }
+      break;
+    }
+    case EventKind::kStall: {
+      // All `count` stall windows open at `start` and close together at
+      // `start + duration` (fire_stall schedules each auto-resume); the
+      // victims are resolved at fire time against the live population.
+      for (std::size_t i = 0; i < event.count; ++i) {
+        queue.schedule(start - now, [this, ctx, floor, target = event.target,
+                                     duration = event.duration] {
+          fire_stall(ctx, floor, target, duration);
+        });
+      }
+      break;
+    }
+    case EventKind::kResume: {
+      queue.schedule(start - now, [this] { harness_.network().resume_all(); });
+      break;
+    }
+    case EventKind::kLossBurst: {
+      queue.schedule(start - now, [this, m = event.magnitude] {
+        harness_.network().begin_loss_burst(m);
+      });
+      queue.schedule(start + event.duration - now, [this, m = event.magnitude] {
+        harness_.network().end_loss_burst(m);
+      });
+      break;
+    }
+    case EventKind::kLatencySpike: {
+      queue.schedule(start - now, [this, m = event.magnitude] {
+        harness_.network().begin_latency_spike(m);
+      });
+      queue.schedule(start + event.duration - now, [this, m = event.magnitude] {
+        harness_.network().end_latency_spike(m);
+      });
+      break;
+    }
+    case EventKind::kDuplicate: {
+      queue.schedule(start - now, [this, m = event.magnitude] {
+        harness_.network().begin_duplication(m);
+      });
+      queue.schedule(start + event.duration - now, [this, m = event.magnitude] {
+        harness_.network().end_duplication(m);
+      });
       break;
     }
     case EventKind::kQuiesce:

@@ -118,6 +118,7 @@ class QueryHarness {
     std::size_t leaves = 0;   ///< leaves executed (floor skips excluded)
     std::size_t crashes = 0;  ///< crashes executed
     std::size_t revives = 0;  ///< crash positions rejoined
+    std::size_t stalls = 0;   ///< stall windows opened (gray failures)
     /// Positions of crashed nodes, most recent last (kRevive pops here).
     std::vector<Vec2> crashed_positions;
   };
@@ -181,11 +182,20 @@ class QueryHarness {
   void issue_scenario_query(const scenario::Event& event, bool range,
                             double delay,
                             const std::shared_ptr<ScheduleContext>& ctx);
-  /// Fire-time bodies of the membership events.
+  /// Fire-time bodies of the membership / gray-failure events.
   void fire_leave(const std::shared_ptr<ScheduleContext>& ctx,
-                  std::size_t floor);
+                  std::size_t floor, scenario::Target target);
   void fire_crash(const std::shared_ptr<ScheduleContext>& ctx,
-                  std::size_t floor);
+                  std::size_t floor, scenario::Target target);
+  void fire_stall(const std::shared_ptr<ScheduleContext>& ctx,
+                  std::size_t floor, scenario::Target target,
+                  double duration);
+  /// Resolve a victim selector against the population alive right now.
+  /// kUniformTarget draws from ctx's Rng; the adversarial selectors scan
+  /// the overlay ground truth (the simulator's stand-in for the
+  /// adversary's global knowledge) and break ties towards the smallest
+  /// id, so replays stay bit-identical.
+  [[nodiscard]] NodeId select_target(scenario::Target target, Rng& rng) const;
 
   ProtocolHarness harness_;
 };

@@ -34,6 +34,24 @@ enum class EventKind : std::uint8_t {
   kQueryStream,     ///< `count` queries (or a Poisson stream at `rate`)
   kQuiesce,         ///< barrier: drain the event queue to idle
   kVerifyBarrier,   ///< barrier: record a differential view audit
+  // --- Gray failures (chaos layer) -----------------------------------------
+  kStall,           ///< `count` live nodes stop processing for `duration`
+  kResume,          ///< end every stall window still open
+  kLossBurst,       ///< add `magnitude` drop probability for `duration`
+  kLatencySpike,    ///< multiply delays by `magnitude` for `duration`
+  kDuplicate,       ///< duplicate transmissions w.p. `magnitude` for `duration`
+};
+
+/// How leave / crash / stall victims (and the targeted partition cut) are
+/// chosen.  kUniformTarget draws from the run Rng; the adversarial
+/// selectors resolve deterministically from the overlay ground truth at
+/// fire time (ties break towards the smallest id, so a timeline replays
+/// bit-for-bit).
+enum class Target : std::uint8_t {
+  kUniformTarget,   ///< uniformly random live node
+  kHighestDegree,   ///< largest total view (vn + cn + lr + blr)
+  kLongLinkHub,     ///< most incoming long links (largest blr set)
+  kDensestRegion,   ///< most close neighbours (largest cn set)
 };
 
 /// How a multi-operation event spreads its operations over [at, at+duration].
@@ -70,8 +88,23 @@ struct Event {
   double tol = 0.0;  ///< range tolerance / disk radius
   QueryMix mix = QueryMix::kMixed;  ///< kQueryStream composition
   double axis_value = 0.5;          ///< kPartitionStart cut position
+  /// Victim selection for kLeave / kCrash / kStall; for kPartitionStart a
+  /// non-uniform target aims the cut through the selected node's x.
+  Target target = Target::kUniformTarget;
+  /// Window intensity: added drop probability (kLossBurst), delay
+  /// multiplier (kLatencySpike), per-transmission duplication probability
+  /// (kDuplicate).
+  double magnitude = 0.0;
 
   // --- Factories (the spellings scenarios are written in) ------------------
+
+  /// Copy of this event with an adversarial victim selector applied
+  /// (kLeave / kCrash / kStall / kPartitionStart).
+  [[nodiscard]] Event with_target(Target t) const {
+    Event e = *this;
+    e.target = t;
+    return e;
+  }
 
   static Event join_burst(double at, std::size_t count, double duration,
                           Spread spread = Spread::kEven) {
@@ -173,6 +206,46 @@ struct Event {
                              QueryMix mix = QueryMix::kMixed) {
     Event e = query_stream(at, 0, duration, mix, Spread::kPoisson);
     e.rate = rate;
+    return e;
+  }
+  static Event stall(double at, std::size_t count, double duration,
+                     Target target = Target::kUniformTarget) {
+    Event e;
+    e.kind = EventKind::kStall;
+    e.at = at;
+    e.count = count;
+    e.duration = duration;
+    e.target = target;
+    return e;
+  }
+  static Event resume(double at) {
+    Event e;
+    e.kind = EventKind::kResume;
+    e.at = at;
+    return e;
+  }
+  static Event loss_burst(double at, double duration, double magnitude) {
+    Event e;
+    e.kind = EventKind::kLossBurst;
+    e.at = at;
+    e.duration = duration;
+    e.magnitude = magnitude;
+    return e;
+  }
+  static Event latency_spike(double at, double duration, double magnitude) {
+    Event e;
+    e.kind = EventKind::kLatencySpike;
+    e.at = at;
+    e.duration = duration;
+    e.magnitude = magnitude;
+    return e;
+  }
+  static Event duplicate(double at, double duration, double magnitude) {
+    Event e;
+    e.kind = EventKind::kDuplicate;
+    e.at = at;
+    e.duration = duration;
+    e.magnitude = magnitude;
     return e;
   }
   static Event quiesce(double at = 0.0) {

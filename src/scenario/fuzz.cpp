@@ -1,0 +1,344 @@
+#include "scenario/fuzz.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "scenario/runner.hpp"
+
+namespace voronet::scenario {
+
+namespace {
+
+/// Salt separating the oracle's probe draws from every other stream.
+constexpr std::uint64_t kProbeSalt = 0x9b0be5a17ULL;
+
+/// Fuzzed chaos intensities stay inside these bounds: strong enough to
+/// hurt, bounded enough that every timeline still quiesces within the
+/// run budget (a saturated drop probability retransmits for a long
+/// simulated tail without being a protocol bug).
+constexpr double kMaxBurstDrop = 0.35;
+constexpr double kMaxSpikeFactor = 6.0;
+constexpr double kMaxDuplication = 0.5;
+
+Target draw_target(Rng& rng) {
+  // Mostly uniform victims; one in three draws aims at the overlay's
+  // structural weak points.
+  switch (rng.index(6)) {
+    case 0:
+      return Target::kHighestDegree;
+    case 1:
+      return Target::kLongLinkHub;
+    default:
+      return Target::kUniformTarget;
+  }
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, const FuzzConfig& config) {
+  Rng rng(seed ^ 0xf022ed5ULL);
+  Scenario s;
+  s.name = "fuzz_" + std::to_string(seed);
+  s.seed = seed;
+  s.population = config.min_population +
+                 rng.index(config.max_population - config.min_population + 1);
+  s.workload = rng.chance(0.25) ? "power_law" : "uniform";
+  switch (rng.index(3)) {
+    case 0:
+      s.latency = protocol::LatencyModel::fixed(rng.uniform(0.005, 0.02));
+      break;
+    case 1:
+      s.latency = protocol::LatencyModel::uniform(0.005, rng.uniform(0.02, 0.06));
+      break;
+    default:
+      s.latency = protocol::LatencyModel::lognormal(0.005, 0.03,
+                                                    rng.uniform(0.3, 1.0));
+      break;
+  }
+  s.loss = rng.chance(0.5) ? rng.uniform(0.0, config.max_loss) : 0.0;
+  s.failure_detect_delay = rng.uniform(0.2, 1.0);
+
+  const std::size_t events =
+      config.min_events + rng.index(config.max_events - config.min_events + 1);
+  const double horizon = config.horizon;
+  bool partitioned = false;
+  for (std::size_t i = 0; i < events; ++i) {
+    const double at = rng.uniform(0.0, horizon);
+    // Weighted vocabulary draw: queries and churn dominate, gray
+    // failures salt every second timeline or so.
+    switch (rng.index(10)) {
+      case 0:
+        s.timeline.push_back(
+            Event::join_burst(at, 2 + rng.index(8), rng.uniform(0.1, 0.5)));
+        break;
+      case 1:
+        s.timeline.push_back(
+            Event::leave(at, 1 + rng.index(4), rng.uniform(0.1, 0.5), 16)
+                .with_target(draw_target(rng)));
+        break;
+      case 2:
+      case 3:
+        s.timeline.push_back(
+            Event::crash(at, 1 + rng.index(4), rng.uniform(0.1, 0.5), 16)
+                .with_target(draw_target(rng)));
+        break;
+      case 4:
+        s.timeline.push_back(
+            Event::stall(at, 1 + rng.index(2), rng.uniform(0.2, 0.6),
+                         draw_target(rng)));
+        break;
+      case 5:
+        s.timeline.push_back(Event::loss_burst(
+            at, rng.uniform(0.2, 0.6), rng.uniform(0.1, kMaxBurstDrop)));
+        break;
+      case 6:
+        s.timeline.push_back(Event::latency_spike(
+            at, rng.uniform(0.2, 0.6), rng.uniform(2.0, kMaxSpikeFactor)));
+        break;
+      case 7:
+        s.timeline.push_back(Event::duplicate(
+            at, rng.uniform(0.2, 0.6), rng.uniform(0.1, kMaxDuplication)));
+        break;
+      case 8:
+        if (!partitioned) {
+          // Balanced by construction: the heal lands inside the horizon,
+          // after the start.
+          const double heal = rng.uniform(at + 0.2, horizon + 0.4);
+          Event start = Event::partition_start(at, rng.uniform(0.3, 0.7));
+          if (rng.chance(0.3)) start = start.with_target(draw_target(rng));
+          s.timeline.push_back(start);
+          s.timeline.push_back(Event::partition_heal(heal));
+          partitioned = true;
+          break;
+        }
+        [[fallthrough]];
+      default:
+        s.timeline.push_back(Event::query_stream(
+            at, 2 + rng.index(6), rng.uniform(0.2, 0.6),
+            QueryMix::kMixed, Spread::kUniform));
+        break;
+    }
+  }
+  // Occasional revive of whatever crashed first (no-op when nothing did).
+  if (rng.chance(0.3)) {
+    s.timeline.push_back(Event::revive(horizon, 1 + rng.index(2)));
+  }
+  validate(s);  // the generator must only ever emit valid scenarios
+  return s;
+}
+
+Verdict run_oracle(const Scenario& s, const OracleLimits& limits) {
+  const auto violation = [](std::string what) {
+    Verdict v;
+    v.ok = false;
+    v.violation = std::move(what);
+    return v;
+  };
+  try {
+    Runner runner(s);
+    const Report rep = runner.run();
+    if (limits.require_quiesced && !rep.quiesced) {
+      return violation("non-quiescence: run budget exhausted before idle");
+    }
+    if (limits.require_converged && !rep.converged) {
+      return violation("verify_views mismatch at quiescence");
+    }
+    if (limits.require_completion && rep.completed != rep.queries) {
+      return violation("query completion: " + std::to_string(rep.completed) +
+                       "/" + std::to_string(rep.queries) + " completed");
+    }
+    if (limits.max_transfer_attempts > 0.0 &&
+        rep.max_transfer_attempts > limits.max_transfer_attempts) {
+      return violation("transfer attempts " +
+                       std::to_string(rep.max_transfer_attempts) +
+                       " exceeded the ceiling");
+    }
+    if (rep.branch_failovers > limits.max_branch_failovers) {
+      return violation("branch failovers " +
+                       std::to_string(rep.branch_failovers) +
+                       " exceeded the ceiling");
+    }
+    if (limits.require_exact_probes) {
+      // Post-quiescence probes: the overlay is quiet and converged, so
+      // the differential contract is exact equality -- any recall or
+      // precision below 1 here is a real query-layer defect, not
+      // staleness.  Geometry is drawn from a salted seed, independent of
+      // the run's streams, so the probe set is a pure function of the
+      // scenario seed.
+      protocol::QueryHarness& qh = runner.harness();
+      Rng rng(s.seed ^ kProbeSalt);
+      const FuzzConfig defaults;
+      for (std::size_t i = 0; i < defaults.probes; ++i) {
+        const protocol::NodeId from = qh.harness().random_node(rng);
+        protocol::QueryHarness::Differential d;
+        if (i % 2 == 0) {
+          const Vec2 c{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+          d = qh.run_radius(from, c, rng.uniform(0.05, 0.15));
+        } else {
+          const Vec2 a{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+          const Vec2 b{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+          d = qh.run_range(from, a, b, rng.uniform(0.02, 0.08));
+        }
+        if (!d.identical() || d.recall() != 1.0 || d.precision() != 1.0) {
+          return violation("probe query " + std::to_string(i) +
+                           " diverged from the ground truth at quiescence");
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // An execution that dies (run-budget assert, invariant check) is the
+    // strongest kind of finding.
+    return violation(std::string("execution aborted: ") + e.what());
+  }
+  return Verdict{};
+}
+
+namespace {
+
+/// Does `s` still violate?  Invalid candidates (ddmin can unbalance a
+/// partition pair) simply do not count as reproducers.
+bool still_fails(const Scenario& s, const OracleLimits& limits,
+                 std::size_t& replays) {
+  try {
+    validate(s);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  ++replays;
+  return !run_oracle(s, limits).ok;
+}
+
+Scenario with_timeline(const Scenario& s, Timeline t) {
+  Scenario out = s;
+  out.timeline = std::move(t);
+  return out;
+}
+
+}  // namespace
+
+Scenario minimize(const Scenario& s, const OracleLimits& limits,
+                  std::size_t* replays) {
+  std::size_t runs = 0;
+  Scenario best = s;
+
+  // Phase 1: ddmin over timeline events.  Replay determinism makes each
+  // candidate a cheap, exact check -- no flakiness, no retries.
+  std::size_t granularity = 2;
+  while (best.timeline.size() >= 2) {
+    const std::size_t n = best.timeline.size();
+    granularity = std::min(granularity, n);
+    const std::size_t chunk = (n + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < n && !reduced; start += chunk) {
+      // Candidate: the timeline WITHOUT [start, start+chunk).
+      Timeline candidate;
+      candidate.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i < start || i >= std::min(start + chunk, n)) {
+          candidate.push_back(best.timeline[i]);
+        }
+      }
+      if (candidate.size() < n &&
+          still_fails(with_timeline(best, std::move(candidate)), limits,
+                      runs)) {
+        Timeline kept;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i < start || i >= std::min(start + chunk, n)) {
+            kept.push_back(best.timeline[i]);
+          }
+        }
+        best.timeline = std::move(kept);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= n) break;  // 1-minimal w.r.t. event removal
+      granularity = std::min(n, granularity * 2);
+    }
+  }
+
+  // Phase 2: parameter shrinking -- halve burst sizes, window lengths
+  // and intensities while the violation survives.  Each knob shrinks
+  // greedily to its fixpoint.
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < best.timeline.size(); ++i) {
+      Event& e = best.timeline[i];
+      if (e.count > 1) {
+        Scenario candidate = best;
+        candidate.timeline[i].count = e.count / 2;
+        if (still_fails(candidate, limits, runs)) {
+          best = std::move(candidate);
+          shrunk = true;
+          continue;
+        }
+      }
+      if (e.duration > 0.05) {
+        Scenario candidate = best;
+        candidate.timeline[i].duration = e.duration / 2;
+        if (still_fails(candidate, limits, runs)) {
+          best = std::move(candidate);
+          shrunk = true;
+          continue;
+        }
+      }
+      if (e.magnitude > 0.0) {
+        Scenario candidate = best;
+        candidate.timeline[i].magnitude = e.magnitude / 2;
+        if (still_fails(candidate, limits, runs)) {
+          best = std::move(candidate);
+          shrunk = true;
+        }
+      }
+    }
+    // Population shrinks too: a 24-node reproducer beats an 80-node one.
+    if (best.population / 2 >= 24) {
+      Scenario candidate = best;
+      candidate.population /= 2;
+      if (still_fails(candidate, limits, runs)) {
+        best = std::move(candidate);
+        shrunk = true;
+      }
+    }
+  }
+
+  if (replays != nullptr) *replays = runs;
+  return best;
+}
+
+std::vector<Finding> fuzz_range(std::uint64_t from, std::uint64_t to,
+                                const FuzzConfig& config,
+                                const OracleLimits& limits) {
+  VORONET_EXPECT(from <= to, "fuzz seed range must be ascending");
+  std::vector<Finding> findings;
+  for (std::uint64_t seed = from; seed <= to; ++seed) {
+    Scenario s = generate_scenario(seed, config);
+    const Verdict v = run_oracle(s, limits);
+    if (v.ok) continue;
+    Finding f;
+    f.seed = seed;
+    f.violation = v.violation;
+    f.minimized = minimize(s, limits, &f.shrink_replays);
+    f.minimized.name = "regression_seed" + std::to_string(seed);
+    f.scenario = std::move(s);
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+std::uint64_t nastiness(const Scenario& s) {
+  const Report rep = run_scenario(s);
+  // Pressure the run put on the recovery machinery, weighted towards the
+  // rarest (hence most interesting) reactions.
+  return rep.branch_failovers * 50 + rep.reissued * 20 +
+         rep.wire.abandoned * 10 + rep.wire.stalled_deferred +
+         rep.wire.retransmits + rep.wire.injected_duplicates +
+         rep.stalls * 5 + rep.crashes * 5;
+}
+
+}  // namespace voronet::scenario

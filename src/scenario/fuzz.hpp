@@ -1,0 +1,109 @@
+// Scenario fuzzer: seeded random timelines over the full event
+// vocabulary, a differential oracle, and a delta-debugging minimizer.
+//
+// The flywheel (tools/scenario_fuzzer drives it, CI runs a bounded
+// deterministic smoke of it):
+//
+//   generate_scenario(seed)  -- a random but *valid* timeline: churn,
+//       crash-stop failures, gray failures (stalls, loss bursts, latency
+//       spikes, duplication), targeted adversarial victims, partitions,
+//       query floods;
+//   run_oracle(s)            -- execute through scenario::Runner and
+//       judge: the run must quiesce, the strict differential view audit
+//       must pass, every issued query must complete, and a batch of
+//       deterministic post-quiescence probe queries must match the
+//       sequential ground truth exactly (recall == precision == 1);
+//   minimize(s)              -- ddmin over the timeline plus parameter
+//       shrinking (halve counts, durations, magnitudes), each step a
+//       cheap bit-exact replay, until the reproducer is 1-minimal;
+//
+// Findings serialize to scenarios/regressions/*.json, which the replay
+// corpus (tests/scenario_test.cpp, CI's --check loop) runs forever.
+//
+// Everything here is deterministic: the same seed range produces the
+// same findings and byte-identical minimized JSON on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace voronet::scenario {
+
+/// Knobs of the random timeline generator.  Defaults are sized so one
+/// scenario runs in well under a second: the fuzzer's power comes from
+/// seeds, not from giant single runs.
+struct FuzzConfig {
+  std::size_t min_population = 48;
+  std::size_t max_population = 80;
+  std::size_t min_events = 4;
+  std::size_t max_events = 10;
+  double horizon = 1.5;      ///< timeline events start inside [0, horizon]
+  double max_loss = 0.25;    ///< base drop probability upper bound
+  std::size_t probes = 4;    ///< post-quiescence probe queries (the oracle)
+};
+
+/// What the oracle tolerates.  The defaults encode the paper's
+/// robustness contract; tests *tighten* them (e.g. forbid branch
+/// failovers) to plant a guaranteed finding and prove the
+/// detect -> minimize -> replay loop end to end.
+struct OracleLimits {
+  bool require_quiesced = true;
+  bool require_converged = true;       ///< strict verify_views at the end
+  bool require_completion = true;      ///< every issued query completed
+  bool require_exact_probes = true;    ///< probe recall == precision == 1
+  /// Reliable-transfer attempt ceiling (0 = unlimited).  With capped
+  /// exponential backoff a transfer's attempts stay small even under
+  /// bursts; a fixed RTO under correlated loss violates this.
+  double max_transfer_attempts = 0.0;
+  /// Branch-failover ceiling (SIZE_MAX = unlimited).
+  std::uint64_t max_branch_failovers = ~0ULL;
+};
+
+/// One oracle verdict: ok, or the first violation in evaluation order.
+struct Verdict {
+  bool ok = true;
+  std::string violation;  ///< empty when ok
+};
+
+/// One fuzzer finding: the violating scenario and its minimized form.
+struct Finding {
+  std::uint64_t seed = 0;
+  std::string violation;
+  Scenario scenario;   ///< as generated
+  Scenario minimized;  ///< 1-minimal reproducer (still violating)
+  std::size_t shrink_replays = 0;  ///< oracle runs the minimizer spent
+};
+
+/// Deterministically generate one random, validate()-clean scenario.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed,
+                                         const FuzzConfig& config = {});
+
+/// Execute `s` and judge it against `limits`.  Never throws for a
+/// judged violation; an execution that dies (assert, budget blowout)
+/// is itself reported as a violation.
+[[nodiscard]] Verdict run_oracle(const Scenario& s,
+                                 const OracleLimits& limits = {});
+
+/// Delta-debug `s` to a smaller scenario that still violates `limits`
+/// (ddmin over timeline events, then parameter shrinking).  `s` itself
+/// must violate.  `replays`, when non-null, receives the number of
+/// oracle executions spent.
+[[nodiscard]] Scenario minimize(const Scenario& s, const OracleLimits& limits,
+                                std::size_t* replays = nullptr);
+
+/// Fuzz seeds [from, to]: generate, judge, minimize every violation.
+/// Deterministic: same range, same findings, same minimized timelines.
+[[nodiscard]] std::vector<Finding> fuzz_range(
+    std::uint64_t from, std::uint64_t to, const FuzzConfig& config = {},
+    const OracleLimits& limits = {});
+
+/// Adversarial pressure score of a clean run (used to pick the
+/// "nastiest" surviving timelines worth committing as regression
+/// scenarios): failovers, re-issues, retransmissions, abandons, parked
+/// deliveries.  Deterministic for a given scenario.
+[[nodiscard]] std::uint64_t nastiness(const Scenario& s);
+
+}  // namespace voronet::scenario

@@ -23,6 +23,7 @@ protocol::HarnessConfig harness_config(const Scenario& s) {
   config.overlay.seed = s.seed;
   config.network.latency = s.latency;
   config.network.drop_probability = s.loss;
+  config.network.max_retries = s.max_retries;
   config.network.seed = s.seed ^ 0xfeedULL;
   config.failure_detect_delay = s.failure_detect_delay;
   config.seed = s.seed ^ 0x907aULL;
@@ -44,7 +45,9 @@ Json stats_json(const protocol::NetworkStats& w) {
       .set("dropped", Json::integer(w.dropped))
       .set("retransmits", Json::integer(w.retransmits))
       .set("abandoned", Json::integer(w.abandoned))
-      .set("acks", Json::integer(w.acks));
+      .set("acks", Json::integer(w.acks))
+      .set("injected_duplicates", Json::integer(w.injected_duplicates))
+      .set("stalled_deferred", Json::integer(w.stalled_deferred));
 }
 
 }  // namespace
@@ -65,13 +68,19 @@ Json Report::to_json() const {
                             .set("joins", Json::integer(joins))
                             .set("leaves", Json::integer(leaves))
                             .set("crashes", Json::integer(crashes))
-                            .set("revives", Json::integer(revives)));
+                            .set("revives", Json::integer(revives))
+                            .set("stalls", Json::integer(stalls)));
   doc.set("sim", Json::object()
                      .set("duration", Json::number(duration))
                      .set("convergence_time", Json::number(convergence_time))
                      .set("events_processed",
                           Json::integer(events_processed)));
   doc.set("wire", stats_json(wire));
+  doc.set("transfers",
+          Json::object()
+              .set("settled", Json::integer(transfers_settled))
+              .set("mean_attempts", Json::number(mean_transfer_attempts))
+              .set("max_attempts", Json::number(max_transfer_attempts)));
   Json per_type = Json::object();
   for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
     per_type.set(
@@ -197,6 +206,7 @@ Report Runner::run() {
   rep.leaves = ctx->leaves;
   rep.crashes = ctx->crashes;
   rep.revives = ctx->revives;
+  rep.stalls = ctx->stalls;
 
   const protocol::NetworkStats& wire_after = h.network().stats();
   rep.wire.sends = wire_after.sends - wire_before.sends;
@@ -207,6 +217,17 @@ Report Runner::run() {
   rep.wire.retransmits = wire_after.retransmits - wire_before.retransmits;
   rep.wire.abandoned = wire_after.abandoned - wire_before.abandoned;
   rep.wire.acks = wire_after.acks - wire_before.acks;
+  rep.wire.injected_duplicates =
+      wire_after.injected_duplicates - wire_before.injected_duplicates;
+  rep.wire.stalled_deferred =
+      wire_after.stalled_deferred - wire_before.stalled_deferred;
+  // Transfer-attempt distribution (whole run: the populate phase runs
+  // under the same loss model, so its attempts belong in the picture).
+  const stats::StreamingSummary& attempts =
+      h.network().metrics().transfer_attempts();
+  rep.transfers_settled = attempts.count();
+  rep.mean_transfer_attempts = attempts.mean();
+  rep.max_transfer_attempts = attempts.count() ? attempts.max() : 0.0;
   for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
     rep.messages[k] =
         h.network().metrics().messages(static_cast<sim::MessageKind>(k)) -

@@ -43,6 +43,7 @@ struct Report {
   std::size_t leaves = 0;   ///< leaves executed (population-floor skips excluded)
   std::size_t crashes = 0;  ///< crashes executed
   std::size_t revives = 0;  ///< crash positions rejoined
+  std::size_t stalls = 0;   ///< gray-failure stall windows opened
 
   bool quiesced = false;   ///< every drain completed within budget
   bool converged = false;  ///< strict differential view audit at the end
@@ -55,6 +56,12 @@ struct Report {
   /// Wire accounting over the timeline phase (populate excluded): deltas
   /// of the Network's counters.
   protocol::NetworkStats wire;
+  /// Reliable-transfer attempt distribution over the whole run (settled
+  /// and abandoned transfers; 1 = no retransmission).  The max is the
+  /// retransmit-storm detector the chaos tests assert against.
+  std::size_t transfers_settled = 0;
+  double mean_transfer_attempts = 0.0;
+  double max_transfer_attempts = 0.0;
   /// Per-kind message deltas over the timeline phase.
   std::array<std::uint64_t, sim::kMessageKindCount> messages{};
   std::uint64_t total_messages = 0;

@@ -21,7 +21,7 @@ Enum parse_enum(std::string_view text, const Table& table,
                               std::string(text) + "\"");
 }
 
-constexpr std::array<std::pair<std::string_view, EventKind>, 11>
+constexpr std::array<std::pair<std::string_view, EventKind>, 16>
     kEventKinds = {{
         {"join_burst", EventKind::kJoinBurst},
         {"leave", EventKind::kLeave},
@@ -34,6 +34,19 @@ constexpr std::array<std::pair<std::string_view, EventKind>, 11>
         {"query_stream", EventKind::kQueryStream},
         {"quiesce", EventKind::kQuiesce},
         {"verify_barrier", EventKind::kVerifyBarrier},
+        {"stall", EventKind::kStall},
+        {"resume", EventKind::kResume},
+        {"loss_burst", EventKind::kLossBurst},
+        {"latency_spike", EventKind::kLatencySpike},
+        {"duplicate", EventKind::kDuplicate},
+}};
+
+constexpr std::array<std::pair<std::string_view, Target>, 4>
+    kTargets = {{
+        {"uniform", Target::kUniformTarget},
+        {"highest_degree", Target::kHighestDegree},
+        {"long_link_hub", Target::kLongLinkHub},
+        {"densest_region", Target::kDensestRegion},
 }};
 
 constexpr std::array<std::pair<std::string_view, Spread>, 3>
@@ -61,6 +74,18 @@ constexpr std::array<std::pair<std::string_view, protocol::LatencyModel::Kind>,
 [[nodiscard]] bool multi_op(EventKind kind) {
   return kind == EventKind::kJoinBurst || kind == EventKind::kLeave ||
          kind == EventKind::kCrash || kind == EventKind::kQueryStream;
+}
+
+/// Events whose victim selection honours Event::target.
+[[nodiscard]] bool targeted(EventKind kind) {
+  return kind == EventKind::kLeave || kind == EventKind::kCrash ||
+         kind == EventKind::kStall || kind == EventKind::kPartitionStart;
+}
+
+/// The degradation-window kinds (duration + magnitude).
+[[nodiscard]] bool window(EventKind kind) {
+  return kind == EventKind::kLossBurst || kind == EventKind::kLatencySpike ||
+         kind == EventKind::kDuplicate;
 }
 
 Json event_to_json(const Event& e) {
@@ -93,6 +118,19 @@ Json event_to_json(const Event& e) {
     case EventKind::kPartitionStart:
       j.set("axis_value", Json::number(e.axis_value));
       break;
+    case EventKind::kStall:
+      j.set("count", Json::integer(e.count));
+      j.set("duration", Json::number(e.duration));
+      if (e.min_population > 0) {
+        j.set("min_population", Json::integer(e.min_population));
+      }
+      break;
+    case EventKind::kLossBurst:
+    case EventKind::kLatencySpike:
+    case EventKind::kDuplicate:
+      j.set("duration", Json::number(e.duration));
+      j.set("magnitude", Json::number(e.magnitude));
+      break;
     case EventKind::kRangeQuery:
       if (e.has_spec) {
         j.set("ax", Json::number(e.a.x)).set("ay", Json::number(e.a.y));
@@ -109,7 +147,11 @@ Json event_to_json(const Event& e) {
     case EventKind::kPartitionHeal:
     case EventKind::kQuiesce:
     case EventKind::kVerifyBarrier:
+    case EventKind::kResume:
       break;
+  }
+  if (targeted(e.kind) && e.target != Target::kUniformTarget) {
+    j.set("target", Json::string(target_name(e.target)));
   }
   return j;
 }
@@ -139,6 +181,19 @@ Event event_from_json(const Json& j) {
     case EventKind::kPartitionStart:
       e.axis_value = j.get_double("axis_value", 0.5);
       break;
+    case EventKind::kStall:
+      e.count = j.get_uint("count", 1);
+      e.duration = j.at("duration").as_double();
+      e.min_population = j.get_uint("min_population", 0);
+      break;
+    case EventKind::kLossBurst:
+    case EventKind::kLatencySpike:
+    case EventKind::kDuplicate:
+      // Both mandatory: a window with no length or no intensity is a
+      // typo, not a default.
+      e.duration = j.at("duration").as_double();
+      e.magnitude = j.at("magnitude").as_double();
+      break;
     case EventKind::kRangeQuery:
       if (j.find("ax") != nullptr) {
         e.has_spec = true;
@@ -157,6 +212,10 @@ Event event_from_json(const Json& j) {
     default:
       break;
   }
+  if (targeted(e.kind)) {
+    e.target =
+        parse_enum(j.get_string("target", "uniform"), kTargets, "target");
+  }
   return e;
 }
 
@@ -165,6 +224,13 @@ Event event_from_json(const Json& j) {
 const char* event_kind_name(EventKind kind) {
   for (const auto& [name, value] : kEventKinds) {
     if (value == kind) return name.data();
+  }
+  return "unknown";
+}
+
+const char* target_name(Target target) {
+  for (const auto& [name, value] : kTargets) {
+    if (value == target) return name.data();
   }
   return "unknown";
 }
@@ -208,35 +274,62 @@ void validate(const Scenario& s) {
   }
   bool partitioned = false;
   double barrier_at = 0.0;
-  for (const Event& e : s.timeline) {
-    if (e.at < 0.0) throw std::invalid_argument("event time must be >= 0");
+  for (std::size_t i = 0; i < s.timeline.size(); ++i) {
+    const Event& e = s.timeline[i];
+    // Position-carrying diagnostics: every timeline complaint names the
+    // offending event by index and kind, so a hand-edited (or fuzzed)
+    // scenario file pinpoints its own defect.
+    const auto fail = [&](const std::string& what) {
+      throw std::invalid_argument("timeline[" + std::to_string(i) + "] (" +
+                                  event_kind_name(e.kind) + "): " + what);
+    };
+    if (e.at < 0.0) fail("event time must be >= 0");
     if (multi_op(e.kind)) {
-      if (e.duration < 0.0) {
-        throw std::invalid_argument("event duration must be >= 0");
-      }
+      if (e.duration < 0.0) fail("event duration must be >= 0");
       if (e.spread == Spread::kPoisson && e.rate <= 0.0) {
-        throw std::invalid_argument("poisson events need a positive rate");
+        fail("poisson events need a positive rate");
+      }
+    }
+    if (window(e.kind) || e.kind == EventKind::kStall) {
+      // Gray failures are *windows*: an endless stall or loss burst
+      // could never quiesce, so a positive, finite duration is part of
+      // the vocabulary, not a style preference.
+      if (!(e.duration > 0.0) || !std::isfinite(e.duration)) {
+        fail("window duration must be positive and finite");
       }
     }
     switch (e.kind) {
       case EventKind::kPartitionStart:
-        if (partitioned) {
-          throw std::invalid_argument("partition started twice without heal");
-        }
+        if (partitioned) fail("partition started twice without heal");
         partitioned = true;
         break;
       case EventKind::kPartitionHeal:
-        if (!partitioned) {
-          throw std::invalid_argument("partition heal without a start");
-        }
+        if (!partitioned) fail("partition heal without a start");
         partitioned = false;
+        break;
+      case EventKind::kStall:
+        if (e.count < 1) fail("stall needs at least one victim");
+        break;
+      case EventKind::kLossBurst:
+        if (!(e.magnitude > 0.0) || e.magnitude >= 1.0) {
+          fail("loss burst magnitude must lie in (0, 1)");
+        }
+        break;
+      case EventKind::kLatencySpike:
+        if (!(e.magnitude > 0.0) || !std::isfinite(e.magnitude)) {
+          fail("latency spike magnitude must be a positive factor");
+        }
+        break;
+      case EventKind::kDuplicate:
+        if (!(e.magnitude > 0.0) || e.magnitude > 1.0) {
+          fail("duplication magnitude must lie in (0, 1]");
+        }
         break;
       case EventKind::kQuiesce:
       case EventKind::kVerifyBarrier:
         // Barriers sequence the run; they must not move time backwards.
         if (e.at > 0.0 && e.at < barrier_at) {
-          throw std::invalid_argument(
-              "barrier events must be in non-decreasing time order");
+          fail("barrier events must be in non-decreasing time order");
         }
         barrier_at = std::max(barrier_at, e.at);
         break;
@@ -274,6 +367,9 @@ Json scenario_to_json(const Scenario& s) {
   Json network = Json::object();
   network.set("latency", std::move(latency));
   network.set("loss", Json::number(s.loss));
+  if (s.max_retries > 0) {
+    network.set("max_retries", Json::integer(s.max_retries));
+  }
   doc.set("network", std::move(network));
   doc.set("failure_detect_delay", Json::number(s.failure_detect_delay));
   Json timeline = Json::array();
@@ -300,11 +396,19 @@ Scenario scenario_from_json(const Json& doc) {
       s.latency.sigma = latency->get_double("sigma", 0.5);
     }
     s.loss = network->get_double("loss", 0.0);
+    s.max_retries = network->get_uint("max_retries", 0);
   }
   s.failure_detect_delay = doc.get_double("failure_detect_delay", 1.0);
   if (const Json* timeline = doc.find("timeline"); timeline != nullptr) {
     for (std::size_t i = 0; i < timeline->size(); ++i) {
-      s.timeline.push_back(event_from_json(timeline->item(i)));
+      try {
+        s.timeline.push_back(event_from_json(timeline->item(i)));
+      } catch (const std::invalid_argument& e) {
+        // Re-anchor the complaint at the event that carried it: "missing
+        // key" alone is useless in a 40-event fuzzed timeline.
+        throw std::invalid_argument("timeline[" + std::to_string(i) +
+                                    "]: " + e.what());
+      }
     }
   }
   validate(s);

@@ -42,6 +42,11 @@ struct Scenario {
 
   protocol::LatencyModel latency = protocol::LatencyModel::fixed(0.0);
   double loss = 0.0;
+  /// Transport retry cap (NetworkConfig::max_retries); 0 = retry until
+  /// the destination is observed crashed.  Scenarios that exercise the
+  /// failure detector's false-positive path (stall + query flood) set
+  /// this so a wedged receiver eventually looks dead to its senders.
+  std::size_t max_retries = 0;
   double failure_detect_delay = 1.0;
 
   Timeline timeline;
@@ -66,6 +71,7 @@ void validate(const Scenario& s);
 void save_scenario(const std::string& path, const Scenario& s);
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
+[[nodiscard]] const char* target_name(Target target);
 [[nodiscard]] const char* spread_name(Spread spread);
 [[nodiscard]] const char* query_mix_name(QueryMix mix);
 

@@ -127,6 +127,18 @@ class Metrics {
     return op_messages_[static_cast<std::size_t>(kind)];
   }
 
+  /// Record the wire attempts (1 + retransmissions) a reliable transfer
+  /// took to settle or be abandoned.  The max of this distribution is the
+  /// retransmit-storm detector: under independent loss p with backoff it
+  /// stays O(log(1/p)-ish), while a fixed RTO under correlated loss lets
+  /// it blow up linearly with the burst length.
+  void record_transfer_attempts(std::size_t attempts) {
+    transfer_attempts_.add(static_cast<double>(attempts));
+  }
+  [[nodiscard]] const stats::StreamingSummary& transfer_attempts() const {
+    return transfer_attempts_;
+  }
+
   void reset() { *this = Metrics{}; }
 
  private:
@@ -138,6 +150,7 @@ class Metrics {
   std::array<stats::StreamingSummary,
              static_cast<std::size_t>(OperationKind::kCount)>
       op_messages_{};
+  stats::StreamingSummary transfer_attempts_{};
 };
 
 }  // namespace voronet::sim

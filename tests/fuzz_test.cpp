@@ -1,0 +1,166 @@
+// Tests of the scenario fuzzer: deterministic generation, the
+// differential oracle, and the full inject-fault -> detect -> minimize ->
+// replay-reproduces loop (ISSUE acceptance: the loop must be provable
+// from a fixed seed, with the minimized reproducer surviving a JSON
+// round trip).
+#include "scenario/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace voronet::scenario {
+namespace {
+
+/// A scenario guaranteed to retransmit: base loss plus a loss burst over
+/// a join burst.  Used with a tightened OracleLimits (any retransmission
+/// violates) to PLANT a deterministic finding -- the fuzzer loop is then
+/// provable end to end without depending on a real protocol bug.
+Scenario planted_fault() {
+  Scenario s;
+  s.name = "planted";
+  s.population = 48;
+  s.seed = 77;
+  s.latency = protocol::LatencyModel::fixed(0.01);
+  s.loss = 0.2;
+  s.timeline = {
+      Event::join_burst(0.0, 8, 0.4),
+      Event::loss_burst(0.1, 0.3, 0.3),
+      Event::query_stream(0.2, 4, 0.4),
+  };
+  return s;
+}
+
+/// The tightened oracle: a single retransmission breaches the ceiling.
+OracleLimits no_retransmit_limits() {
+  OracleLimits limits;
+  limits.max_transfer_attempts = 1.0;
+  return limits;
+}
+
+TEST(Fuzz, GenerationIsDeterministicAndValid) {
+  const FuzzConfig config;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const Scenario a = generate_scenario(seed, config);
+    const Scenario b = generate_scenario(seed, config);
+    EXPECT_EQ(scenario_to_json(a).str(), scenario_to_json(b).str())
+        << "seed " << seed << " generated two different scenarios";
+    EXPECT_NO_THROW(validate(a));
+    EXPECT_GE(a.population, config.min_population);
+    EXPECT_LE(a.population, config.max_population);
+    EXPECT_GE(a.timeline.size(), config.min_events);
+    EXPECT_EQ(a.seed, seed);
+  }
+  // Different seeds explore different timelines.
+  EXPECT_NE(scenario_to_json(generate_scenario(1, config)).str(),
+            scenario_to_json(generate_scenario(2, config)).str());
+}
+
+TEST(Fuzz, OracleVerdictIsDeterministic) {
+  const Scenario s = generate_scenario(3);
+  const Verdict a = run_oracle(s);
+  const Verdict b = run_oracle(s);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.violation, b.violation);
+}
+
+TEST(Fuzz, OracleAcceptsABenignScenario) {
+  Scenario s;
+  s.name = "benign";
+  s.population = 48;
+  s.seed = 9;
+  s.latency = protocol::LatencyModel::fixed(0.01);
+  s.timeline = {
+      Event::join_burst(0.0, 4, 0.3),
+      Event::query_stream(0.1, 4, 0.4),
+  };
+  const Verdict v = run_oracle(s);
+  EXPECT_TRUE(v.ok) << v.violation;
+}
+
+TEST(Fuzz, OracleFlagsTightenedLimits) {
+  // Default limits: the lossy run is within the robustness contract.
+  EXPECT_TRUE(run_oracle(planted_fault()).ok);
+  // Tightened: the same run violates the planted attempt ceiling.
+  const Verdict v = run_oracle(planted_fault(), no_retransmit_limits());
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.violation.find("transfer attempts"), std::string::npos)
+      << v.violation;
+}
+
+TEST(Fuzz, MinimizerShrinksAndTheReproducerStillFails) {
+  const Scenario s = planted_fault();
+  const OracleLimits limits = no_retransmit_limits();
+  std::size_t replays = 0;
+  const Scenario min = minimize(s, limits, &replays);
+
+  EXPECT_GT(replays, 0u);
+  // The populate phase alone retransmits under 20% loss, so every event
+  // is removable: ddmin must drive the timeline down to its 1-event
+  // floor, and the population shrink must fire too.
+  EXPECT_LE(min.timeline.size(), 1u);
+  EXPECT_LT(min.population, s.population);
+  // The whole point of a minimized reproducer: it still reproduces.
+  EXPECT_FALSE(run_oracle(min, limits).ok);
+}
+
+TEST(Fuzz, MinimizationIsDeterministic) {
+  const OracleLimits limits = no_retransmit_limits();
+  const Scenario a = minimize(planted_fault(), limits);
+  const Scenario b = minimize(planted_fault(), limits);
+  EXPECT_EQ(scenario_to_json(a).str(), scenario_to_json(b).str());
+}
+
+TEST(Fuzz, MinimizedReproducerSurvivesAJsonRoundTrip) {
+  // The finding is committed as JSON and replayed by CI forever: the
+  // violation must survive serialization byte-for-byte.
+  const OracleLimits limits = no_retransmit_limits();
+  const Scenario min = minimize(planted_fault(), limits);
+  const std::string text = scenario_to_json(min).str();
+  const Scenario back = scenario_from_json(Json::parse(text));
+  EXPECT_EQ(scenario_to_json(back).str(), text);
+  EXPECT_FALSE(run_oracle(back, limits).ok);
+}
+
+TEST(Fuzz, FuzzRangeDetectsAndMinimizesPlantedFindings) {
+  // End-to-end over the range driver: with the tightened oracle every
+  // generated timeline that retransmits becomes a finding, is minimized,
+  // and both the original and the minimized form replay as violations.
+  FuzzConfig config;
+  config.min_events = 4;
+  config.max_events = 6;
+  const OracleLimits limits = no_retransmit_limits();
+  const auto findings = fuzz_range(1, 8, config, limits);
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& f : findings) {
+    EXPECT_FALSE(f.violation.empty());
+    EXPECT_FALSE(run_oracle(f.scenario, limits).ok);
+    EXPECT_FALSE(run_oracle(f.minimized, limits).ok);
+    EXPECT_LE(f.minimized.timeline.size(), f.scenario.timeline.size());
+    EXPECT_EQ(f.minimized.name,
+              "regression_seed" + std::to_string(f.seed));
+    EXPECT_GT(f.shrink_replays, 0u);
+  }
+  // Bit-determinism of the whole sweep (the CI smoke's contract).
+  const auto again = fuzz_range(1, 8, config, limits);
+  ASSERT_EQ(again.size(), findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(again[i].seed, findings[i].seed);
+    EXPECT_EQ(again[i].violation, findings[i].violation);
+    EXPECT_EQ(scenario_to_json(again[i].minimized).str(),
+              scenario_to_json(findings[i].minimized).str());
+    EXPECT_EQ(again[i].shrink_replays, findings[i].shrink_replays);
+  }
+}
+
+TEST(Fuzz, NastinessIsDeterministic) {
+  const Scenario s = generate_scenario(5);
+  EXPECT_EQ(nastiness(s), nastiness(s));
+}
+
+}  // namespace
+}  // namespace voronet::scenario

@@ -22,9 +22,12 @@ namespace voronet::scenario {
 namespace {
 
 std::vector<std::string> committed_scenarios() {
+  // Recursive: scenarios/regressions/ holds the fuzzer's reproducers and
+  // the committed adversarial timelines, and they replay like any other
+  // scenario file.
   std::vector<std::string> files;
   for (const auto& entry :
-       std::filesystem::directory_iterator(VORONET_SCENARIO_DIR)) {
+       std::filesystem::recursive_directory_iterator(VORONET_SCENARIO_DIR)) {
     if (entry.path().extension() == ".json") {
       files.push_back(entry.path().string());
     }
@@ -143,6 +146,57 @@ TEST(ScenarioSerialization, ValidationRejectsBrokenTimelines) {
   s.loss = 0.0;
   s.workload = "gaussian";
   EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+TEST(ScenarioSerialization, MalformedScenarioJsonCarriesThePosition) {
+  // A hand-edited (or fuzzed) scenario file must fail with a diagnostic
+  // that names the offending timeline event -- "missing key" alone is
+  // useless in a 40-event timeline.  scenario_runner propagates these as
+  // a message on stderr and a non-zero exit.
+  struct Case {
+    const char* label;
+    const char* json;
+    const char* expect_a;  ///< position anchor
+    const char* expect_b;  ///< defect description
+  };
+  const Case cases[] = {
+      {"unknown event kind",
+       R"({"timeline": [{"event": "quiesce"}, {"event": "meltdown"}]})",
+       "timeline[1]", "unknown event kind"},
+      {"missing loss-burst magnitude",
+       R"({"timeline": [{"event": "loss_burst", "duration": 0.3}]})",
+       "timeline[0]", "magnitude"},
+      {"missing stall duration",
+       R"({"timeline": [{"event": "stall", "count": 1}]})",
+       "timeline[0]", "duration"},
+      {"negative event time",
+       R"({"timeline": [{"event": "join_burst", "at": -1.0, "count": 2,)"
+       R"( "duration": 0.1}]})",
+       "timeline[0] (join_burst)", "time must be >= 0"},
+      {"unknown victim selector",
+       R"({"timeline": [{"event": "crash", "count": 1, "duration": 0.1,)"
+       R"( "target": "tallest"}]})",
+       "timeline[0]", "unknown target"},
+      {"saturated loss-burst magnitude",
+       R"({"timeline": [{"event": "loss_burst", "duration": 0.3,)"
+       R"( "magnitude": 1.5}]})",
+       "timeline[0] (loss_burst)", "must lie in (0, 1)"},
+      {"non-positive stall window",
+       R"({"timeline": [{"event": "stall", "count": 1, "duration": 0.0}]})",
+       "timeline[0] (stall)", "positive and finite"},
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)scenario_from_json(Json::parse(c.json));
+      ADD_FAILURE() << c.label << ": parsed without complaint";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(c.expect_a), std::string::npos)
+          << c.label << ": \"" << what << "\" lacks \"" << c.expect_a << "\"";
+      EXPECT_NE(what.find(c.expect_b), std::string::npos)
+          << c.label << ": \"" << what << "\" lacks \"" << c.expect_b << "\"";
+    }
+  }
 }
 
 TEST(ScenarioRunner, JoinBurstConvergesAndReportsDeltas) {

@@ -1,0 +1,138 @@
+// scenario_fuzzer -- seeded random timelines vs the differential oracle.
+//
+//   $ ./scenario_fuzzer --seeds 1..200
+//   $ ./scenario_fuzzer --seeds 1..50 --out scenarios/regressions
+//   $ ./scenario_fuzzer --seeds 1..50 --nasty 2 --nasty-out /tmp/nasty
+//
+// Each seed deterministically generates one random scenario over the
+// full event vocabulary (churn, crash-stop, stalls, loss bursts,
+// latency spikes, duplication, targeted adversaries, partitions, query
+// floods), runs it through scenario::Runner, and judges the run:
+// quiescence, the strict differential view audit, query completion, and
+// exact post-quiescence probe queries.  Violations are delta-debugged
+// to 1-minimal reproducers and (with --out) written as JSON ready to
+// commit under scenarios/regressions/ -- the CI replay corpus.
+//
+// The whole sweep is bit-deterministic: the same --seeds range prints
+// the same findings and writes byte-identical minimized JSON.
+//
+// Flags:
+//   --seeds A..B    inclusive seed range (default 1..20)
+//   --out DIR       write minimized findings to DIR/regression_seedN.json
+//   --nasty K       also report the K highest-pressure CLEAN timelines
+//   --nasty-out DIR write those as DIR/adversarial_seedN.json
+//   --max-events N  generator timeline-length cap (default 10)
+//   --quiet         suppress per-seed progress
+//
+// Exit status: 1 when any finding was detected, else 0.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/timer.hpp"
+#include "scenario/fuzz.hpp"
+
+namespace {
+
+bool parse_range(const std::string& text, std::uint64_t& from,
+                 std::uint64_t& to) {
+  const auto dots = text.find("..");
+  if (dots == std::string::npos) return false;
+  try {
+    from = std::stoull(text.substr(0, dots));
+    to = std::stoull(text.substr(dots + 2));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return from <= to;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const std::string seeds = flags.get_string("seeds", "1..20");
+  const std::string out_dir = flags.get_string("out", "");
+  const std::string nasty_dir = flags.get_string("nasty-out", "");
+  const std::size_t nasty_k =
+      static_cast<std::size_t>(flags.get_int("nasty", 0));
+  const bool quiet = flags.get_bool("quiet", false);
+  scenario::FuzzConfig config;
+  config.max_events =
+      static_cast<std::size_t>(flags.get_int("max-events", 10));
+  flags.reject_unconsumed();
+
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  if (!parse_range(seeds, from, to)) {
+    std::cerr << "scenario_fuzzer: --seeds wants A..B with A <= B, got \""
+              << seeds << "\"\n";
+    return 2;
+  }
+
+  Timer wall;
+  const scenario::OracleLimits limits;
+  std::vector<scenario::Finding> findings;
+  // Pressure scores of clean seeds, gathered for --nasty ranking.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> clean;  // (score, seed)
+  for (std::uint64_t seed = from; seed <= to; ++seed) {
+    const scenario::Scenario s = scenario::generate_scenario(seed, config);
+    const scenario::Verdict v = scenario::run_oracle(s, limits);
+    if (v.ok) {
+      if (nasty_k > 0) clean.emplace_back(scenario::nastiness(s), seed);
+      if (!quiet) {
+        std::cerr << "[fuzz] seed " << seed << ": clean (" << s.timeline.size()
+                  << " events)\n";
+      }
+      continue;
+    }
+    scenario::Finding f;
+    f.seed = seed;
+    f.violation = v.violation;
+    f.minimized = scenario::minimize(s, limits, &f.shrink_replays);
+    f.minimized.name = "regression_seed" + std::to_string(seed);
+    f.scenario = s;
+    std::cerr << "[fuzz] seed " << seed << ": FINDING -- " << f.violation
+              << " (minimized " << s.timeline.size() << " -> "
+              << f.minimized.timeline.size() << " events in "
+              << f.shrink_replays << " replays)\n";
+    if (!out_dir.empty()) {
+      std::filesystem::create_directories(out_dir);
+      const std::string path =
+          out_dir + "/" + f.minimized.name + ".json";
+      scenario::save_scenario(path, f.minimized);
+      std::cerr << "[fuzz]   reproducer written to " << path << "\n";
+    }
+    findings.push_back(std::move(f));
+  }
+
+  if (nasty_k > 0 && !clean.empty()) {
+    // Highest pressure first; seed breaks ties so the ranking (and any
+    // files written) is deterministic.
+    std::sort(clean.begin(), clean.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (std::size_t i = 0; i < std::min(nasty_k, clean.size()); ++i) {
+      const auto [score, seed] = clean[i];
+      std::cerr << "[fuzz] nasty #" << (i + 1) << ": seed " << seed
+                << " (pressure " << score << ")\n";
+      if (!nasty_dir.empty()) {
+        std::filesystem::create_directories(nasty_dir);
+        scenario::Scenario s = scenario::generate_scenario(seed, config);
+        s.name = "adversarial_seed" + std::to_string(seed);
+        scenario::save_scenario(nasty_dir + "/" + s.name + ".json", s);
+      }
+    }
+  }
+
+  std::cerr << "[fuzz] " << (to - from + 1) << " seeds, " << findings.size()
+            << " findings in " << wall.seconds() << "s wall\n";
+  return findings.empty() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "scenario_fuzzer: " << e.what() << "\n";
+  return 1;
+}
