@@ -205,12 +205,19 @@ int main(int argc, char** argv) try {
   const std::size_t msg_objects = smoke ? 150 : 600;
   const std::size_t msg_queries = smoke ? 20 : 100;
 
+  const double stream_span = 0.05 * static_cast<double>(msg_queries);
+
   scenario::Scenario stream;
   stream.name = "bench-queries-stream";
   stream.population = msg_objects;
   stream.seed = seed;
-  stream.timeline = {scenario::Event::query_stream(
-      0.0, msg_queries, 0.05 * static_cast<double>(msg_queries))};
+  // Windowed sampling decomposes msgs/query over time: the per-window
+  // seed-hop (query) / flood (query_forward) / echo (query_result) /
+  // abort split shows WHICH term grows when loss or latency moves, where
+  // the end-of-run wire_msgs_per_query aggregate only shows the total.
+  stream.sample_interval = stream_span / 8.0;
+  stream.timeline = {
+      scenario::Event::query_stream(0.0, msg_queries, stream_span)};
 
   scenario::SweepGrid grid;
   grid.latencies =
@@ -248,7 +255,35 @@ int main(int argc, char** argv) try {
             .set("p99_completion", bench::Json::number(rep.p99_completion))
             .set("wire_msgs_per_query",
                  bench::Json::number(rep.wire_msgs_per_query))
-            .set("mean_hops", bench::Json::number(rep.mean_route_hops)));
+            .set("mean_hops", bench::Json::number(rep.mean_route_hops))
+            .set("windows", [&rep] {
+              bench::Json rows = bench::Json::array();
+              for (const voronet::obs::Window& w : rep.windows) {
+                rows.push(
+                    bench::Json::object()
+                        .set("start", bench::Json::number(w.start))
+                        .set("end", bench::Json::number(w.end))
+                        .set("query", bench::Json::integer(w.messages_of(
+                                          sim::MessageKind::kQuery)))
+                        .set("query_forward",
+                             bench::Json::integer(w.messages_of(
+                                 sim::MessageKind::kQueryForward)))
+                        .set("query_result",
+                             bench::Json::integer(w.messages_of(
+                                 sim::MessageKind::kQueryResult)))
+                        .set("query_abort",
+                             bench::Json::integer(w.messages_of(
+                                 sim::MessageKind::kQueryAbort)))
+                        .set("duplicates", bench::Json::integer(w.duplicates))
+                        .set("retransmits",
+                             bench::Json::integer(w.retransmits))
+                        .set("pending_queries",
+                             bench::Json::integer(w.gauges.pending_queries))
+                        .set("in_flight",
+                             bench::Json::integer(w.gauges.in_flight)));
+              }
+              return rows;
+            }()));
   }
   doc.set("message_sweep", std::move(sweep_json));
 

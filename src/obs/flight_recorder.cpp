@@ -1,0 +1,114 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace voronet::obs {
+
+const char* flight_event_name(FlightEvent e) {
+  switch (e) {
+    case FlightEvent::kSend:
+      return "send";
+    case FlightEvent::kDeliver:
+      return "deliver";
+    case FlightEvent::kDrop:
+      return "drop";
+    case FlightEvent::kDuplicate:
+      return "duplicate";
+    case FlightEvent::kParked:
+      return "parked";
+    case FlightEvent::kRetransmit:
+      return "retransmit";
+    case FlightEvent::kAbandon:
+      return "abandon";
+    case FlightEvent::kCrash:
+      return "crash";
+    case FlightEvent::kStall:
+      return "stall";
+    case FlightEvent::kResume:
+      return "resume";
+    case FlightEvent::kServe:
+      return "serve";
+    case FlightEvent::kBranchAbort:
+      return "branch_abort";
+    case FlightEvent::kReissue:
+      return "reissue";
+    case FlightEvent::kComplete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::enable(std::size_t per_node_capacity) {
+  capacity_ = per_node_capacity;
+  seq_ = 0;
+  rings_.clear();
+}
+
+void FlightRecorder::record(std::int64_t node, double at, FlightEvent event,
+                            sim::MessageKind kind, std::int64_t peer,
+                            std::uint64_t ref, std::uint32_t epoch) {
+  if (capacity_ == 0) return;
+  Ring& ring = rings_[node];
+  Entry e;
+  e.at = at;
+  e.event = event;
+  e.kind = kind;
+  e.peer = peer;
+  e.ref = ref;
+  e.epoch = epoch;
+  e.seq = ++seq_;
+  ++ring.total;
+  if (ring.slots.size() < capacity_) {
+    ring.slots.push_back(e);
+    return;
+  }
+  ring.slots[ring.next] = e;
+  ring.next = (ring.next + 1) % capacity_;
+}
+
+Json FlightRecorder::to_json() const {
+  std::vector<std::int64_t> nodes;
+  nodes.reserve(rings_.size());
+  for (const auto& [node, ring] : rings_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  Json rows = Json::array();
+  for (const std::int64_t node : nodes) {
+    const Ring& ring = rings_.at(node);
+    Json events = Json::array();
+    // Oldest -> newest: the ring's overwrite cursor is where the oldest
+    // surviving entry sits once the ring has wrapped.
+    const std::size_t n = ring.slots.size();
+    const std::size_t start = n < capacity_ ? 0 : ring.next;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Entry& e = ring.slots[(start + i) % n];
+      Json ev = Json::object();
+      ev.set("at", Json::number(e.at));
+      ev.set("seq", Json::integer(e.seq));
+      ev.set("event", Json::string(flight_event_name(e.event)));
+      if (e.kind != sim::MessageKind::kCount) {
+        ev.set("kind",
+               Json::string(std::string(sim::message_kind_name(e.kind))));
+      }
+      if (e.peer >= 0) {
+        ev.set("peer",
+               Json::integer(static_cast<unsigned long long>(e.peer)));
+      }
+      if (e.ref != 0) ev.set("ref", Json::integer(e.ref));
+      if (e.epoch != 0) ev.set("epoch", Json::integer(e.epoch));
+      events.push(std::move(ev));
+    }
+    rows.push(Json::object()
+                  .set("node", Json::integer(
+                                   static_cast<unsigned long long>(node)))
+                  .set("dropped", Json::integer(ring.total - n))
+                  .set("events", std::move(events)));
+  }
+  Json doc = Json::object();
+  doc.set("per_node_capacity", Json::integer(capacity_));
+  doc.set("nodes", std::move(rows));
+  return doc;
+}
+
+}  // namespace voronet::obs

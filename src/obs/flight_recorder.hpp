@@ -1,0 +1,87 @@
+// Flight recorder: bounded per-node ring buffers of recent protocol
+// events.
+//
+// The fuzzer's oracle enables it for every judged run: when a finding
+// fires, the dump shows what each node saw in its last moments -- sends,
+// deliveries, drops, parked arrivals, retransmissions, abandons, crash /
+// stall transitions, query serves and re-issues -- without paying for a
+// full trace on the millions of clean runs.  Memory is strictly bounded:
+// capacity entries per node, oldest overwritten first, each entry a few
+// words.  A monotone global sequence number orders entries ACROSS nodes,
+// so a dump reconstructs the interleaving, not just per-node order.
+//
+// Disabled by default (capacity 0): every record() call is guarded by
+// enabled(), costing one branch per instrumentation site.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace voronet {
+class Json;
+}
+
+namespace voronet::obs {
+
+enum class FlightEvent : std::uint8_t {
+  kSend,        ///< logical reliable send (acks are not recorded)
+  kDeliver,     ///< message handed to the node's sink
+  kDrop,        ///< lost on the wire / at a crashed destination
+  kDuplicate,   ///< arrival suppressed by transport dedup
+  kParked,      ///< arrival parked at a stalled node
+  kRetransmit,  ///< timeout fired, attempt re-sent
+  kAbandon,     ///< reliable transfer given up
+  kCrash,       ///< crash-stop failure of the node
+  kStall,       ///< gray-failure stall window opened
+  kResume,      ///< stall window closed, backlog drained
+  kServe,       ///< node served a query flood (joined the flood tree)
+  kBranchAbort, ///< a flood branch below the node failed over
+  kReissue,     ///< query epoch superseded, fresh epoch issued
+  kComplete,    ///< query completed at the issuer / root
+};
+
+[[nodiscard]] const char* flight_event_name(FlightEvent e);
+
+class FlightRecorder {
+ public:
+  struct Entry {
+    double at = 0.0;
+    FlightEvent event = FlightEvent::kSend;
+    /// Message kind, or sim::MessageKind::kCount for non-message events.
+    sim::MessageKind kind = sim::MessageKind::kCount;
+    std::int64_t peer = -1;   ///< other endpoint, -1 = none
+    std::uint64_t ref = 0;    ///< query / join / version id, 0 = none
+    std::uint32_t epoch = 0;  ///< query epoch, 0 = n/a
+    std::uint64_t seq = 0;    ///< global order across nodes
+  };
+
+  /// Turn the recorder on with a per-node ring of `per_node_capacity`
+  /// entries (0 disables and drops any state).
+  void enable(std::size_t per_node_capacity = 64);
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  void record(std::int64_t node, double at, FlightEvent event,
+              sim::MessageKind kind, std::int64_t peer,
+              std::uint64_t ref = 0, std::uint32_t epoch = 0);
+
+  /// {"per_node_capacity": C, "nodes": [{"node": id, "dropped": n,
+  /// "events": [...]}]} -- nodes ascending, events oldest -> newest.
+  /// Deterministic for a deterministic run.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Ring {
+    std::vector<Entry> slots;  ///< capacity_ once full
+    std::size_t next = 0;      ///< overwrite cursor (slots full)
+    std::uint64_t total = 0;   ///< entries ever recorded
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t seq_ = 0;
+  std::unordered_map<std::int64_t, Ring> rings_;
+};
+
+}  // namespace voronet::obs

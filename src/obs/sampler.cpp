@@ -1,0 +1,24 @@
+#include "obs/sampler.hpp"
+
+namespace voronet::obs {
+
+void MetricsSampler::take(double end, const CounterSnapshot& counters,
+                          const Gauges& gauges) {
+  if (!active() || !(end > last_end_)) return;
+  Window w;
+  w.start = last_end_;
+  w.end = end;
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    w.messages[k] = counters.messages[k] - last_.messages[k];
+  }
+  w.duplicates = counters.duplicates - last_.duplicates;
+  w.retransmits = counters.retransmits - last_.retransmits;
+  w.dropped = counters.dropped - last_.dropped;
+  w.gauges = gauges;
+  windows_.push_back(w);
+  last_end_ = end;
+  last_ = counters;
+  if (windows_.size() >= max_windows_) truncated_ = true;
+}
+
+}  // namespace voronet::obs

@@ -1,0 +1,105 @@
+// Windowed time-series sampling of the protocol engine's counters.
+//
+// scenario::Runner drives the sampler: at every sim-time boundary (t0 +
+// k * interval) it snapshots the network's per-kind message counters and
+// wire stats, and the sampler turns consecutive snapshots into windows of
+// deltas plus end-of-window gauges (in-flight transfers, stalled backlog
+// depth, pending queries, view-convergence residual).  This is the
+// msgs/query ablation hook: the seed-hop / forward / duplicate / echo
+// decomposition per window shows WHICH term of the query cost grows when
+// a knob moves, where the end-of-run aggregate only shows that the total
+// did.
+//
+// The sampler is passive -- it schedules nothing and owns no references
+// into the harness -- so enabling it cannot perturb the event order, and
+// the per-kind window deltas sum exactly to the run's end-of-run message
+// deltas (asserted by tests/obs_test.cpp).  Window count is capped; a
+// run that would exceed the cap keeps executing but stops sampling and
+// reports the truncation, rather than silently growing without bound.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace voronet::obs {
+
+/// Counter snapshot the driver takes at each boundary (monotone values,
+/// not deltas; the sampler differences consecutive snapshots).
+struct CounterSnapshot {
+  std::array<std::uint64_t, sim::kMessageKindCount> messages{};
+  std::uint64_t duplicates = 0;   ///< dedup-suppressed arrivals
+  std::uint64_t retransmits = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// End-of-window gauges (instantaneous, not differenced).
+struct Gauges {
+  std::size_t in_flight = 0;        ///< unacked reliable transfers
+  std::size_t stalled_backlog = 0;  ///< messages parked at stalled nodes
+  std::size_t pending_queries = 0;
+  std::size_t stale_views = 0;  ///< verify_views stale + missing residual
+  std::size_t population = 0;
+};
+
+struct Window {
+  double start = 0.0;
+  double end = 0.0;
+  std::array<std::uint64_t, sim::kMessageKindCount> messages{};
+  std::uint64_t duplicates = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dropped = 0;
+  Gauges gauges;
+
+  [[nodiscard]] std::uint64_t messages_of(sim::MessageKind kind) const {
+    return messages[static_cast<std::size_t>(kind)];
+  }
+};
+
+class MetricsSampler {
+ public:
+  /// interval <= 0 leaves the sampler inert (active() false forever).
+  explicit MetricsSampler(double interval, std::size_t max_windows = 4096)
+      : interval_(interval), max_windows_(max_windows) {}
+
+  /// Start sampling: windows begin at t0 (the timeline origin).
+  void begin(double t0, const CounterSnapshot& counters) {
+    if (interval_ <= 0.0) return;
+    started_ = true;
+    last_end_ = t0;
+    last_ = counters;
+  }
+
+  /// Still taking windows?  False before begin(), with interval 0, or
+  /// once the window cap truncated the series.
+  [[nodiscard]] bool active() const {
+    return started_ && !truncated_;
+  }
+
+  /// Next boundary the driver should run_until before sampling.
+  [[nodiscard]] double next_boundary() const { return last_end_ + interval_; }
+
+  /// Close the window [previous end, end].  Zero-length or backwards
+  /// windows are ignored (a drain that went idle exactly on a boundary).
+  void take(double end, const CounterSnapshot& counters,
+            const Gauges& gauges);
+
+  [[nodiscard]] const std::vector<Window>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] double interval() const { return interval_; }
+
+ private:
+  double interval_ = 0.0;
+  std::size_t max_windows_ = 4096;
+  bool started_ = false;
+  bool truncated_ = false;
+  double last_end_ = 0.0;
+  CounterSnapshot last_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace voronet::obs

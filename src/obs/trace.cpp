@@ -1,0 +1,97 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace voronet::obs {
+
+SpanId Tracer::begin_span(double at, std::string_view name, std::int64_t node,
+                          SpanId parent) {
+  if (!enabled_) return kNoSpan;
+  Record r;
+  r.id = records_.size() + 1;
+  r.parent = parent;
+  r.is_span = true;
+  r.name = std::string(name);
+  r.node = node;
+  r.begin = at;
+  records_.push_back(std::move(r));
+  return records_.back().id;
+}
+
+void Tracer::end_span(SpanId id, double at) {
+  if (!enabled_ || id == kNoSpan || id > records_.size()) return;
+  records_[id - 1].end = at;
+}
+
+SpanId Tracer::instant(double at, std::string_view name, std::int64_t node,
+                       SpanId parent) {
+  if (!enabled_) return kNoSpan;
+  Record r;
+  r.id = records_.size() + 1;
+  r.parent = parent;
+  r.is_span = false;
+  r.name = std::string(name);
+  r.node = node;
+  r.begin = at;
+  r.end = at;
+  records_.push_back(std::move(r));
+  return records_.back().id;
+}
+
+void Tracer::arg(SpanId id, std::string_view key, std::uint64_t value) {
+  if (!enabled_ || id == kNoSpan || id > records_.size()) return;
+  records_[id - 1].args.push_back(
+      {std::string(key), std::to_string(value), /*numeric=*/true});
+}
+
+void Tracer::arg(SpanId id, std::string_view key, std::string_view value) {
+  if (!enabled_ || id == kNoSpan || id > records_.size()) return;
+  records_[id - 1].args.push_back(
+      {std::string(key), std::string(value), /*numeric=*/false});
+}
+
+Json Tracer::to_chrome_json() const {
+  // Times export in microseconds (trace_event's unit); sim time is
+  // seconds.  Everything below is a pure function of the records, so the
+  // bytes are identical across replays of the same (scenario, seed).
+  constexpr double kUs = 1e6;
+  Json events = Json::array();
+  for (const Record& r : records_) {
+    Json ev = Json::object();
+    ev.set("name", Json::string(r.name));
+    ev.set("ph", Json::string(r.is_span ? "X" : "i"));
+    ev.set("ts", Json::number(r.begin * kUs));
+    if (r.is_span) {
+      // A span that was never closed (query still in flight at export)
+      // clamps to zero duration and says so, rather than exporting a
+      // negative dur no viewer accepts.
+      const bool unfinished = r.end < r.begin;
+      ev.set("dur",
+             Json::number(unfinished ? 0.0 : (r.end - r.begin) * kUs));
+      if (unfinished) ev.set("unfinished", Json::boolean(true));
+    } else {
+      ev.set("s", Json::string("t"));  // thread-scoped instant
+    }
+    ev.set("pid", Json::integer(1));
+    ev.set("tid", Json::integer(static_cast<unsigned long long>(
+                      r.node < 0 ? 0 : r.node)));
+    Json args = Json::object();
+    args.set("span", Json::integer(r.id));
+    if (r.parent != kNoSpan) args.set("parent", Json::integer(r.parent));
+    for (const Arg& a : r.args) {
+      args.set(a.key, a.numeric
+                          ? Json::integer(std::stoull(a.value))
+                          : Json::string(a.value));
+    }
+    ev.set("args", std::move(args));
+    events.push(std::move(ev));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json::string("ms"));
+  return doc;
+}
+
+}  // namespace voronet::obs

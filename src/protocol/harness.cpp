@@ -15,6 +15,8 @@ ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
       net_(queue_, config.network),
       rng_(config.seed) {
   overlay_.track_view_changes(true);
+  net_.set_tracer(&tracer_);
+  net_.set_recorder(&recorder_);
   net_.set_sink([this](const Message& m) { deliver(m); });
   net_.set_abandon_handler([this](const Message& m) { on_abandon(m); });
   // Echo-deadline period: long enough that a healthy (merely slow) flood
@@ -41,7 +43,12 @@ void ProtocolHarness::join_after(double delay, Vec2 p) {
 
 void ProtocolHarness::start_join(Vec2 p) {
   const std::uint64_t join_id = ++join_seq_;
-  active_joins_.insert(join_id);
+  obs::SpanId span = obs::kNoSpan;
+  if (tracer_.enabled()) {
+    span = tracer_.begin_span(queue_.now(), "join", -1);
+    tracer_.arg(span, "join", join_id);
+  }
+  active_joins_.emplace(join_id, span);
   if (roster_.empty()) {
     // Nobody to route through: the bootstrap object sponsors itself.
     sponsor_join(kNoNode, p, join_id);
@@ -58,6 +65,7 @@ void ProtocolHarness::start_join(Vec2 p) {
   m.dst = gateway;
   m.point = p;
   m.version = join_id;
+  m.span = span;
   net_.send(std::move(m));
 }
 
@@ -143,7 +151,12 @@ void ProtocolHarness::deliver(const Message& m) {
 }
 
 void ProtocolHarness::reroute_join(const Message& m) {
-  if (active_joins_.count(m.version) == 0) return;  // chain already done
+  const auto j = active_joins_.find(m.version);
+  if (j == active_joins_.end()) return;  // chain already done
+  const obs::SpanId span = j->second;
+  if (tracer_.enabled()) {
+    tracer_.instant(queue_.now(), "join_reroute", -1, span);
+  }
   if (roster_.empty()) {
     // Nobody left to route through: self-sponsor into the empty net.
     sponsor_join(kNoNode, m.point, m.version);
@@ -157,6 +170,7 @@ void ProtocolHarness::reroute_join(const Message& m) {
   retry.point = m.point;
   retry.hops = m.hops + 1;
   retry.version = m.version;
+  retry.span = span;
   net_.send(std::move(retry));
 }
 
@@ -259,6 +273,11 @@ void ProtocolHarness::handle_route(const Message& m) {
   // here is always safe -- the ground-truth insert resolves the true
   // owner geometrically from any starting object.
   const bool expired = m.hops > roster_.size() + 16;
+  if (tracer_.enabled()) {
+    const obs::SpanId hop =
+        tracer_.instant(queue_.now(), "route_hop", m.dst, m.span);
+    tracer_.arg(hop, "hops", m.hops);
+  }
   if (route.terminal || expired) {
     sponsor_join(m.dst, m.point, m.version);
     return;
@@ -270,18 +289,26 @@ void ProtocolHarness::handle_route(const Message& m) {
   fwd.point = m.point;
   fwd.hops = m.hops + 1;
   fwd.version = m.version;
+  fwd.span = m.span;
   net_.send(std::move(fwd));
 }
 
 void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
                                    std::uint64_t join_id) {
-  if (active_joins_.erase(join_id) == 0) return;  // a twin chain finished
+  const auto j = active_joins_.find(join_id);
+  if (j == active_joins_.end()) return;  // a twin chain finished
+  const obs::SpanId span = j->second;
+  active_joins_.erase(j);
   VORONET_DCHECK(pending_joins_ > 0);
   --pending_joins_;
   const NodeId x = (sponsor == kNoNode || overlay_.size() == 0)
                        ? overlay_.insert(p)
                        : overlay_.insert(p, sponsor);
   invalidate_region_caches();
+  if (tracer_.enabled() && span != obs::kNoSpan) {
+    tracer_.arg(span, "node", static_cast<std::uint64_t>(x));
+    tracer_.end_span(span, queue_.now());
+  }
   if (nodes_.find(x) != nodes_.end()) {
     // Position already taken (positions identify objects): no new node,
     // but the fictive churn may still have touched views.
@@ -355,6 +382,12 @@ void ProtocolHarness::start_query(std::uint64_t query_id) {
     rt.issuer_known = true;
     rt.issuer_pos = it->second.position();
   }
+  if (tracer_.enabled()) {
+    rt.root_span = tracer_.begin_span(queue_.now(), "query", rec.spec.issuer);
+    tracer_.arg(rt.root_span, "query", query_id);
+    tracer_.arg(rt.root_span, "kind",
+                rec.spec.kind == QueryKind::kRange ? "range" : "radius");
+  }
   begin_epoch(query_id);
   arm_query_deadline(query_id);
 }
@@ -371,6 +404,13 @@ void ProtocolHarness::begin_epoch(std::uint64_t query_id) {
   const NodeId entry = issuer_live(query_id)
                            ? rec.spec.issuer
                            : roster_[rng_.index(roster_.size())];
+  QueryRuntime& rt = query_runtime_.at(query_id);
+  if (tracer_.enabled()) {
+    rt.epoch_span =
+        tracer_.begin_span(queue_.now(), "epoch", entry, rt.root_span);
+    tracer_.arg(rt.epoch_span, "epoch", rec.epoch);
+    tracer_.arg(rt.epoch_span, "entry", static_cast<std::uint64_t>(entry));
+  }
   Message m;
   m.type = sim::MessageKind::kQuery;
   m.src = entry;
@@ -379,6 +419,7 @@ void ProtocolHarness::begin_epoch(std::uint64_t query_id) {
   m.version = query_id;
   m.epoch = rec.epoch;
   m.query = rec.spec;
+  m.span = rt.epoch_span;
   net_.send(std::move(m));
 }
 
@@ -406,6 +447,11 @@ void ProtocolHarness::reissue_query(std::uint64_t query_id) {
   QueryRuntime& rt = query_runtime_.at(query_id);
   if (rt.reissue_pending) return;  // several taints, one fresh epoch
   rt.reissue_pending = true;
+  if (tracer_.enabled()) {
+    const obs::SpanId t =
+        tracer_.instant(queue_.now(), "reissue_scheduled", -1, rt.root_span);
+    tracer_.arg(t, "epoch", it->second.epoch);
+  }
   // Give the repair a chance to land first: re-entering immediately would
   // mostly re-observe the same staleness and burn an epoch for nothing.
   const double delay =
@@ -417,6 +463,16 @@ void ProtocolHarness::reissue_query(std::uint64_t query_id) {
     runtime.reissue_pending = false;
     runtime.stale_observed = false;
     ++rec->second.epoch;
+    if (tracer_.enabled() && runtime.epoch_span != obs::kNoSpan) {
+      tracer_.arg(runtime.epoch_span, "superseded", 1);
+      tracer_.end_span(runtime.epoch_span, queue_.now());
+      runtime.epoch_span = obs::kNoSpan;
+    }
+    if (recorder_.enabled()) {
+      recorder_.record(rec->second.spec.issuer, queue_.now(),
+                       obs::FlightEvent::kReissue, sim::MessageKind::kQuery,
+                       kNoNode, query_id, rec->second.epoch);
+    }
     // The old epoch's flood state dies here; its messages are filtered
     // out by the epoch checks, so they cannot resurrect it.
     query_flood_.erase(query_id);
@@ -461,6 +517,9 @@ void ProtocolHarness::reroute_query(const Message& m) {
     complete_query(m.version, {});
     return;
   }
+  if (tracer_.enabled()) {
+    tracer_.instant(queue_.now(), "query_reroute", -1, m.span);
+  }
   Message retry;
   retry.type = sim::MessageKind::kQuery;
   const NodeId entry = roster_[rng_.index(roster_.size())];
@@ -471,6 +530,7 @@ void ProtocolHarness::reroute_query(const Message& m) {
   retry.version = m.version;
   retry.epoch = m.epoch;
   retry.query = m.query;
+  retry.span = m.span;
   net_.send(std::move(retry));
 }
 
@@ -483,6 +543,11 @@ void ProtocolHarness::handle_query_route(const Message& m) {
     return;
   }
   const ProtocolNode::Route route = it->second.greedy_step(m.point);
+  if (tracer_.enabled()) {
+    const obs::SpanId hop =
+        tracer_.instant(queue_.now(), "route_hop", m.dst, m.span);
+    tracer_.arg(hop, "hops", m.hops);
+  }
   // Same TTL guard as the join chains: a legitimate greedy chain visits
   // distinct nodes, so longer ones mean a permanently stale entry is
   // bouncing the query; serving from here is safe (the flood still covers
@@ -496,7 +561,7 @@ void ProtocolHarness::handle_query_route(const Message& m) {
     const auto flood = query_flood_.find(m.version);
     if (flood != query_flood_.end() && !flood->second.empty()) return;
     rec->second.route_hops = m.hops;
-    serve_query(m.version, m.dst, kNoNode);
+    serve_query(m.version, m.dst, kNoNode, m.span);
     return;
   }
   Message fwd;
@@ -508,6 +573,7 @@ void ProtocolHarness::handle_query_route(const Message& m) {
   fwd.version = m.version;
   fwd.epoch = m.epoch;
   fwd.query = m.query;
+  fwd.span = m.span;
   net_.send(std::move(fwd));
 }
 
@@ -525,7 +591,7 @@ bool ProtocolHarness::query_region_qualifies(const QuerySpec& spec,
 }
 
 void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
-                                  NodeId parent) {
+                                  NodeId parent, obs::SpanId parent_span) {
   auto& flood = query_flood_[query_id];
   const auto existing = flood.find(node);
   QueryRecord& rec = query_records_.at(query_id);
@@ -536,6 +602,12 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     // -- is ignored, because the pending echo answers it and a rejection
     // racing ahead of that echo would book the whole subtree as empty.
     if (parent != kNoNode && parent != existing->second.parent) {
+      if (tracer_.enabled()) {
+        const obs::SpanId t =
+            tracer_.instant(queue_.now(), "duplicate_reject", node,
+                            parent_span);
+        tracer_.arg(t, "rejected_parent", static_cast<std::uint64_t>(parent));
+      }
       Message reject;
       reject.type = sim::MessageKind::kQueryResult;
       reject.src = node;
@@ -543,6 +615,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
       reject.version = query_id;
       reject.epoch = rec.epoch;
       reject.query = rec.spec;
+      reject.span = existing->second.span;
       net_.send(std::move(reject));
       ++rec.result_sends;
     }
@@ -550,6 +623,16 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
   }
   QueryFloodState& state = flood[node];
   state.parent = parent;
+  if (tracer_.enabled()) {
+    state.span = tracer_.begin_span(queue_.now(), "serve", node, parent_span);
+    tracer_.arg(state.span, "query", query_id);
+    tracer_.arg(state.span, "epoch", rec.epoch);
+  }
+  if (recorder_.enabled()) {
+    recorder_.record(node, queue_.now(), obs::FlightEvent::kServe,
+                     sim::MessageKind::kQueryForward, parent, query_id,
+                     rec.epoch);
+  }
   const ProtocolNode& self = nodes_.at(node);
   state.acc.push_back({node, self.position()});
   // Forward across every qualifying Voronoi adjacency of the LOCAL view,
@@ -564,6 +647,11 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     if (e.id == parent) continue;
     if (!overlay_.contains(e.id) || overlay_.position(e.id) != e.pos) {
       query_runtime_.at(query_id).stale_observed = true;
+      if (tracer_.enabled()) {
+        const obs::SpanId t =
+            tracer_.instant(queue_.now(), "stale_entry", node, state.span);
+        tracer_.arg(t, "entry", static_cast<std::uint64_t>(e.id));
+      }
       continue;
     }
     const auto cached = region_cache.find(e.id);
@@ -581,6 +669,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     fwd.version = query_id;
     fwd.epoch = rec.epoch;
     fwd.query = rec.spec;
+    fwd.span = state.span;
     net_.send(std::move(fwd));
     ++rec.forward_sends;
     ++state.pending;
@@ -610,13 +699,18 @@ void ProtocolHarness::handle_query_forward(const Message& m) {
     fail_branch(m);  // the addressed cell departed with the forward in flight
     return;
   }
-  serve_query(m.version, m.dst, m.src);
+  serve_query(m.version, m.dst, m.src, m.span);
 }
 
 void ProtocolHarness::finish_query_node(std::uint64_t query_id,
                                         NodeId node) {
   QueryRecord& rec = query_records_.at(query_id);
   QueryFloodState& state = query_flood_.at(query_id).at(node);
+  if (tracer_.enabled() && state.span != obs::kNoSpan) {
+    tracer_.arg(state.span, "covered", state.acc.size());
+    if (state.aborted) tracer_.arg(state.span, "aborted", 1);
+    tracer_.end_span(state.span, queue_.now());
+  }
   if (state.parent != kNoNode) {
     // Subtree done: echo the covered cells -- as an abort echo when a
     // branch below failed over, so the mark reaches the root.
@@ -629,6 +723,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
     echo.epoch = rec.epoch;
     echo.query = rec.spec;
     echo.entries = state.acc;
+    echo.span = state.span;
     net_.send(std::move(echo));
     ++rec.result_sends;
     return;
@@ -655,6 +750,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
   fin.query = rec.spec;
   fin.query_final = true;
   fin.entries = state.acc;
+  fin.span = state.span;
   net_.send(std::move(fin));
   ++rec.result_sends;
 }
@@ -681,6 +777,16 @@ void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
     state.aborted = true;
     query_runtime_.at(query_id).stale_observed = true;
     ++rec->second.branch_failovers;
+    if (tracer_.enabled()) {
+      const obs::SpanId t =
+          tracer_.instant(queue_.now(), "branch_abort", node, state.span);
+      tracer_.arg(t, "child", static_cast<std::uint64_t>(child));
+    }
+    if (recorder_.enabled()) {
+      recorder_.record(node, queue_.now(), obs::FlightEvent::kBranchAbort,
+                       sim::MessageKind::kQueryAbort, child, query_id,
+                       rec->second.epoch);
+    }
   }
   state.acc.insert(state.acc.end(), subtree.begin(), subtree.end());
   VORONET_DCHECK(state.pending > 0);
@@ -724,6 +830,33 @@ void ProtocolHarness::complete_query(std::uint64_t query_id,
   rec.issuer_lost = !issuer_live(query_id);
   rec.done = true;
   rec.completed = queue_.now();
+  // One operation record per QUERY, not per epoch: re-issues are internal
+  // retries of the same client operation, so the per-operation message
+  // mean must absorb them rather than dilute itself with extra records
+  // (pinned by obs_test.CountingModelBillsReissuedQueryOnce).
+  net_.metrics().record_operation(sim::OperationKind::kQuery, rec.route_hops,
+                                  rec.total_messages());
+  {
+    const QueryRuntime& rt = query_runtime_.at(query_id);
+    if (tracer_.enabled()) {
+      if (rt.epoch_span != obs::kNoSpan) {
+        tracer_.end_span(rt.epoch_span, queue_.now());
+      }
+      if (rt.root_span != obs::kNoSpan) {
+        tracer_.arg(rt.root_span, "epochs", rec.epoch);
+        tracer_.arg(rt.root_span, "route_hops", rec.route_hops);
+        tracer_.arg(rt.root_span, "failovers", rec.branch_failovers);
+        tracer_.arg(rt.root_span, "owners", owners.size());
+        tracer_.end_span(rt.root_span, queue_.now());
+      }
+    }
+    if (recorder_.enabled()) {
+      recorder_.record(rec.spec.issuer, queue_.now(),
+                       obs::FlightEvent::kComplete,
+                       sim::MessageKind::kQueryResult, kNoNode, query_id,
+                       rec.epoch);
+    }
+  }
   std::sort(owners.begin(), owners.end(),
             [](const ViewEntry& x, const ViewEntry& y) { return x.id < y.id; });
   for (const ViewEntry& e : owners) {

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "protocol/network.hpp"
 #include "protocol/node.hpp"
 #include "sim/event_queue.hpp"
@@ -211,6 +213,25 @@ class ProtocolHarness {
   /// instant of the most recent workload batch.
   [[nodiscard]] double last_apply_time() const { return last_apply_time_; }
 
+  // --- Observability ------------------------------------------------------
+  //
+  // The harness owns one Tracer and one FlightRecorder (both off by
+  // default -- zero cost beyond a branch per instrumentation site) and
+  // installs them into the Network.  With the tracer enabled, every query
+  // grows a causal span tree: a "query" root span at the issuer, one
+  // "epoch" span per flood epoch, "route_hop" instants along the greedy
+  // chain, a "serve" span per flood participant (parented to the serve
+  // span that forwarded to it), "stale_entry" / "branch_abort" instants
+  // explaining taints, and "reissue" instants when an epoch is
+  // superseded; joins grow a "join" span with their route hops, and the
+  // Network adds one "xfer:<kind>" span per reliable transfer.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] obs::FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
+
  private:
   /// Per-query state the harness (not the record consumer) needs while
   /// the query is in flight; dropped at completion.
@@ -223,6 +244,8 @@ class ProtocolHarness {
     bool deadline_armed = false;   ///< echo-deadline sweep event pending
     bool issuer_known = false;     ///< issuer_pos below is meaningful
     Vec2 issuer_pos;  ///< guards against the issuer id being recycled
+    obs::SpanId root_span = obs::kNoSpan;   ///< "query" span (tracing)
+    obs::SpanId epoch_span = obs::kNoSpan;  ///< current "epoch" span
   };
 
   void start_join(Vec2 p);
@@ -259,7 +282,11 @@ class ProtocolHarness {
   void fail_branch(const Message& m);
   /// Serve the query at `node`: record it, forward to every qualifying
   /// neighbouring cell except `parent`, echo when the subtree finishes.
-  void serve_query(std::uint64_t query_id, NodeId node, NodeId parent);
+  /// `parent_span` is the trace span of whatever caused the serve (the
+  /// epoch span at the flood root, the forwarding sender's serve span
+  /// otherwise); kNoSpan while tracing is off.
+  void serve_query(std::uint64_t query_id, NodeId node, NodeId parent,
+                   obs::SpanId parent_span);
   /// The subtree under `node` is complete: echo to the flood parent, or
   /// ship/complete the final aggregate when `node` is the root.
   void finish_query_node(std::uint64_t query_id, NodeId node);
@@ -332,6 +359,7 @@ class ProtocolHarness {
     bool aborted = false;             ///< a branch below failed over
     std::vector<ViewEntry> acc;       ///< this subtree's served cells
     std::unordered_set<NodeId> replied;  ///< children already heard from
+    obs::SpanId span = obs::kNoSpan;  ///< "serve" span while tracing
   };
   std::unordered_map<std::uint64_t, QueryRecord> query_records_;
   std::unordered_map<std::uint64_t, QueryRuntime> query_runtime_;
@@ -350,9 +378,13 @@ class ProtocolHarness {
   double query_deadline_ = 0.0;  ///< derived echo-deadline period
   std::uint64_t op_seq_ = 0;
   std::uint64_t join_seq_ = 0;
-  std::unordered_set<std::uint64_t> active_joins_;
+  /// In-flight join chains, keyed by chain id; the value is the chain's
+  /// "join" trace span (kNoSpan while tracing is off).
+  std::unordered_map<std::uint64_t, obs::SpanId> active_joins_;
   std::size_t pending_joins_ = 0;
   double last_apply_time_ = 0.0;
+  obs::Tracer tracer_;
+  obs::FlightRecorder recorder_;
   Rng rng_;
 };
 

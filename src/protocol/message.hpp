@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "geometry/vec2.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "voronet/object_id.hpp"
 
@@ -107,6 +108,13 @@ struct Message {
 
   // Transport bookkeeping (owned by protocol::Network).
   std::uint64_t transfer_id = 0;  ///< unique per logical send, 0 = unset
+
+  /// Trace context (obs::Tracer): the span this message is causally part
+  /// of -- the sender's serve/epoch/join span.  Receivers parent their
+  /// events under it, which is what turns per-node events into one causal
+  /// tree per query.  kNoSpan while tracing is off; never read by any
+  /// protocol decision, so replays are untouched by whether a run traced.
+  obs::SpanId span = obs::kNoSpan;
 };
 
 }  // namespace voronet::protocol

@@ -76,15 +76,35 @@ void Network::send(Message msg) {
   msg.transfer_id = next_transfer_++;
   ++stats_.sends;
   const bool reliable = msg.type != sim::MessageKind::kAck;
+  obs::SpanId span = obs::kNoSpan;
+  if (reliable && tracing()) {
+    // One span per reliable transfer, parented to the message's carried
+    // (application-level) span; its instants record the retransmission
+    // timeline, its end the settle or abandonment.
+    std::string name = "xfer:";
+    name += sim::message_kind_name(msg.type);
+    span = tracer_->begin_span(queue_.now(), name, msg.src, msg.span);
+    tracer_->arg(span, "dst",
+                 static_cast<std::uint64_t>(static_cast<std::int64_t>(msg.dst)));
+    tracer_->arg(span, "transfer", msg.transfer_id);
+  }
+  if (reliable && recording()) {
+    recorder_->record(msg.src, queue_.now(), obs::FlightEvent::kSend,
+                      msg.type, msg.dst, msg.version, msg.epoch);
+  }
   transmit(msg);
   if (reliable) {
     const std::uint64_t id = msg.transfer_id;
-    pending_.emplace(id, Pending{std::move(msg), 1, sim::kNoTimer});
+    pending_.emplace(id, Pending{std::move(msg), 1, sim::kNoTimer, span});
     arm_timer(id);
   }
 }
 
 void Network::crash(NodeId node) {
+  if (recording()) {
+    recorder_->record(node, queue_.now(), obs::FlightEvent::kCrash,
+                      sim::MessageKind::kCount, -1);
+  }
   crashed_.insert(node);
   // A crashed node's wedged process dies with the host: discard the
   // parked backlog instead of delivering it to a corpse on resume.
@@ -94,12 +114,20 @@ void Network::crash(NodeId node) {
 
 void Network::stall(NodeId node) {
   if (crashed_.count(node) != 0) return;  // dead beats wedged
+  if (recording()) {
+    recorder_->record(node, queue_.now(), obs::FlightEvent::kStall,
+                      sim::MessageKind::kCount, -1);
+  }
   stalled_.insert(node);
 }
 
 void Network::resume(NodeId node) {
   const auto it = stalled_.find(node);
   if (it == stalled_.end()) return;
+  if (recording()) {
+    recorder_->record(node, queue_.now(), obs::FlightEvent::kResume,
+                      sim::MessageKind::kCount, -1);
+  }
   stalled_.erase(it);
   const auto backlog_it = stall_backlog_.find(node);
   if (backlog_it == stall_backlog_.end()) return;
@@ -179,6 +207,17 @@ void Network::abandon_transfer(
     std::unordered_map<std::uint64_t, Pending>::iterator it) {
   ++stats_.abandoned;
   metrics_.record_transfer_attempts(it->second.attempts);
+  if (tracing() && it->second.span != obs::kNoSpan) {
+    tracer_->arg(it->second.span, "attempts", it->second.attempts);
+    tracer_->arg(it->second.span, "abandoned", std::uint64_t{1});
+    tracer_->end_span(it->second.span, queue_.now());
+  }
+  if (recording()) {
+    recorder_->record(it->second.msg.src, queue_.now(),
+                      obs::FlightEvent::kAbandon, it->second.msg.type,
+                      it->second.msg.dst, it->second.msg.version,
+                      it->second.msg.epoch);
+  }
   const Message msg = std::move(it->second.msg);
   pending_.erase(it);
   // The settling ack will never come, so drop the receiver-side dedup
@@ -200,6 +239,10 @@ void Network::transmit(const Message& msg) {
   const double drop = effective_drop();
   if (link_down || (drop > 0.0 && rng_.chance(drop))) {
     ++stats_.dropped;
+    if (recording() && msg.type != sim::MessageKind::kAck) {
+      recorder_->record(msg.src, queue_.now(), obs::FlightEvent::kDrop,
+                        msg.type, msg.dst, msg.version, msg.epoch);
+    }
     return;
   }
   double delay = config_.latency.sample(rng_);
@@ -229,6 +272,10 @@ void Network::arrive(Message msg) {
     const auto it = pending_.find(msg.transfer_id);
     if (it != pending_.end()) {
       metrics_.record_transfer_attempts(it->second.attempts);
+      if (tracing() && it->second.span != obs::kNoSpan) {
+        tracer_->arg(it->second.span, "attempts", it->second.attempts);
+        tracer_->end_span(it->second.span, queue_.now());
+      }
       queue_.cancel(it->second.timer);
       pending_.erase(it);
     }
@@ -247,6 +294,10 @@ void Network::arrive(Message msg) {
   }
   if (crashed_.count(msg.dst)) {
     ++stats_.dropped;
+    if (recording()) {
+      recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kDrop,
+                        msg.type, msg.src, msg.version, msg.epoch);
+    }
     return;
   }
   if (stalled_.count(msg.dst)) {
@@ -255,6 +306,10 @@ void Network::arrive(Message msg) {
     // failure detector sees exactly what a crash looks like; only time
     // (resume before its patience runs out) tells the two apart.
     ++stats_.stalled_deferred;
+    if (recording()) {
+      recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kParked,
+                        msg.type, msg.src, msg.version, msg.epoch);
+    }
     stall_backlog_[msg.dst].push_back(std::move(msg));
     return;
   }
@@ -274,9 +329,17 @@ void Network::receive(Message msg) {
   auto& seen = seen_[msg.dst];
   if (!seen.insert(msg.transfer_id).second) {
     ++stats_.duplicates;
+    if (recording()) {
+      recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kDuplicate,
+                        msg.type, msg.src, msg.version, msg.epoch);
+    }
     return;
   }
   ++stats_.delivered;
+  if (recording()) {
+    recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kDeliver,
+                      msg.type, msg.src, msg.version, msg.epoch);
+  }
   if (sink_) sink_(msg);
 }
 
@@ -305,6 +368,15 @@ void Network::on_timeout(std::uint64_t transfer_id) {
   }
   ++p.attempts;
   ++stats_.retransmits;
+  if (tracing() && p.span != obs::kNoSpan) {
+    const obs::SpanId i = tracer_->instant(queue_.now(), "retransmit",
+                                           p.msg.src, p.span);
+    tracer_->arg(i, "attempt", p.attempts);
+  }
+  if (recording()) {
+    recorder_->record(p.msg.src, queue_.now(), obs::FlightEvent::kRetransmit,
+                      p.msg.type, p.msg.dst, p.msg.version, p.msg.epoch);
+  }
   transmit(p.msg);
   arm_timer(transfer_id);
 }

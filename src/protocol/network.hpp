@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "protocol/latency.hpp"
 #include "protocol/message.hpp"
 #include "sim/event_queue.hpp"
@@ -148,6 +150,23 @@ class Network {
 
   /// Reliable transfers still awaiting acknowledgement.
   [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  /// Messages parked at stalled nodes (the sampler's backlog gauge).
+  [[nodiscard]] std::size_t stalled_backlog() const {
+    std::size_t n = 0;
+    for (const auto& [node, backlog] : stall_backlog_) n += backlog.size();
+    return n;
+  }
+
+  // --- Observability (obs::Tracer / obs::FlightRecorder) ------------------
+  //
+  // Non-owning; the harness installs its own instances.  Every use is
+  // guarded by enabled(), so the cost with tracing off is one branch per
+  // site.  Reliable transfers get one span each (parented to the
+  // message's carried span) whose instants record the retransmission
+  // timeline; the recorder logs send / deliver / drop / park / dedup /
+  // retransmit / abandon plus crash / stall / resume transitions.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
   [[nodiscard]] sim::Metrics& metrics() { return metrics_; }
   [[nodiscard]] const sim::Metrics& metrics() const { return metrics_; }
@@ -160,7 +179,15 @@ class Network {
     Message msg;
     std::size_t attempts = 1;
     sim::TimerId timer = sim::kNoTimer;
+    obs::SpanId span = obs::kNoSpan;  ///< transfer span while tracing
   };
+
+  [[nodiscard]] bool tracing() const {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
+  [[nodiscard]] bool recording() const {
+    return recorder_ != nullptr && recorder_->enabled();
+  }
 
   /// One wire attempt: count it, lose it or schedule its arrival.
   void transmit(const Message& msg);
@@ -183,6 +210,8 @@ class Network {
 
   sim::EventQueue& queue_;
   NetworkConfig config_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   double rto_;
   double rto_cap_;
   Sink sink_;

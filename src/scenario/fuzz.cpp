@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "scenario/runner.hpp"
 
@@ -130,70 +131,101 @@ Scenario generate_scenario(std::uint64_t seed, const FuzzConfig& config) {
   return s;
 }
 
-Verdict run_oracle(const Scenario& s, const OracleLimits& limits) {
-  const auto violation = [](std::string what) {
-    Verdict v;
-    v.ok = false;
-    v.violation = std::move(what);
-    return v;
-  };
-  try {
-    Runner runner(s);
-    const Report rep = runner.run();
-    if (limits.require_quiesced && !rep.quiesced) {
-      return violation("non-quiescence: run budget exhausted before idle");
-    }
-    if (limits.require_converged && !rep.converged) {
-      return violation("verify_views mismatch at quiescence");
-    }
-    if (limits.require_completion && rep.completed != rep.queries) {
-      return violation("query completion: " + std::to_string(rep.completed) +
-                       "/" + std::to_string(rep.queries) + " completed");
-    }
-    if (limits.max_transfer_attempts > 0.0 &&
-        rep.max_transfer_attempts > limits.max_transfer_attempts) {
-      return violation("transfer attempts " +
-                       std::to_string(rep.max_transfer_attempts) +
-                       " exceeded the ceiling");
-    }
-    if (rep.branch_failovers > limits.max_branch_failovers) {
-      return violation("branch failovers " +
-                       std::to_string(rep.branch_failovers) +
-                       " exceeded the ceiling");
-    }
-    if (limits.require_exact_probes) {
-      // Post-quiescence probes: the overlay is quiet and converged, so
-      // the differential contract is exact equality -- any recall or
-      // precision below 1 here is a real query-layer defect, not
-      // staleness.  Geometry is drawn from a salted seed, independent of
-      // the run's streams, so the probe set is a pure function of the
-      // scenario seed.
-      protocol::QueryHarness& qh = runner.harness();
-      Rng rng(s.seed ^ kProbeSalt);
-      const FuzzConfig defaults;
-      for (std::size_t i = 0; i < defaults.probes; ++i) {
-        const protocol::NodeId from = qh.harness().random_node(rng);
-        protocol::QueryHarness::Differential d;
-        if (i % 2 == 0) {
-          const Vec2 c{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
-          d = qh.run_radius(from, c, rng.uniform(0.05, 0.15));
-        } else {
-          const Vec2 a{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
-          const Vec2 b{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
-          d = qh.run_range(from, a, b, rng.uniform(0.02, 0.08));
-        }
-        if (!d.identical() || d.recall() != 1.0 || d.precision() != 1.0) {
-          return violation("probe query " + std::to_string(i) +
-                           " diverged from the ground truth at quiescence");
-        }
+namespace {
+
+Verdict violation(std::string what) {
+  Verdict v;
+  v.ok = false;
+  v.violation = std::move(what);
+  return v;
+}
+
+}  // namespace
+
+Verdict judge_run(Runner& runner, const Report& rep,
+                  const OracleLimits& limits) {
+  if (limits.require_quiesced && !rep.quiesced) {
+    return violation("non-quiescence: run budget exhausted before idle (" +
+                     std::to_string(rep.events_processed) +
+                     " events processed, " +
+                     std::to_string(rep.wire.retransmits) + " retransmits)");
+  }
+  if (limits.require_converged && !rep.converged) {
+    return violation(
+        "verify_views mismatch at quiescence: " +
+        std::to_string(rep.final_stale) + " stale, " +
+        std::to_string(rep.final_missing) + " missing, " +
+        std::to_string(rep.final_dangling) + " dangling");
+  }
+  if (limits.require_completion && rep.completed != rep.queries) {
+    return violation("query completion: " + std::to_string(rep.completed) +
+                     "/" + std::to_string(rep.queries) + " completed");
+  }
+  if (limits.max_transfer_attempts > 0.0 &&
+      rep.max_transfer_attempts > limits.max_transfer_attempts) {
+    return violation("transfer attempts " +
+                     std::to_string(rep.max_transfer_attempts) +
+                     " exceeded the ceiling " +
+                     std::to_string(limits.max_transfer_attempts));
+  }
+  if (rep.branch_failovers > limits.max_branch_failovers) {
+    return violation("branch failovers " +
+                     std::to_string(rep.branch_failovers) +
+                     " exceeded the ceiling " +
+                     std::to_string(limits.max_branch_failovers));
+  }
+  if (limits.require_exact_probes) {
+    // Post-quiescence probes: the overlay is quiet and converged, so
+    // the differential contract is exact equality -- any recall or
+    // precision below 1 here is a real query-layer defect, not
+    // staleness.  Geometry is drawn from a salted seed, independent of
+    // the run's streams, so the probe set is a pure function of the
+    // scenario seed (echoed in the report).
+    protocol::QueryHarness& qh = runner.harness();
+    Rng rng(rep.seed ^ kProbeSalt);
+    const FuzzConfig defaults;
+    for (std::size_t i = 0; i < defaults.probes; ++i) {
+      const protocol::NodeId from = qh.harness().random_node(rng);
+      protocol::QueryHarness::Differential d;
+      if (i % 2 == 0) {
+        const Vec2 c{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+        d = qh.run_radius(from, c, rng.uniform(0.05, 0.15));
+      } else {
+        const Vec2 a{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+        const Vec2 b{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+        d = qh.run_range(from, a, b, rng.uniform(0.02, 0.08));
+      }
+      if (!d.identical() || d.recall() != 1.0 || d.precision() != 1.0) {
+        return violation("probe query " + std::to_string(i) +
+                         " diverged from the ground truth at quiescence" +
+                         " (recall " + std::to_string(d.recall()) +
+                         ", precision " + std::to_string(d.precision()) +
+                         ")");
       }
     }
+  }
+  return Verdict{};
+}
+
+Verdict run_oracle(const Scenario& s, const OracleLimits& limits) {
+  try {
+    Runner runner(s);
+    // Armed on every judged run: the recorder is passive (bounded rings,
+    // no scheduling), so the replayed event order is untouched, and a
+    // violating run explains itself without a second execution.
+    runner.record_flight();
+    const Report rep = runner.run();
+    Verdict v = judge_run(runner, rep, limits);
+    if (!v.ok) {
+      v.flight_recorder =
+          runner.harness().harness().recorder().to_json().str();
+    }
+    return v;
   } catch (const std::exception& e) {
     // An execution that dies (run-budget assert, invariant check) is the
     // strongest kind of finding.
     return violation(std::string("execution aborted: ") + e.what());
   }
-  return Verdict{};
 }
 
 namespace {
@@ -325,6 +357,12 @@ std::vector<Finding> fuzz_range(std::uint64_t from, std::uint64_t to,
     f.violation = v.violation;
     f.minimized = minimize(s, limits, &f.shrink_replays);
     f.minimized.name = "regression_seed" + std::to_string(seed);
+    // One more replay of the minimized reproducer for its dump: the
+    // minimal run's flight recorder is the artifact worth shipping (the
+    // original's is drowned in unrelated churn).
+    const Verdict mv = run_oracle(f.minimized, limits);
+    f.flight_recorder =
+        mv.flight_recorder.empty() ? v.flight_recorder : mv.flight_recorder;
     f.scenario = std::move(s);
     findings.push_back(std::move(f));
   }

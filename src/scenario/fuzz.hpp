@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 
 namespace voronet::scenario {
@@ -65,7 +66,11 @@ struct OracleLimits {
 /// One oracle verdict: ok, or the first violation in evaluation order.
 struct Verdict {
   bool ok = true;
-  std::string violation;  ///< empty when ok
+  std::string violation;  ///< empty when ok; names the clause with counts
+  /// Flight-recorder dump (obs::FlightRecorder JSON) captured at the
+  /// moment of the violation: what every node saw in its last moments.
+  /// Empty when ok.
+  std::string flight_recorder;
 };
 
 /// One fuzzer finding: the violating scenario and its minimized form.
@@ -75,6 +80,10 @@ struct Finding {
   Scenario scenario;   ///< as generated
   Scenario minimized;  ///< 1-minimal reproducer (still violating)
   std::size_t shrink_replays = 0;  ///< oracle runs the minimizer spent
+  /// Flight-recorder dump of the MINIMIZED reproducer's violating run
+  /// (the explainable artifact tools/scenario_fuzzer writes beside the
+  /// regression JSON).
+  std::string flight_recorder;
 };
 
 /// Deterministically generate one random, validate()-clean scenario.
@@ -83,9 +92,21 @@ struct Finding {
 
 /// Execute `s` and judge it against `limits`.  Never throws for a
 /// judged violation; an execution that dies (assert, budget blowout)
-/// is itself reported as a violation.
+/// is itself reported as a violation.  The flight recorder is armed for
+/// every judged run (it is passive, so the replayed event order is
+/// untouched), and its dump rides along on a violating Verdict.
 [[nodiscard]] Verdict run_oracle(const Scenario& s,
                                  const OracleLimits& limits = {});
+
+/// The oracle's judgement clauses alone, applied to an already-executed
+/// run: quiescence, strict view convergence, query completion, transfer
+/// and failover ceilings, then the deterministic probe batch (which runs
+/// extra queries through the runner's harness -- hence non-const).  Each
+/// violation message names the failed clause with its offending counts.
+/// Used by run_oracle and by scenario_runner --check, so the CLI and the
+/// fuzzer can never drift apart on what "healthy" means.
+[[nodiscard]] Verdict judge_run(Runner& runner, const Report& rep,
+                                const OracleLimits& limits = {});
 
 /// Delta-debug `s` to a smaller scenario that still violates `limits`
 /// (ddmin over timeline events, then parameter shrinking).  `s` itself

@@ -61,6 +61,10 @@ Json Report::to_json() const {
                           .set("loss", Json::number(loss)));
   doc.set("quiesced", Json::boolean(quiesced));
   doc.set("converged", Json::boolean(converged));
+  doc.set("final_audit", Json::object()
+                             .set("stale", Json::integer(final_stale))
+                             .set("missing", Json::integer(final_missing))
+                             .set("dangling", Json::integer(final_dangling)));
   doc.set("population", Json::object()
                             .set("initial", Json::integer(initial_population))
                             .set("final", Json::integer(final_population)));
@@ -120,6 +124,40 @@ Json Report::to_json() const {
                   .set("converged", Json::boolean(b.converged)));
   }
   doc.set("barriers", std::move(rows));
+  if (sample_interval > 0.0) {
+    Json sampling = Json::object();
+    sampling.set("interval", Json::number(sample_interval));
+    sampling.set("truncated", Json::boolean(windows_truncated));
+    Json ws = Json::array();
+    for (const obs::Window& w : windows) {
+      Json jw = Json::object()
+                    .set("start", Json::number(w.start))
+                    .set("end", Json::number(w.end));
+      Json per = Json::object();
+      for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+        if (w.messages[k] == 0) continue;  // keep the series readable
+        per.set(std::string(sim::message_kind_name(
+                    static_cast<sim::MessageKind>(k))),
+                Json::integer(w.messages[k]));
+      }
+      jw.set("messages_by_type", std::move(per));
+      jw.set("duplicates", Json::integer(w.duplicates));
+      jw.set("retransmits", Json::integer(w.retransmits));
+      jw.set("dropped", Json::integer(w.dropped));
+      jw.set("gauges",
+             Json::object()
+                 .set("in_flight", Json::integer(w.gauges.in_flight))
+                 .set("stalled_backlog",
+                      Json::integer(w.gauges.stalled_backlog))
+                 .set("pending_queries",
+                      Json::integer(w.gauges.pending_queries))
+                 .set("stale_views", Json::integer(w.gauges.stale_views))
+                 .set("population", Json::integer(w.gauges.population)));
+      ws.push(std::move(jw));
+    }
+    sampling.set("windows", std::move(ws));
+    doc.set("sampling", std::move(sampling));
+  }
   return doc;
 }
 
@@ -141,6 +179,11 @@ Report Runner::run() {
   rep.initial_population = qh_.harness().node_count();
 
   protocol::ProtocolHarness& h = qh_.harness();
+  // Observability arms at the timeline origin: the populate phase is
+  // excluded from the Report's deltas, so it is excluded from the trace /
+  // recorder / time series too.
+  if (trace_) h.tracer().enable();
+  if (flight_capacity_ > 0) h.recorder().enable(flight_capacity_);
   const double t0 = h.queue().now();
   const std::size_t processed_before = h.queue().processed();
   const protocol::NetworkStats wire_before = h.network().stats();
@@ -149,6 +192,57 @@ Report Runner::run() {
     msgs_before[k] =
         h.network().metrics().messages(static_cast<sim::MessageKind>(k));
   }
+
+  // Windowed time series.  The sampler is passive: the Runner sequences
+  // its drains on the window boundaries (run_until advances the clock to
+  // the horizon even when the queue empties early), so sampling schedules
+  // no events and cannot perturb the replayed event order.
+  obs::MetricsSampler sampler(scenario_.sample_interval);
+  const auto snapshot = [&h] {
+    obs::CounterSnapshot c;
+    for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+      c.messages[k] =
+          h.network().metrics().messages(static_cast<sim::MessageKind>(k));
+    }
+    c.duplicates = h.network().stats().duplicates;
+    c.retransmits = h.network().stats().retransmits;
+    c.dropped = h.network().stats().dropped;
+    return c;
+  };
+  const auto gauges = [&h] {
+    obs::Gauges g;
+    g.in_flight = h.network().in_flight();
+    g.stalled_backlog = h.network().stalled_backlog();
+    g.pending_queries = h.pending_queries();
+    const auto audit = h.verify_views();
+    g.stale_views = audit.stale + audit.missing;
+    g.population = h.node_count();
+    return g;
+  };
+  sampler.begin(t0, snapshot());
+  /// Advance to `horizon`, closing a window at every sample boundary on
+  /// the way; returns true when the event budget ran out.
+  const auto drain_until = [&](double horizon) {
+    while (sampler.active() && sampler.next_boundary() <= horizon) {
+      const double b = sampler.next_boundary();
+      const bool exhausted = h.run_until(b).budget_exhausted;
+      sampler.take(b, snapshot(), gauges());
+      if (exhausted) return true;
+    }
+    return h.run_until(horizon).budget_exhausted;
+  };
+  /// Drain to an empty queue in boundary-sized steps (so a long quiesce
+  /// still yields windows); falls back to one plain run_to_idle once the
+  /// sampler is off or truncated.
+  const auto drain_to_idle = [&] {
+    while (sampler.active() && !h.queue().idle()) {
+      const double b = sampler.next_boundary();
+      const bool exhausted = h.run_until(b).budget_exhausted;
+      sampler.take(b, snapshot(), gauges());
+      if (exhausted) return true;
+    }
+    return h.run_to_idle().budget_exhausted;
+  };
 
   // Timeline-derived seed: decoupled from the overlay / network streams
   // so editing the network parameterization does not reshuffle the
@@ -162,15 +256,13 @@ Report Runner::run() {
       // Barriers sequence the run: advance to the barrier instant, then
       // (for quiesce) drain, (for verify) record the differential audit.
       if (t0 + e.at > h.queue().now()) {
-        const auto run = h.run_until(t0 + e.at);
-        if (run.budget_exhausted) {
+        if (drain_until(t0 + e.at)) {
           rep.quiesced = false;
           break;
         }
       }
       if (e.kind == EventKind::kQuiesce) {
-        const auto run = h.run_to_idle();
-        if (run.budget_exhausted) {
+        if (drain_to_idle()) {
           rep.quiesced = false;
           break;
         }
@@ -193,11 +285,20 @@ Report Runner::run() {
   }
 
   if (rep.quiesced) {
-    const auto run = h.run_to_idle();
-    rep.quiesced = !run.budget_exhausted;
+    rep.quiesced = !drain_to_idle();
   }
+  // Close the final (partial) window so the per-kind window sums equal
+  // the end-of-run deltas exactly; no-op when sampling is off.
+  sampler.take(h.queue().now(), snapshot(), gauges());
+  rep.sample_interval = scenario_.sample_interval;
+  rep.windows = sampler.windows();
+  rep.windows_truncated = sampler.truncated();
 
-  rep.converged = h.verify_views().converged();
+  const auto final_audit = h.verify_views();
+  rep.converged = final_audit.converged();
+  rep.final_stale = final_audit.stale;
+  rep.final_missing = final_audit.missing;
+  rep.final_dangling = final_audit.dangling;
   rep.duration = h.queue().now() - t0;
   rep.convergence_time = std::max(0.0, h.last_apply_time() - t0);
   rep.events_processed = h.queue().processed() - processed_before;

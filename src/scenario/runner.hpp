@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/sampler.hpp"
 #include "protocol/query_harness.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/metrics.hpp"
@@ -47,6 +48,12 @@ struct Report {
 
   bool quiesced = false;   ///< every drain completed within budget
   bool converged = false;  ///< strict differential view audit at the end
+  /// The final audit's raw counts, so a convergence failure names its
+  /// offenders instead of just flipping the bit (scenario_runner --check,
+  /// fuzz oracle clause messages).
+  std::size_t final_stale = 0;
+  std::size_t final_missing = 0;
+  std::size_t final_dangling = 0;
   double duration = 0.0;   ///< simulated time, timeline origin -> drain
   /// Timeline origin -> last view-advancing update (the convergence
   /// instant of the workload; 0 when the timeline changed no views).
@@ -97,6 +104,15 @@ struct Report {
   };
   std::vector<Barrier> barriers;
 
+  /// Windowed time series (Scenario::sample_interval > 0): per-kind
+  /// message deltas plus end-of-window gauges at fixed sim-time
+  /// boundaries.  The per-kind window sums equal the end-of-run `messages`
+  /// deltas exactly (the sampler is passive; tests/obs_test.cpp asserts
+  /// the conservation).
+  double sample_interval = 0.0;
+  bool windows_truncated = false;
+  std::vector<obs::Window> windows;
+
   [[nodiscard]] std::uint64_t messages_of(sim::MessageKind kind) const {
     return messages[static_cast<std::size_t>(kind)];
   }
@@ -116,6 +132,19 @@ class Runner {
   /// barriers, drain, grade.  Callable once per Runner.
   Report run();
 
+  /// Collect a causal trace of the run (obs::Tracer).  Tracing starts at
+  /// the timeline origin (the populate phase is not traced, matching the
+  /// Report's delta accounting); read the result from
+  /// harness().harness().tracer() after run().  Call before run().
+  void set_trace(bool on = true) { trace_ = on; }
+
+  /// Arm the flight recorder with a per-node ring of `per_node_capacity`
+  /// entries (obs::FlightRecorder); dumps via
+  /// harness().harness().recorder().to_json() after run().
+  void record_flight(std::size_t per_node_capacity = 64) {
+    flight_capacity_ = per_node_capacity;
+  }
+
   /// The underlying differential stack, for callers that want to inspect
   /// state after the run (examples, tests).
   [[nodiscard]] protocol::QueryHarness& harness() { return qh_; }
@@ -124,6 +153,8 @@ class Runner {
   Scenario scenario_;
   protocol::QueryHarness qh_;
   bool ran_ = false;
+  bool trace_ = false;
+  std::size_t flight_capacity_ = 0;
 };
 
 /// Convenience: build a Runner, run, return the report.

@@ -272,6 +272,10 @@ void validate(const Scenario& s) {
   if (s.loss < 0.0 || s.loss >= 1.0) {
     throw std::invalid_argument("loss must be in [0, 1)");
   }
+  if (s.sample_interval < 0.0 || !std::isfinite(s.sample_interval)) {
+    throw std::invalid_argument(
+        "sample_interval must be finite and >= 0 (0 disables sampling)");
+  }
   bool partitioned = false;
   double barrier_at = 0.0;
   for (std::size_t i = 0; i < s.timeline.size(); ++i) {
@@ -372,6 +376,9 @@ Json scenario_to_json(const Scenario& s) {
   }
   doc.set("network", std::move(network));
   doc.set("failure_detect_delay", Json::number(s.failure_detect_delay));
+  if (s.sample_interval > 0.0) {
+    doc.set("sample_interval", Json::number(s.sample_interval));
+  }
   Json timeline = Json::array();
   for (const Event& e : s.timeline) timeline.push(event_to_json(e));
   doc.set("timeline", std::move(timeline));
@@ -399,6 +406,7 @@ Scenario scenario_from_json(const Json& doc) {
     s.max_retries = network->get_uint("max_retries", 0);
   }
   s.failure_detect_delay = doc.get_double("failure_detect_delay", 1.0);
+  s.sample_interval = doc.get_double("sample_interval", 0.0);
   if (const Json* timeline = doc.find("timeline"); timeline != nullptr) {
     for (std::size_t i = 0; i < timeline->size(); ++i) {
       try {

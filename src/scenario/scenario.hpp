@@ -49,6 +49,13 @@ struct Scenario {
   std::size_t max_retries = 0;
   double failure_detect_delay = 1.0;
 
+  /// Metrics-sampling window length (simulated seconds) for the Report's
+  /// time series; 0 disables sampling.  Part of the scenario because the
+  /// Runner sequences its drains on the window boundaries: a sampled run
+  /// may round its duration up to a boundary, so the knob must replay
+  /// with the scenario to keep reports bit-identical.
+  double sample_interval = 0.0;
+
   Timeline timeline;
 
   /// Total joins the timeline can schedule (count-based events only;

@@ -11,7 +11,11 @@
 // quiescence, the strict differential view audit, query completion, and
 // exact post-quiescence probe queries.  Violations are delta-debugged
 // to 1-minimal reproducers and (with --out) written as JSON ready to
-// commit under scenarios/regressions/ -- the CI replay corpus.
+// commit under scenarios/regressions/ -- the CI replay corpus.  Each
+// reproducer ships with its explanation: the violating run's
+// flight-recorder dump (*.flightrec.json, what every node saw last) and
+// causal trace (*.trace.json, Perfetto-loadable; feed to
+// tools/trace_inspect to ask why a query re-issued).
 //
 // The whole sweep is bit-deterministic: the same --seeds range prints
 // the same findings and writes byte-identical minimized JSON.
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/json.hpp"
 #include "common/timer.hpp"
 #include "scenario/fuzz.hpp"
 
@@ -95,6 +100,7 @@ int main(int argc, char** argv) try {
     f.violation = v.violation;
     f.minimized = scenario::minimize(s, limits, &f.shrink_replays);
     f.minimized.name = "regression_seed" + std::to_string(seed);
+    f.flight_recorder = v.flight_recorder;
     f.scenario = s;
     std::cerr << "[fuzz] seed " << seed << ": FINDING -- " << f.violation
               << " (minimized " << s.timeline.size() << " -> "
@@ -105,6 +111,31 @@ int main(int argc, char** argv) try {
       const std::string path =
           out_dir + "/" + f.minimized.name + ".json";
       scenario::save_scenario(path, f.minimized);
+      // The explanation rides beside the reproducer: the minimized run's
+      // flight-recorder dump and causal trace (one traced replay; the
+      // trace is off during fuzzing itself).
+      const scenario::Verdict mv = scenario::run_oracle(f.minimized, limits);
+      const std::string& dump =
+          mv.flight_recorder.empty() ? f.flight_recorder : mv.flight_recorder;
+      if (!dump.empty()) {
+        const std::string fr_path =
+            out_dir + "/" + f.minimized.name + ".flightrec.json";
+        write_json_file(fr_path, Json::parse(dump));
+        std::cerr << "[fuzz]   flight recorder written to " << fr_path
+                  << "\n";
+      }
+      scenario::Runner traced(f.minimized);
+      traced.set_trace();
+      try {
+        (void)traced.run();
+      } catch (const std::exception&) {
+        // Execution-aborted findings still leave a usable partial trace.
+      }
+      const std::string trace_path =
+          out_dir + "/" + f.minimized.name + ".trace.json";
+      write_json_file(trace_path,
+                      traced.harness().harness().tracer().to_chrome_json());
+      std::cerr << "[fuzz]   trace written to " << trace_path << "\n";
       std::cerr << "[fuzz]   reproducer written to " << path << "\n";
     }
     findings.push_back(std::move(f));

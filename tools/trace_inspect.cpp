@@ -1,0 +1,237 @@
+// trace_inspect -- query and validate Chrome trace_event JSON emitted by
+// scenario_runner --trace / the fuzzer's finding artifacts.
+//
+//   $ ./trace_inspect trace.json                  # summary
+//   $ ./trace_inspect trace.json --query 3        # why did query 3 re-issue?
+//   $ ./trace_inspect trace.json --node 17        # what happened on node 17?
+//   $ ./trace_inspect trace.json --validate       # CI: well-formedness gate
+//
+// The trace is flat trace_event JSON (Perfetto-loadable); the causal
+// structure lives in args.span / args.parent (trace_event has no native
+// parent for complete events).  This tool rebuilds the tree: --query
+// prints a query's whole causal span tree -- greedy route hops, flood
+// serves, transfer attempts, stale-entry taints, branch aborts, epoch
+// re-issues -- which answers "why did this query need another epoch" and
+// "where did its messages go" without opening a UI.
+//
+// --validate is the CI gate: parses the file, checks every event carries
+// the required trace_event keys, durations are non-negative, span ids
+// are unique and every args.parent names an existing span.  Exit 1 on
+// any violation, with the offending event index.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+using voronet::Json;
+
+struct TraceEvent {
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  std::string ph;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds (ph == "X")
+  std::int64_t tid = 0;
+  std::string args;  // rendered "k=v" pairs, span/parent excluded
+};
+
+std::string render_args(const Json& args) {
+  std::string out;
+  for (const auto& [key, value] : args.children()) {
+    if (key == "span" || key == "parent") continue;
+    if (!out.empty()) out += " ";
+    out += key + "=";
+    out += value.is_string() ? value.as_string() : value.str();
+  }
+  return out;
+}
+
+/// Load + structural checks in one pass.  Returns false (and complains on
+/// stderr) when the file is not well-formed trace_event JSON.
+bool load(const std::string& path, std::vector<TraceEvent>& events) {
+  Json doc;
+  try {
+    doc = voronet::read_json_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_inspect: " << e.what() << "\n";
+    return false;
+  }
+  const Json* list = doc.find("traceEvents");
+  if (list == nullptr || !list->is_array()) {
+    std::cerr << "trace_inspect: no traceEvents array\n";
+    return false;
+  }
+  std::map<std::uint64_t, std::size_t> by_span;
+  for (std::size_t i = 0; i < list->size(); ++i) {
+    const Json& ev = list->item(i);
+    const auto fail = [&](const std::string& what) {
+      std::cerr << "trace_inspect: traceEvents[" << i << "]: " << what
+                << "\n";
+      return false;
+    };
+    const Json* name = ev.find("name");
+    const Json* ph = ev.find("ph");
+    const Json* ts = ev.find("ts");
+    const Json* args = ev.find("args");
+    if (name == nullptr || !name->is_string()) return fail("missing name");
+    if (ph == nullptr || !ph->is_string()) return fail("missing ph");
+    if (ts == nullptr || !ts->is_number()) return fail("missing ts");
+    if (ev.find("pid") == nullptr || ev.find("tid") == nullptr) {
+      return fail("missing pid/tid");
+    }
+    if (args == nullptr || !args->is_object()) return fail("missing args");
+    TraceEvent t;
+    t.name = name->as_string();
+    t.ph = ph->as_string();
+    t.ts = ts->as_double();
+    t.tid = ev.at("tid").as_int();
+    if (t.ph == "X") {
+      const Json* dur = ev.find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return fail("complete event without dur");
+      }
+      t.dur = dur->as_double();
+      if (t.dur < 0.0) return fail("negative dur");
+    } else if (t.ph != "i") {
+      return fail("unexpected ph \"" + t.ph + "\"");
+    }
+    t.span = args->get_uint("span", 0);
+    t.parent = args->get_uint("parent", 0);
+    if (t.span == 0) return fail("args.span missing or zero");
+    if (!by_span.emplace(t.span, i).second) {
+      return fail("duplicate span id " + std::to_string(t.span));
+    }
+    t.args = render_args(*args);
+    events.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].parent != 0 && by_span.count(events[i].parent) == 0) {
+      std::cerr << "trace_inspect: traceEvents[" << i
+                << "]: parent span " << events[i].parent
+                << " does not exist\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_tree(const std::vector<TraceEvent>& events,
+                const std::vector<std::vector<std::size_t>>& children,
+                std::size_t idx, int depth) {
+  const TraceEvent& t = events[idx];
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+            << (t.ph == "X" ? "[span] " : "[inst] ") << t.name << " @"
+            << t.ts / 1000.0 << "ms";
+  if (t.ph == "X") std::cout << " +" << t.dur / 1000.0 << "ms";
+  std::cout << " node=" << t.tid;
+  if (!t.args.empty()) std::cout << "  " << t.args;
+  std::cout << "\n";
+  for (const std::size_t c : children[idx]) {
+    print_tree(events, children, c, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+  const Flags flags(argc, argv);
+  const bool validate = flags.get_bool("validate", false);
+  const std::int64_t query = flags.get_int("query", -1);
+  const std::int64_t node = flags.get_int("node", ~0LL);
+  const auto& positional = flags.positional();
+  flags.reject_unconsumed();
+  if (positional.size() != 1) {
+    std::cerr << "usage: trace_inspect <trace.json> [--validate] "
+                 "[--query ID] [--node ID]\n";
+    return 2;
+  }
+
+  std::vector<TraceEvent> events;
+  if (!load(positional.front(), events)) return 1;
+  if (validate) {
+    std::cout << "ok: " << events.size() << " well-formed trace events\n";
+    return 0;
+  }
+
+  // Causal index: span id -> event index, parent -> children.
+  std::map<std::uint64_t, std::size_t> by_span;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    by_span[events[i].span] = i;
+  }
+  std::vector<std::vector<std::size_t>> children(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].parent != 0) {
+      children[by_span[events[i].parent]].push_back(i);
+    }
+  }
+
+  if (node != ~0LL) {
+    std::size_t shown = 0;
+    for (const TraceEvent& t : events) {
+      if (t.tid != node) continue;
+      std::cout << t.ts / 1000.0 << "ms  " << t.name;
+      if (!t.args.empty()) std::cout << "  " << t.args;
+      std::cout << "\n";
+      ++shown;
+    }
+    std::cout << shown << " events on node " << node << "\n";
+    return 0;
+  }
+
+  if (query >= 0) {
+    // The query's root span carries args query=<id>; everything below it
+    // is the causal tree, including the explanation instants
+    // (stale_entry, branch_abort, reissue_scheduled, retransmit).
+    const std::string want = "query=" + std::to_string(query);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& t = events[i];
+      if (t.name != "query" ||
+          t.args.find(want) == std::string::npos ||
+          t.parent != 0) {
+        continue;
+      }
+      print_tree(events, children, i, 0);
+      // The short answer to "why did it re-issue": collect the taints.
+      std::size_t stale = 0, aborts = 0, reissues = 0, retransmits = 0;
+      std::vector<std::size_t> stack = {i};
+      while (!stack.empty()) {
+        const std::size_t at = stack.back();
+        stack.pop_back();
+        const std::string& n = events[at].name;
+        if (n == "stale_entry") ++stale;
+        if (n == "branch_abort") ++aborts;
+        if (n == "reissue_scheduled") ++reissues;
+        if (n == "retransmit") ++retransmits;
+        for (const std::size_t c : children[at]) stack.push_back(c);
+      }
+      std::cout << "summary: " << reissues << " re-issue(s), " << stale
+                << " stale view entr(ies), " << aborts
+                << " branch abort(s), " << retransmits
+                << " retransmission(s)\n";
+      return 0;
+    }
+    std::cerr << "trace_inspect: no root span for query " << query << "\n";
+    return 1;
+  }
+
+  // Default: per-name census, queries listed.
+  std::map<std::string, std::size_t> census;
+  for (const TraceEvent& t : events) ++census[t.name];
+  for (const auto& [name, count] : census) {
+    std::cout << count << "\t" << name << "\n";
+  }
+  std::cout << events.size() << " events\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "trace_inspect: " << e.what() << "\n";
+  return 1;
+}
