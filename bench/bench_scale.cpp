@@ -1,0 +1,262 @@
+// Million-object scale benchmark: the protocol engine grown to
+// N in {100k, 300k, 1M} nodes in ONE process, entirely through
+// message-level joins, with churn and region queries served at every
+// checkpoint (ROADMAP item 1; DESIGN.md, "Memory layout & arenas").
+//
+// At each checkpoint the bench records:
+//   * build cost      -- wall seconds and event rate of the growth leg;
+//   * churn service   -- crashes + leaves + rejoins, drained to
+//                        convergence (the differential audit must pass);
+//   * query service   -- radius queries sized to ~20 cells, with wall
+//                        queries/s, mean messages and greedy hops per
+//                        query;
+//   * memory          -- the bytes-per-node decomposition (view arena /
+//                        slot table / transport / query state) plus
+//                        VmRSS / VmHWM from /proc/self/status.
+//
+// Usage: bench_scale [--churn C] [--queries Q] [--max-bytes-per-node B]
+//                    [--seed S] [--csv] [--smoke] [--full] [--json PATH]
+//
+// --smoke shrinks the ladder to {2k, 6k} for CI; --max-bytes-per-node
+// turns the structural bytes-per-node figure at the largest checkpoint
+// into the exit status, so CI gates memory regressions.  The committed
+// BENCH_scale.json is the --full run (N = 10^6 top rung).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/expect.hpp"
+#include "common/timer.hpp"
+#include "protocol/harness.hpp"
+#include "stats/table.hpp"
+#include "workload/distributions.hpp"
+
+namespace {
+
+using namespace voronet;
+
+/// Large enough for the 10^6 growth leg (~10^8-10^9 events end to end);
+/// run_to_idle's default budget is sized for tests.
+constexpr std::size_t kEventBudget = 4'000'000'000ULL;
+
+struct Rss {
+  std::size_t rss_kb = 0;  ///< VmRSS
+  std::size_t hwm_kb = 0;  ///< VmHWM (peak)
+};
+
+Rss read_rss() {
+  Rss r;
+#ifdef __linux__
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmRSS:") {
+      in >> r.rss_kb;
+    } else if (key == "VmHWM:") {
+      in >> r.hwm_kb;
+    }
+  }
+#endif
+  return r;
+}
+
+void drain(protocol::ProtocolHarness& h) {
+  const auto run = h.run_to_idle(kEventBudget);
+  VORONET_EXPECT(!run.budget_exhausted, "scale run did not quiesce");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::Args args(argc, argv, /*default_seed=*/9);
+  const std::vector<std::size_t> sizes =
+      args.smoke ? std::vector<std::size_t>{2'000, 6'000}
+                 : std::vector<std::size_t>{100'000, 300'000, 1'000'000};
+  const auto churn_ops = static_cast<std::size_t>(
+      args.flags().get_int("churn", args.smoke ? 40 : 200));
+  const auto query_count = static_cast<std::size_t>(
+      args.flags().get_int("queries", args.smoke ? 20 : 200));
+  const auto max_bytes_per_node = static_cast<std::size_t>(
+      args.flags().get_int("max-bytes-per-node", 0));
+  args.finish();
+
+  const Rss baseline = read_rss();
+
+  protocol::HarnessConfig config;
+  config.overlay.n_max = sizes.back() * 4;
+  config.overlay.seed = args.seed;
+  config.network.seed = args.seed ^ 0xfeedULL;
+  config.seed = args.seed ^ 0x907aULL;
+  protocol::ProtocolHarness h(config);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  Rng rng(args.seed);
+
+  stats::Table table({"objects", "build_s", "events/s", "queries/s",
+                      "msgs/query", "hops/query", "B/node", "view_B",
+                      "slot_B", "transport_B", "rss_MB"});
+  bench::Json checkpoints = bench::Json::array();
+  std::size_t join_seq = 0;
+  double first_bytes_per_node = 0.0;
+  double last_bytes_per_node = 0.0;
+
+  for (const std::size_t target : sizes) {
+    // --- Growth leg: protocol joins only, timed ------------------------
+    Timer build;
+    const std::size_t events_before = h.queue().processed();
+    while (h.node_count() + h.pending_joins() < target) {
+      h.join_after(0.01 * static_cast<double>(join_seq++), gen.next(rng));
+    }
+    drain(h);
+    const double build_secs = build.seconds();
+    const double build_events =
+        static_cast<double>(h.queue().processed() - events_before);
+    VORONET_EXPECT(h.node_count() == target, "growth fell short");
+
+    // --- Churn leg: crashes, voluntary leaves, rejoins -----------------
+    Timer churn;
+    for (std::size_t i = 0; i < churn_ops / 2; ++i) {
+      h.crash(h.random_node(rng));
+      h.leave_after(0.0, h.random_node(rng));
+    }
+    drain(h);
+    while (h.node_count() + h.pending_joins() < target) {
+      h.join_after(0.01 * static_cast<double>(join_seq++), gen.next(rng));
+    }
+    drain(h);
+    const double churn_secs = churn.seconds();
+    VORONET_EXPECT(h.node_count() == target, "churn did not restore N");
+
+    // --- Query leg: radius queries sized to ~20 served cells -----------
+    const double radius = std::sqrt(
+        20.0 / (3.14159265358979 * static_cast<double>(target)));
+    std::vector<std::uint64_t> ids;
+    ids.reserve(query_count);
+    Timer queries;
+    for (std::size_t i = 0; i < query_count; ++i) {
+      ids.push_back(h.issue_radius_query(h.random_node(rng), gen.next(rng),
+                                         radius,
+                                         0.01 * static_cast<double>(i)));
+    }
+    drain(h);
+    const double query_secs = queries.seconds();
+    double total_msgs = 0.0;
+    double total_hops = 0.0;
+    double total_latency = 0.0;
+    std::size_t served_cells = 0;
+    for (const std::uint64_t id : ids) {
+      const auto& rec = h.query_record(id);
+      VORONET_EXPECT(rec.done, "query did not complete");
+      total_msgs += static_cast<double>(rec.total_messages());
+      total_hops += static_cast<double>(rec.route_hops);
+      total_latency += rec.latency();
+      served_cells += rec.owners.size();
+    }
+    const double qn = static_cast<double>(query_count);
+    h.drop_completed_queries();
+
+    // --- Audit + memory ------------------------------------------------
+    const auto verify = h.verify_views();
+    VORONET_EXPECT(verify.converged(),
+                   "differential audit failed at checkpoint");
+    const auto mem = h.memory_breakdown();
+    const double bytes_per_node =
+        static_cast<double>(mem.total()) / static_cast<double>(target);
+    if (first_bytes_per_node == 0.0) first_bytes_per_node = bytes_per_node;
+    last_bytes_per_node = bytes_per_node;
+    const Rss rss = read_rss();
+
+    std::cerr << "[scale] N=" << target << ": built in " << build_secs
+              << "s (" << build_events / build_secs << " events/s), "
+              << qn / query_secs << " queries/s, "
+              << total_msgs / qn << " msgs/query, " << bytes_per_node
+              << " B/node, VmRSS " << rss.rss_kb / 1024 << " MB\n";
+
+    table.add_row(
+        {stats::Table::cell(target), stats::Table::cell(build_secs, 2),
+         stats::Table::cell(build_events / build_secs, 0),
+         stats::Table::cell(qn / query_secs, 1),
+         stats::Table::cell(total_msgs / qn, 1),
+         stats::Table::cell(total_hops / qn, 1),
+         stats::Table::cell(bytes_per_node, 1),
+         stats::Table::cell(mem.view_bytes), stats::Table::cell(mem.slot_bytes),
+         stats::Table::cell(mem.transport_bytes),
+         stats::Table::cell(rss.rss_kb / 1024)});
+
+    bench::Json cp = bench::Json::object();
+    cp.set("objects", bench::Json::integer(target))
+        .set("build_seconds", bench::Json::number(build_secs))
+        .set("build_events", bench::Json::number(build_events))
+        .set("events_per_sec", bench::Json::number(build_events / build_secs))
+        .set("churn_ops", bench::Json::integer(churn_ops))
+        .set("churn_seconds", bench::Json::number(churn_secs));
+    cp.set("queries",
+           bench::Json::object()
+               .set("count", bench::Json::integer(query_count))
+               .set("radius", bench::Json::number(radius))
+               .set("seconds", bench::Json::number(query_secs))
+               .set("queries_per_sec", bench::Json::number(qn / query_secs))
+               .set("mean_messages", bench::Json::number(total_msgs / qn))
+               .set("mean_route_hops", bench::Json::number(total_hops / qn))
+               .set("mean_latency_sim",
+                    bench::Json::number(total_latency / qn))
+               .set("mean_served_cells",
+                    bench::Json::number(static_cast<double>(served_cells) /
+                                        qn)));
+    cp.set("memory",
+           bench::Json::object()
+               .set("view_bytes", bench::Json::integer(mem.view_bytes))
+               .set("slot_bytes", bench::Json::integer(mem.slot_bytes))
+               .set("transport_bytes",
+                    bench::Json::integer(mem.transport_bytes))
+               .set("query_bytes", bench::Json::integer(mem.query_bytes))
+               .set("total_bytes", bench::Json::integer(mem.total()))
+               .set("bytes_per_node", bench::Json::number(bytes_per_node))
+               .set("vm_rss_kb", bench::Json::integer(rss.rss_kb))
+               .set("vm_hwm_kb", bench::Json::integer(rss.hwm_kb)));
+    cp.set("converged", bench::Json::boolean(verify.converged()));
+    checkpoints.push(std::move(cp));
+  }
+
+  // Scale linearity: the structural footprint per node at the top rung
+  // must stay under 2x the smallest rung's -- growth may add slack
+  // (power-of-two classes, vector doubling) but not superlinear state.
+  const double scaling = last_bytes_per_node / first_bytes_per_node;
+
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", bench::Json::string("scale"));
+  doc.set("seed", bench::Json::integer(args.seed));
+  doc.set("baseline_rss_kb", bench::Json::integer(baseline.rss_kb));
+  doc.set("checkpoints", std::move(checkpoints));
+  doc.set("bytes_per_node_scaling", bench::Json::number(scaling));
+
+  std::cout << "Protocol engine at scale (churn " << churn_ops
+            << " ops, " << query_count << " queries per checkpoint)\n";
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "bytes-per-node scaling " << sizes.front() << " -> "
+            << sizes.back() << ": " << scaling << "x\n";
+  bench::write_json_file(args.json_path, doc);
+
+  if (scaling > 2.0) {
+    std::cerr << "bench_scale: bytes-per-node grew " << scaling
+              << "x across the ladder (limit 2x)\n";
+    return 1;
+  }
+  if (max_bytes_per_node > 0 &&
+      last_bytes_per_node > static_cast<double>(max_bytes_per_node)) {
+    std::cerr << "bench_scale: " << last_bytes_per_node
+              << " bytes/node exceeds the --max-bytes-per-node ceiling of "
+              << max_bytes_per_node << "\n";
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_scale: " << e.what() << "\n";
+  return 1;
+}

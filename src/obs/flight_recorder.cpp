@@ -50,7 +50,9 @@ void FlightRecorder::record(std::int64_t node, double at, FlightEvent event,
                             sim::MessageKind kind, std::int64_t peer,
                             std::uint64_t ref, std::uint32_t epoch) {
   if (capacity_ == 0) return;
-  Ring& ring = rings_[node];
+  const auto idx = static_cast<std::size_t>(node + kIndexBias);
+  if (idx >= rings_.size()) rings_.resize(idx + 1);
+  Ring& ring = rings_[idx];
   Entry e;
   e.at = at;
   e.event = event;
@@ -68,14 +70,20 @@ void FlightRecorder::record(std::int64_t node, double at, FlightEvent event,
   ring.next = (ring.next + 1) % capacity_;
 }
 
+void FlightRecorder::reset_node(std::int64_t node) {
+  const auto idx = static_cast<std::size_t>(node + kIndexBias);
+  if (idx >= rings_.size()) return;
+  rings_[idx] = Ring{};
+}
+
 Json FlightRecorder::to_json() const {
-  std::vector<std::int64_t> nodes;
-  nodes.reserve(rings_.size());
-  for (const auto& [node, ring] : rings_) nodes.push_back(node);
-  std::sort(nodes.begin(), nodes.end());
   Json rows = Json::array();
-  for (const std::int64_t node : nodes) {
-    const Ring& ring = rings_.at(node);
+  // Dense rings are already in ascending node order; untouched (or
+  // reset) rings have total == 0 and are not reported.
+  for (std::size_t idx = 0; idx < rings_.size(); ++idx) {
+    const Ring& ring = rings_[idx];
+    if (ring.total == 0) continue;
+    const std::int64_t node = static_cast<std::int64_t>(idx) - kIndexBias;
     Json events = Json::array();
     // Oldest -> newest: the ring's overwrite cursor is where the oldest
     // surviving entry sits once the ring has wrapped.

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/metrics.hpp"
@@ -67,6 +66,10 @@ class FlightRecorder {
               sim::MessageKind kind, std::int64_t peer,
               std::uint64_t ref = 0, std::uint32_t epoch = 0);
 
+  /// Drop one node's ring (a recycled node id is a brand-new endpoint:
+  /// its dump must not open with the predecessor's last moments).
+  void reset_node(std::int64_t node);
+
   /// {"per_node_capacity": C, "nodes": [{"node": id, "dropped": n,
   /// "events": [...]}]} -- nodes ascending, events oldest -> newest.
   /// Deterministic for a deterministic run.
@@ -79,9 +82,15 @@ class FlightRecorder {
     std::uint64_t total = 0;   ///< entries ever recorded
   };
 
+  /// Node ids are dense non-negative ints (the overlay's vertex ids), so
+  /// the rings live in a vector indexed by node + kIndexBias -- the bias
+  /// absorbs the sentinel ids (-1 for "no node", kNoVertex = -2) the
+  /// instrumentation occasionally records against.
+  static constexpr std::int64_t kIndexBias = 2;
+
   std::size_t capacity_ = 0;
   std::uint64_t seq_ = 0;
-  std::unordered_map<std::int64_t, Ring> rings_;
+  std::vector<Ring> rings_;  ///< index = node + kIndexBias; empty = no ring
 };
 
 }  // namespace voronet::obs

@@ -1,0 +1,96 @@
+// Open-addressing NodeId -> value map for per-query flood state.
+//
+// The query runtime needs one associative lookup per flood participant
+// (dedup of duplicate forwards, the region-test memo).  Node ids are
+// dense non-negative ints, participation counts are small-to-moderate,
+// and the maps die wholesale when the query completes -- so a flat
+// linear-probing table with no per-node deletion beats a node-based
+// unordered_map on both memory (no per-entry allocation) and locality.
+//
+// Deliberately minimal: insert, find, clear.  Erasing a single key is
+// not supported -- flood state is only ever dropped a whole query at a
+// time, which is what keeps the probe sequences tombstone-free.
+// Iteration order is NOT exposed; every caller that needs an order
+// iterates its own entry vector (semantic orders must never depend on a
+// hash table -- DESIGN.md, "Memory layout & arenas").
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "protocol/message.hpp"
+
+namespace voronet::protocol {
+
+template <typename V>
+class FlatNodeMap {
+ public:
+  [[nodiscard]] V* find(NodeId key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+  [[nodiscard]] const V* find(NodeId key) const {
+    if (count_ == 0) return nullptr;
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = slot(key, mask);; i = (i + 1) & mask) {
+      const Cell& c = cells_[i];
+      if (c.key == kNoNode) return nullptr;
+      if (c.key == key) return &c.value;
+    }
+  }
+
+  /// Insert (key must be absent -- flood participants are served once).
+  V& insert(NodeId key, V value) {
+    VORONET_DCHECK(key != kNoNode);
+    if ((count_ + 1) * 4 > cells_.size() * 3) grow();
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = slot(key, mask);; i = (i + 1) & mask) {
+      Cell& c = cells_[i];
+      if (c.key == kNoNode) {
+        c.key = key;
+        c.value = std::move(value);
+        ++count_;
+        return c.value;
+      }
+      VORONET_DCHECK(c.key != key);
+    }
+  }
+
+  void clear() {
+    cells_.clear();
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t bytes() const {
+    return cells_.capacity() * sizeof(Cell);
+  }
+
+ private:
+  struct Cell {
+    NodeId key = kNoNode;
+    V value{};
+  };
+
+  [[nodiscard]] static std::size_t slot(NodeId key, std::size_t mask) {
+    // Fibonacci hash of the dense id: adjacent ids spread apart.
+    auto h = static_cast<std::uint32_t>(key) * 0x9e3779b1u;
+    return static_cast<std::size_t>(h) & mask;
+  }
+
+  void grow() {
+    const std::size_t cap = cells_.empty() ? 16 : cells_.size() * 2;
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(cap, Cell{});
+    count_ = 0;
+    for (Cell& c : old) {
+      if (c.key != kNoNode) insert(c.key, std::move(c.value));
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace voronet::protocol

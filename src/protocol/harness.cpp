@@ -9,6 +9,16 @@
 
 namespace voronet::protocol {
 
+namespace {
+
+/// Span-vs-vector content equality (ViewEntry has operator==).
+bool same_entries(std::span<const ViewEntry> a,
+                  const std::vector<ViewEntry>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
 ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
     : config_(config),
       overlay_(config.overlay),
@@ -75,7 +85,7 @@ void ProtocolHarness::leave_after(double delay, NodeId x) {
 
 void ProtocolHarness::crash(NodeId x) {
   queue_.schedule(0.0, [this, x] {
-    if (nodes_.find(x) == nodes_.end()) return;
+    if (!alive(x)) return;
     // Remember who should notice: the ground-truth Voronoi neighbours are
     // the nodes whose cells border the hole the crash leaves.
     const std::vector<NodeId> witnesses = overlay_.view(x).vn;
@@ -101,7 +111,7 @@ void ProtocolHarness::crash(NodeId x) {
       }
       NodeId detector = kNoNode;
       for (const NodeId w : witnesses) {
-        if (nodes_.find(w) != nodes_.end()) {
+        if (alive(w)) {
           detector = w;
           break;
         }
@@ -135,14 +145,14 @@ void ProtocolHarness::deliver(const Message& m) {
     case sim::MessageKind::kVoronoiUpdate:
     case sim::MessageKind::kCloseNeighbor:
     case sim::MessageKind::kLongLinkBind: {
-      const auto it = nodes_.find(m.dst);
-      if (it == nodes_.end()) return;  // addressee departed in flight
-      if (it->second.apply_update(m)) last_apply_time_ = queue_.now();
+      if (!alive(m.dst)) return;  // addressee departed in flight
+      if (slot(m.dst).node.apply_update(m, arena_)) {
+        last_apply_time_ = queue_.now();
+      }
       return;
     }
     case sim::MessageKind::kLeaveNotify: {
-      const auto it = nodes_.find(m.dst);
-      if (it != nodes_.end()) it->second.forget_peer(m.src, m.point);
+      if (alive(m.dst)) slot(m.dst).node.forget_peer(m.src, m.point, arena_);
       return;
     }
     default:
@@ -211,14 +221,17 @@ void ProtocolHarness::on_abandon(const Message& m) {
     case sim::MessageKind::kLongLinkBind: {
       // The addressee never got this content: forget that it was sent so
       // the next touch of the component ships unconditionally.
-      const auto it = sent_.find(m.dst);
-      if (it != sent_.end()) {
+      if (alive(m.dst)) {
+        SentState& sent = slot(m.dst).sent;
         if (m.type == sim::MessageKind::kVoronoiUpdate) {
-          it->second.vn.reset();
+          arena_.release(sent.vn);
+          sent.vn_known = false;
         } else if (m.type == sim::MessageKind::kCloseNeighbor) {
-          it->second.cn.reset();
+          arena_.release(sent.cn);
+          sent.cn_known = false;
         } else {
-          it->second.lr.reset();
+          arena_.release(sent.lr);
+          sent.lr_known = false;
         }
       }
       // When the transfer died because its *sender* crashed (crash-stop:
@@ -228,25 +241,28 @@ void ProtocolHarness::on_abandon(const Message& m) {
       // sends.  Retry-cap abandonments with a live sender stay
       // best-effort (re-shipping there would loop under a permanent
       // partition).
-      if (!net_.crashed(m.src) || roster_.empty() ||
-          nodes_.find(m.dst) == nodes_.end()) {
+      if (!net_.crashed(m.src) || roster_.empty() || !alive(m.dst)) {
         return;
       }
       ++op_seq_;
-      Message fresh;
+      Message fresh = net_.draft();
       fresh.type = m.type;
       fresh.src = roster_[rng_.index(roster_.size())];
       fresh.dst = m.dst;
       fresh.version = op_seq_;
+      SentState& sent = slot(m.dst).sent;
       if (m.type == sim::MessageKind::kVoronoiUpdate) {
         fresh.entries = authoritative_vn(m.dst);
-        sent_[m.dst].vn = fresh.entries;
+        arena_.assign(sent.vn, fresh.entries);
+        sent.vn_known = true;
       } else if (m.type == sim::MessageKind::kCloseNeighbor) {
         fresh.entries = authoritative_cn(m.dst);
-        sent_[m.dst].cn = fresh.entries;
+        arena_.assign(sent.cn, fresh.entries);
+        sent.cn_known = true;
       } else {
         fresh.entries = authoritative_lr(m.dst);
-        sent_[m.dst].lr = fresh.entries;
+        arena_.assign(sent.lr, fresh.entries);
+        sent.lr_known = true;
       }
       net_.send(std::move(fresh));
       return;
@@ -257,14 +273,14 @@ void ProtocolHarness::on_abandon(const Message& m) {
 }
 
 void ProtocolHarness::handle_route(const Message& m) {
-  const auto it = nodes_.find(m.dst);
-  if (it == nodes_.end()) {
+  if (!alive(m.dst)) {
     // The addressee departed while the operation was in flight; fall back
     // to another bootstrap contact.
     reroute_join(m);
     return;
   }
-  const ProtocolNode::Route route = it->second.greedy_step(m.point);
+  const ProtocolNode::Route route =
+      slot(m.dst).node.greedy_step(m.point, arena_);
   // TTL guard: a legitimate greedy chain visits distinct nodes (strictly
   // decreasing distance), so it can never exceed the population.  Longer
   // chains mean a permanently stale entry is bouncing the request between
@@ -309,7 +325,7 @@ void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
     tracer_.arg(span, "node", static_cast<std::uint64_t>(x));
     tracer_.end_span(span, queue_.now());
   }
-  if (nodes_.find(x) != nodes_.end()) {
+  if (alive(x)) {
     // Position already taken (positions identify objects): no new node,
     // but the fictive churn may still have touched views.
     disseminate(sponsor == kNoNode ? x : sponsor);
@@ -377,10 +393,9 @@ void ProtocolHarness::start_query(std::uint64_t query_id) {
   // Pin the issuer's identity: ids are recycled, so "the issuer is still
   // alive" must mean the same (id, position) pair, not just the id.
   QueryRuntime& rt = query_runtime_.at(query_id);
-  const auto it = nodes_.find(rec.spec.issuer);
-  if (it != nodes_.end()) {
+  if (alive(rec.spec.issuer)) {
     rt.issuer_known = true;
-    rt.issuer_pos = it->second.position();
+    rt.issuer_pos = slot(rec.spec.issuer).node.position();
   }
   if (tracer_.enabled()) {
     rt.root_span = tracer_.begin_span(queue_.now(), "query", rec.spec.issuer);
@@ -430,8 +445,7 @@ bool ProtocolHarness::epoch_current(const Message& m) const {
 }
 
 bool ProtocolHarness::entry_live(const ViewEntry& e) const {
-  const auto it = nodes_.find(e.id);
-  return it != nodes_.end() && it->second.position() == e.pos;
+  return alive(e.id) && slot(e.id).node.position() == e.pos;
 }
 
 bool ProtocolHarness::issuer_live(std::uint64_t query_id) const {
@@ -499,8 +513,8 @@ void ProtocolHarness::arm_query_deadline(std::uint64_t query_id) {
     const auto flood = query_flood_.find(query_id);
     bool dead = false;
     if (flood != query_flood_.end()) {
-      for (const auto& [node, state] : flood->second) {
-        if (nodes_.find(node) == nodes_.end()) {
+      for (const FloodEntry& e : flood->second.entries) {
+        if (!alive(e.node)) {
           dead = true;
           break;
         }
@@ -537,12 +551,12 @@ void ProtocolHarness::reroute_query(const Message& m) {
 void ProtocolHarness::handle_query_route(const Message& m) {
   if (!epoch_current(m)) return;
   const auto rec = query_records_.find(m.version);
-  const auto it = nodes_.find(m.dst);
-  if (it == nodes_.end()) {
+  if (!alive(m.dst)) {
     reroute_query(m);  // addressee departed while the query was in flight
     return;
   }
-  const ProtocolNode::Route route = it->second.greedy_step(m.point);
+  const ProtocolNode::Route route =
+      slot(m.dst).node.greedy_step(m.point, arena_);
   if (tracer_.enabled()) {
     const obs::SpanId hop =
         tracer_.instant(queue_.now(), "route_hop", m.dst, m.span);
@@ -592,16 +606,15 @@ bool ProtocolHarness::query_region_qualifies(const QuerySpec& spec,
 
 void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
                                   NodeId parent, obs::SpanId parent_span) {
-  auto& flood = query_flood_[query_id];
-  const auto existing = flood.find(node);
+  QueryFlood& flood = query_flood_[query_id];
   QueryRecord& rec = query_records_.at(query_id);
-  if (existing != flood.end()) {
+  if (FloodEntry* existing = flood.find(node); existing != nullptr) {
     // Already served.  A forward from another branch is rejected (the
     // branch must not wait forever); a re-delivery from the node's own
     // flood parent -- a retransmission that slipped the transport dedup
     // -- is ignored, because the pending echo answers it and a rejection
     // racing ahead of that echo would book the whole subtree as empty.
-    if (parent != kNoNode && parent != existing->second.parent) {
+    if (parent != kNoNode && parent != existing->parent) {
       if (tracer_.enabled()) {
         const obs::SpanId t =
             tracer_.instant(queue_.now(), "duplicate_reject", node,
@@ -615,13 +628,13 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
       reject.version = query_id;
       reject.epoch = rec.epoch;
       reject.query = rec.spec;
-      reject.span = existing->second.span;
+      reject.span = existing->span;
       net_.send(std::move(reject));
       ++rec.result_sends;
     }
     return;
   }
-  QueryFloodState& state = flood[node];
+  FloodEntry& state = flood.emplace(node);
   state.parent = parent;
   if (tracer_.enabled()) {
     state.span = tracer_.begin_span(queue_.now(), "serve", node, parent_span);
@@ -633,7 +646,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
                      sim::MessageKind::kQueryForward, parent, query_id,
                      rec.epoch);
   }
-  const ProtocolNode& self = nodes_.at(node);
+  const ProtocolNode& self = slot(node).node;
   state.acc.push_back({node, self.position()});
   // Forward across every qualifying Voronoi adjacency of the LOCAL view,
   // except back to the parent.  Entries whose believed position no longer
@@ -642,8 +655,8 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
   // costs a deployment -- but a DEAD entry also means this view predates
   // a repair that is racing the flood, so the epoch is tainted and the
   // issuer will re-run the query over repaired views.
-  auto& region_cache = query_region_cache_[query_id];
-  for (const ViewEntry& e : self.vn()) {
+  FlatNodeMap<bool>& region_cache = query_region_cache_[query_id];
+  for (const ViewEntry& e : self.vn(arena_)) {
     if (e.id == parent) continue;
     if (!overlay_.contains(e.id) || overlay_.position(e.id) != e.pos) {
       query_runtime_.at(query_id).stale_observed = true;
@@ -654,13 +667,12 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
       }
       continue;
     }
-    const auto cached = region_cache.find(e.id);
-    const bool qualifies = cached != region_cache.end()
-                               ? cached->second
-                               : region_cache
-                                     .emplace(e.id, query_region_qualifies(
-                                                        rec.spec, e.id))
-                                     .first->second;
+    const bool* cached = region_cache.find(e.id);
+    const bool qualifies =
+        cached != nullptr
+            ? *cached
+            : region_cache.insert(e.id,
+                                  query_region_qualifies(rec.spec, e.id));
     if (!qualifies) continue;
     Message fwd;
     fwd.type = sim::MessageKind::kQueryForward;
@@ -684,7 +696,7 @@ void ProtocolHarness::fail_branch(const Message& m) {
   // terminates (tainting the epoch); when the sender itself is gone too,
   // its whole subtree died with it -- only a fresh epoch can recover.
   if (!epoch_current(m)) return;
-  if (nodes_.find(m.src) != nodes_.end()) {
+  if (alive(m.src)) {
     apply_query_reply(m.version, m.src, m.dst, {}, /*aborted=*/true);
   } else {
     reissue_query(m.version);
@@ -695,7 +707,7 @@ void ProtocolHarness::handle_query_forward(const Message& m) {
   if (!epoch_current(m)) {
     return;  // superseded epoch, or a late dedup slip after completion
   }
-  if (nodes_.find(m.dst) == nodes_.end()) {
+  if (!alive(m.dst)) {
     fail_branch(m);  // the addressed cell departed with the forward in flight
     return;
   }
@@ -705,7 +717,7 @@ void ProtocolHarness::handle_query_forward(const Message& m) {
 void ProtocolHarness::finish_query_node(std::uint64_t query_id,
                                         NodeId node) {
   QueryRecord& rec = query_records_.at(query_id);
-  QueryFloodState& state = query_flood_.at(query_id).at(node);
+  FloodEntry& state = *query_flood_.at(query_id).find(node);
   if (tracer_.enabled() && state.span != obs::kNoSpan) {
     tracer_.arg(state.span, "covered", state.acc.size());
     if (state.aborted) tracer_.arg(state.span, "aborted", 1);
@@ -714,7 +726,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
   if (state.parent != kNoNode) {
     // Subtree done: echo the covered cells -- as an abort echo when a
     // branch below failed over, so the mark reaches the root.
-    Message echo;
+    Message echo = net_.draft();
     echo.type = state.aborted ? sim::MessageKind::kQueryAbort
                               : sim::MessageKind::kQueryResult;
     echo.src = node;
@@ -741,7 +753,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
     complete_query(query_id, std::move(state.acc));
     return;
   }
-  Message fin;
+  Message fin = net_.draft();
   fin.type = sim::MessageKind::kQueryResult;
   fin.src = node;
   fin.dst = rec.spec.issuer;
@@ -763,23 +775,26 @@ void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
   if (rec == query_records_.end() || rec->second.done) return;
   const auto flood = query_flood_.find(query_id);
   if (flood == query_flood_.end()) return;
-  const auto it = flood->second.find(node);
-  if (it == flood->second.end()) return;  // node departed mid-query
-  if (nodes_.find(node) == nodes_.end()) {
+  FloodEntry* state = flood->second.find(node);
+  if (state == nullptr) return;  // node departed mid-query
+  if (!alive(node)) {
     // The waiting node itself is dead: nobody can echo its subtree any
     // more, whatever this reply says.  Re-issue.
     reissue_query(query_id);
     return;
   }
-  QueryFloodState& state = it->second;
-  if (!state.replied.insert(child).second) return;  // duplicate reply slip
+  if (std::find(state->replied.begin(), state->replied.end(), child) !=
+      state->replied.end()) {
+    return;  // duplicate reply slip
+  }
+  state->replied.push_back(child);
   if (aborted) {
-    state.aborted = true;
+    state->aborted = true;
     query_runtime_.at(query_id).stale_observed = true;
     ++rec->second.branch_failovers;
     if (tracer_.enabled()) {
       const obs::SpanId t =
-          tracer_.instant(queue_.now(), "branch_abort", node, state.span);
+          tracer_.instant(queue_.now(), "branch_abort", node, state->span);
       tracer_.arg(t, "child", static_cast<std::uint64_t>(child));
     }
     if (recorder_.enabled()) {
@@ -788,10 +803,10 @@ void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
                        rec->second.epoch);
     }
   }
-  state.acc.insert(state.acc.end(), subtree.begin(), subtree.end());
-  VORONET_DCHECK(state.pending > 0);
-  --state.pending;
-  if (state.pending == 0) finish_query_node(query_id, node);
+  state->acc.insert(state->acc.end(), subtree.begin(), subtree.end());
+  VORONET_DCHECK(state->pending > 0);
+  --state->pending;
+  if (state->pending == 0) finish_query_node(query_id, node);
 }
 
 void ProtocolHarness::handle_query_result(const Message& m) {
@@ -877,21 +892,22 @@ void ProtocolHarness::drop_completed_queries() {
 }
 
 void ProtocolHarness::execute_leave(NodeId x) {
-  const auto it = nodes_.find(x);
-  if (it == nodes_.end() || !overlay_.contains(x)) return;
+  if (!alive(x) || !overlay_.contains(x)) return;
   const Vec2 pos = overlay_.position(x);
 
   // Departure notifications go to the node's LOCAL contacts (what the
   // paper's object actually knows), not the ground truth.
+  const ProtocolNode& self = slot(x).node;
   std::vector<NodeId> notified;
-  for (const auto* component : {&it->second.vn(), &it->second.cn()}) {
-    for (const ViewEntry& e : *component) notified.push_back(e.id);
+  for (const std::span<const ViewEntry> component :
+       {self.vn(arena_), self.cn(arena_)}) {
+    for (const ViewEntry& e : component) notified.push_back(e.id);
   }
   std::sort(notified.begin(), notified.end());
   notified.erase(std::unique(notified.begin(), notified.end()),
                  notified.end());
   for (const NodeId peer : notified) {
-    if (peer == x || nodes_.find(peer) == nodes_.end()) continue;
+    if (peer == x || !alive(peer)) continue;
     Message m;
     m.type = sim::MessageKind::kLeaveNotify;
     m.src = x;
@@ -904,7 +920,7 @@ void ProtocolHarness::execute_leave(NodeId x) {
   // paper's RemoveVoronoiRegion heir).
   NodeId sponsor = kNoNode;
   for (const NodeId y : overlay_.view(x).vn) {
-    if (nodes_.find(y) != nodes_.end()) {
+    if (alive(y)) {
       sponsor = y;
       break;
     }
@@ -967,31 +983,63 @@ void ProtocolHarness::disseminate(NodeId src, NodeId ensure) {
   }
   ++op_seq_;
   const auto ship = [&](const std::vector<ObjectId>& ids,
-                        sim::MessageKind kind,
-                        auto&& extract,
-                        std::optional<std::vector<ViewEntry>> SentState::*
-                            slot) {
+                        sim::MessageKind kind, auto&& extract,
+                        ViewSpan SentState::*span_slot,
+                        bool SentState::*known_slot) {
     for (const ObjectId id : ids) {
-      if (nodes_.find(id) == nodes_.end()) continue;
-      std::vector<ViewEntry> entries = extract(id);
-      std::optional<std::vector<ViewEntry>>& last = sent_[id].*slot;
-      if (last && entries == *last) continue;  // touch restored the value
-      Message m;
+      if (!alive(id)) continue;
+      scratch_entries_.clear();
+      extract(id, scratch_entries_);
+      SentState& sent = slot(id).sent;
+      if (sent.*known_slot &&
+          same_entries(arena_.view(sent.*span_slot), scratch_entries_)) {
+        continue;  // touch restored the value
+      }
+      Message m = net_.draft();
       m.type = kind;
       m.src = src;
       m.dst = id;
       m.version = op_seq_;
-      m.entries = entries;
-      last = std::move(entries);
+      m.entries.assign(scratch_entries_.begin(), scratch_entries_.end());
+      arena_.assign(sent.*span_slot, scratch_entries_);
+      sent.*known_slot = true;
       net_.send(std::move(m));
     }
   };
-  ship(touched.vn, sim::MessageKind::kVoronoiUpdate,
-       [&](NodeId o) { return authoritative_vn(o); }, &SentState::vn);
-  ship(touched.cn, sim::MessageKind::kCloseNeighbor,
-       [&](NodeId o) { return authoritative_cn(o); }, &SentState::cn);
-  ship(touched.lr, sim::MessageKind::kLongLinkBind,
-       [&](NodeId o) { return authoritative_lr(o); }, &SentState::lr);
+  ship(
+      touched.vn, sim::MessageKind::kVoronoiUpdate,
+      [&](NodeId o, std::vector<ViewEntry>& out) {
+        const NodeView& view = overlay_.view(o);
+        out.reserve(view.vn.size());
+        for (const ObjectId nb : view.vn) {
+          out.push_back({nb, overlay_.position(nb)});
+        }
+      },
+      &SentState::vn, &SentState::vn_known);
+  ship(
+      touched.cn, sim::MessageKind::kCloseNeighbor,
+      [&](NodeId o, std::vector<ViewEntry>& out) {
+        const NodeView& view = overlay_.view(o);
+        out.reserve(view.cn.size());
+        for (const ObjectId c : view.cn) {
+          out.push_back({c, overlay_.position(c)});
+        }
+      },
+      &SentState::cn, &SentState::cn_known);
+  ship(
+      touched.lr, sim::MessageKind::kLongLinkBind,
+      [&](NodeId o, std::vector<ViewEntry>& out) {
+        const NodeView& view = overlay_.view(o);
+        out.reserve(view.lr.size());
+        for (const LongLink& link : view.lr) {
+          if (link.neighbor == kNoObject ||
+              !overlay_.contains(link.neighbor)) {
+            continue;
+          }
+          out.push_back({link.neighbor, overlay_.position(link.neighbor)});
+        }
+      },
+      &SentState::lr, &SentState::lr_known);
 }
 
 // ---------------------------------------------------------------------------
@@ -999,27 +1047,43 @@ void ProtocolHarness::disseminate(NodeId src, NodeId ensure) {
 // ---------------------------------------------------------------------------
 
 void ProtocolHarness::register_node(NodeId x) {
+  const auto idx = static_cast<std::size_t>(x);
+  if (idx >= slots_.size()) slots_.resize(idx + 1);
+  NodeSlot& s = slots_[idx];
+  VORONET_DCHECK(!s.live);
   // Vertex ids are recycled by the ground truth: a new node may reuse
   // the id of a previously departed one, so clear the transport's dead
   // mark and abandon predecessor-era transfers.  Fresh ids skip the
   // revive (nothing to clean, and revive scans the in-flight table).
-  if (dead_ids_.erase(x) > 0) net_.revive(x);
-  nodes_.emplace(x, ProtocolNode(x, overlay_.position(x)));
-  roster_pos_[x] = static_cast<std::uint32_t>(roster_.size());
+  if (s.dead_mark) {
+    s.dead_mark = false;
+    net_.revive(x);
+  }
+  ++s.generation;
+  s.node = ProtocolNode(x, overlay_.position(x));
+  s.roster_pos = static_cast<std::uint32_t>(roster_.size());
+  s.live = true;
+  ++live_nodes_;
   roster_.push_back(x);
 }
 
 void ProtocolHarness::deregister_node(NodeId x) {
-  nodes_.erase(x);
-  sent_.erase(x);
-  dead_ids_.insert(x);
-  const auto it = roster_pos_.find(x);
-  VORONET_DCHECK(it != roster_pos_.end());
-  const std::uint32_t idx = it->second;
-  roster_pos_[roster_.back()] = idx;
+  NodeSlot& s = slot(x);
+  VORONET_DCHECK(s.live);
+  // Every span the slot holds goes back to the arena; the recycled slot
+  // must inherit nothing (pinned by the slot-recycling test).
+  s.node.release(arena_);
+  arena_.release(s.sent.vn);
+  arena_.release(s.sent.cn);
+  arena_.release(s.sent.lr);
+  s.sent.vn_known = s.sent.cn_known = s.sent.lr_known = false;
+  s.live = false;
+  s.dead_mark = true;
+  --live_nodes_;
+  const std::uint32_t idx = s.roster_pos;
+  slot(roster_.back()).roster_pos = idx;
   roster_[idx] = roster_.back();
   roster_.pop_back();
-  roster_pos_.erase(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -1030,13 +1094,13 @@ ProtocolHarness::VerifyReport ProtocolHarness::verify_views() const {
   VerifyReport report;
   const bool strict = !repair_in_flight();
   for (const NodeId id : roster_) {
-    const ProtocolNode& node = nodes_.at(id);
+    const ProtocolNode& node = slot(id).node;
     ++report.checked;
     const bool ok = overlay_.contains(id) &&
                     node.position() == overlay_.position(id) &&
-                    node.vn() == authoritative_vn(id) &&
-                    node.cn() == authoritative_cn(id) &&
-                    node.lr() == authoritative_lr(id);
+                    same_entries(node.vn(arena_), authoritative_vn(id)) &&
+                    same_entries(node.cn(arena_), authoritative_cn(id)) &&
+                    same_entries(node.lr(arena_), authoritative_lr(id));
     if (!ok) {
       ++report.stale;
       if (report.stale_ids.size() < 8) report.stale_ids.push_back(id);
@@ -1051,8 +1115,36 @@ ProtocolHarness::VerifyReport ProtocolHarness::verify_views() const {
       }
     }
   }
-  report.missing = overlay_.size() - nodes_.size();
+  report.missing = overlay_.size() - live_nodes_;
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+
+ProtocolHarness::MemoryBreakdown ProtocolHarness::memory_breakdown() const {
+  MemoryBreakdown b;
+  b.view_bytes = arena_.bytes();
+  b.slot_bytes = slots_.capacity() * sizeof(NodeSlot) +
+                 roster_.capacity() * sizeof(NodeId);
+  b.transport_bytes = net_.memory_bytes();
+  for (const auto& [id, flood] : query_flood_) {
+    b.query_bytes +=
+        flood.index.bytes() + flood.entries.capacity() * sizeof(FloodEntry);
+    for (const FloodEntry& e : flood.entries) {
+      b.query_bytes += e.acc.capacity() * sizeof(ViewEntry) +
+                       e.replied.capacity() * sizeof(NodeId);
+    }
+  }
+  for (const auto& [id, cache] : query_region_cache_) {
+    b.query_bytes += cache.bytes();
+  }
+  for (const auto& [id, rec] : query_records_) {
+    b.query_bytes += rec.owners.capacity() * sizeof(ViewEntry) +
+                     rec.matches.capacity() * sizeof(NodeId);
+  }
+  return b;
 }
 
 }  // namespace voronet::protocol

@@ -16,19 +16,26 @@
 // authoritative one.  At quiescence with no partition this must match
 // bit-for-bit -- the property DESIGN.md's Substitution 1 *assumes* and
 // tests/protocol_test.cpp now proves per run.
+//
+// Storage (DESIGN.md, "Memory layout & arenas"): per-node protocol
+// state lives in a dense slot table indexed by NodeId (the overlay's
+// vertex ids are dense and recycled, so the id IS the slot index), with
+// a generation counter per slot so tests can pin that a recycled id
+// inherits nothing.  All view content -- node views and the sent-state
+// dissemination cache -- is spans into one shared ViewArena.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
+#include "protocol/flat_map.hpp"
 #include "protocol/network.hpp"
 #include "protocol/node.hpp"
+#include "protocol/view_arena.hpp"
 #include "sim/event_queue.hpp"
 #include "voronet/overlay.hpp"
 
@@ -165,7 +172,10 @@ class ProtocolHarness {
 
   // --- Execution ----------------------------------------------------------
 
-  sim::EventQueue::RunResult run_to_idle() { return queue_.run_to_idle(); }
+  sim::EventQueue::RunResult run_to_idle(
+      std::size_t max_events = sim::EventQueue::kDefaultEventBudget) {
+    return queue_.run_to_idle(max_events);
+  }
   sim::EventQueue::RunResult run_until(double horizon) {
     return queue_.run_until(horizon);
   }
@@ -199,19 +209,43 @@ class ProtocolHarness {
   [[nodiscard]] Network& network() { return net_; }
   [[nodiscard]] Overlay& overlay() { return overlay_; }
   [[nodiscard]] const Overlay& overlay() const { return overlay_; }
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
   [[nodiscard]] NodeId random_node(Rng& rng) const {
     return roster_[rng.index(roster_.size())];
   }
   [[nodiscard]] const ProtocolNode& node(NodeId id) const {
-    return nodes_.at(id);
+    VORONET_EXPECT(alive(id), "node(): id is not a live protocol node");
+    return slots_[static_cast<std::size_t>(id)].node;
+  }
+  /// The shared view arena (resolve ProtocolNode view spans through it).
+  [[nodiscard]] const ViewArena& view_arena() const { return arena_; }
+  /// Occupancy generation of a node slot: bumped every time the id is
+  /// (re-)registered, so tests can pin that a recycled slot is a fresh
+  /// occupancy, not the predecessor's state.
+  [[nodiscard]] std::uint32_t slot_generation(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < slots_.size()
+               ? slots_[static_cast<std::size_t>(id)].generation
+               : 0;
   }
   /// Joins scheduled but not yet sponsored (in-flight route chains).
   [[nodiscard]] std::size_t pending_joins() const { return pending_joins_; }
   /// Simulated time of the last view-advancing update -- the convergence
   /// instant of the most recent workload batch.
   [[nodiscard]] double last_apply_time() const { return last_apply_time_; }
+
+  /// Bytes-per-node decomposition for bench_scale: where the memory of a
+  /// million-object run actually sits.
+  struct MemoryBreakdown {
+    std::size_t view_bytes = 0;       ///< shared ViewArena (all spans)
+    std::size_t slot_bytes = 0;       ///< node slot table + roster
+    std::size_t transport_bytes = 0;  ///< Network-owned state
+    std::size_t query_bytes = 0;      ///< flood/echo state + records
+    [[nodiscard]] std::size_t total() const {
+      return view_bytes + slot_bytes + transport_bytes + query_bytes;
+    }
+  };
+  [[nodiscard]] MemoryBreakdown memory_breakdown() const;
 
   // --- Observability ------------------------------------------------------
   //
@@ -247,6 +281,78 @@ class ProtocolHarness {
     obs::SpanId root_span = obs::kNoSpan;   ///< "query" span (tracing)
     obs::SpanId epoch_span = obs::kNoSpan;  ///< current "epoch" span
   };
+
+  /// Last content disseminated per node component: suppresses the
+  /// redundant updates the over-approximate touch tracking would produce
+  /// (fictive-object churn restores views it transiently rewrites).
+  /// !known = never sent, or the last transfer was abandoned by the
+  /// transport -- the next touch ships unconditionally.  Content lives
+  /// in the shared arena.
+  struct SentState {
+    ViewSpan vn, cn, lr;
+    bool vn_known = false, cn_known = false, lr_known = false;
+  };
+
+  /// One entry of the dense node slot table, indexed by NodeId.
+  struct NodeSlot {
+    ProtocolNode node;
+    SentState sent;
+    std::uint32_t generation = 0;  ///< bumped per (re-)registration
+    std::uint32_t roster_pos = 0;  ///< index into roster_ while live
+    bool live = false;
+    /// Previous holder departed: the next registration of this id must
+    /// Network::revive() it (recycled-id hygiene); fresh ids skip the
+    /// in-flight scan.
+    bool dead_mark = false;
+  };
+
+  /// Per-node flood bookkeeping of one in-flight query (kept until the
+  /// query completes so late duplicate forwards are rejected, not
+  /// re-served).
+  struct FloodEntry {
+    NodeId node = kNoNode;  ///< the participant this entry belongs to
+    NodeId parent = kNoNode;
+    std::uint32_t pending = 0;        ///< forwards awaiting a reply
+    bool aborted = false;             ///< a branch below failed over
+    std::vector<ViewEntry> acc;       ///< this subtree's served cells
+    std::vector<NodeId> replied;      ///< children already heard from
+    obs::SpanId span = obs::kNoSpan;  ///< "serve" span while tracing
+  };
+  /// One query's flood state: flat entries plus a NodeId index.  The
+  /// whole structure dies when the query completes or its epoch is
+  /// superseded -- there is no per-node erase, which is what keeps the
+  /// flat map tombstone-free.
+  struct QueryFlood {
+    FlatNodeMap<std::uint32_t> index;  ///< NodeId -> entries position
+    std::vector<FloodEntry> entries;
+
+    [[nodiscard]] FloodEntry* find(NodeId node) {
+      const std::uint32_t* pos = index.find(node);
+      return pos != nullptr ? &entries[*pos] : nullptr;
+    }
+    [[nodiscard]] const FloodEntry* find(NodeId node) const {
+      const std::uint32_t* pos = index.find(node);
+      return pos != nullptr ? &entries[*pos] : nullptr;
+    }
+    FloodEntry& emplace(NodeId node) {
+      index.insert(node, static_cast<std::uint32_t>(entries.size()));
+      FloodEntry& e = entries.emplace_back();
+      e.node = node;
+      return e;
+    }
+    [[nodiscard]] bool empty() const { return entries.empty(); }
+  };
+
+  [[nodiscard]] bool alive(NodeId x) const {
+    return x >= 0 && static_cast<std::size_t>(x) < slots_.size() &&
+           slots_[static_cast<std::size_t>(x)].live;
+  }
+  [[nodiscard]] NodeSlot& slot(NodeId x) {
+    return slots_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const NodeSlot& slot(NodeId x) const {
+    return slots_[static_cast<std::size_t>(x)];
+  }
 
   void start_join(Vec2 p);
   void handle_route(const Message& m);
@@ -334,44 +440,23 @@ class ProtocolHarness {
   HarnessConfig config_;
   Overlay overlay_;
   Network net_;
-  std::unordered_map<NodeId, ProtocolNode> nodes_;
-  /// Ids whose previous holder departed: only these need Network::revive
-  /// on re-registration (reviving a fresh id would scan the transport's
-  /// in-flight table for nothing on every join).
-  std::unordered_set<NodeId> dead_ids_;
+  /// Dense node slot table, indexed by NodeId; all view content lives in
+  /// arena_.
+  std::vector<NodeSlot> slots_;
+  std::size_t live_nodes_ = 0;
+  ViewArena arena_;
   std::vector<NodeId> roster_;  ///< live node ids, dense (random sampling)
-  std::unordered_map<NodeId, std::uint32_t> roster_pos_;
-  /// Last content disseminated per node component: suppresses the
-  /// redundant updates the over-approximate touch tracking would produce
-  /// (fictive-object churn restores views it transiently rewrites).
-  /// nullopt = unknown (never sent, or the last transfer was abandoned by
-  /// the transport) -- the next touch ships unconditionally.
-  struct SentState {
-    std::optional<std::vector<ViewEntry>> vn, cn, lr;
-  };
-  std::unordered_map<NodeId, SentState> sent_;
-  /// Per-node flood bookkeeping of one in-flight query (kept until the
-  /// query completes so late duplicate forwards are rejected, not
-  /// re-served).
-  struct QueryFloodState {
-    NodeId parent = kNoNode;
-    std::size_t pending = 0;          ///< forwards awaiting a reply
-    bool aborted = false;             ///< a branch below failed over
-    std::vector<ViewEntry> acc;       ///< this subtree's served cells
-    std::unordered_set<NodeId> replied;  ///< children already heard from
-    obs::SpanId span = obs::kNoSpan;  ///< "serve" span while tracing
-  };
   std::unordered_map<std::uint64_t, QueryRecord> query_records_;
   std::unordered_map<std::uint64_t, QueryRuntime> query_runtime_;
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<NodeId, QueryFloodState>>
-      query_flood_;
+  std::unordered_map<std::uint64_t, QueryFlood> query_flood_;
   /// Memoised region-test verdicts per in-flight query: a cell is probed
   /// once per neighbouring served cell, but its geometry only needs
   /// clipping once (mirrors the sequential flood's cache; dropped with
   /// the flood state at completion).
-  std::unordered_map<std::uint64_t, std::unordered_map<NodeId, bool>>
-      query_region_cache_;
+  std::unordered_map<std::uint64_t, FlatNodeMap<bool>> query_region_cache_;
+  /// Reused buffer for authoritative-view extraction in disseminate()
+  /// (one content build per ship, zero steady-state allocation).
+  std::vector<ViewEntry> scratch_entries_;
   std::uint64_t query_seq_ = 0;
   std::size_t pending_queries_ = 0;
   std::size_t repairs_pending_ = 0;

@@ -26,6 +26,8 @@ namespace voronet::protocol {
 /// literal that happened to coincide.
 using NodeId = ObjectId;
 inline constexpr NodeId kNoNode = kNoObject;
+/// "No transport slot" sentinel for Message::transfer_slot.
+inline constexpr std::uint32_t kNoTransferSlot = 0xffffffffu;
 static_assert(kNoNode == kNoObject &&
                   kNoNode == geo::DelaunayTriangulation::kNoVertex,
               "the protocol sentinel must be the overlay's invalid id");
@@ -108,6 +110,11 @@ struct Message {
 
   // Transport bookkeeping (owned by protocol::Network).
   std::uint64_t transfer_id = 0;  ///< unique per logical send, 0 = unset
+  /// Transfer-slot index in the transport's slot vector; pure routing
+  /// shortcut for acks/timers (the monotone transfer_id stays the
+  /// transfer's identity -- the retransmit jitter hash is keyed by it,
+  /// so replays depend on its numbering, never on slot recycling).
+  std::uint32_t transfer_slot = kNoTransferSlot;
 
   /// Trace context (obs::Tracer): the span this message is causally part
   /// of -- the sender's serve/epoch/join span.  Receivers parent their

@@ -21,6 +21,10 @@ namespace {
   return z ^ (z >> 31);
 }
 
+/// Payloads above this capacity are not worth hoarding in the pool.
+constexpr std::size_t kMaxPooledPayload = 4096;
+constexpr std::size_t kMaxPoolSize = 1024;
+
 }  // namespace
 
 Network::Network(sim::EventQueue& queue, const NetworkConfig& config)
@@ -72,11 +76,145 @@ double Network::effective_drop() const {
   return std::min(drop, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Slot table / payload pool
+// ---------------------------------------------------------------------------
+
+void Network::set_flag(std::vector<std::uint8_t>& flags, NodeId node,
+                       bool on) {
+  if (node < 0) return;
+  const auto idx = static_cast<std::size_t>(node);
+  if (idx >= flags.size()) {
+    if (!on) return;
+    flags.resize(idx + 1, 0);
+  }
+  flags[idx] = on ? 1 : 0;
+}
+
+Network::Transfer* Network::live_transfer(std::uint32_t slot,
+                                          std::uint64_t transfer_id) {
+  if (slot == kNoTransferSlot || slot >= transfers_.size()) return nullptr;
+  Transfer& t = transfers_[slot];
+  return t.id == transfer_id ? &t : nullptr;
+}
+
+std::uint32_t Network::alloc_slot() {
+  ++in_flight_;
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  transfers_.emplace_back();
+  return static_cast<std::uint32_t>(transfers_.size() - 1);
+}
+
+void Network::free_slot(std::uint32_t slot) {
+  Transfer& t = transfers_[slot];
+  recycle_payload(std::move(t.msg.entries));
+  t.msg.entries.clear();
+  t.id = 0;
+  t.attempts = 1;
+  t.timer = sim::kNoTimer;
+  t.span = obs::kNoSpan;
+  t.delivered = false;
+  free_slots_.push_back(slot);
+  VORONET_DCHECK(in_flight_ > 0);
+  --in_flight_;
+}
+
+void Network::recycle_payload(std::vector<ViewEntry>&& entries) {
+  if (entries.capacity() == 0 || entries.capacity() > kMaxPooledPayload ||
+      payload_pool_.size() >= kMaxPoolSize) {
+    return;
+  }
+  entries.clear();
+  payload_pool_.push_back(std::move(entries));
+}
+
+Message Network::draft() {
+  Message m;
+  if (!payload_pool_.empty()) {
+    m.entries = std::move(payload_pool_.back());
+    payload_pool_.pop_back();
+  }
+  return m;
+}
+
+bool Network::OrphanWindow::insert(std::uint64_t transfer_id, NodeId dst) {
+  if (ring.empty()) ring.resize(Network::kOrphanDedupCapacity);
+  for (const Rec& r : ring) {
+    if (r.transfer_id == transfer_id) return false;  // already recorded
+  }
+  Rec& r = ring[next];
+  if (r.transfer_id != 0) --count;  // FIFO eviction of the oldest record
+  r.transfer_id = transfer_id;
+  r.dst = dst;
+  ++count;
+  next = (next + 1) % ring.size();
+  return true;
+}
+
+void Network::OrphanWindow::erase(std::uint64_t transfer_id) {
+  for (Rec& r : ring) {
+    if (r.transfer_id == transfer_id) {
+      r = Rec{};
+      --count;
+      return;
+    }
+  }
+}
+
+void Network::OrphanWindow::erase_dst(NodeId dst) {
+  for (Rec& r : ring) {
+    if (r.transfer_id != 0 && r.dst == dst) {
+      r = Rec{};
+      --count;
+    }
+  }
+}
+
+std::size_t Network::dedup_entries() const {
+  std::size_t n = orphans_.size();
+  for (const Transfer& t : transfers_) {
+    if (t.id != 0 && t.delivered) ++n;
+  }
+  return n;
+}
+
+std::size_t Network::memory_bytes() const {
+  std::size_t b = transfers_.size() * sizeof(Transfer);
+  for (const Transfer& t : transfers_) {
+    b += t.msg.entries.capacity() * sizeof(ViewEntry);
+  }
+  for (const auto& p : payload_pool_) b += p.capacity() * sizeof(ViewEntry);
+  b += free_slots_.capacity() * sizeof(std::uint32_t);
+  b += orphans_.ring.capacity() * sizeof(OrphanWindow::Rec);
+  b += crashed_.capacity() + stalled_.capacity();
+  b += stall_backlog_.capacity() * sizeof(std::vector<Message>);
+  for (const auto& backlog : stall_backlog_) {
+    b += backlog.capacity() * sizeof(Message);
+    for (const Message& m : backlog) {
+      b += m.entries.capacity() * sizeof(ViewEntry);
+    }
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Send / failure injection
+// ---------------------------------------------------------------------------
+
 void Network::send(Message msg) {
   msg.transfer_id = next_transfer_++;
   ++stats_.sends;
   const bool reliable = msg.type != sim::MessageKind::kAck;
   obs::SpanId span = obs::kNoSpan;
+  std::uint32_t slot = kNoTransferSlot;
+  if (reliable) {
+    slot = alloc_slot();
+    msg.transfer_slot = slot;
+  }
   if (reliable && tracing()) {
     // One span per reliable transfer, parented to the message's carried
     // (application-level) span; its instants record the retransmission
@@ -94,9 +232,14 @@ void Network::send(Message msg) {
   }
   transmit(msg);
   if (reliable) {
-    const std::uint64_t id = msg.transfer_id;
-    pending_.emplace(id, Pending{std::move(msg), 1, sim::kNoTimer, span});
-    arm_timer(id);
+    Transfer& t = transfers_[slot];
+    t.id = msg.transfer_id;
+    recycle_payload(std::move(t.msg.entries));  // retire previous payload
+    t.msg = std::move(msg);
+    t.attempts = 1;
+    t.span = span;
+    t.delivered = false;
+    arm_timer(slot);
   }
 }
 
@@ -105,46 +248,51 @@ void Network::crash(NodeId node) {
     recorder_->record(node, queue_.now(), obs::FlightEvent::kCrash,
                       sim::MessageKind::kCount, -1);
   }
-  crashed_.insert(node);
+  set_flag(crashed_, node, true);
   // A crashed node's wedged process dies with the host: discard the
   // parked backlog instead of delivering it to a corpse on resume.
-  stalled_.erase(node);
-  stall_backlog_.erase(node);
+  set_flag(stalled_, node, false);
+  if (node >= 0 && static_cast<std::size_t>(node) < stall_backlog_.size()) {
+    backlog_count_ -= stall_backlog_[static_cast<std::size_t>(node)].size();
+    stall_backlog_[static_cast<std::size_t>(node)].clear();
+  }
 }
 
 void Network::stall(NodeId node) {
-  if (crashed_.count(node) != 0) return;  // dead beats wedged
+  if (crashed(node)) return;  // dead beats wedged
   if (recording()) {
     recorder_->record(node, queue_.now(), obs::FlightEvent::kStall,
                       sim::MessageKind::kCount, -1);
   }
-  stalled_.insert(node);
+  set_flag(stalled_, node, true);
 }
 
 void Network::resume(NodeId node) {
-  const auto it = stalled_.find(node);
-  if (it == stalled_.end()) return;
+  if (!stalled(node)) return;
   if (recording()) {
     recorder_->record(node, queue_.now(), obs::FlightEvent::kResume,
                       sim::MessageKind::kCount, -1);
   }
-  stalled_.erase(it);
-  const auto backlog_it = stall_backlog_.find(node);
-  if (backlog_it == stall_backlog_.end()) return;
+  set_flag(stalled_, node, false);
+  if (node < 0 || static_cast<std::size_t>(node) >= stall_backlog_.size()) {
+    return;
+  }
   // Drain in arrival order.  Move the backlog out first: delivering a
   // message can trigger sends whose acks / retransmissions must not
   // append to the vector mid-iteration.
-  std::vector<Message> backlog = std::move(backlog_it->second);
-  stall_backlog_.erase(backlog_it);
+  std::vector<Message> backlog =
+      std::move(stall_backlog_[static_cast<std::size_t>(node)]);
+  stall_backlog_[static_cast<std::size_t>(node)].clear();
+  backlog_count_ -= backlog.size();
   for (Message& msg : backlog) receive(std::move(msg));
 }
 
 void Network::resume_all() {
-  // Deterministic drain order: ascending node id, independent of the
-  // unordered_set's iteration order.
-  std::vector<NodeId> nodes(stalled_.begin(), stalled_.end());
-  std::sort(nodes.begin(), nodes.end());
-  for (const NodeId node : nodes) resume(node);
+  // Deterministic drain order: ascending node id (the dense bitmap's
+  // natural scan order -- previously an explicit sort over a hash set).
+  for (std::size_t n = 0; n < stalled_.size(); ++n) {
+    if (stalled_[n] != 0) resume(static_cast<NodeId>(n));
+  }
 }
 
 void Network::begin_loss_burst(double extra_drop) {
@@ -186,50 +334,61 @@ void Network::revive(NodeId node) {
   // -- BEFORE clearing the crashed mark, so the application layer's
   // abandon handler still observes which side died and can re-ship
   // authoritative content from a live witness.
-  std::vector<std::uint64_t> stale;
-  for (const auto& [id, p] : pending_) {
-    if (p.msg.src == node || p.msg.dst == node) stale.push_back(id);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> stale;
+  for (std::uint32_t slot = 0; slot < transfers_.size(); ++slot) {
+    const Transfer& t = transfers_[slot];
+    if (t.id != 0 && (t.msg.src == node || t.msg.dst == node)) {
+      stale.emplace_back(t.id, slot);
+    }
   }
-  for (const std::uint64_t id : stale) {
-    const auto it = pending_.find(id);
-    if (it == pending_.end()) continue;  // settled by a handler's send
-    queue_.cancel(it->second.timer);
-    abandon_transfer(it);
+  // Abandon in ascending transfer-id order: the abandon handler may send
+  // fresh messages, so the order is semantic -- it must be a property of
+  // the run, not of the slot table's recycling history.
+  std::sort(stale.begin(), stale.end());
+  for (const auto& [id, slot] : stale) {
+    if (transfers_[slot].id != id) continue;  // settled by a handler's send
+    queue_.cancel(transfers_[slot].timer);
+    abandon_transfer(slot);
   }
-  crashed_.erase(node);
-  // ... nor its predecessor's dedup history or stall window.
-  seen_.erase(node);
-  stalled_.erase(node);
-  stall_backlog_.erase(node);
+  set_flag(crashed_, node, false);
+  // ... nor its predecessor's dedup history, stall window, or flight-
+  // recorder ring (the ring is per-endpoint history; a recycled id is a
+  // different endpoint).
+  if (!orphans_.empty()) orphans_.erase_dst(node);
+  set_flag(stalled_, node, false);
+  if (node >= 0 && static_cast<std::size_t>(node) < stall_backlog_.size()) {
+    backlog_count_ -= stall_backlog_[static_cast<std::size_t>(node)].size();
+    stall_backlog_[static_cast<std::size_t>(node)].clear();
+  }
+  if (recorder_ != nullptr) recorder_->reset_node(node);
 }
 
-void Network::abandon_transfer(
-    std::unordered_map<std::uint64_t, Pending>::iterator it) {
+void Network::abandon_transfer(std::uint32_t slot) {
+  Transfer& t = transfers_[slot];
   ++stats_.abandoned;
-  metrics_.record_transfer_attempts(it->second.attempts);
-  if (tracing() && it->second.span != obs::kNoSpan) {
-    tracer_->arg(it->second.span, "attempts", it->second.attempts);
-    tracer_->arg(it->second.span, "abandoned", std::uint64_t{1});
-    tracer_->end_span(it->second.span, queue_.now());
+  metrics_.record_transfer_attempts(t.attempts);
+  if (tracing() && t.span != obs::kNoSpan) {
+    tracer_->arg(t.span, "attempts", t.attempts);
+    tracer_->arg(t.span, "abandoned", std::uint64_t{1});
+    tracer_->end_span(t.span, queue_.now());
   }
   if (recording()) {
-    recorder_->record(it->second.msg.src, queue_.now(),
-                      obs::FlightEvent::kAbandon, it->second.msg.type,
-                      it->second.msg.dst, it->second.msg.version,
-                      it->second.msg.epoch);
+    recorder_->record(t.msg.src, queue_.now(), obs::FlightEvent::kAbandon,
+                      t.msg.type, t.msg.dst, t.msg.version, t.msg.epoch);
   }
-  const Message msg = std::move(it->second.msg);
-  pending_.erase(it);
-  // The settling ack will never come, so drop the receiver-side dedup
-  // entry here (keeps seen_ bounded by the genuinely in-flight count).
-  const auto seen_it = seen_.find(msg.dst);
-  if (seen_it != seen_.end()) {
-    seen_it->second.erase(msg.transfer_id);
-    if (seen_it->second.empty()) seen_.erase(seen_it);
-  }
-  // Tell the application layer last: the handler may send afresh.
+  // The settling ack will never come; the delivered bit dies with the
+  // slot, which keeps the dedup state bounded by the in-flight count.
+  Message msg = std::move(t.msg);
+  free_slot(slot);
+  // Tell the application layer last: the handler may send afresh (and may
+  // reoccupy this very slot -- `t` is dead past this point).
   if (abandon_) abandon_(msg);
+  recycle_payload(std::move(msg.entries));
 }
+
+// ---------------------------------------------------------------------------
+// Wire
+// ---------------------------------------------------------------------------
 
 void Network::transmit(const Message& msg) {
   ++stats_.transmissions;
@@ -247,7 +406,10 @@ void Network::transmit(const Message& msg) {
   }
   double delay = config_.latency.sample(rng_);
   for (const double factor : latency_spikes_) delay *= factor;
-  queue_.schedule(delay, [this, msg] { arrive(msg); });
+  // One payload copy per wire attempt (the closure capture); arrive()
+  // consumes it by move and recycles the vector into the draft pool.
+  queue_.schedule(delay,
+                  [this, m = msg]() mutable { arrive(std::move(m)); });
   if (!duplications_.empty()) {
     // Duplication window: the strongest open window's probability wins
     // (overlapping windows model one flaky path, not independent copies).
@@ -257,7 +419,8 @@ void Network::transmit(const Message& msg) {
       ++stats_.injected_duplicates;
       double dup_delay = config_.latency.sample(rng_);
       for (const double factor : latency_spikes_) dup_delay *= factor;
-      queue_.schedule(dup_delay, [this, msg] { arrive(msg); });
+      queue_.schedule(dup_delay,
+                      [this, m = msg]() mutable { arrive(std::move(m)); });
     }
   }
 }
@@ -269,38 +432,34 @@ void Network::arrive(Message msg) {
     // entry is sender-side transport state that must not retransmit
     // forever on behalf of a dead node.  Acks also settle for a stalled
     // sender: the transport state machine lives below the wedged process.
-    const auto it = pending_.find(msg.transfer_id);
-    if (it != pending_.end()) {
-      metrics_.record_transfer_attempts(it->second.attempts);
-      if (tracing() && it->second.span != obs::kNoSpan) {
-        tracer_->arg(it->second.span, "attempts", it->second.attempts);
-        tracer_->end_span(it->second.span, queue_.now());
+    if (Transfer* t = live_transfer(msg.transfer_slot, msg.transfer_id)) {
+      metrics_.record_transfer_attempts(t->attempts);
+      if (tracing() && t->span != obs::kNoSpan) {
+        tracer_->arg(t->span, "attempts", t->attempts);
+        tracer_->end_span(t->span, queue_.now());
       }
-      queue_.cancel(it->second.timer);
-      pending_.erase(it);
+      queue_.cancel(t->timer);
+      free_slot(msg.transfer_slot);
     }
-    // Prune the receiver-side dedup entry (the ack's src is the original
-    // receiver), so seen_ is bounded by the in-flight count instead of
-    // growing for the life of the network.  A retransmission still in
-    // flight when the ack settles can then be delivered a second time --
-    // rare, and every protocol message is idempotent at the application
-    // layer (versioned updates, exactly-once join chains).
-    const auto seen_it = seen_.find(msg.src);
-    if (seen_it != seen_.end()) {
-      seen_it->second.erase(msg.transfer_id);
-      if (seen_it->second.empty()) seen_.erase(seen_it);
-    }
+    // Prune any orphan dedup record (the transfer can have been re-
+    // delivered after an earlier settle -- see receive()).  A
+    // retransmission still in flight when the ack settles can then be
+    // delivered a second time -- rare, and every protocol message is
+    // idempotent at the application layer (versioned updates,
+    // exactly-once join chains).
+    if (!orphans_.empty()) orphans_.erase(msg.transfer_id);
     return;
   }
-  if (crashed_.count(msg.dst)) {
+  if (crashed(msg.dst)) {
     ++stats_.dropped;
     if (recording()) {
       recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kDrop,
                         msg.type, msg.src, msg.version, msg.epoch);
     }
+    recycle_payload(std::move(msg.entries));
     return;
   }
-  if (stalled_.count(msg.dst)) {
+  if (stalled(msg.dst)) {
     // Gray failure: the packet reached the host, but the wedged process
     // cannot run its receive handler -- so no ack either.  The sender's
     // failure detector sees exactly what a crash looks like; only time
@@ -310,7 +469,10 @@ void Network::arrive(Message msg) {
       recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kParked,
                         msg.type, msg.src, msg.version, msg.epoch);
     }
-    stall_backlog_[msg.dst].push_back(std::move(msg));
+    const auto idx = static_cast<std::size_t>(msg.dst);
+    if (idx >= stall_backlog_.size()) stall_backlog_.resize(idx + 1);
+    stall_backlog_[idx].push_back(std::move(msg));
+    ++backlog_count_;
     return;
   }
   receive(std::move(msg));
@@ -324,15 +486,26 @@ void Network::receive(Message msg) {
   ack.src = msg.dst;
   ack.dst = msg.src;
   ack.transfer_id = msg.transfer_id;
+  ack.transfer_slot = msg.transfer_slot;
   transmit(ack);
 
-  auto& seen = seen_[msg.dst];
-  if (!seen.insert(msg.transfer_id).second) {
+  // Dedup: the delivered bit on the live transfer slot, or -- when the
+  // slot is already recycled (settled/abandoned with a copy still in
+  // flight) -- the bounded orphan window.
+  bool fresh;
+  if (Transfer* t = live_transfer(msg.transfer_slot, msg.transfer_id)) {
+    fresh = !t->delivered;
+    t->delivered = true;
+  } else {
+    fresh = orphans_.insert(msg.transfer_id, msg.dst);
+  }
+  if (!fresh) {
     ++stats_.duplicates;
     if (recording()) {
       recorder_->record(msg.dst, queue_.now(), obs::FlightEvent::kDuplicate,
                         msg.type, msg.src, msg.version, msg.epoch);
     }
+    recycle_payload(std::move(msg.entries));
     return;
   }
   ++stats_.delivered;
@@ -341,44 +514,44 @@ void Network::receive(Message msg) {
                       msg.type, msg.src, msg.version, msg.epoch);
   }
   if (sink_) sink_(msg);
+  recycle_payload(std::move(msg.entries));
 }
 
-void Network::arm_timer(std::uint64_t transfer_id) {
-  const auto it = pending_.find(transfer_id);
-  VORONET_DCHECK(it != pending_.end());
-  const double timeout = backoff_timeout(transfer_id, it->second.attempts);
-  it->second.timer =
-      queue_.schedule_timer(timeout, [this, transfer_id] {
-        on_timeout(transfer_id);
-      });
+void Network::arm_timer(std::uint32_t slot) {
+  Transfer& t = transfers_[slot];
+  VORONET_DCHECK(t.id != 0);
+  const double timeout = backoff_timeout(t.id, t.attempts);
+  const std::uint64_t id = t.id;
+  t.timer = queue_.schedule_timer(timeout, [this, slot, id] {
+    on_timeout(slot, id);
+  });
 }
 
-void Network::on_timeout(std::uint64_t transfer_id) {
-  const auto it = pending_.find(transfer_id);
-  if (it == pending_.end()) return;  // acknowledged in the meantime
-  Pending& p = it->second;
+void Network::on_timeout(std::uint32_t slot, std::uint64_t transfer_id) {
+  Transfer* t = live_transfer(slot, transfer_id);
+  if (t == nullptr) return;  // acknowledged in the meantime
   // Give up when either endpoint crashed -- a crash-stop sender can never
   // resend, so its unacked transfers die with it -- or the retry cap hit.
   const bool give_up =
-      crashed_.count(p.msg.dst) != 0 || crashed_.count(p.msg.src) != 0 ||
-      (config_.max_retries > 0 && p.attempts > config_.max_retries);
+      crashed(t->msg.dst) || crashed(t->msg.src) ||
+      (config_.max_retries > 0 && t->attempts > config_.max_retries);
   if (give_up) {
-    abandon_transfer(it);
+    abandon_transfer(slot);
     return;
   }
-  ++p.attempts;
+  ++t->attempts;
   ++stats_.retransmits;
-  if (tracing() && p.span != obs::kNoSpan) {
+  if (tracing() && t->span != obs::kNoSpan) {
     const obs::SpanId i = tracer_->instant(queue_.now(), "retransmit",
-                                           p.msg.src, p.span);
-    tracer_->arg(i, "attempt", p.attempts);
+                                           t->msg.src, t->span);
+    tracer_->arg(i, "attempt", t->attempts);
   }
   if (recording()) {
-    recorder_->record(p.msg.src, queue_.now(), obs::FlightEvent::kRetransmit,
-                      p.msg.type, p.msg.dst, p.msg.version, p.msg.epoch);
+    recorder_->record(t->msg.src, queue_.now(), obs::FlightEvent::kRetransmit,
+                      t->msg.type, t->msg.dst, t->msg.version, t->msg.epoch);
   }
-  transmit(p.msg);
-  arm_timer(transfer_id);
+  transmit(t->msg);
+  arm_timer(slot);
 }
 
 }  // namespace voronet::protocol

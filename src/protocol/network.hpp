@@ -7,17 +7,25 @@
 // receiving side acknowledges, the sender retransmits on a cancellable
 // timeout until acknowledged (or until the destination is observed
 // crashed / the retry cap is hit).  Duplicate arrivals -- retransmission
-// after a lost ack -- are suppressed by per-receiver transfer-id
-// de-duplication (pruned when the transfer settles, so the table is
-// bounded by the in-flight count; a retransmission already in flight at
-// settle time can occasionally slip through, which the idempotent node
-// layer absorbs).  Counters record the real wire traffic.
+// after a lost ack -- are suppressed by per-transfer de-duplication: a
+// delivered bit on the transfer's slot while the transfer is pending,
+// plus a small bounded window for arrivals that outlive their slot (a
+// retransmission still in flight at settle time can occasionally slip
+// through, which the idempotent node layer absorbs).  Counters record
+// the real wire traffic.
+//
+// Storage (DESIGN.md, "Memory layout & arenas"): reliable transfers
+// live in a slot vector with free-list recycling -- the slot index
+// travels in Message::transfer_slot so acks and timers resolve their
+// transfer without a hash lookup, while the monotone transfer_id stays
+// the identity (slot occupancy is generation-checked against it).
+// Settled payload vectors are recycled through an explicit pool
+// (draft()), and the crashed/stalled marks are dense per-node bitmaps.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -83,12 +91,24 @@ class Network {
   /// Returns true when the src -> dst link is up (partition injection).
   using LinkFilter = std::function<bool(NodeId, NodeId)>;
 
+  /// Dedup-window capacity: arrivals whose transfer slot is already
+  /// recycled (late duplicates past settle/abandon) are remembered in a
+  /// FIFO window of this many (transfer, dst) pairs, so the dedup state
+  /// is bounded by in_flight() + this constant instead of growing with
+  /// node lifetime.
+  static constexpr std::size_t kOrphanDedupCapacity = 512;
+
   Network(sim::EventQueue& queue, const NetworkConfig& config);
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
   void set_abandon_handler(AbandonHandler handler) {
     abandon_ = std::move(handler);
   }
+
+  /// A blank message whose payload vector comes from the retired-payload
+  /// pool (capacity recycled from settled transfers).  Purely an
+  /// allocation shortcut -- send() accepts any Message.
+  [[nodiscard]] Message draft();
 
   /// Send msg.src -> msg.dst.  Reliable (ack + retransmit) for every kind
   /// except kAck.  The transfer id is assigned here.
@@ -107,10 +127,12 @@ class Network {
   /// abandoned first (through the abandon handler, with the crashed mark
   /// still set): a predecessor-era retransmission must never deliver
   /// stale content to the brand-new endpoint, and a dead sender's
-  /// transfers must not come back to life with the recycled id.
+  /// transfers must not come back to life with the recycled id.  The
+  /// predecessor's dedup window entries and flight-recorder ring are
+  /// dropped too -- a recycled id inherits nothing.
   void revive(NodeId node);
   [[nodiscard]] bool crashed(NodeId node) const {
-    return crashed_.count(node) != 0;
+    return flag(crashed_, node);
   }
 
   // --- Gray failures -------------------------------------------------------
@@ -127,7 +149,7 @@ class Network {
   /// Resume every stalled node (scenario kResume).
   void resume_all();
   [[nodiscard]] bool stalled(NodeId node) const {
-    return stalled_.count(node) != 0;
+    return flag(stalled_, node);
   }
 
   /// Degradation windows (scenario kLossBurst / kLatencySpike /
@@ -149,13 +171,26 @@ class Network {
   void clear_link_filter() { link_up_ = nullptr; }
 
   /// Reliable transfers still awaiting acknowledgement.
-  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
   /// Messages parked at stalled nodes (the sampler's backlog gauge).
   [[nodiscard]] std::size_t stalled_backlog() const {
-    std::size_t n = 0;
-    for (const auto& [node, backlog] : stall_backlog_) n += backlog.size();
-    return n;
+    return backlog_count_;
   }
+
+  /// Dedup records currently held: delivered bits on live transfer slots
+  /// plus the orphan window.  Bounded by in_flight() +
+  /// kOrphanDedupCapacity by construction (the regression test asserts
+  /// it across a long churn run).
+  [[nodiscard]] std::size_t dedup_entries() const;
+  /// Orphan-window occupancy alone (late-duplicate records).
+  [[nodiscard]] std::size_t dedup_window_size() const {
+    return orphans_.size();
+  }
+
+  /// Transport-owned bytes: transfer slots (including pooled payload
+  /// capacity), the payload pool, per-node bitmaps, backlogs and the
+  /// dedup window.  For the bytes-per-node decomposition of bench_scale.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   // --- Observability (obs::Tracer / obs::FlightRecorder) ------------------
   //
@@ -175,11 +210,37 @@ class Network {
   [[nodiscard]] double retransmit_timeout() const { return rto_; }
 
  private:
-  struct Pending {
+  /// One reliable-transfer slot.  id == 0 marks a free slot (real
+  /// transfer ids start at 1); the slot's Message keeps its payload
+  /// vector across occupancies, so steady-state traffic allocates
+  /// nothing here.
+  struct Transfer {
     Message msg;
+    std::uint64_t id = 0;  ///< occupancy check: matches msg.transfer_id
     std::size_t attempts = 1;
     sim::TimerId timer = sim::kNoTimer;
     obs::SpanId span = obs::kNoSpan;  ///< transfer span while tracing
+    bool delivered = false;           ///< receiver-side dedup bit
+  };
+
+  /// Bounded FIFO of dedup records for transfers whose slot is gone
+  /// (late duplicates after settle/abandon).  Almost always empty, so
+  /// the linear scans below are on a cold path.
+  struct OrphanWindow {
+    struct Rec {
+      std::uint64_t transfer_id = 0;  ///< 0 = vacant
+      NodeId dst = kNoNode;
+    };
+    std::vector<Rec> ring;
+    std::size_t next = 0;   ///< FIFO overwrite cursor
+    std::size_t count = 0;  ///< live records
+
+    [[nodiscard]] bool empty() const { return count == 0; }
+    [[nodiscard]] std::size_t size() const { return count; }
+    /// False when the transfer is already recorded (duplicate arrival).
+    bool insert(std::uint64_t transfer_id, NodeId dst);
+    void erase(std::uint64_t transfer_id);
+    void erase_dst(NodeId dst);
   };
 
   [[nodiscard]] bool tracing() const {
@@ -188,6 +249,25 @@ class Network {
   [[nodiscard]] bool recording() const {
     return recorder_ != nullptr && recorder_->enabled();
   }
+
+  [[nodiscard]] static bool flag(const std::vector<std::uint8_t>& flags,
+                                 NodeId node) {
+    return node >= 0 && static_cast<std::size_t>(node) < flags.size() &&
+           flags[static_cast<std::size_t>(node)] != 0;
+  }
+  static void set_flag(std::vector<std::uint8_t>& flags, NodeId node,
+                       bool on);
+
+  /// The transfer slot for (slot, transfer_id), or nullptr when the slot
+  /// has been recycled since (generation check).
+  [[nodiscard]] Transfer* live_transfer(std::uint32_t slot,
+                                        std::uint64_t transfer_id);
+  std::uint32_t alloc_slot();
+  /// Release the slot: retire its payload to the pool, push it on the
+  /// free list.  The timer must already be settled or cancelled.
+  void free_slot(std::uint32_t slot);
+  /// Return a payload vector's capacity to the draft pool.
+  void recycle_payload(std::vector<ViewEntry>&& entries);
 
   /// One wire attempt: count it, lose it or schedule its arrival.
   void transmit(const Message& msg);
@@ -200,13 +280,11 @@ class Network {
   [[nodiscard]] double backoff_timeout(std::uint64_t transfer_id,
                                        std::size_t attempts) const;
   [[nodiscard]] double effective_drop() const;
-  void on_timeout(std::uint64_t transfer_id);
-  void arm_timer(std::uint64_t transfer_id);
-  /// Give up on a reliable transfer: erase it (the timer must already be
-  /// settled or cancelled), prune the receiver-side dedup entry, and
-  /// notify the application layer last (the handler may send afresh).
-  void abandon_transfer(
-      std::unordered_map<std::uint64_t, Pending>::iterator it);
+  void on_timeout(std::uint32_t slot, std::uint64_t transfer_id);
+  void arm_timer(std::uint32_t slot);
+  /// Give up on a reliable transfer: free its slot and notify the
+  /// application layer last (the handler may send afresh).
+  void abandon_transfer(std::uint32_t slot);
 
   sim::EventQueue& queue_;
   NetworkConfig config_;
@@ -220,16 +298,25 @@ class Network {
   sim::Metrics metrics_;
   NetworkStats stats_;
   std::uint64_t next_transfer_ = 1;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::unordered_set<NodeId> crashed_;
-  std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> seen_;
+
+  /// Transfer slot table (deque: stable addresses across growth, so a
+  /// slot reference survives allocations made by reentrant sends).
+  std::deque<Transfer> transfers_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t in_flight_ = 0;
+  OrphanWindow orphans_;
+  /// Retired payload vectors for draft() (bounded; capacity recycled).
+  std::vector<std::vector<ViewEntry>> payload_pool_;
+
+  /// Dense per-node transport marks, indexed by NodeId.
+  std::vector<std::uint8_t> crashed_;
+  std::vector<std::uint8_t> stalled_;
   LinkFilter link_up_;
 
-  // Gray-failure state.
-  std::unordered_set<NodeId> stalled_;
-  /// Arrival-ordered backlog of a stalled node (drained on resume,
-  /// discarded on crash).
-  std::unordered_map<NodeId, std::vector<Message>> stall_backlog_;
+  /// Arrival-ordered backlog of each stalled node (drained on resume,
+  /// discarded on crash), indexed by NodeId.
+  std::vector<std::vector<Message>> stall_backlog_;
+  std::size_t backlog_count_ = 0;
   /// Open degradation windows (tiny: scenarios open a handful at most).
   std::vector<double> loss_bursts_;
   std::vector<double> latency_spikes_;

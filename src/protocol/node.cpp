@@ -6,7 +6,8 @@
 
 namespace voronet::protocol {
 
-ProtocolNode::Route ProtocolNode::greedy_step(Vec2 target) const {
+ProtocolNode::Route ProtocolNode::greedy_step(Vec2 target,
+                                              const ViewArena& arena) const {
   double best = dist2(position_, target);
   NodeId next = kNoNode;
   const auto consider = [&](const ViewEntry& e) {
@@ -18,18 +19,17 @@ ProtocolNode::Route ProtocolNode::greedy_step(Vec2 target) const {
       next = e.id;
     }
   };
-  for (const ViewEntry& e : vn_) consider(e);
-  for (const ViewEntry& e : cn_) consider(e);
-  for (const ViewEntry& e : lr_) consider(e);
+  for (const ViewEntry& e : arena.view(vn_)) consider(e);
+  for (const ViewEntry& e : arena.view(cn_)) consider(e);
+  for (const ViewEntry& e : arena.view(lr_)) consider(e);
   if (next == kNoNode) return {true, kNoNode};
   return {false, next};
 }
 
-bool ProtocolNode::apply_update(const Message& m) {
-  const auto apply = [&](std::vector<ViewEntry>& component,
-                         std::uint64_t& version) {
+bool ProtocolNode::apply_update(const Message& m, ViewArena& arena) {
+  const auto apply = [&](ViewSpan& component, std::uint64_t& version) {
     if (m.version <= version) return false;
-    component = m.entries;
+    arena.assign(component, m.entries);
     version = m.version;
     return true;
   };
@@ -46,18 +46,28 @@ bool ProtocolNode::apply_update(const Message& m) {
   return false;
 }
 
-void ProtocolNode::forget_peer(NodeId peer, Vec2 peer_position) {
-  const auto drop = [&](std::vector<ViewEntry>& component) {
-    component.erase(
-        std::remove_if(component.begin(), component.end(),
-                       [&](const ViewEntry& e) {
-                         return e.id == peer && e.pos == peer_position;
-                       }),
-        component.end());
+void ProtocolNode::forget_peer(NodeId peer, Vec2 peer_position,
+                               ViewArena& arena) {
+  const auto drop = [&](ViewSpan& component) {
+    const std::span<ViewEntry> view = arena.mutate(component);
+    const auto end = std::remove_if(view.begin(), view.end(),
+                                    [&](const ViewEntry& e) {
+                                      return e.id == peer &&
+                                             e.pos == peer_position;
+                                    });
+    arena.shrink(component,
+                 static_cast<std::size_t>(end - view.begin()));
   };
   drop(vn_);
   drop(cn_);
   drop(lr_);
+}
+
+void ProtocolNode::release(ViewArena& arena) {
+  arena.release(vn_);
+  arena.release(cn_);
+  arena.release(lr_);
+  vn_version_ = cn_version_ = lr_version_ = 0;
 }
 
 }  // namespace voronet::protocol

@@ -11,17 +11,26 @@
 // version exceeds the component's last applied one, which makes updates
 // idempotent under transport-level retransmission and safe under the
 // reordering a random latency model produces.
+//
+// Storage: the three components are ViewSpan handles into the harness's
+// shared ViewArena, not per-node heap vectors -- a node is a few dozen
+// bytes of slot-table state plus its arena spans (DESIGN.md, "Memory
+// layout & arenas").  Every accessor therefore takes the arena; the
+// node is trivially movable and never owns heap memory directly.  The
+// holder (the slot table) must call release() before discarding a node.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "protocol/message.hpp"
+#include "protocol/view_arena.hpp"
 
 namespace voronet::protocol {
 
 class ProtocolNode {
  public:
+  ProtocolNode() = default;
   ProtocolNode(NodeId id, Vec2 position) : id_(id), position_(position) {}
 
   /// Outcome of one greedy routing decision over the local view.
@@ -35,32 +44,42 @@ class ProtocolNode {
   /// closer than this node (positions in view entries are exact and
   /// immutable, so the distance decreases strictly along a forwarding
   /// chain and protocol routing cannot cycle, however stale the views).
-  [[nodiscard]] Route greedy_step(Vec2 target) const;
+  [[nodiscard]] Route greedy_step(Vec2 target, const ViewArena& arena) const;
 
   /// Apply a view-update message (kVoronoiUpdate / kCloseNeighbor /
   /// kLongLinkBind).  Returns true when the update advanced the view,
   /// false when it was stale or a duplicate.
-  bool apply_update(const Message& m);
+  bool apply_update(const Message& m, ViewArena& arena);
 
   /// Departure notification: drop entries matching the departed peer
   /// (id AND position -- ids are recycled, positions are not).
-  void forget_peer(NodeId peer, Vec2 peer_position);
+  void forget_peer(NodeId peer, Vec2 peer_position, ViewArena& arena);
+
+  /// Return every span to the arena (the slot table calls this when the
+  /// node deregisters; a recycled slot must inherit nothing).
+  void release(ViewArena& arena);
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] Vec2 position() const { return position_; }
-  [[nodiscard]] const std::vector<ViewEntry>& vn() const { return vn_; }
-  [[nodiscard]] const std::vector<ViewEntry>& cn() const { return cn_; }
-  [[nodiscard]] const std::vector<ViewEntry>& lr() const { return lr_; }
+  [[nodiscard]] std::span<const ViewEntry> vn(const ViewArena& a) const {
+    return a.view(vn_);
+  }
+  [[nodiscard]] std::span<const ViewEntry> cn(const ViewArena& a) const {
+    return a.view(cn_);
+  }
+  [[nodiscard]] std::span<const ViewEntry> lr(const ViewArena& a) const {
+    return a.view(lr_);
+  }
   [[nodiscard]] std::size_t degree() const {
-    return vn_.size() + cn_.size() + lr_.size();
+    return std::size_t{vn_.len} + cn_.len + lr_.len;
   }
 
  private:
-  NodeId id_;
-  Vec2 position_;
-  std::vector<ViewEntry> vn_;  ///< sorted by id (authority sends sorted)
-  std::vector<ViewEntry> cn_;  ///< sorted by id
-  std::vector<ViewEntry> lr_;  ///< in link-index order
+  NodeId id_ = kNoNode;
+  Vec2 position_{};
+  ViewSpan vn_;  ///< sorted by id (authority sends sorted)
+  ViewSpan cn_;  ///< sorted by id
+  ViewSpan lr_;  ///< in link-index order
   std::uint64_t vn_version_ = 0;
   std::uint64_t cn_version_ = 0;
   std::uint64_t lr_version_ = 0;

@@ -1,0 +1,141 @@
+// Shared arena for view-entry spans.
+//
+// Every ProtocolNode view component (vn / cn / lr) and every sent-state
+// cache line used to be its own heap vector: three to six allocations
+// per node, scattered across the heap, each carrying malloc headers and
+// unused capacity.  At the million-node scale ROADMAP item 1 targets,
+// that is the dominant per-node cost.  The arena replaces them with
+// spans into one contiguous store:
+//
+//   * allocation is by power-of-two size class with a per-class free
+//     list, so a span's storage is recycled in O(1) when a node departs
+//     or a view shrinks past its class;
+//   * handles are (offset, length, class) triples -- the store may grow
+//     (vector reallocation), so spans are resolved through the arena on
+//     every access and raw pointers are never retained across an
+//     assign();
+//   * a span whose content fits its current class is rewritten in
+//     place: the steady-state view update (same neighbour count, new
+//     content) allocates nothing.
+//
+// Ownership rule: the arena does not track owners.  Whoever holds a
+// ViewSpan must release() it exactly once (ProtocolHarness's slot table
+// does this when a node deregisters).  Nothing here affects replay
+// determinism -- the arena is pure storage; iteration order over any
+// view is the span's element order, which is the order the content was
+// written in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "protocol/message.hpp"
+
+namespace voronet::protocol {
+
+/// Handle to a ViewEntry span in a ViewArena.  Value-semantic and
+/// trivially copyable; default-constructed = empty, no storage.
+struct ViewSpan {
+  static constexpr std::uint8_t kNullClass = 0xff;
+
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+  std::uint8_t cls = kNullClass;  ///< capacity = 1 << cls; kNullClass = none
+
+  [[nodiscard]] bool allocated() const { return cls != kNullClass; }
+  [[nodiscard]] std::uint32_t capacity() const {
+    return allocated() ? (1u << cls) : 0u;
+  }
+};
+
+class ViewArena {
+ public:
+  [[nodiscard]] std::span<const ViewEntry> view(ViewSpan s) const {
+    return {store_.data() + s.off, s.len};
+  }
+  /// Mutable access for in-place edits (forget_peer); pair with
+  /// shrink() when elements are removed.
+  [[nodiscard]] std::span<ViewEntry> mutate(ViewSpan s) {
+    return {store_.data() + s.off, s.len};
+  }
+
+  /// Replace the span's content.  Reuses the span's storage when the new
+  /// length fits its size class, otherwise releases it and claims a
+  /// free-listed (or fresh) block of the right class.
+  void assign(ViewSpan& s, const ViewEntry* data, std::size_t n) {
+    if (n == 0) {
+      release(s);
+      return;
+    }
+    const std::uint8_t cls = size_class(n);
+    if (!s.allocated() || s.cls != cls) {
+      release(s);
+      s.off = acquire(cls);
+      s.cls = cls;
+    }
+    live_ += n;
+    live_ -= s.len;
+    s.len = static_cast<std::uint32_t>(n);
+    std::copy(data, data + n, store_.begin() + s.off);
+  }
+  void assign(ViewSpan& s, const std::vector<ViewEntry>& v) {
+    assign(s, v.data(), v.size());
+  }
+
+  /// Drop trailing elements after an in-place removal; the storage class
+  /// is kept (a shrunken view usually regrows to the same degree).
+  void shrink(ViewSpan& s, std::size_t new_len) {
+    VORONET_DCHECK(new_len <= s.len);
+    live_ -= s.len - new_len;
+    s.len = static_cast<std::uint32_t>(new_len);
+    if (s.len == 0) release(s);
+  }
+
+  /// Return the span's storage to its class free list.
+  void release(ViewSpan& s) {
+    if (s.allocated()) {
+      free_[s.cls].push_back(s.off);
+      live_ -= s.len;
+    }
+    s = ViewSpan{};
+  }
+
+  /// Entries currently referenced by live spans.
+  [[nodiscard]] std::size_t live_entries() const { return live_; }
+  /// Bytes held by the arena (store + free lists).
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t b = store_.capacity() * sizeof(ViewEntry);
+    for (const auto& f : free_) b += f.capacity() * sizeof(std::uint32_t);
+    return b;
+  }
+
+ private:
+  static constexpr std::size_t kClasses = 24;  // spans up to 2^23 entries
+
+  [[nodiscard]] static std::uint8_t size_class(std::size_t n) {
+    std::uint8_t cls = 2;  // minimum block: 4 entries
+    while ((std::size_t{1} << cls) < n) ++cls;
+    VORONET_EXPECT(cls < kClasses, "view span too large for the arena");
+    return cls;
+  }
+
+  [[nodiscard]] std::uint32_t acquire(std::uint8_t cls) {
+    auto& freelist = free_[cls];
+    if (!freelist.empty()) {
+      const std::uint32_t off = freelist.back();
+      freelist.pop_back();
+      return off;
+    }
+    const std::size_t off = store_.size();
+    store_.resize(off + (std::size_t{1} << cls));
+    return static_cast<std::uint32_t>(off);
+  }
+
+  std::vector<ViewEntry> store_;
+  std::vector<std::uint32_t> free_[kClasses];
+  std::size_t live_ = 0;
+};
+
+}  // namespace voronet::protocol

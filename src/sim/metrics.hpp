@@ -39,6 +39,19 @@ enum class MessageKind : std::uint8_t {
 inline constexpr std::size_t kMessageKindCount =
     static_cast<std::size_t>(MessageKind::kCount);
 
+// Metrics stores one counter per kind in a fixed std::array indexed by
+// the enum (count_message is a single array add: no hashing, no
+// allocation, hot at bench_scale's message rates).  That layout is only
+// sound while the enum stays closed and 0-based with kCount last; the
+// assert makes adding a kind a conscious two-line change (enumerator +
+// name) instead of a silent out-of-bounds index.  The metrics JSON keys
+// are the enum names in declaration order, so reordering enumerators is
+// a report-format change -- append instead.
+static_assert(kMessageKindCount == 13,
+              "MessageKind changed: update message_kind_name() and this "
+              "count, and append (never reorder) to keep report keys "
+              "stable");
+
 [[nodiscard]] constexpr std::string_view message_kind_name(MessageKind k) {
   switch (k) {
     case MessageKind::kRouteForward:

@@ -1,0 +1,253 @@
+// Memory-layout regression tests for the million-object refactor
+// (DESIGN.md, "Memory layout & arenas").
+//
+// Three properties hold the refactor together:
+//   * transport dedup state is BOUNDED by in_flight() + a constant,
+//     whatever the churn (the old per-receiver seen_ sets grew with node
+//     lifetime);
+//   * a recycled NodeId is a brand-new endpoint: the slot inherits no
+//     predecessor views, no dedup state, no flight-recorder ring;
+//   * the layout change is pure layout: every committed scenario and
+//     regression replays BYTE-IDENTICAL to the golden reports captured
+//     before the refactor (scenarios/golden/).
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "protocol/flat_map.hpp"
+#include "protocol/harness.hpp"
+#include "protocol/view_arena.hpp"
+#include "scenario/runner.hpp"
+#include "workload/distributions.hpp"
+
+namespace voronet::protocol {
+namespace {
+
+HarnessConfig lossy_config() {
+  HarnessConfig config;
+  config.overlay.n_max = 4096;
+  config.overlay.seed = 41;
+  config.network.seed = 42;
+  config.network.latency = LatencyModel::uniform(0.005, 0.05);
+  config.network.drop_probability = 0.15;  // retransmits -> duplicates
+  return config;
+}
+
+void drain(ProtocolHarness& h, std::size_t* events = nullptr) {
+  const auto run = h.run_to_idle();
+  ASSERT_FALSE(run.budget_exhausted);
+  if (events != nullptr) *events += run.processed;
+}
+
+TEST(ScaleInvariants, TransportDedupStaysBoundedUnderChurn) {
+  // A >=10k-event churn run under 15% loss: every batch boundary must
+  // satisfy dedup_entries() <= in_flight() + kOrphanDedupCapacity.  The
+  // pre-refactor transport kept one hash set of seen transfer ids per
+  // receiver FOREVER (dedup state grew with node lifetime and survived
+  // departures); the bound is what makes a week-long run flat.
+  ProtocolHarness h(lossy_config());
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  Rng rng(43);
+  std::size_t events = 0;
+  const auto check_bound = [&] {
+    EXPECT_LE(h.network().dedup_entries(),
+              h.network().in_flight() + Network::kOrphanDedupCapacity);
+  };
+  for (std::size_t i = 0; i < 120; ++i) {
+    h.join_after(0.01 * static_cast<double>(i), gen.next(rng));
+  }
+  drain(h, &events);
+  check_bound();
+  for (int batch = 0; batch < 14; ++batch) {
+    for (int i = 0; i < 8; ++i) {
+      h.join_after(0.01 * i, gen.next(rng));
+      h.leave_after(0.02 * i, h.random_node(rng));
+    }
+    h.crash(h.random_node(rng));
+    drain(h, &events);
+    check_bound();
+    // At idle nothing is in flight, so the dedup state is down to the
+    // bounded orphan window alone.
+    EXPECT_EQ(h.network().in_flight(), 0u);
+    EXPECT_LE(h.network().dedup_window_size(),
+              Network::kOrphanDedupCapacity);
+  }
+  EXPECT_GE(events, 10000u) << "churn run too small to exercise dedup";
+  EXPECT_GT(h.network().stats().duplicates, 0u)
+      << "no duplicate arrivals: the dedup path was never exercised";
+  EXPECT_TRUE(h.verify_views().converged());
+}
+
+TEST(ScaleInvariants, RecycledSlotInheritsNothing) {
+  // Crash a node, then grow until the ground truth hands its vertex id
+  // to a NEW object: the slot must come back as a fresh occupancy --
+  // bumped generation, the new position, views that converge to the new
+  // node's authority -- and the flight-recorder ring must not open with
+  // the predecessor's last moments.
+  HarnessConfig config;
+  config.overlay.n_max = 4096;
+  config.overlay.seed = 51;
+  config.network.seed = 52;
+  ProtocolHarness h(config);
+  h.recorder().enable(64);
+  workload::PointGenerator gen(workload::DistributionConfig::uniform());
+  Rng rng(53);
+  for (int i = 0; i < 40; ++i) h.join(gen.next(rng));
+  drain(h);
+
+  const NodeId victim = h.random_node(rng);
+  const Vec2 old_pos = h.node(victim).position();
+  const std::uint32_t old_generation = h.slot_generation(victim);
+  h.crash(victim);
+  drain(h);
+  ASSERT_EQ(h.node_count(), 39u);
+
+  // The recorder saw the victim's crash; remember it so the reset check
+  // below is not vacuous.
+  const auto crash_events_of = [&](NodeId node) {
+    std::size_t n = 0;
+    const Json doc = h.recorder().to_json();
+    for (const auto& [row_key, row] : doc.at("nodes").children()) {
+      if (row.at("node").as_int() != node) continue;
+      for (const auto& [ev_key, ev] : row.at("events").children()) {
+        if (ev.at("event").as_string() == "crash") ++n;
+      }
+    }
+    return n;
+  };
+  ASSERT_GE(crash_events_of(victim), 1u);
+
+  // Grow until the victim's id is recycled (the tessellation free-lists
+  // vertex ids, so this happens within a handful of joins).
+  NodeId recycled = kNoNode;
+  for (int i = 0; i < 50 && recycled == kNoNode; ++i) {
+    h.join(gen.next(rng));
+    drain(h);
+    if (h.slot_generation(victim) != old_generation) recycled = victim;
+  }
+  ASSERT_EQ(recycled, victim) << "vertex id was never recycled";
+
+  EXPECT_EQ(h.slot_generation(victim), old_generation + 1);
+  EXPECT_NE(h.node(victim).position(), old_pos)
+      << "recycled id kept the predecessor's position";
+  // The predecessor's ring died with it: the recycled endpoint's ring
+  // holds only new-era events.
+  EXPECT_EQ(crash_events_of(victim), 0u)
+      << "flight ring survived the recycle";
+  // And the fresh occupancy's views converge like any other node's.
+  EXPECT_TRUE(h.verify_views().converged());
+}
+
+TEST(ScaleInvariants, ViewArenaRecyclesStorage) {
+  ViewArena arena;
+  ViewSpan a;
+  std::vector<ViewEntry> four = {
+      {1, {0.1, 0.1}}, {2, {0.2, 0.2}}, {3, {0.3, 0.3}}, {4, {0.4, 0.4}}};
+  arena.assign(a, four);
+  EXPECT_EQ(arena.live_entries(), 4u);
+  const std::uint32_t off = a.off;
+
+  // Same size class: rewritten in place, no new storage.
+  std::vector<ViewEntry> three = {{5, {0.5, 0.5}}, {6, {0.6, 0.6}},
+                                  {7, {0.7, 0.7}}};
+  arena.assign(a, three);
+  EXPECT_EQ(a.off, off);
+  EXPECT_EQ(arena.live_entries(), 3u);
+  ASSERT_EQ(arena.view(a).size(), 3u);
+  EXPECT_EQ(arena.view(a)[0].id, 5);
+
+  // Released storage is recycled for the next same-class span.
+  arena.release(a);
+  EXPECT_FALSE(a.allocated());
+  EXPECT_EQ(arena.live_entries(), 0u);
+  ViewSpan b;
+  arena.assign(b, four);
+  EXPECT_EQ(b.off, off) << "free-listed block was not reused";
+
+  // Growing past the class moves to a bigger block; shrink keeps the
+  // class, shrink-to-zero releases.
+  std::vector<ViewEntry> six(6, ViewEntry{9, {0.9, 0.9}});
+  arena.assign(b, six);
+  EXPECT_EQ(b.capacity(), 8u);
+  arena.shrink(b, 2);
+  EXPECT_EQ(arena.view(b).size(), 2u);
+  EXPECT_EQ(b.capacity(), 8u);
+  arena.shrink(b, 0);
+  EXPECT_FALSE(b.allocated());
+}
+
+TEST(ScaleInvariants, FlatNodeMapFindsWhatItInserted) {
+  FlatNodeMap<std::uint32_t> map;
+  EXPECT_EQ(map.find(7), nullptr);
+  for (NodeId id = 0; id < 200; id += 2) {
+    map.insert(id, static_cast<std::uint32_t>(id * 10));
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (NodeId id = 0; id < 200; ++id) {
+    const std::uint32_t* v = map.find(id);
+    if (id % 2 == 0) {
+      ASSERT_NE(v, nullptr) << id;
+      EXPECT_EQ(*v, static_cast<std::uint32_t>(id * 10));
+    } else {
+      EXPECT_EQ(v, nullptr) << id;
+    }
+  }
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(0), nullptr);
+}
+
+}  // namespace
+}  // namespace voronet::protocol
+
+namespace voronet::scenario {
+namespace {
+
+TEST(GoldenReports, CommittedScenariosReplayByteIdentical) {
+  // The goldens in scenarios/golden/ are the report JSONs of every
+  // committed scenario and regression, captured BEFORE the SoA/arena
+  // refactor.  Byte-equality here proves the refactor changed the memory
+  // layout and nothing else: same events, same message counts, same
+  // query verdicts, same windowed series, digit for digit.
+  std::size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(VORONET_SCENARIO_DIR) + "/golden")) {
+    if (!entry.path().string().ends_with(".report.json")) continue;
+    const std::string name =
+        entry.path().filename().string().substr(
+            0, entry.path().filename().string().size() -
+                   std::string(".report.json").size());
+    std::string scenario_path =
+        std::string(VORONET_SCENARIO_DIR) + "/" + name + ".json";
+    if (!std::filesystem::exists(scenario_path)) {
+      scenario_path = std::string(VORONET_SCENARIO_DIR) + "/regressions/" +
+                      name + ".json";
+    }
+    ASSERT_TRUE(std::filesystem::exists(scenario_path))
+        << "golden " << entry.path() << " has no scenario timeline";
+    SCOPED_TRACE(scenario_path);
+
+    const Scenario s = load_scenario(scenario_path);
+    const Report rep = run_scenario(s);
+    // Serialize exactly as scenario_runner --json does (write + newline).
+    std::ostringstream got;
+    rep.to_json().write(got);
+    got << '\n';
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << "cannot read golden " << entry.path();
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got.str(), want.str())
+        << "replay diverged from the pre-refactor golden";
+    ++checked;
+  }
+  EXPECT_GE(checked, 7u) << "expected the committed golden corpus";
+}
+
+}  // namespace
+}  // namespace voronet::scenario

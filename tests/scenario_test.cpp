@@ -28,7 +28,10 @@ std::vector<std::string> committed_scenarios() {
   std::vector<std::string> files;
   for (const auto& entry :
        std::filesystem::recursive_directory_iterator(VORONET_SCENARIO_DIR)) {
-    if (entry.path().extension() == ".json") {
+    // scenarios/golden/ holds *report* JSON (the layout-equivalence
+    // baselines), not scenario timelines.
+    if (entry.path().extension() == ".json" &&
+        !entry.path().string().ends_with(".report.json")) {
       files.push_back(entry.path().string());
     }
   }
