@@ -5,6 +5,8 @@
 
 #include "common/expect.hpp"
 #include "geometry/voronoi.hpp"
+#include "protocol/sim_transport.hpp"
+#include "protocol/thread_transport.hpp"
 #include "voronet/queries.hpp"
 
 namespace voronet::protocol {
@@ -17,18 +19,26 @@ bool same_entries(std::span<const ViewEntry> a,
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
 }
 
+std::unique_ptr<Transport> make_transport(const HarnessConfig& config) {
+  if (config.transport == TransportKind::kThread) {
+    return std::make_unique<ThreadTransport>(config.network,
+                                             config.transport_shards);
+  }
+  return std::make_unique<SimTransport>(config.network);
+}
+
 }  // namespace
 
 ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
     : config_(config),
       overlay_(config.overlay),
-      net_(queue_, config.network),
+      net_(make_transport(config)),
       rng_(config.seed) {
   overlay_.track_view_changes(true);
-  net_.set_tracer(&tracer_);
-  net_.set_recorder(&recorder_);
-  net_.set_sink([this](const Message& m) { deliver(m); });
-  net_.set_abandon_handler([this](const Message& m) { on_abandon(m); });
+  net_->set_tracer(&tracer_);
+  net_->set_recorder(&recorder_);
+  net_->set_sink([this](const Message& m) { deliver(m); });
+  net_->set_abandon_handler([this](const Message& m) { on_abandon(m); });
   // Echo-deadline period: long enough that a healthy (merely slow) flood
   // is never declared dead -- several RTOs / tail latencies -- and at
   // least the failure-detection delay, so the sweep observes repairs the
@@ -36,10 +46,17 @@ ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
   query_deadline_ =
       config.query_deadline > 0.0
           ? config.query_deadline
-          : std::max({4.0 * net_.retransmit_timeout(),
+          : std::max({4.0 * net_->retransmit_timeout(),
                       8.0 * config.network.latency.high_quantile(),
                       config.failure_detect_delay}) +
                 0.05;
+}
+
+sim::EventQueue& ProtocolHarness::queue() {
+  auto* sim = dynamic_cast<SimTransport*>(net_.get());
+  VORONET_EXPECT(sim != nullptr,
+                 "queue() is sim-only: this harness runs the thread backend");
+  return sim->queue();
 }
 
 // ---------------------------------------------------------------------------
@@ -48,14 +65,14 @@ ProtocolHarness::ProtocolHarness(const HarnessConfig& config)
 
 void ProtocolHarness::join_after(double delay, Vec2 p) {
   ++pending_joins_;
-  queue_.schedule(delay, [this, p] { start_join(p); });
+  net_->schedule(delay, [this, p] { start_join(p); });
 }
 
 void ProtocolHarness::start_join(Vec2 p) {
   const std::uint64_t join_id = ++join_seq_;
   obs::SpanId span = obs::kNoSpan;
   if (tracer_.enabled()) {
-    span = tracer_.begin_span(queue_.now(), "join", -1);
+    span = tracer_.begin_span(net_->now(), "join", -1);
     tracer_.arg(span, "join", join_id);
   }
   active_joins_.emplace(join_id, span);
@@ -76,20 +93,20 @@ void ProtocolHarness::start_join(Vec2 p) {
   m.point = p;
   m.version = join_id;
   m.span = span;
-  net_.send(std::move(m));
+  net_->send(std::move(m));
 }
 
 void ProtocolHarness::leave_after(double delay, NodeId x) {
-  queue_.schedule(delay, [this, x] { execute_leave(x); });
+  net_->schedule(delay, [this, x] { execute_leave(x); });
 }
 
 void ProtocolHarness::crash(NodeId x) {
-  queue_.schedule(0.0, [this, x] {
+  net_->schedule(0.0, [this, x] {
     if (!alive(x)) return;
     // Remember who should notice: the ground-truth Voronoi neighbours are
     // the nodes whose cells border the hole the crash leaves.
     const std::vector<NodeId> witnesses = overlay_.view(x).vn;
-    net_.crash(x);
+    net_->crash(x);
     deregister_node(x);
     // Ground-truth repair happens NOW (the overlay supports further
     // operations only with its invariants restored -- the usual
@@ -102,7 +119,7 @@ void ProtocolHarness::crash(NodeId x) {
     overlay_.repair_dangling();
     invalidate_region_caches();
     ++repairs_pending_;
-    queue_.schedule(config_.failure_detect_delay, [this, witnesses] {
+    net_->schedule(config_.failure_detect_delay, [this, witnesses] {
       VORONET_DCHECK(repairs_pending_ > 0);
       --repairs_pending_;
       if (roster_.empty()) {
@@ -147,7 +164,7 @@ void ProtocolHarness::deliver(const Message& m) {
     case sim::MessageKind::kLongLinkBind: {
       if (!alive(m.dst)) return;  // addressee departed in flight
       if (slot(m.dst).node.apply_update(m, arena_)) {
-        last_apply_time_ = queue_.now();
+        last_apply_time_ = net_->now();
       }
       return;
     }
@@ -165,7 +182,7 @@ void ProtocolHarness::reroute_join(const Message& m) {
   if (j == active_joins_.end()) return;  // chain already done
   const obs::SpanId span = j->second;
   if (tracer_.enabled()) {
-    tracer_.instant(queue_.now(), "join_reroute", -1, span);
+    tracer_.instant(net_->now(), "join_reroute", -1, span);
   }
   if (roster_.empty()) {
     // Nobody left to route through: self-sponsor into the empty net.
@@ -181,7 +198,7 @@ void ProtocolHarness::reroute_join(const Message& m) {
   retry.hops = m.hops + 1;
   retry.version = m.version;
   retry.span = span;
-  net_.send(std::move(retry));
+  net_->send(std::move(retry));
 }
 
 void ProtocolHarness::on_abandon(const Message& m) {
@@ -241,11 +258,11 @@ void ProtocolHarness::on_abandon(const Message& m) {
       // sends.  Retry-cap abandonments with a live sender stay
       // best-effort (re-shipping there would loop under a permanent
       // partition).
-      if (!net_.crashed(m.src) || roster_.empty() || !alive(m.dst)) {
+      if (!net_->crashed(m.src) || roster_.empty() || !alive(m.dst)) {
         return;
       }
       ++op_seq_;
-      Message fresh = net_.draft();
+      Message fresh = net_->draft();
       fresh.type = m.type;
       fresh.src = roster_[rng_.index(roster_.size())];
       fresh.dst = m.dst;
@@ -264,7 +281,7 @@ void ProtocolHarness::on_abandon(const Message& m) {
         arena_.assign(sent.lr, fresh.entries);
         sent.lr_known = true;
       }
-      net_.send(std::move(fresh));
+      net_->send(std::move(fresh));
       return;
     }
     default:
@@ -291,7 +308,7 @@ void ProtocolHarness::handle_route(const Message& m) {
   const bool expired = m.hops > roster_.size() + 16;
   if (tracer_.enabled()) {
     const obs::SpanId hop =
-        tracer_.instant(queue_.now(), "route_hop", m.dst, m.span);
+        tracer_.instant(net_->now(), "route_hop", m.dst, m.span);
     tracer_.arg(hop, "hops", m.hops);
   }
   if (route.terminal || expired) {
@@ -306,7 +323,7 @@ void ProtocolHarness::handle_route(const Message& m) {
   fwd.hops = m.hops + 1;
   fwd.version = m.version;
   fwd.span = m.span;
-  net_.send(std::move(fwd));
+  net_->send(std::move(fwd));
 }
 
 void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
@@ -323,7 +340,7 @@ void ProtocolHarness::sponsor_join(NodeId sponsor, Vec2 p,
   invalidate_region_caches();
   if (tracer_.enabled() && span != obs::kNoSpan) {
     tracer_.arg(span, "node", static_cast<std::uint64_t>(x));
-    tracer_.end_span(span, queue_.now());
+    tracer_.end_span(span, net_->now());
   }
   if (alive(x)) {
     // Position already taken (positions identify objects): no new node,
@@ -382,13 +399,13 @@ std::uint64_t ProtocolHarness::issue_query(NodeId from, QuerySpec spec,
   rec.spec = spec;
   query_runtime_[query_id];
   ++pending_queries_;
-  queue_.schedule(delay, [this, query_id] { start_query(query_id); });
+  net_->schedule(delay, [this, query_id] { start_query(query_id); });
   return query_id;
 }
 
 void ProtocolHarness::start_query(std::uint64_t query_id) {
   QueryRecord& rec = query_records_.at(query_id);
-  rec.issued = queue_.now();
+  rec.issued = net_->now();
   rec.epoch = 1;
   // Pin the issuer's identity: ids are recycled, so "the issuer is still
   // alive" must mean the same (id, position) pair, not just the id.
@@ -398,7 +415,7 @@ void ProtocolHarness::start_query(std::uint64_t query_id) {
     rt.issuer_pos = slot(rec.spec.issuer).node.position();
   }
   if (tracer_.enabled()) {
-    rt.root_span = tracer_.begin_span(queue_.now(), "query", rec.spec.issuer);
+    rt.root_span = tracer_.begin_span(net_->now(), "query", rec.spec.issuer);
     tracer_.arg(rt.root_span, "query", query_id);
     tracer_.arg(rt.root_span, "kind",
                 rec.spec.kind == QueryKind::kRange ? "range" : "radius");
@@ -422,7 +439,7 @@ void ProtocolHarness::begin_epoch(std::uint64_t query_id) {
   QueryRuntime& rt = query_runtime_.at(query_id);
   if (tracer_.enabled()) {
     rt.epoch_span =
-        tracer_.begin_span(queue_.now(), "epoch", entry, rt.root_span);
+        tracer_.begin_span(net_->now(), "epoch", entry, rt.root_span);
     tracer_.arg(rt.epoch_span, "epoch", rec.epoch);
     tracer_.arg(rt.epoch_span, "entry", static_cast<std::uint64_t>(entry));
   }
@@ -435,7 +452,7 @@ void ProtocolHarness::begin_epoch(std::uint64_t query_id) {
   m.epoch = rec.epoch;
   m.query = rec.spec;
   m.span = rt.epoch_span;
-  net_.send(std::move(m));
+  net_->send(std::move(m));
 }
 
 bool ProtocolHarness::epoch_current(const Message& m) const {
@@ -463,14 +480,14 @@ void ProtocolHarness::reissue_query(std::uint64_t query_id) {
   rt.reissue_pending = true;
   if (tracer_.enabled()) {
     const obs::SpanId t =
-        tracer_.instant(queue_.now(), "reissue_scheduled", -1, rt.root_span);
+        tracer_.instant(net_->now(), "reissue_scheduled", -1, rt.root_span);
     tracer_.arg(t, "epoch", it->second.epoch);
   }
   // Give the repair a chance to land first: re-entering immediately would
   // mostly re-observe the same staleness and burn an epoch for nothing.
   const double delay =
-      std::max(config_.failure_detect_delay, net_.retransmit_timeout());
-  queue_.schedule(delay, [this, query_id] {
+      std::max(config_.failure_detect_delay, net_->retransmit_timeout());
+  net_->schedule(delay, [this, query_id] {
     const auto rec = query_records_.find(query_id);
     if (rec == query_records_.end() || rec->second.done) return;
     QueryRuntime& runtime = query_runtime_.at(query_id);
@@ -479,11 +496,11 @@ void ProtocolHarness::reissue_query(std::uint64_t query_id) {
     ++rec->second.epoch;
     if (tracer_.enabled() && runtime.epoch_span != obs::kNoSpan) {
       tracer_.arg(runtime.epoch_span, "superseded", 1);
-      tracer_.end_span(runtime.epoch_span, queue_.now());
+      tracer_.end_span(runtime.epoch_span, net_->now());
       runtime.epoch_span = obs::kNoSpan;
     }
     if (recorder_.enabled()) {
-      recorder_.record(rec->second.spec.issuer, queue_.now(),
+      recorder_.record(rec->second.spec.issuer, net_->now(),
                        obs::FlightEvent::kReissue, sim::MessageKind::kQuery,
                        kNoNode, query_id, rec->second.epoch);
     }
@@ -501,7 +518,7 @@ void ProtocolHarness::arm_query_deadline(std::uint64_t query_id) {
     if (rt == query_runtime_.end() || rt->second.deadline_armed) return;
     rt->second.deadline_armed = true;
   }
-  queue_.schedule(query_deadline_, [this, query_id] {
+  net_->schedule(query_deadline_, [this, query_id] {
     const auto rec = query_records_.find(query_id);
     if (rec == query_records_.end() || rec->second.done) return;
     query_runtime_.at(query_id).deadline_armed = false;
@@ -532,7 +549,7 @@ void ProtocolHarness::reroute_query(const Message& m) {
     return;
   }
   if (tracer_.enabled()) {
-    tracer_.instant(queue_.now(), "query_reroute", -1, m.span);
+    tracer_.instant(net_->now(), "query_reroute", -1, m.span);
   }
   Message retry;
   retry.type = sim::MessageKind::kQuery;
@@ -545,7 +562,7 @@ void ProtocolHarness::reroute_query(const Message& m) {
   retry.epoch = m.epoch;
   retry.query = m.query;
   retry.span = m.span;
-  net_.send(std::move(retry));
+  net_->send(std::move(retry));
 }
 
 void ProtocolHarness::handle_query_route(const Message& m) {
@@ -559,7 +576,7 @@ void ProtocolHarness::handle_query_route(const Message& m) {
       slot(m.dst).node.greedy_step(m.point, arena_);
   if (tracer_.enabled()) {
     const obs::SpanId hop =
-        tracer_.instant(queue_.now(), "route_hop", m.dst, m.span);
+        tracer_.instant(net_->now(), "route_hop", m.dst, m.span);
     tracer_.arg(hop, "hops", m.hops);
   }
   // Same TTL guard as the join chains: a legitimate greedy chain visits
@@ -588,7 +605,7 @@ void ProtocolHarness::handle_query_route(const Message& m) {
   fwd.epoch = m.epoch;
   fwd.query = m.query;
   fwd.span = m.span;
-  net_.send(std::move(fwd));
+  net_->send(std::move(fwd));
 }
 
 bool ProtocolHarness::query_region_qualifies(const QuerySpec& spec,
@@ -617,7 +634,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     if (parent != kNoNode && parent != existing->parent) {
       if (tracer_.enabled()) {
         const obs::SpanId t =
-            tracer_.instant(queue_.now(), "duplicate_reject", node,
+            tracer_.instant(net_->now(), "duplicate_reject", node,
                             parent_span);
         tracer_.arg(t, "rejected_parent", static_cast<std::uint64_t>(parent));
       }
@@ -629,7 +646,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
       reject.epoch = rec.epoch;
       reject.query = rec.spec;
       reject.span = existing->span;
-      net_.send(std::move(reject));
+      net_->send(std::move(reject));
       ++rec.result_sends;
     }
     return;
@@ -637,12 +654,12 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
   FloodEntry& state = flood.emplace(node);
   state.parent = parent;
   if (tracer_.enabled()) {
-    state.span = tracer_.begin_span(queue_.now(), "serve", node, parent_span);
+    state.span = tracer_.begin_span(net_->now(), "serve", node, parent_span);
     tracer_.arg(state.span, "query", query_id);
     tracer_.arg(state.span, "epoch", rec.epoch);
   }
   if (recorder_.enabled()) {
-    recorder_.record(node, queue_.now(), obs::FlightEvent::kServe,
+    recorder_.record(node, net_->now(), obs::FlightEvent::kServe,
                      sim::MessageKind::kQueryForward, parent, query_id,
                      rec.epoch);
   }
@@ -662,7 +679,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
       query_runtime_.at(query_id).stale_observed = true;
       if (tracer_.enabled()) {
         const obs::SpanId t =
-            tracer_.instant(queue_.now(), "stale_entry", node, state.span);
+            tracer_.instant(net_->now(), "stale_entry", node, state.span);
         tracer_.arg(t, "entry", static_cast<std::uint64_t>(e.id));
       }
       continue;
@@ -682,7 +699,7 @@ void ProtocolHarness::serve_query(std::uint64_t query_id, NodeId node,
     fwd.epoch = rec.epoch;
     fwd.query = rec.spec;
     fwd.span = state.span;
-    net_.send(std::move(fwd));
+    net_->send(std::move(fwd));
     ++rec.forward_sends;
     ++state.pending;
   }
@@ -721,12 +738,12 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
   if (tracer_.enabled() && state.span != obs::kNoSpan) {
     tracer_.arg(state.span, "covered", state.acc.size());
     if (state.aborted) tracer_.arg(state.span, "aborted", 1);
-    tracer_.end_span(state.span, queue_.now());
+    tracer_.end_span(state.span, net_->now());
   }
   if (state.parent != kNoNode) {
     // Subtree done: echo the covered cells -- as an abort echo when a
     // branch below failed over, so the mark reaches the root.
-    Message echo = net_.draft();
+    Message echo = net_->draft();
     echo.type = state.aborted ? sim::MessageKind::kQueryAbort
                               : sim::MessageKind::kQueryResult;
     echo.src = node;
@@ -736,7 +753,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
     echo.query = rec.spec;
     echo.entries = state.acc;
     echo.span = state.span;
-    net_.send(std::move(echo));
+    net_->send(std::move(echo));
     ++rec.result_sends;
     return;
   }
@@ -753,7 +770,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
     complete_query(query_id, std::move(state.acc));
     return;
   }
-  Message fin = net_.draft();
+  Message fin = net_->draft();
   fin.type = sim::MessageKind::kQueryResult;
   fin.src = node;
   fin.dst = rec.spec.issuer;
@@ -763,7 +780,7 @@ void ProtocolHarness::finish_query_node(std::uint64_t query_id,
   fin.query_final = true;
   fin.entries = state.acc;
   fin.span = state.span;
-  net_.send(std::move(fin));
+  net_->send(std::move(fin));
   ++rec.result_sends;
 }
 
@@ -794,11 +811,11 @@ void ProtocolHarness::apply_query_reply(std::uint64_t query_id, NodeId node,
     ++rec->second.branch_failovers;
     if (tracer_.enabled()) {
       const obs::SpanId t =
-          tracer_.instant(queue_.now(), "branch_abort", node, state->span);
+          tracer_.instant(net_->now(), "branch_abort", node, state->span);
       tracer_.arg(t, "child", static_cast<std::uint64_t>(child));
     }
     if (recorder_.enabled()) {
-      recorder_.record(node, queue_.now(), obs::FlightEvent::kBranchAbort,
+      recorder_.record(node, net_->now(), obs::FlightEvent::kBranchAbort,
                        sim::MessageKind::kQueryAbort, child, query_id,
                        rec->second.epoch);
     }
@@ -844,29 +861,29 @@ void ProtocolHarness::complete_query(std::uint64_t query_id,
   }
   rec.issuer_lost = !issuer_live(query_id);
   rec.done = true;
-  rec.completed = queue_.now();
+  rec.completed = net_->now();
   // One operation record per QUERY, not per epoch: re-issues are internal
   // retries of the same client operation, so the per-operation message
   // mean must absorb them rather than dilute itself with extra records
   // (pinned by obs_test.CountingModelBillsReissuedQueryOnce).
-  net_.metrics().record_operation(sim::OperationKind::kQuery, rec.route_hops,
+  net_->metrics().record_operation(sim::OperationKind::kQuery, rec.route_hops,
                                   rec.total_messages());
   {
     const QueryRuntime& rt = query_runtime_.at(query_id);
     if (tracer_.enabled()) {
       if (rt.epoch_span != obs::kNoSpan) {
-        tracer_.end_span(rt.epoch_span, queue_.now());
+        tracer_.end_span(rt.epoch_span, net_->now());
       }
       if (rt.root_span != obs::kNoSpan) {
         tracer_.arg(rt.root_span, "epochs", rec.epoch);
         tracer_.arg(rt.root_span, "route_hops", rec.route_hops);
         tracer_.arg(rt.root_span, "failovers", rec.branch_failovers);
         tracer_.arg(rt.root_span, "owners", owners.size());
-        tracer_.end_span(rt.root_span, queue_.now());
+        tracer_.end_span(rt.root_span, net_->now());
       }
     }
     if (recorder_.enabled()) {
-      recorder_.record(rec.spec.issuer, queue_.now(),
+      recorder_.record(rec.spec.issuer, net_->now(),
                        obs::FlightEvent::kComplete,
                        sim::MessageKind::kQueryResult, kNoNode, query_id,
                        rec.epoch);
@@ -883,6 +900,9 @@ void ProtocolHarness::complete_query(std::uint64_t query_id,
   query_runtime_.erase(query_id);
   VORONET_DCHECK(pending_queries_ > 0);
   --pending_queries_;
+  // Last, with all per-query state settled: the handler may issue fresh
+  // queries or drop completed records.
+  if (on_query_complete_) on_query_complete_(query_id);
 }
 
 void ProtocolHarness::drop_completed_queries() {
@@ -913,7 +933,7 @@ void ProtocolHarness::execute_leave(NodeId x) {
     m.src = x;
     m.dst = peer;
     m.point = pos;
-    net_.send(std::move(m));
+    net_->send(std::move(m));
   }
 
   // The closest live former Voronoi neighbour leads the repair (the
@@ -995,7 +1015,7 @@ void ProtocolHarness::disseminate(NodeId src, NodeId ensure) {
           same_entries(arena_.view(sent.*span_slot), scratch_entries_)) {
         continue;  // touch restored the value
       }
-      Message m = net_.draft();
+      Message m = net_->draft();
       m.type = kind;
       m.src = src;
       m.dst = id;
@@ -1003,7 +1023,7 @@ void ProtocolHarness::disseminate(NodeId src, NodeId ensure) {
       m.entries.assign(scratch_entries_.begin(), scratch_entries_.end());
       arena_.assign(sent.*span_slot, scratch_entries_);
       sent.*known_slot = true;
-      net_.send(std::move(m));
+      net_->send(std::move(m));
     }
   };
   ship(
@@ -1057,9 +1077,10 @@ void ProtocolHarness::register_node(NodeId x) {
   // revive (nothing to clean, and revive scans the in-flight table).
   if (s.dead_mark) {
     s.dead_mark = false;
-    net_.revive(x);
+    net_->revive(x);
   }
   ++s.generation;
+  ++topology_version_;
   s.node = ProtocolNode(x, overlay_.position(x));
   s.roster_pos = static_cast<std::uint32_t>(roster_.size());
   s.live = true;
@@ -1079,6 +1100,7 @@ void ProtocolHarness::deregister_node(NodeId x) {
   s.sent.vn_known = s.sent.cn_known = s.sent.lr_known = false;
   s.live = false;
   s.dead_mark = true;
+  ++topology_version_;
   --live_nodes_;
   const std::uint32_t idx = s.roster_pos;
   slot(roster_.back()).roster_pos = idx;
@@ -1128,7 +1150,7 @@ ProtocolHarness::MemoryBreakdown ProtocolHarness::memory_breakdown() const {
   b.view_bytes = arena_.bytes();
   b.slot_bytes = slots_.capacity() * sizeof(NodeSlot) +
                  roster_.capacity() * sizeof(NodeId);
-  b.transport_bytes = net_.memory_bytes();
+  b.transport_bytes = net_->memory_bytes();
   for (const auto& [id, flood] : query_flood_) {
     b.query_bytes +=
         flood.index.bytes() + flood.entries.capacity() * sizeof(FloodEntry);

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -33,8 +34,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "protocol/flat_map.hpp"
-#include "protocol/network.hpp"
 #include "protocol/node.hpp"
+#include "protocol/transport.hpp"
 #include "protocol/view_arena.hpp"
 #include "sim/event_queue.hpp"
 #include "voronet/overlay.hpp"
@@ -44,6 +45,14 @@ namespace voronet::protocol {
 struct HarnessConfig {
   OverlayConfig overlay;
   NetworkConfig network;
+  /// Which Transport backend carries the wire traffic.  kSim is the
+  /// deterministic event-queue simulation (replayable; the default);
+  /// kThread is the in-process actor-thread backend with wall-clock
+  /// timers (the serving layer's backend -- NOT deterministic).
+  TransportKind transport = TransportKind::kSim;
+  /// Actor threads for the thread backend (0 = derive from the host);
+  /// ignored by the sim backend.
+  unsigned transport_shards = 0;
   /// Delay between a crash and the survivors' repair dissemination (the
   /// failure-detection latency of the paper's fault model).
   double failure_detect_delay = 1.0;
@@ -162,6 +171,14 @@ class ProtocolHarness {
   [[nodiscard]] const QueryRecord& query_record(std::uint64_t id) const {
     return query_records_.at(id);
   }
+  /// Invoked (on the driving thread) the moment a query's record
+  /// completes -- the serving layer's batching front-end keys off this.
+  /// The record reference obtained via query_record(id) inside the
+  /// handler is invalidated by issuing further queries: copy first.
+  using QueryCompletionHandler = std::function<void(std::uint64_t)>;
+  void set_query_completion_handler(QueryCompletionHandler handler) {
+    on_query_complete_ = std::move(handler);
+  }
   /// Queries issued but not yet completed at the issuer.
   [[nodiscard]] std::size_t pending_queries() const {
     return pending_queries_;
@@ -174,10 +191,10 @@ class ProtocolHarness {
 
   sim::EventQueue::RunResult run_to_idle(
       std::size_t max_events = sim::EventQueue::kDefaultEventBudget) {
-    return queue_.run_to_idle(max_events);
+    return net_->run_to_idle(max_events);
   }
   sim::EventQueue::RunResult run_until(double horizon) {
-    return queue_.run_until(horizon);
+    return net_->run_until(horizon);
   }
 
   // --- Differential verification ------------------------------------------
@@ -205,8 +222,13 @@ class ProtocolHarness {
 
   // --- Introspection ------------------------------------------------------
 
-  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
-  [[nodiscard]] Network& network() { return net_; }
+  /// The transport seam this harness drives (sim or thread backend).
+  [[nodiscard]] Transport& network() { return *net_; }
+  [[nodiscard]] const Transport& network() const { return *net_; }
+  /// Sim-only escape hatch: the deterministic event queue behind
+  /// SimTransport (scenario sampling grids, replay tests).  Fails the
+  /// contract check on any other backend.
+  [[nodiscard]] sim::EventQueue& queue();
   [[nodiscard]] Overlay& overlay() { return overlay_; }
   [[nodiscard]] const Overlay& overlay() const { return overlay_; }
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
@@ -227,6 +249,13 @@ class ProtocolHarness {
     return id >= 0 && static_cast<std::size_t>(id) < slots_.size()
                ? slots_[static_cast<std::size_t>(id)].generation
                : 0;
+  }
+  /// Monotonic topology version: bumped on every node (de)registration.
+  /// Positions are immutable per live object, so an unchanged version
+  /// means an identical live (id, position) set -- the validity stamp of
+  /// the serving layer's result cache (src/serve/query_server.hpp).
+  [[nodiscard]] std::uint64_t topology_version() const {
+    return topology_version_;
   }
   /// Joins scheduled but not yet sponsored (in-flight route chains).
   [[nodiscard]] std::size_t pending_joins() const { return pending_joins_; }
@@ -436,10 +465,9 @@ class ProtocolHarness {
   void register_node(NodeId x);
   void deregister_node(NodeId x);
 
-  sim::EventQueue queue_;
   HarnessConfig config_;
   Overlay overlay_;
-  Network net_;
+  std::unique_ptr<Transport> net_;
   /// Dense node slot table, indexed by NodeId; all view content lives in
   /// arena_.
   std::vector<NodeSlot> slots_;
@@ -463,9 +491,11 @@ class ProtocolHarness {
   double query_deadline_ = 0.0;  ///< derived echo-deadline period
   std::uint64_t op_seq_ = 0;
   std::uint64_t join_seq_ = 0;
+  std::uint64_t topology_version_ = 0;
   /// In-flight join chains, keyed by chain id; the value is the chain's
   /// "join" trace span (kNoSpan while tracing is off).
   std::unordered_map<std::uint64_t, obs::SpanId> active_joins_;
+  QueryCompletionHandler on_query_complete_;
   std::size_t pending_joins_ = 0;
   double last_apply_time_ = 0.0;
   obs::Tracer tracer_;

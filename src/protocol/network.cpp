@@ -132,12 +132,13 @@ void Network::recycle_payload(std::vector<ViewEntry>&& entries) {
   payload_pool_.push_back(std::move(entries));
 }
 
-Message Network::draft() {
+Message Network::draft(std::size_t reserve_entries) {
   Message m;
   if (!payload_pool_.empty()) {
     m.entries = std::move(payload_pool_.back());
     payload_pool_.pop_back();
   }
+  if (reserve_entries > 0) m.entries.reserve(reserve_entries);
   return m;
 }
 

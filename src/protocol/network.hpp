@@ -33,70 +33,25 @@
 #include "obs/trace.hpp"
 #include "protocol/latency.hpp"
 #include "protocol/message.hpp"
+#include "protocol/transport.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
 namespace voronet::protocol {
 
-struct NetworkConfig {
-  LatencyModel latency = LatencyModel::fixed(0.0);
-  /// Probability that any single transmission (data or ack) is lost.
-  double drop_probability = 0.0;
-  /// Base retransmission timeout; 0 derives one from the latency model
-  /// (two high-quantile one-way delays plus slack).
-  double retransmit_timeout = 0.0;
-  /// Retransmission backoff: attempt k waits
-  /// min(rto * backoff_factor^(k-1), rto_cap) plus deterministic jitter.
-  /// A fixed timeout under correlated loss (a loss burst, a latency
-  /// spike) synchronises every retransmitter into a storm; the capped
-  /// exponential spreads them out while staying responsive to single
-  /// losses.  1.0 restores the fixed-RTO behaviour.
-  double backoff_factor = 2.0;
-  /// Backoff ceiling; 0 derives 16x the base timeout.
-  double rto_cap = 0.0;
-  /// Deterministic jitter as a fraction of the armed timeout: the actual
-  /// wait is scaled by a factor in [1 - jitter/2, 1 + jitter/2] hashed
-  /// from (transfer id, attempt) -- no Rng stream is consumed, so the
-  /// delivery randomness is unperturbed and replays stay bit-identical.
-  double jitter = 0.25;
-  /// Give up on a reliable transfer after this many retransmissions;
-  /// 0 = keep retrying (transfers to crashed destinations are abandoned
-  /// at the first timeout regardless).
-  std::size_t max_retries = 0;
-  std::uint64_t seed = 0x5eedULL;
-};
-
-/// Wire-level accounting, beyond the per-type counters in sim::Metrics.
-struct NetworkStats {
-  std::uint64_t sends = 0;          ///< logical send() calls
-  std::uint64_t transmissions = 0;  ///< wire attempts incl. retransmits+acks
-  std::uint64_t delivered = 0;      ///< messages handed to the sink
-  std::uint64_t duplicates = 0;     ///< arrivals suppressed by dedup
-  std::uint64_t dropped = 0;        ///< lost to loss, partition or crash
-  std::uint64_t retransmits = 0;
-  std::uint64_t abandoned = 0;      ///< reliable transfers given up
-  std::uint64_t acks = 0;
-  std::uint64_t injected_duplicates = 0;  ///< duplication-window copies
-  std::uint64_t stalled_deferred = 0;     ///< arrivals parked at a stalled node
-};
+// NetworkConfig / NetworkStats live in transport.hpp (shared by every
+// backend); this header re-exports them for existing includers.
 
 class Network {
  public:
-  /// Receives each delivered (non-ack, de-duplicated) message.
-  using Sink = std::function<void(const Message&)>;
-  /// Receives each reliable message the transport gave up on (crashed
-  /// destination or retry cap), so the application layer can reroute or
-  /// invalidate caches.
-  using AbandonHandler = std::function<void(const Message&)>;
-  /// Returns true when the src -> dst link is up (partition injection).
-  using LinkFilter = std::function<bool(NodeId, NodeId)>;
+  using Sink = Transport::Sink;
+  using AbandonHandler = Transport::AbandonHandler;
+  using LinkFilter = Transport::LinkFilter;
 
-  /// Dedup-window capacity: arrivals whose transfer slot is already
-  /// recycled (late duplicates past settle/abandon) are remembered in a
-  /// FIFO window of this many (transfer, dst) pairs, so the dedup state
-  /// is bounded by in_flight() + this constant instead of growing with
-  /// node lifetime.
-  static constexpr std::size_t kOrphanDedupCapacity = 512;
+  /// Dedup-window capacity (the Transport-contract constant; see
+  /// transport.hpp).
+  static constexpr std::size_t kOrphanDedupCapacity =
+      Transport::kOrphanDedupCapacity;
 
   Network(sim::EventQueue& queue, const NetworkConfig& config);
 
@@ -106,9 +61,12 @@ class Network {
   }
 
   /// A blank message whose payload vector comes from the retired-payload
-  /// pool (capacity recycled from settled transfers).  Purely an
-  /// allocation shortcut -- send() accepts any Message.
-  [[nodiscard]] Message draft();
+  /// pool (capacity recycled from settled transfers), with capacity for
+  /// at least `reserve_entries`.  The hint keeps non-harness callers --
+  /// the serving front-end's batched senders -- allocation-free past the
+  /// first few messages of a given size.  Purely an allocation shortcut:
+  /// send() accepts any Message.
+  [[nodiscard]] Message draft(std::size_t reserve_entries = 0);
 
   /// Send msg.src -> msg.dst.  Reliable (ack + retransmit) for every kind
   /// except kAck.  The transfer id is assigned here.

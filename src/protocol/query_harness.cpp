@@ -169,7 +169,7 @@ void QueryHarness::fire_stall(const std::shared_ptr<ScheduleContext>& ctx,
   // The floor guards stalls too: wedging most of a tiny overlay stops
   // every query from completing within the run budget.
   if (harness_.node_count() <= floor) return;
-  Network& network = harness_.network();
+  Transport& network = harness_.network();
   // Retry a few draws so overlapping uniform stalls tend to pick distinct
   // victims (targeted selectors are deterministic: re-stalling the same
   // node extends nothing -- the kEven spread already staggers windows).
@@ -184,7 +184,7 @@ void QueryHarness::fire_stall(const std::shared_ptr<ScheduleContext>& ctx,
   ++ctx->stalls;
   // Auto-resume when the window closes: a stall is a *window*, so every
   // scenario quiesces without needing a matching kResume event.
-  harness_.queue().schedule(duration, [this, victim] {
+  harness_.network().schedule(duration, [this, victim] {
     harness_.network().resume(victim);
   });
 }
@@ -195,7 +195,7 @@ void QueryHarness::schedule_event(
   using scenario::EventKind;
   using scenario::QueryMix;
   using scenario::Spread;
-  sim::EventQueue& queue = harness_.queue();
+  Transport& queue = harness_.network();
   const double now = queue.now();
   // An event whose start the run has already passed -- a preceding
   // quiesce barrier drained beyond it, and how far a drain advances the
@@ -426,7 +426,7 @@ QueryHarness::ChurnScenarioReport QueryHarness::run_churn_scenario(
   // so the whole scenario replays bit-for-bit from the seed.
   const auto ctx = std::make_shared<ScheduleContext>(
       s.seed, workload::DistributionConfig::uniform());
-  const double t0 = harness_.queue().now();
+  const double t0 = harness_.network().now();
   for (const scenario::Event& e : s.events()) schedule_event(e, t0, ctx);
 
   const auto run = harness_.run_to_idle();

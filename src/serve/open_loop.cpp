@@ -1,0 +1,132 @@
+#include "serve/open_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "protocol/flat_map.hpp"
+#include "voronet/queries.hpp"
+
+namespace voronet::serve {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LoadReport run_open_loop(protocol::ProtocolHarness& harness,
+                         QueryServer& server, const LoadConfig& config) {
+  VORONET_EXPECT(config.rate > 0.0, "open loop: non-positive rate");
+  VORONET_EXPECT(config.duration > 0.0, "open loop: non-positive duration");
+
+  protocol::Transport& transport = harness.network();
+  Rng rng(config.seed);
+  const Vec2 hotspot{rng.uniform(0.25, 0.75), rng.uniform(0.25, 0.75)};
+
+  // Draw the whole arrival schedule up front: open-loop arrivals never
+  // react to service times.
+  std::vector<QueryServer::TicketId> tickets;
+  LoadReport report;
+  for (double t = rng.exponential(config.rate); t < config.duration;
+       t += rng.exponential(config.rate)) {
+    const bool hot = rng.chance(config.hotspot_fraction);
+    const bool range = rng.chance(config.range_fraction);
+    const Vec2 base = hot ? hotspot
+                          : Vec2{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    const Vec2 a{base.x + rng.uniform(-0.02, 0.02),
+                 base.y + rng.uniform(-0.02, 0.02)};
+    ++report.offered;
+    if (range) {
+      const Vec2 b{a.x + rng.uniform(-0.1, 0.1), a.y + rng.uniform(-0.1, 0.1)};
+      const double tol = config.range_tol;
+      transport.schedule(t, [&server, &tickets, a, b, tol] {
+        tickets.push_back(server.submit_range(a, b, tol));
+      });
+    } else {
+      const double r = config.radius;
+      transport.schedule(t, [&server, &tickets, a, r] {
+        tickets.push_back(server.submit_radius(a, r));
+      });
+    }
+  }
+
+  const auto run = harness.run_to_idle();
+  report.drained = !run.budget_exhausted;
+
+  const ServeStats& stats = server.stats();
+  report.admitted = stats.admitted;
+  report.rejected = stats.rejected;
+  report.completed = stats.completed;
+  report.cache_hits = stats.cache_hits;
+  report.batches = stats.batches;
+  report.mean_batch =
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.batch_members) /
+                               static_cast<double>(stats.batches);
+  report.completion_rate =
+      report.offered == 0 ? 1.0
+                          : static_cast<double>(report.completed) /
+                                static_cast<double>(report.offered);
+
+  // Latency distribution over answered queries.
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  for (const auto id : tickets) {
+    const QueryServer::Ticket& t = server.ticket(id);
+    if (t.done && !t.rejected) latencies.push_back(t.latency());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    report.p50 = percentile(latencies, 0.50);
+    report.p99 = percentile(latencies, 0.99);
+    report.max_latency = latencies.back();
+    double sum = 0.0;
+    for (const double l : latencies) sum += l;
+    report.mean_latency = sum / static_cast<double>(latencies.size());
+  }
+
+  // Exactness against sequential ground truth, current-topology tickets
+  // only (header comment).  The mark table is the FlatNodeMap::reserve
+  // path: sized once for the whole roster, zero intermediate grows.
+  const std::uint64_t final_version = harness.topology_version();
+  const std::vector<NodeId>& roster = harness.roster();
+  protocol::FlatNodeMap<char> marks;
+  std::uint64_t truth_total = 0, hit_total = 0, match_total = 0;
+  for (const auto id : tickets) {
+    const QueryServer::Ticket& t = server.ticket(id);
+    if (!t.done || t.rejected || t.completed_version != final_version) {
+      continue;
+    }
+    ++report.graded;
+    match_total += t.matches.size();
+    marks.clear();
+    marks.reserve(roster.size());
+    for (const NodeId m : t.matches) marks.insert(m, 1);
+    for (const NodeId n : roster) {
+      if (site_within_tolerance(t.spec.a, t.spec.b,
+                                harness.node(n).position(), t.spec.tol)) {
+        ++truth_total;
+        if (marks.find(n) != nullptr) ++hit_total;
+      }
+    }
+  }
+  report.recall = truth_total == 0
+                      ? 1.0
+                      : static_cast<double>(hit_total) /
+                            static_cast<double>(truth_total);
+  report.precision = match_total == 0
+                         ? 1.0
+                         : static_cast<double>(hit_total) /
+                               static_cast<double>(match_total);
+  return report;
+}
+
+}  // namespace voronet::serve

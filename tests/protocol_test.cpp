@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "protocol/network.hpp"
 #include "workload/distributions.hpp"
 
 namespace voronet::protocol {

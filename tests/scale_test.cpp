@@ -56,7 +56,7 @@ TEST(ScaleInvariants, TransportDedupStaysBoundedUnderChurn) {
   std::size_t events = 0;
   const auto check_bound = [&] {
     EXPECT_LE(h.network().dedup_entries(),
-              h.network().in_flight() + Network::kOrphanDedupCapacity);
+              h.network().in_flight() + Transport::kOrphanDedupCapacity);
   };
   for (std::size_t i = 0; i < 120; ++i) {
     h.join_after(0.01 * static_cast<double>(i), gen.next(rng));
@@ -75,7 +75,7 @@ TEST(ScaleInvariants, TransportDedupStaysBoundedUnderChurn) {
     // bounded orphan window alone.
     EXPECT_EQ(h.network().in_flight(), 0u);
     EXPECT_LE(h.network().dedup_window_size(),
-              Network::kOrphanDedupCapacity);
+              Transport::kOrphanDedupCapacity);
   }
   EXPECT_GE(events, 10000u) << "churn run too small to exercise dedup";
   EXPECT_GT(h.network().stats().duplicates, 0u)
@@ -200,6 +200,40 @@ TEST(ScaleInvariants, FlatNodeMapFindsWhatItInserted) {
   map.clear();
   EXPECT_EQ(map.size(), 0u);
   EXPECT_EQ(map.find(0), nullptr);
+}
+
+TEST(ScaleInvariants, FlatNodeMapReserveGrowsPast64kWithoutRehash) {
+  // The serving layer's grader pre-sizes one mark per live node; at
+  // bench scale that is well past 2^16 entries.  reserve() must jump
+  // straight to the final capacity (no intermediate grows), keep every
+  // existing entry findable, and leave headroom so the subsequent bulk
+  // insert never rehashes.
+  constexpr NodeId kEntries = 70'000;  // > 2^16
+  FlatNodeMap<std::uint32_t> map;
+  for (NodeId id = 0; id < 100; ++id) {
+    map.insert(id, static_cast<std::uint32_t>(id + 1));
+  }
+  map.reserve(static_cast<std::size_t>(kEntries));
+  const std::size_t sized = map.bytes();
+  // Load factor 3/4 over power-of-two cells: 70k entries need 128k cells.
+  EXPECT_GE(sized, (static_cast<std::size_t>(kEntries) * 4 / 3) *
+                       (sizeof(NodeId) + sizeof(std::uint32_t)));
+  for (NodeId id = 100; id < kEntries; ++id) {
+    map.insert(id, static_cast<std::uint32_t>(id + 1));
+  }
+  EXPECT_EQ(map.bytes(), sized) << "bulk insert after reserve() rehashed";
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kEntries));
+  for (NodeId id = 0; id < kEntries; id += 997) {  // sampled probe
+    const std::uint32_t* v = map.find(id);
+    ASSERT_NE(v, nullptr) << id;
+    EXPECT_EQ(*v, static_cast<std::uint32_t>(id + 1));
+  }
+  ASSERT_NE(map.find(kEntries - 1), nullptr);
+  EXPECT_EQ(map.find(kEntries), nullptr);
+  // Re-reserving at-or-below the current capacity is a no-op.
+  map.reserve(10);
+  EXPECT_EQ(map.bytes(), sized);
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kEntries));
 }
 
 }  // namespace
