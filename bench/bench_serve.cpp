@@ -19,12 +19,26 @@
 // Flags beyond the common set (see bench_common.hpp):
 //   --objects N   overlay size per cell
 //   --shards K    ThreadTransport actor threads (0 = derive)
+//
+// The "socket" cell is a real two-process run: the shard is forked into
+// a child hosting tools-style voronet_served serving (ServedShard over a
+// Unix-domain socket) and this process drives it with
+// run_open_loop_remote -- same arrival schedule, wall-clock latencies
+// measured across the process boundary.
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "net/serve_client.hpp"
+#include "net/serve_loop.hpp"
+#include "net/socket.hpp"
 #include "protocol/query_harness.hpp"
 #include "serve/open_loop.hpp"
 #include "serve/query_server.hpp"
@@ -40,7 +54,12 @@ struct Cell {
   TransportKind backend = TransportKind::kThread;
   double rate = 0.0;
   bool churn = false;
+  bool remote = false;  ///< served from a forked process over a socket
   serve::LoadReport report;
+  /// Overlay-internal bytes on the wire (codec frame sizes; identical
+  /// billing on every backend).  Per-kind only for in-process cells.
+  std::uint64_t wire_bytes = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> wire_by_kind;
 };
 
 HarnessConfig make_config(TransportKind backend, unsigned shards,
@@ -97,6 +116,74 @@ Cell run_cell(std::string name, TransportKind backend, unsigned shards,
   }
 
   cell.report = serve::run_open_loop(harness, server, load);
+  const sim::Metrics& metrics = harness.network().metrics();
+  cell.wire_bytes = metrics.total_wire_bytes();
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    const auto kind = static_cast<sim::MessageKind>(k);
+    if (metrics.wire_bytes(kind) > 0) {
+      cell.wire_by_kind.emplace_back(std::string(sim::message_kind_name(kind)),
+                                     metrics.wire_bytes(kind));
+    }
+  }
+  return cell;
+}
+
+// One real client/server process pair over a Unix-domain socket: fork a
+// ServedShard (safe here: every transport thread of earlier cells has
+// been joined when its harness was destroyed), drive it remotely, reap
+// it.  The shard's own overlay wire runs on ThreadTransport; the socket
+// under measurement is the serving boundary.
+Cell run_socket_cell(std::string name, std::size_t objects, double rate,
+                     double duration, std::uint64_t seed) {
+  Cell cell;
+  cell.name = std::move(name);
+  cell.backend = TransportKind::kSocket;
+  cell.rate = rate;
+  cell.remote = true;
+
+  const std::string path = net::unique_uds_path();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("bench_serve: fork failed");
+  }
+  if (pid == 0) {
+    // Child: serve until the parent's shutdown frame.  _exit, not exit:
+    // the parent owns the streams and the atexit machinery.
+    int status = 0;
+    try {
+      net::ServedConfig config;
+      config.listen = "uds:" + path;
+      config.objects = objects;
+      config.seed = seed;
+      net::ServedShard shard(config);
+      shard.serve();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_serve (shard child): %s\n", e.what());
+      status = 1;
+    }
+    ::_exit(status);
+  }
+
+  serve::LoadConfig load;
+  load.rate = rate;
+  load.duration = duration;
+  load.seed = seed ^ 0xf00dULL;
+  try {
+    net::ServeClient client("uds:" + path);
+    net::ServeFrame server_report;
+    cell.report = net::run_open_loop_remote(client, load, &server_report);
+    cell.wire_bytes = server_report.wire_bytes;
+    client.shutdown_server();
+  } catch (...) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    throw;
+  }
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+    cell.report.drained = false;  // shard died: fail the SLO gate loudly
+  }
   return cell;
 }
 
@@ -104,9 +191,11 @@ Json cell_json(const Cell& cell) {
   const serve::LoadReport& r = cell.report;
   Json j = Json::object();
   j.set("name", Json::string(cell.name));
-  j.set("backend", Json::string(cell.backend == TransportKind::kThread
-                                    ? "thread"
-                                    : "sim"));
+  const char* backend = "sim";
+  if (cell.backend == TransportKind::kThread) backend = "thread";
+  if (cell.backend == TransportKind::kSocket) backend = "socket";
+  j.set("backend", Json::string(backend));
+  j.set("remote", Json::boolean(cell.remote));
   j.set("rate_qps", Json::number(cell.rate));
   j.set("churn", Json::boolean(cell.churn));
   j.set("offered", Json::integer(r.offered));
@@ -125,6 +214,14 @@ Json cell_json(const Cell& cell) {
   j.set("recall", Json::number(r.recall));
   j.set("precision", Json::number(r.precision));
   j.set("drained", Json::boolean(r.drained));
+  j.set("wire_bytes", Json::integer(cell.wire_bytes));
+  if (!cell.wire_by_kind.empty()) {
+    Json by_kind = Json::object();
+    for (const auto& [kind, bytes] : cell.wire_by_kind) {
+      by_kind.set(kind, Json::integer(bytes));
+    }
+    j.set("wire_bytes_by_kind", std::move(by_kind));
+  }
   return j;
 }
 
@@ -155,6 +252,9 @@ int main(int argc, char** argv) try {
   cells.push_back(run_cell("sim@" + std::to_string(static_cast<int>(rates[0])),
                            TransportKind::kSim, shards, objects, rates[0],
                            duration, /*churn=*/false, args.seed + 2));
+  cells.push_back(
+      run_socket_cell("socket@" + std::to_string(static_cast<int>(rates[0])),
+                      objects, rates[0], duration, args.seed + 3));
 
   stats::Table table({"cell", "rate", "offered", "completed", "rejected",
                       "cache", "batches", "mean_batch", "p50 ms", "p99 ms",

@@ -1,0 +1,413 @@
+#include "net/serve_client.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "net/socket.hpp"
+#include "serve/open_loop.hpp"
+#include "voronet/queries.hpp"
+
+namespace voronet::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = std::size_t{1} << 16;
+constexpr std::size_t kCompactThreshold = std::size_t{1} << 16;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& spec, double connect_timeout) {
+  Address addr;
+  std::string err;
+  if (!parse_address(spec, addr, err)) {
+    throw std::runtime_error("serve client: bad address: " + err);
+  }
+  const auto t0 = Clock::now();
+  // The server process may still be growing its overlay: retry the
+  // connect until the deadline, then give up loudly.
+  while (fd_ < 0) {
+    bool in_progress = false;
+    int fd = start_connect(addr, in_progress, err);
+    if (fd >= 0 && in_progress) {
+      pollfd pfd{fd, POLLOUT, 0};
+      while (seconds_since(t0) < connect_timeout) {
+        if (::poll(&pfd, 1, 50) > 0) break;
+      }
+      const int connect_errno = finish_connect(fd);
+      if (connect_errno != 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    if (fd >= 0) {
+      fd_ = fd;
+      break;
+    }
+    if (seconds_since(t0) >= connect_timeout) {
+      throw std::runtime_error("serve client: connect to " + addr.spec() +
+                               " timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  ServeFrame hello;
+  hello.kind = ServeKind::kHello;
+  hello.id = next_request_id();
+  send_frame(hello);
+  ServeFrame ack;
+  if (!pump(connect_timeout, ServeKind::kHelloAck, &ack, nullptr)) {
+    throw std::runtime_error("serve client: hello handshake timed out");
+  }
+  objects_ = ack.objects;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t ServeClient::next_request_id() { return next_id_++; }
+
+std::uint64_t ServeClient::submit_radius(Vec2 centre, double radius) {
+  ServeFrame f;
+  f.kind = ServeKind::kSubmitRadius;
+  f.id = next_request_id();
+  f.a = centre;
+  f.tol = radius;
+  send_frame(f);
+  ++outstanding_;
+  return f.id;
+}
+
+std::uint64_t ServeClient::submit_range(Vec2 a, Vec2 b, double tol) {
+  ServeFrame f;
+  f.kind = ServeKind::kSubmitRange;
+  f.id = next_request_id();
+  f.a = a;
+  f.b = b;
+  f.tol = tol;
+  send_frame(f);
+  ++outstanding_;
+  return f.id;
+}
+
+std::size_t ServeClient::poll_answers(double timeout_s) {
+  std::size_t answers = 0;
+  // Waiting "for" kAnswer: pump returns true on the first one; keep the
+  // count from the dispatch path instead and swallow the timeout.
+  pump(timeout_s, ServeKind::kAnswer, nullptr, &answers);
+  return answers;
+}
+
+ServeFrame ServeClient::get_report(double timeout_s) {
+  ServeFrame req;
+  req.kind = ServeKind::kGetReport;
+  req.id = next_request_id();
+  send_frame(req);
+  ServeFrame reply;
+  if (!pump(timeout_s, ServeKind::kReport, &reply, nullptr)) {
+    throw std::runtime_error("serve client: report request timed out");
+  }
+  return reply;
+}
+
+void ServeClient::shutdown_server() {
+  ServeFrame f;
+  f.kind = ServeKind::kShutdown;
+  f.id = next_request_id();
+  send_frame(f);
+}
+
+void ServeClient::send_frame(const ServeFrame& frame) {
+  out_.clear();
+  encode_serve_frame(frame, out_);
+  std::size_t off = 0;
+  while (off < out_.size()) {
+    const ssize_t put = ::write(fd_, out_.data() + off, out_.size() - off);
+    if (put > 0) {
+      off += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, 1000) <= 0) continue;  // deadline-free: tiny frames
+      continue;
+    }
+    throw std::runtime_error("serve client: connection lost on write");
+  }
+}
+
+bool ServeClient::pump(double timeout_s, ServeKind wait_for, ServeFrame* reply,
+                       std::size_t* answers) {
+  const auto t0 = Clock::now();
+  for (;;) {
+    // Dispatch everything already buffered before touching the socket.
+    for (;;) {
+      ServeFrame frame;
+      std::size_t consumed = 0;
+      std::string diag;
+      const DecodeStatus st = decode_serve_frame(
+          in_.data() + in_off_, in_.size() - in_off_, consumed, frame, &diag);
+      if (st == DecodeStatus::kNeedMore) break;
+      if (st != DecodeStatus::kOk) {
+        throw std::runtime_error(std::string("serve client: corrupt stream: ") +
+                                 decode_status_name(st) + " (" + diag + ")");
+      }
+      in_off_ += consumed;
+      if (in_off_ == in_.size()) {
+        in_.clear();
+        in_off_ = 0;
+      } else if (in_off_ >= kCompactThreshold) {
+        in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(in_off_));
+        in_off_ = 0;
+      }
+      if (frame.kind == ServeKind::kAnswer) {
+        if (outstanding_ > 0) --outstanding_;
+        if (answers != nullptr) ++*answers;
+        if (on_answer_) on_answer_(frame);
+        if (wait_for == ServeKind::kAnswer) return true;
+        continue;
+      }
+      if (frame.kind == wait_for) {
+        if (reply != nullptr) *reply = frame;
+        return true;
+      }
+      throw std::runtime_error(std::string("serve client: unexpected ") +
+                               serve_kind_name(frame.kind) + " frame");
+    }
+
+    const double remaining = timeout_s - seconds_since(t0);
+    if (remaining <= 0.0) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms =
+        std::max(1, static_cast<int>(std::min(remaining, 0.1) * 1000.0));
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n <= 0) continue;
+    for (;;) {
+      const std::size_t old = in_.size();
+      in_.resize(old + kReadChunk);
+      const ssize_t got = ::read(fd_, in_.data() + old, kReadChunk);
+      if (got > 0) {
+        in_.resize(old + static_cast<std::size_t>(got));
+        if (static_cast<std::size_t>(got) < kReadChunk) break;
+        continue;
+      }
+      in_.resize(old);
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      throw std::runtime_error("serve client: server closed the connection");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload drivers
+// ---------------------------------------------------------------------------
+
+serve::LoadReport run_open_loop_remote(ServeClient& client,
+                                       const serve::LoadConfig& config,
+                                       ServeFrame* server_report) {
+  if (config.rate <= 0.0 || config.duration <= 0.0) {
+    throw std::runtime_error("open loop remote: non-positive rate/duration");
+  }
+  Rng rng(config.seed);
+  const Vec2 hotspot{rng.uniform(0.25, 0.75), rng.uniform(0.25, 0.75)};
+
+  // The identical draw sequence as serve::run_open_loop, so a remote
+  // cell offers the same arrival process as an in-process one.
+  struct Arrival {
+    double t = 0.0;
+    bool range = false;
+    Vec2 a, b;
+    double tol = 0.0;
+  };
+  std::vector<Arrival> arrivals;
+  for (double t = rng.exponential(config.rate); t < config.duration;
+       t += rng.exponential(config.rate)) {
+    const bool hot = rng.chance(config.hotspot_fraction);
+    const bool range = rng.chance(config.range_fraction);
+    const Vec2 base = hot ? hotspot
+                          : Vec2{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    Arrival a;
+    a.t = t;
+    a.range = range;
+    a.a = {base.x + rng.uniform(-0.02, 0.02),
+           base.y + rng.uniform(-0.02, 0.02)};
+    if (range) {
+      a.b = {a.a.x + rng.uniform(-0.1, 0.1), a.a.y + rng.uniform(-0.1, 0.1)};
+      a.tol = config.range_tol;
+    } else {
+      a.tol = config.radius;
+    }
+    arrivals.push_back(a);
+  }
+
+  std::unordered_map<std::uint64_t, double> sent_at;
+  std::vector<double> latencies;
+  const auto start = Clock::now();
+  client.set_answer_handler([&](const ServeFrame& answer) {
+    const auto it = sent_at.find(answer.id);
+    if (it == sent_at.end() || answer.rejected) return;
+    latencies.push_back(seconds_since(start) - it->second);
+  });
+
+  for (const Arrival& a : arrivals) {
+    // Pace on the wall clock, draining answers while we wait -- arrivals
+    // never block on responses (the open-loop discipline).
+    for (;;) {
+      const double wait = a.t - seconds_since(start);
+      if (wait <= 0.0) break;
+      client.poll_answers(std::min(wait, 0.05));
+    }
+    const std::uint64_t id =
+        a.range ? client.submit_range(a.a, a.b, a.tol)
+                : client.submit_radius(a.a, a.tol);
+    sent_at[id] = seconds_since(start);
+  }
+
+  // Drain: every submitted query is owed exactly one answer.
+  const double patience = 60.0;
+  const auto drain0 = Clock::now();
+  while (client.outstanding() > 0 && seconds_since(drain0) < patience) {
+    client.poll_answers(0.1);
+  }
+  client.set_answer_handler(nullptr);
+
+  const ServeFrame rf = client.get_report();
+  if (server_report != nullptr) *server_report = rf;
+
+  serve::LoadReport report;
+  report.offered = arrivals.size();
+  report.admitted = rf.admitted;
+  report.rejected = rf.rejected_total;
+  report.completed = rf.completed;
+  report.cache_hits = rf.cache_hits;
+  report.batches = rf.batches;
+  report.mean_batch = rf.batches == 0
+                          ? 0.0
+                          : static_cast<double>(rf.batch_members) /
+                                static_cast<double>(rf.batches);
+  report.completion_rate =
+      report.offered == 0 ? 1.0
+                          : static_cast<double>(report.completed) /
+                                static_cast<double>(report.offered);
+  report.drained = rf.drained && client.outstanding() == 0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    report.p50 = percentile(latencies, 0.50);
+    report.p99 = percentile(latencies, 0.99);
+    report.max_latency = latencies.back();
+    double sum = 0.0;
+    for (const double l : latencies) sum += l;
+    report.mean_latency = sum / static_cast<double>(latencies.size());
+  }
+  report.graded = rf.graded;
+  report.recall = rf.recall;
+  report.precision = rf.precision;
+  return report;
+}
+
+std::size_t drive_query_stream(ServeClient& client,
+                               const scenario::Event& event,
+                               std::uint64_t seed) {
+  using scenario::EventKind;
+  using scenario::QueryMix;
+  using scenario::Spread;
+  Rng rng(seed);
+
+  struct Op {
+    double t = 0.0;
+    bool range = false;
+  };
+  std::vector<Op> ops;
+  switch (event.kind) {
+    case EventKind::kRangeQuery:
+      ops.push_back(Op{0.0, true});
+      break;
+    case EventKind::kRadiusQuery:
+      ops.push_back(Op{0.0, false});
+      break;
+    case EventKind::kQueryStream: {
+      const auto flavour = [&](std::size_t i) {
+        switch (event.mix) {
+          case QueryMix::kRange:
+            return true;
+          case QueryMix::kRadius:
+            return false;
+          case QueryMix::kMixed:
+            return i % 2 == 0;
+        }
+        return false;
+      };
+      if (event.spread == Spread::kPoisson) {
+        std::size_t i = 0;
+        for (double t = rng.exponential(event.rate); t < event.duration;
+             t += rng.exponential(event.rate)) {
+          ops.push_back(Op{t, flavour(i++)});
+        }
+      } else {
+        for (std::size_t i = 0; i < event.count; ++i) {
+          const double t =
+              event.spread == Spread::kUniform
+                  ? rng.uniform(0.0, event.duration)
+                  : event.duration * static_cast<double>(i) /
+                        static_cast<double>(std::max<std::size_t>(
+                            event.count, 1));
+          ops.push_back(Op{t, flavour(i)});
+        }
+        std::sort(ops.begin(), ops.end(),
+                  [](const Op& x, const Op& y) { return x.t < y.t; });
+      }
+      break;
+    }
+    default:
+      throw std::runtime_error(
+          "drive_query_stream: event is not a query event");
+  }
+
+  const std::size_t population =
+      std::max<std::size_t>(client.objects(), 2);
+  const auto start = Clock::now();
+  for (const Op& op : ops) {
+    for (;;) {
+      const double wait = op.t - seconds_since(start);
+      if (wait <= 0.0) break;
+      client.poll_answers(std::min(wait, 0.05));
+    }
+    if (event.has_spec) {
+      if (op.range) {
+        client.submit_range(event.a, event.b, event.tol);
+      } else {
+        client.submit_radius(event.a, event.tol);
+      }
+    } else if (op.range) {
+      const QueryGeometry g = draw_range_geometry(rng, population);
+      client.submit_range(g.a, g.b, g.tol);
+    } else {
+      const QueryGeometry g = draw_radius_geometry(rng, population);
+      client.submit_radius(g.a, g.tol);
+    }
+  }
+  return ops.size();
+}
+
+}  // namespace voronet::net

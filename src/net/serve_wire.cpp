@@ -1,0 +1,265 @@
+#include "net/serve_wire.hpp"
+
+#include "net/wire_io.hpp"
+
+namespace voronet::net {
+
+using wire::Cursor;
+using wire::put_f64;
+using wire::put_i32;
+using wire::put_u16;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
+
+namespace {
+
+/// Payload bytes that follow the serve header, per kind.  kAnswer's is
+/// the fixed part only (the match list adds 4 + 4 * count).
+constexpr std::size_t kGeometryRadiusBytes = 3 * 8;       // a.x a.y tol
+constexpr std::size_t kGeometryRangeBytes = 5 * 8;        // + b.x b.y
+constexpr std::size_t kAnswerFixedBytes = 1 + 1 + 8 + 8;  // flags ver lat
+constexpr std::size_t kHelloAckBytes = 8 + 8;             // objects ver
+constexpr std::size_t kReportBytes = 8 * 10 + 8 * 2 + 1 + 8 + 8 + 8;
+
+std::size_t payload_size(const ServeFrame& f) {
+  switch (f.kind) {
+    case ServeKind::kHello:
+    case ServeKind::kGetReport:
+    case ServeKind::kShutdown:
+      return 0;
+    case ServeKind::kHelloAck:
+      return kHelloAckBytes;
+    case ServeKind::kSubmitRadius:
+      return kGeometryRadiusBytes;
+    case ServeKind::kSubmitRange:
+      return kGeometryRangeBytes;
+    case ServeKind::kAnswer:
+      return kAnswerFixedBytes + 4 + 4 * f.matches.size();
+    case ServeKind::kReport:
+      return kReportBytes;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* serve_kind_name(ServeKind k) {
+  switch (k) {
+    case ServeKind::kHello:
+      return "hello";
+    case ServeKind::kHelloAck:
+      return "hello_ack";
+    case ServeKind::kSubmitRadius:
+      return "submit_radius";
+    case ServeKind::kSubmitRange:
+      return "submit_range";
+    case ServeKind::kAnswer:
+      return "answer";
+    case ServeKind::kGetReport:
+      return "get_report";
+    case ServeKind::kReport:
+      return "report";
+    case ServeKind::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+void encode_serve_frame(const ServeFrame& f, std::vector<std::uint8_t>& out) {
+  const std::size_t body = kServeHeaderBytes + payload_size(f);
+  out.reserve(out.size() + 4 + body);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  put_u16(out, kServeMagic);
+  put_u8(out, kServeVersion);
+  put_u8(out, static_cast<std::uint8_t>(f.kind));
+  put_u64(out, f.id);
+  switch (f.kind) {
+    case ServeKind::kHello:
+    case ServeKind::kGetReport:
+    case ServeKind::kShutdown:
+      break;
+    case ServeKind::kHelloAck:
+      put_u64(out, f.objects);
+      put_u64(out, f.topology_version);
+      break;
+    case ServeKind::kSubmitRadius:
+      put_f64(out, f.a.x);
+      put_f64(out, f.a.y);
+      put_f64(out, f.tol);
+      break;
+    case ServeKind::kSubmitRange:
+      put_f64(out, f.a.x);
+      put_f64(out, f.a.y);
+      put_f64(out, f.b.x);
+      put_f64(out, f.b.y);
+      put_f64(out, f.tol);
+      break;
+    case ServeKind::kAnswer:
+      put_u8(out, f.rejected ? 1 : 0);
+      put_u8(out, f.cache_hit ? 1 : 0);
+      put_u64(out, f.topology_version);
+      put_f64(out, f.server_latency);
+      put_u32(out, static_cast<std::uint32_t>(f.matches.size()));
+      for (const std::int32_t m : f.matches) put_i32(out, m);
+      break;
+    case ServeKind::kReport:
+      put_u64(out, f.submitted);
+      put_u64(out, f.admitted);
+      put_u64(out, f.rejected_total);
+      put_u64(out, f.completed);
+      put_u64(out, f.cache_hits);
+      put_u64(out, f.batches);
+      put_u64(out, f.batch_members);
+      put_u64(out, f.graded);
+      put_u64(out, f.objects);
+      put_u64(out, f.topology_version);
+      put_f64(out, f.recall);
+      put_f64(out, f.precision);
+      put_u8(out, f.drained ? 1 : 0);
+      put_u64(out, f.wire_bytes);
+      put_f64(out, 0.0);  // reserved
+      put_f64(out, 0.0);  // reserved
+      break;
+  }
+}
+
+DecodeStatus decode_serve_frame(const std::uint8_t* data, std::size_t size,
+                                std::size_t& consumed, ServeFrame& out,
+                                std::string* diag) {
+  consumed = 0;
+  if (size < 4) return DecodeStatus::kNeedMore;
+  Cursor c{data};
+  const std::uint32_t body = c.u32();
+  if (body > kMaxServeBody) {
+    if (diag != nullptr) {
+      *diag = "serve frame body length " + std::to_string(body) +
+              " exceeds kMaxServeBody";
+    }
+    return DecodeStatus::kBadLength;
+  }
+  if (body < kServeHeaderBytes) {
+    if (diag != nullptr) {
+      *diag = "serve frame body length " + std::to_string(body) +
+              " shorter than the header";
+    }
+    return DecodeStatus::kBadLength;
+  }
+  if (size < 4 + body) return DecodeStatus::kNeedMore;
+  const std::uint16_t magic = c.u16();
+  if (magic != kServeMagic) {
+    if (diag != nullptr) *diag = "bad serve magic 0x" + std::to_string(magic);
+    return DecodeStatus::kBadMagic;
+  }
+  const std::uint8_t version = c.u8();
+  if (version != kServeVersion) {
+    if (diag != nullptr) {
+      *diag = "unknown serve wire version " + std::to_string(version) +
+              " (speaking " + std::to_string(kServeVersion) + ")";
+    }
+    return DecodeStatus::kBadVersion;
+  }
+  const std::uint8_t kind = c.u8();
+  if (kind >= kServeKindCount) {
+    if (diag != nullptr) {
+      *diag = "serve kind byte " + std::to_string(kind) + " out of range";
+    }
+    return DecodeStatus::kBadKind;
+  }
+  out = ServeFrame{};
+  out.kind = static_cast<ServeKind>(kind);
+  out.id = c.u64();
+
+  // Every kind except kAnswer has a fixed payload; check the declared
+  // body against it exactly so a truncated or padded frame is rejected,
+  // not silently misread.
+  const auto expect_body = [&](std::size_t payload) {
+    if (kServeHeaderBytes + payload != body) {
+      if (diag != nullptr) {
+        *diag = std::string("serve ") + serve_kind_name(out.kind) +
+                " body length " + std::to_string(body) + " != expected " +
+                std::to_string(kServeHeaderBytes + payload);
+      }
+      return false;
+    }
+    return true;
+  };
+
+  switch (out.kind) {
+    case ServeKind::kHello:
+    case ServeKind::kGetReport:
+    case ServeKind::kShutdown:
+      if (!expect_body(0)) return DecodeStatus::kBadLength;
+      break;
+    case ServeKind::kHelloAck:
+      if (!expect_body(kHelloAckBytes)) return DecodeStatus::kBadLength;
+      out.objects = c.u64();
+      out.topology_version = c.u64();
+      break;
+    case ServeKind::kSubmitRadius:
+      if (!expect_body(kGeometryRadiusBytes)) return DecodeStatus::kBadLength;
+      out.a.x = c.f64();
+      out.a.y = c.f64();
+      out.tol = c.f64();
+      out.b = out.a;
+      break;
+    case ServeKind::kSubmitRange:
+      if (!expect_body(kGeometryRangeBytes)) return DecodeStatus::kBadLength;
+      out.a.x = c.f64();
+      out.a.y = c.f64();
+      out.b.x = c.f64();
+      out.b.y = c.f64();
+      out.tol = c.f64();
+      break;
+    case ServeKind::kAnswer: {
+      if (body < kServeHeaderBytes + kAnswerFixedBytes + 4) {
+        if (diag != nullptr) {
+          *diag = "serve answer body length " + std::to_string(body) +
+                  " shorter than the fixed answer";
+        }
+        return DecodeStatus::kBadLength;
+      }
+      out.rejected = c.u8() != 0;
+      out.cache_hit = c.u8() != 0;
+      out.topology_version = c.u64();
+      out.server_latency = c.f64();
+      const std::uint32_t n = c.u32();
+      if (kServeHeaderBytes + kAnswerFixedBytes + 4 +
+              static_cast<std::size_t>(n) * 4 !=
+          body) {
+        if (diag != nullptr) {
+          *diag = "serve answer match count " + std::to_string(n) +
+                  " inconsistent with body length " + std::to_string(body);
+        }
+        return DecodeStatus::kBadLength;
+      }
+      out.matches.clear();
+      out.matches.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) out.matches.push_back(c.i32());
+      break;
+    }
+    case ServeKind::kReport:
+      if (!expect_body(kReportBytes)) return DecodeStatus::kBadLength;
+      out.submitted = c.u64();
+      out.admitted = c.u64();
+      out.rejected_total = c.u64();
+      out.completed = c.u64();
+      out.cache_hits = c.u64();
+      out.batches = c.u64();
+      out.batch_members = c.u64();
+      out.graded = c.u64();
+      out.objects = c.u64();
+      out.topology_version = c.u64();
+      out.recall = c.f64();
+      out.precision = c.f64();
+      out.drained = c.u8() != 0;
+      out.wire_bytes = c.u64();
+      c.f64();  // reserved
+      c.f64();  // reserved
+      break;
+  }
+  consumed = 4 + body;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace voronet::net

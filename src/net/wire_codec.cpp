@@ -1,0 +1,161 @@
+#include "net/wire_codec.hpp"
+
+#include "net/wire_io.hpp"
+
+namespace voronet::net {
+
+using wire::Cursor;
+using wire::put_f64;
+using wire::put_i32;
+using wire::put_u16;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMore:
+      return "need_more";
+    case DecodeStatus::kBadMagic:
+      return "bad_magic";
+    case DecodeStatus::kBadVersion:
+      return "bad_version";
+    case DecodeStatus::kBadKind:
+      return "bad_kind";
+    case DecodeStatus::kBadLength:
+      return "bad_length";
+  }
+  return "unknown";
+}
+
+void encode_frame(const protocol::Message& msg,
+                  std::vector<std::uint8_t>& out) {
+  const std::size_t body =
+      kFixedBodyBytes + msg.entries.size() * kEntryBytes;
+  out.reserve(out.size() + kFramePrefixBytes + body);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  put_u16(out, kWireMagic);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(msg.type));
+  put_i32(out, msg.src);
+  put_i32(out, msg.dst);
+  put_u64(out, msg.version);
+  put_f64(out, msg.point.x);
+  put_f64(out, msg.point.y);
+  put_u32(out, msg.hops);
+  put_u8(out, static_cast<std::uint8_t>(msg.query.kind));
+  put_f64(out, msg.query.a.x);
+  put_f64(out, msg.query.a.y);
+  put_f64(out, msg.query.b.x);
+  put_f64(out, msg.query.b.y);
+  put_f64(out, msg.query.tol);
+  put_i32(out, msg.query.issuer);
+  put_u8(out, msg.query_final ? 1 : 0);
+  put_u32(out, msg.epoch);
+  put_u64(out, msg.transfer_id);
+  put_u32(out, msg.transfer_slot);
+  put_u64(out, msg.span);
+  put_u32(out, static_cast<std::uint32_t>(msg.entries.size()));
+  for (const protocol::ViewEntry& e : msg.entries) {
+    put_i32(out, e.id);
+    put_f64(out, e.pos.x);
+    put_f64(out, e.pos.y);
+  }
+}
+
+DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
+                          std::size_t& consumed, protocol::Message& out,
+                          std::string* diag) {
+  consumed = 0;
+  if (size < kFramePrefixBytes) return DecodeStatus::kNeedMore;
+  Cursor c{data};
+  const std::uint32_t body = c.u32();
+  if (body > kMaxFrameBody) {
+    if (diag != nullptr) {
+      *diag = "frame body length " + std::to_string(body) +
+              " exceeds kMaxFrameBody";
+    }
+    return DecodeStatus::kBadLength;
+  }
+  if (body < kFixedBodyBytes) {
+    if (diag != nullptr) {
+      *diag = "frame body length " + std::to_string(body) +
+              " shorter than the fixed header";
+    }
+    return DecodeStatus::kBadLength;
+  }
+  if (size < kFramePrefixBytes + body) return DecodeStatus::kNeedMore;
+  const std::uint16_t magic = c.u16();
+  if (magic != kWireMagic) {
+    if (diag != nullptr) {
+      *diag = "bad magic 0x" + std::to_string(magic);
+    }
+    return DecodeStatus::kBadMagic;
+  }
+  const std::uint8_t version = c.u8();
+  if (version != kWireVersion) {
+    if (diag != nullptr) {
+      *diag = "unknown wire version " + std::to_string(version) +
+              " (speaking " + std::to_string(kWireVersion) + ")";
+    }
+    return DecodeStatus::kBadVersion;
+  }
+  const std::uint8_t type = c.u8();
+  if (type >= sim::kMessageKindCount) {
+    if (diag != nullptr) {
+      *diag = "message type byte " + std::to_string(type) +
+              " out of range";
+    }
+    return DecodeStatus::kBadKind;
+  }
+  out.type = static_cast<sim::MessageKind>(type);
+  out.src = c.i32();
+  out.dst = c.i32();
+  out.version = c.u64();
+  out.point.x = c.f64();
+  out.point.y = c.f64();
+  out.hops = c.u32();
+  const std::uint8_t qkind = c.u8();
+  if (qkind > static_cast<std::uint8_t>(protocol::QueryKind::kRadius)) {
+    if (diag != nullptr) {
+      *diag = "query kind byte " + std::to_string(qkind) + " out of range";
+    }
+    return DecodeStatus::kBadKind;
+  }
+  out.query.kind = static_cast<protocol::QueryKind>(qkind);
+  out.query.a.x = c.f64();
+  out.query.a.y = c.f64();
+  out.query.b.x = c.f64();
+  out.query.b.y = c.f64();
+  out.query.tol = c.f64();
+  out.query.issuer = c.i32();
+  out.query_final = c.u8() != 0;
+  out.epoch = c.u32();
+  out.transfer_id = c.u64();
+  out.transfer_slot = c.u32();
+  out.span = c.u64();
+  const std::uint32_t entries = c.u32();
+  if (kFixedBodyBytes + static_cast<std::size_t>(entries) * kEntryBytes !=
+      body) {
+    if (diag != nullptr) {
+      *diag = "entry count " + std::to_string(entries) +
+              " inconsistent with body length " + std::to_string(body);
+    }
+    return DecodeStatus::kBadLength;
+  }
+  out.entries.clear();
+  out.entries.reserve(entries);
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    protocol::ViewEntry e;
+    e.id = c.i32();
+    e.pos.x = c.f64();
+    e.pos.y = c.f64();
+    out.entries.push_back(e);
+  }
+  consumed = kFramePrefixBytes + body;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace voronet::net

@@ -1,0 +1,78 @@
+// Shared little-endian field primitives for the repo's two byte
+// layouts: the transport frame codec (wire_codec) and the serving
+// boundary's RPC codec (serve_wire).
+//
+// Writers append explicit byte shifts to a caller-owned buffer, so the
+// layouts are pinned little-endian regardless of host endianness (every
+// deployment target is little-endian; a big-endian host pays the swap
+// here).  The Cursor reader is bounds-UNCHECKED by design: both codecs
+// validate the declared frame length once up front, so the per-field
+// reads stay branch-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace voronet::net::wire {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-unchecked reader (see header comment for the contract).
+struct Cursor {
+  const std::uint8_t* p;
+
+  std::uint8_t u8() { return *p++; }
+  std::uint16_t u16() {
+    const std::uint16_t v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    }
+    p += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+};
+
+}  // namespace voronet::net::wire

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "net/wire_format.hpp"
 
 namespace voronet::protocol {
 
@@ -394,6 +395,8 @@ void Network::abandon_transfer(std::uint32_t slot) {
 void Network::transmit(const Message& msg) {
   ++stats_.transmissions;
   metrics_.count_message(msg.type);
+  metrics_.count_wire_bytes(msg.type, net::wire_frame_size(msg));
+  stats_.wire_bytes += net::wire_frame_size(msg);
   if (msg.type == sim::MessageKind::kAck) ++stats_.acks;
   const bool link_down = link_up_ && !link_up_(msg.src, msg.dst);
   const double drop = effective_drop();

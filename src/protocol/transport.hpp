@@ -93,6 +93,12 @@ struct NetworkStats {
   std::uint64_t acks = 0;
   std::uint64_t injected_duplicates = 0;  ///< duplication-window copies
   std::uint64_t stalled_deferred = 0;     ///< arrivals parked at a stalled node
+  /// Serialized bytes across all wire attempts (codec frame sizes, incl.
+  /// the length prefix): the bytes the socket backend writes, and the
+  /// bytes the sim/thread backends WOULD write -- all three bill through
+  /// net::wire_frame_size so the number is backend-comparable.  Per-kind
+  /// decomposition lives in sim::Metrics::wire_bytes().
+  std::uint64_t wire_bytes = 0;
 };
 
 class Transport {
@@ -217,6 +223,7 @@ class Transport {
 enum class TransportKind : std::uint8_t {
   kSim,     ///< deterministic event-queue simulation (the default)
   kThread,  ///< in-process actor threads, wall-clock timers
+  kSocket,  ///< real frames over kernel sockets (net/socket_transport.hpp)
 };
 
 }  // namespace voronet::protocol

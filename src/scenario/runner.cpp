@@ -47,7 +47,8 @@ Json stats_json(const protocol::NetworkStats& w) {
       .set("abandoned", Json::integer(w.abandoned))
       .set("acks", Json::integer(w.acks))
       .set("injected_duplicates", Json::integer(w.injected_duplicates))
-      .set("stalled_deferred", Json::integer(w.stalled_deferred));
+      .set("stalled_deferred", Json::integer(w.stalled_deferred))
+      .set("wire_bytes", Json::integer(w.wire_bytes));
 }
 
 }  // namespace
@@ -93,6 +94,14 @@ Json Report::to_json() const {
   }
   doc.set("messages_by_type", std::move(per_type));
   doc.set("total_messages", Json::integer(total_messages));
+  Json per_type_bytes = Json::object();
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    per_type_bytes.set(
+        std::string(sim::message_kind_name(static_cast<sim::MessageKind>(k))),
+        Json::integer(wire_bytes_by_kind[k]));
+  }
+  doc.set("wire_bytes_by_type", std::move(per_type_bytes));
+  doc.set("total_wire_bytes", Json::integer(total_wire_bytes));
   doc.set(
       "queries",
       Json::object()
@@ -188,9 +197,12 @@ Report Runner::run() {
   const std::size_t processed_before = h.queue().processed();
   const protocol::NetworkStats wire_before = h.network().stats();
   std::array<std::uint64_t, sim::kMessageKindCount> msgs_before{};
+  std::array<std::uint64_t, sim::kMessageKindCount> bytes_before{};
   for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
     msgs_before[k] =
         h.network().metrics().messages(static_cast<sim::MessageKind>(k));
+    bytes_before[k] =
+        h.network().metrics().wire_bytes(static_cast<sim::MessageKind>(k));
   }
 
   // Windowed time series.  The sampler is passive: the Runner sequences
@@ -322,6 +334,7 @@ Report Runner::run() {
       wire_after.injected_duplicates - wire_before.injected_duplicates;
   rep.wire.stalled_deferred =
       wire_after.stalled_deferred - wire_before.stalled_deferred;
+  rep.wire.wire_bytes = wire_after.wire_bytes - wire_before.wire_bytes;
   // Transfer-attempt distribution (whole run: the populate phase runs
   // under the same loss model, so its attempts belong in the picture).
   const stats::StreamingSummary& attempts =
@@ -334,6 +347,10 @@ Report Runner::run() {
         h.network().metrics().messages(static_cast<sim::MessageKind>(k)) -
         msgs_before[k];
     rep.total_messages += rep.messages[k];
+    rep.wire_bytes_by_kind[k] =
+        h.network().metrics().wire_bytes(static_cast<sim::MessageKind>(k)) -
+        bytes_before[k];
+    rep.total_wire_bytes += rep.wire_bytes_by_kind[k];
   }
 
   rep.queries = ctx->query_ids.size();

@@ -72,6 +72,11 @@ struct Report {
   /// Per-kind message deltas over the timeline phase.
   std::array<std::uint64_t, sim::kMessageKindCount> messages{};
   std::uint64_t total_messages = 0;
+  /// Per-kind serialized bytes-on-wire deltas (codec frame sizes,
+  /// net/wire_format.hpp -- identical billing on every transport
+  /// backend, retransmissions included).
+  std::array<std::uint64_t, sim::kMessageKindCount> wire_bytes_by_kind{};
+  std::uint64_t total_wire_bytes = 0;
 
   // --- Query grading (vs the post-quiescence ground truth) -----------------
   std::size_t queries = 0;

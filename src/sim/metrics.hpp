@@ -123,6 +123,23 @@ class Metrics {
     return sum;
   }
 
+  /// Serialized bytes-on-wire for one transmission of `kind` (the codec
+  /// frame size, net/wire_format.hpp).  Every transport backend bills
+  /// through this one channel -- the sim and thread backends charge the
+  /// bytes the socket backend would actually write, so bytes-per-kind is
+  /// comparable across backends for identical traffic.
+  void count_wire_bytes(MessageKind kind, std::size_t bytes) {
+    wire_bytes_[static_cast<std::size_t>(kind)] += bytes;
+  }
+  [[nodiscard]] std::uint64_t wire_bytes(MessageKind kind) const {
+    return wire_bytes_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total_wire_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto b : wire_bytes_) sum += b;
+    return sum;
+  }
+
   /// Record one finished operation with its greedy hop count and the total
   /// messages it generated.
   void record_operation(OperationKind kind, std::size_t hops,
@@ -157,6 +174,8 @@ class Metrics {
  private:
   std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
       messages_{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
+      wire_bytes_{};
   std::array<stats::StreamingSummary,
              static_cast<std::size_t>(OperationKind::kCount)>
       hops_{};

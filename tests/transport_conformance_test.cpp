@@ -18,13 +18,14 @@
 #include <thread>
 #include <vector>
 
+#include "net/socket_transport.hpp"
 #include "protocol/sim_transport.hpp"
 #include "protocol/thread_transport.hpp"
 
 namespace voronet::protocol {
 namespace {
 
-enum class Backend { kSim, kThread };
+enum class Backend { kSim, kThread, kSocket };
 
 class TransportConformance : public ::testing::TestWithParam<Backend> {
  protected:
@@ -32,6 +33,14 @@ class TransportConformance : public ::testing::TestWithParam<Backend> {
     if (GetParam() == Backend::kThread) {
       return std::make_unique<ThreadTransport>(config, /*shards=*/2,
                                                /*patience=*/30.0);
+    }
+    if (GetParam() == Backend::kSocket) {
+      // Loopback over a Unix-domain socket: every frame and ack crosses
+      // the kernel and comes back in through accept().
+      net::SocketTransportConfig socket_config;
+      socket_config.patience = 30.0;
+      return std::make_unique<net::SocketTransport>(config,
+                                                    std::move(socket_config));
     }
     return std::make_unique<SimTransport>(config);
   }
@@ -304,10 +313,18 @@ TEST_P(TransportConformance, DraftReservePathPresizesAndRecyclesPayloads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
-                         ::testing::Values(Backend::kSim, Backend::kThread),
+                         ::testing::Values(Backend::kSim, Backend::kThread,
+                                           Backend::kSocket),
                          [](const auto& info) {
-                           return info.param == Backend::kSim ? "sim"
-                                                             : "thread";
+                           switch (info.param) {
+                             case Backend::kSim:
+                               return "sim";
+                             case Backend::kThread:
+                               return "thread";
+                             case Backend::kSocket:
+                               return "socket";
+                           }
+                           return "unknown";
                          });
 
 }  // namespace

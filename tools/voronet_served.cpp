@@ -1,0 +1,66 @@
+// voronet_served: host one overlay shard behind a socket.
+//
+// Grows an overlay (message-level joins to quiescence), mounts the
+// serving front-end, and serves serve_wire clients until one sends
+// kShutdown.  The companion client is tools/voronet_query_client.cpp;
+// together they are the repo's multi-process quickstart (README.md).
+//
+//   voronet_served --listen uds:/tmp/voronet.sock --objects 150
+//   voronet_served --listen tcp:127.0.0.1:7447 --backend socket
+//
+// Flags:
+//   --listen SPEC       client-facing address (default: fresh UDS path)
+//   --objects N         overlay population (default 150)
+//   --seed S            run seed
+//   --backend B         overlay-internal transport: thread|sim|socket
+//   --shards K          thread-backend actor threads (0 = derive)
+//   --transport-listen  socket-backend internal listen spec
+//   --queue-capacity N  admission bound of the serving front-end
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "net/serve_loop.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace voronet;
+
+  Flags flags(argc, argv);
+  net::ServedConfig config;
+  config.listen = flags.get_string("listen", "");
+  config.objects =
+      static_cast<std::size_t>(flags.get_int("objects", 150));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0x5e12d));
+  config.shards = static_cast<unsigned>(flags.get_int("shards", 0));
+  config.transport_listen = flags.get_string("transport-listen", "");
+  config.serve.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-capacity", 256));
+  const std::string backend = flags.get_string("backend", "thread");
+  if (backend == "thread") {
+    config.backend = protocol::TransportKind::kThread;
+  } else if (backend == "sim") {
+    config.backend = protocol::TransportKind::kSim;
+  } else if (backend == "socket") {
+    config.backend = protocol::TransportKind::kSocket;
+  } else {
+    std::cerr << "voronet_served: unknown --backend " << backend
+              << " (thread|sim|socket)\n";
+    return 2;
+  }
+  flags.reject_unconsumed();
+
+  net::ServedShard shard(config);
+  // The ready line is the client's cue in scripted runs; flush it before
+  // entering the serve loop.
+  std::cout << "voronet_served: " << config.objects << " objects ("
+            << backend << " backend), listening on "
+            << shard.address().spec() << std::endl;
+  const std::uint64_t answered = shard.serve();
+  std::cout << "voronet_served: shutdown after " << answered
+            << " answered queries\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "voronet_served: " << e.what() << "\n";
+  return 1;
+}
